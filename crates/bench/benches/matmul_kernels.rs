@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks backing Figure 7: individual matmul
+//! executions (wall time on the host), compiler vs primitives baseline,
+//! on a representative subset of the MLP layer shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_baseline::{Baseline, BaselineOptions};
+use gc_bench::workloads::{self, random_inputs, Precision};
+use gc_core::{CompileOptions, Compiler};
+use gc_machine::MachineDescriptor;
+
+fn bench_matmuls(c: &mut Criterion) {
+    let machine = MachineDescriptor::xeon_8358();
+    let mut group = c.benchmark_group("fig7_matmul");
+    group.sample_size(10);
+    for &(m, n, k) in &[(128usize, 512usize, 13usize), (128, 256, 512), (128, 1024, 479)] {
+        for precision in [Precision::F32, Precision::Int8] {
+            let label = format!("{m}x{n}x{k}-{precision}");
+            let g = workloads::single_matmul(m, n, k, precision, 1);
+            let inputs = random_inputs(&g, 2);
+            let compiled = Compiler::new(CompileOptions::new(machine.clone()))
+                .compile(g)
+                .expect("compile");
+            let _ = compiled.execute(&inputs).expect("warm");
+            group.bench_with_input(
+                BenchmarkId::new("compiler", &label),
+                &inputs,
+                |b, inputs| b.iter(|| compiled.execute(inputs).expect("exec")),
+            );
+            let g = workloads::single_matmul(m, n, k, precision, 1);
+            let baseline = Baseline::new(BaselineOptions::new(machine.clone()))
+                .build(g)
+                .expect("build");
+            let _ = baseline.execute(&inputs).expect("warm");
+            group.bench_with_input(
+                BenchmarkId::new("primitive", &label),
+                &inputs,
+                |b, inputs| b.iter(|| baseline.execute(inputs).expect("exec")),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmuls);
+criterion_main!(benches);

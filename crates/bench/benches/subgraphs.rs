@@ -1,0 +1,102 @@
+//! Criterion benchmarks backing Figure 8: MLP_1 and a small MHA
+//! subgraph across the three settings (baseline / no-coarse / full),
+//! measured as host wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gc_baseline::{Baseline, BaselineOptions};
+use gc_bench::workloads::{self, random_inputs};
+use gc_core::{CompileOptions, Compiler};
+use gc_machine::MachineDescriptor;
+use gc_tensor::Tensor;
+
+enum Exe {
+    C(gc_core::CompiledPartition),
+    B(gc_baseline::BaselineExecutable),
+}
+
+impl Exe {
+    fn run(&self, inputs: &[Tensor]) {
+        match self {
+            Exe::C(c) => {
+                c.execute(inputs).expect("exec");
+            }
+            Exe::B(b) => {
+                b.execute(inputs).expect("exec");
+            }
+        }
+    }
+}
+
+fn settings(machine: &MachineDescriptor) -> Vec<(&'static str, Option<CompileOptions>)> {
+    vec![
+        ("baseline", None),
+        (
+            "no-coarse",
+            Some(CompileOptions::without_coarse_fusion(machine.clone())),
+        ),
+        ("full", Some(CompileOptions::new(machine.clone()))),
+    ]
+}
+
+fn bench_subgraphs(c: &mut Criterion) {
+    let machine = MachineDescriptor::xeon_8358();
+    let mut group = c.benchmark_group("fig8_subgraphs");
+    group.sample_size(10);
+
+    // MLP_1, batch 128, f32 and int8
+    for int8 in [false, true] {
+        let build = || {
+            if int8 {
+                workloads::mlp_int8(128, &workloads::mlp1_layers(), 1)
+            } else {
+                workloads::mlp_f32(128, &workloads::mlp1_layers(), 1)
+            }
+        };
+        let inputs = random_inputs(&build(), 3);
+        let label = if int8 { "MLP_1-b128-int8" } else { "MLP_1-b128-fp32" };
+        for (name, opts) in settings(&machine) {
+            let exe = match opts {
+                None => Exe::B(
+                    Baseline::new(BaselineOptions::new(machine.clone()))
+                        .build(build())
+                        .expect("build"),
+                ),
+                Some(o) => Exe::C(Compiler::new(o).compile(build()).expect("compile")),
+            };
+            exe.run(&inputs);
+            group.bench_with_input(BenchmarkId::new(name, label), &inputs, |b, inputs| {
+                b.iter(|| exe.run(inputs))
+            });
+        }
+    }
+
+    // small MHA (seq 64, hidden 128, 4 heads, batch 8)
+    let cfg = workloads::MhaConfig {
+        name: "MHA-small",
+        seq: 64,
+        hidden: 128,
+        heads: 4,
+    };
+    let build = || workloads::mha_f32(8, &cfg).0;
+    let inputs = random_inputs(&build(), 5);
+    for (name, opts) in settings(&machine) {
+        let exe = match opts {
+            None => Exe::B(
+                Baseline::new(BaselineOptions::new(machine.clone()))
+                    .build(build())
+                    .expect("build"),
+            ),
+            Some(o) => Exe::C(Compiler::new(o).compile(build()).expect("compile")),
+        };
+        exe.run(&inputs);
+        group.bench_with_input(
+            BenchmarkId::new(name, "MHA-small-b8-fp32"),
+            &inputs,
+            |b, inputs| b.iter(|| exe.run(inputs)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subgraphs);
+criterion_main!(benches);

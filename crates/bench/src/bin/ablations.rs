@@ -1,0 +1,124 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! - `anchors`  — forced post-op anchor (#1 vs #2) and A-pack placement
+//!   (anchor #2 vs #4), versus the cost-model choice;
+//! - `layout`   — layout propagation on/off;
+//! - `const`    — constant-weight caching: first execution (runs the
+//!   init stage) vs steady state;
+//! - `buffers`  — memory-buffer reuse + tensor-size optimization:
+//!   peak temporary footprint and projected cycles.
+//!
+//! Usage: `ablations [anchors|layout|const|buffers|all] [--threads N]`
+
+use gc_bench::workloads::{self, mha_configs, random_inputs};
+use gc_core::{CompileOptions, Compiler};
+use gc_lowering::anchors::{PackPlacement, PostOpAnchor};
+use gc_machine::MachineDescriptor;
+
+fn opts(threads: Option<usize>) -> CompileOptions {
+    let mut o = CompileOptions::new(MachineDescriptor::xeon_8358());
+    o.threads = threads;
+    o
+}
+
+fn project_ms(o: CompileOptions, g: gc_graph::Graph) -> f64 {
+    let machine = o.machine.clone();
+    let c = Compiler::new(o).compile(g).expect("compile");
+    machine.cycles_to_ms(c.project().cycles)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    if !matches!(what.as_str(), "anchors" | "layout" | "const" | "buffers" | "all") {
+        eprintln!("usage: ablations [anchors|layout|const|buffers|all] [--threads N]");
+        std::process::exit(2);
+    }
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|p| args.get(p + 1))
+        .and_then(|v| v.parse().ok());
+
+    let mlp = || workloads::mlp_f32(512, &workloads::mlp1_layers(), 1);
+    let mha = || workloads::mha_f32(32, &mha_configs()[0]).0;
+
+    if what == "anchors" || what == "all" {
+        println!("== ablation: fusion anchors (projected ms) ==");
+        for (name, g) in [("MLP_1 b512", mlp()), ("MHA_1 b32", mha())] {
+            let auto = project_ms(opts(threads), g);
+            println!("{name:<12} cost-model choice : {auto:.4}");
+        }
+        for anchor in [PostOpAnchor::P1, PostOpAnchor::P2] {
+            for (name, g) in [("MLP_1 b512", mlp()), ("MHA_1 b32", mha())] {
+                let mut o = opts(threads);
+                o.forced_post_anchor = Some(anchor);
+                let ms = project_ms(o, g);
+                println!("{name:<12} post-op anchor {anchor:?} : {ms:.4}");
+            }
+        }
+        for pack in [PackPlacement::PerTask, PackPlacement::PerKChunk] {
+            for (name, g) in [("MLP_1 b512", mlp()), ("MHA_1 b32", mha())] {
+                let mut o = opts(threads);
+                o.forced_pack = Some(pack);
+                let ms = project_ms(o, g);
+                println!("{name:<12} A-pack {pack:?} : {ms:.4}");
+            }
+        }
+        println!();
+    }
+
+    if what == "layout" || what == "all" {
+        println!("== ablation: layout propagation (projected ms) ==");
+        for on in [true, false] {
+            let mut o = opts(threads);
+            o.propagate_layouts = on;
+            let ms = project_ms(o, mlp());
+            println!("MLP_1 b512   propagate_layouts={on} : {ms:.4}");
+        }
+        println!();
+    }
+
+    if what == "const" || what == "all" {
+        println!("== ablation: constant-weight caching (wall ms on host) ==");
+        let g = mlp();
+        let inputs = random_inputs(&g, 3);
+        let c = Compiler::new(opts(threads)).compile(g).expect("compile");
+        let (_, first) = c.execute(&inputs).expect("exec");
+        let (_, steady) = c.execute(&inputs).expect("exec");
+        println!(
+            "MLP_1 b512   first run (init: prepack + compensation): {:.3} ms (init {:.3} ms)",
+            first.wall.as_secs_f64() * 1e3,
+            first.init_wall.as_secs_f64() * 1e3
+        );
+        println!(
+            "MLP_1 b512   steady state (cached)                   : {:.3} ms",
+            steady.wall.as_secs_f64() * 1e3
+        );
+        assert_eq!(c.executable().init_runs(), 1);
+        println!();
+    }
+
+    if what == "buffers" || what == "all" {
+        println!("== ablation: buffer reuse + tensor shrink ==");
+        for (reuse, shrink) in [(true, true), (true, false), (false, true), (false, false)] {
+            let mut o = opts(threads);
+            o.reuse_buffers = reuse;
+            o.shrink_tensors = shrink;
+            let machine = o.machine.clone();
+            let g = workloads::mlp_f32(512, &workloads::mlp2_layers(), 1);
+            let c = Compiler::new(o).compile(g).expect("compile");
+            let inputs = random_inputs(&workloads::mlp_f32(512, &workloads::mlp2_layers(), 1), 3);
+            let (_, stats) = c.execute(&inputs).expect("exec");
+            let ms = machine.cycles_to_ms(c.project().cycles);
+            println!(
+                "MLP_2 b512   reuse={reuse:<5} shrink={shrink:<5} : peak temp {:>10} bytes, projected {ms:.4} ms",
+                stats.peak_temp_bytes
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates the paper's Figure 7: individual matmul performance,
+//! compiler-generated kernel vs expert-tuned primitive, over every
+//! layer shape of both MLP workloads.
+//!
+//! Usage: `fig7 [fp32|int8|all] [--threads N]`
+
+use gc_bench::experiments::{format_fig7, Harness};
+use gc_bench::workloads::Precision;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    if !matches!(what.as_str(), "fp32" | "int8" | "all") {
+        eprintln!("usage: fig7 [fp32|int8|all] [--threads N]");
+        std::process::exit(2);
+    }
+    let mut harness = Harness::quick();
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        match args.get(pos + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) => harness.threads = Some(n),
+            _ => {
+                eprintln!("--threads requires a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+    for precision in [Precision::F32, Precision::Int8] {
+        let run = match (what.as_str(), precision) {
+            ("all", _) | ("fp32", Precision::F32) | ("int8", Precision::Int8) => true,
+            _ => false,
+        };
+        if run {
+            println!("== Figure 7 / individual matmul / {precision} ==");
+            let rows = harness.fig7(precision);
+            print!("{}", format_fig7(&rows));
+            println!();
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Regenerates the paper's Figure 8: MLP and MHA subgraph performance,
+//! baseline vs compiler-without-coarse-fusion vs full compiler, FP32
+//! and Int8.
+//!
+//! Usage: `fig8 [mlp|mha|all] [--quick] [--threads N]`
+
+use gc_bench::experiments::{format_fig8, Harness};
+use gc_bench::workloads::Precision;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    if !matches!(what.as_str(), "mlp" | "mha" | "all") {
+        eprintln!("usage: fig8 [mlp|mha|all] [--threads N] [--quick]");
+        std::process::exit(2);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut harness = if quick {
+        Harness::quick()
+    } else {
+        Harness::default()
+    };
+    if let Some(pos) = args.iter().position(|a| a == "--threads") {
+        match args.get(pos + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) => harness.threads = Some(n),
+            _ => {
+                eprintln!("--threads requires a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if what == "mlp" || what == "all" {
+        for precision in [Precision::F32, Precision::Int8] {
+            println!("== Figure 8 / MLP / {precision} ==");
+            let rows = harness.fig8_mlp(precision, quick);
+            print!("{}", format_fig8(&rows));
+            println!();
+        }
+    }
+    if what == "mha" || what == "all" {
+        for precision in [Precision::F32, Precision::Int8] {
+            println!("== Figure 8 / MHA / {precision} ==");
+            let rows = harness.fig8_mha(precision, quick);
+            print!("{}", format_fig8(&rows));
+            println!();
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Prints Table 1: the workload parameters of the evaluation.
+
+use gc_bench::workloads;
+
+fn main() {
+    println!("Table 1. Workload parameters");
+    println!(
+        "{:<10} {:<12} {:<24} {:<16} {:<26} {:<6}",
+        "workload", "data type", "input batch size", "sequence length", "hidden size", "heads"
+    );
+    let mlp_batches = workloads::mlp_batch_sizes()
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let fmt_layers = |l: &[usize]| {
+        l.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("x")
+    };
+    println!(
+        "{:<10} {:<12} {:<24} {:<16} {:<26} {:<6}",
+        "MLP_1",
+        "Int8, FP32",
+        mlp_batches,
+        "N/A",
+        fmt_layers(&workloads::mlp1_layers()),
+        "N/A"
+    );
+    println!(
+        "{:<10} {:<12} {:<24} {:<16} {:<26} {:<6}",
+        "MLP_2",
+        "Int8, FP32",
+        mlp_batches,
+        "N/A",
+        fmt_layers(&workloads::mlp2_layers()),
+        "N/A"
+    );
+    let mha_batches = workloads::mha_batch_sizes()
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    for cfg in workloads::mha_configs() {
+        println!(
+            "{:<10} {:<12} {:<24} {:<16} {:<26} {:<6}",
+            cfg.name, "Int8, FP32", mha_batches, cfg.seq, cfg.hidden, cfg.heads
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Benchmark harness for the oneDNN Graph Compiler reproduction.
+//!
+//! Provides the Table-1 workload generators ([`workloads`]) and the
+//! experiment drivers ([`experiments`]) that regenerate every figure of
+//! the paper's evaluation: Figure 7 (individual matmul vs primitives)
+//! and Figure 8 (MLP / MHA subgraphs across the three settings).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod workloads;

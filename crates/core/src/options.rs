@@ -1,0 +1,98 @@
+//! Compilation options: every optimization in the paper has a switch so
+//! the benchmark harness can reproduce the paper's ablations (the "middle
+//! setting" of Figure 8 disables coarse-grain fusion, etc.).
+
+use gc_graph::FusionOptions;
+use gc_lowering::anchors::{PackPlacement, PostOpAnchor};
+use gc_machine::MachineDescriptor;
+
+/// Options for [`crate::Compiler`].
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Target machine model.
+    pub machine: MachineDescriptor,
+    /// Fine-grain fusion limits (set `.enabled = false` to disable).
+    pub fusion: FusionOptions,
+    /// Coarse-grain fusion (merge fused-op parallel loops).
+    pub coarse_fusion: bool,
+    /// Low-precision conversion (int8 legalization).
+    pub low_precision: bool,
+    /// Constant-weight preprocessing (init-stage marking + caching).
+    pub constant_weights: bool,
+    /// Keep activations blocked between chained matmuls.
+    pub propagate_layouts: bool,
+    /// Tensor-size optimization at the Tensor IR level.
+    pub shrink_tensors: bool,
+    /// Memory-buffer reuse at the Tensor IR level.
+    pub reuse_buffers: bool,
+    /// Force a post-op anchor (ablation; None = cost model).
+    pub forced_post_anchor: Option<PostOpAnchor>,
+    /// Force the activation pack placement (ablation; None = cost
+    /// model).
+    pub forced_pack: Option<PackPlacement>,
+    /// Use the primitives-library kernel menu instead of the compiler
+    /// heuristic (the baseline runs through this).
+    pub library_params: bool,
+    /// Worker threads for execution (None = host parallelism).
+    pub threads: Option<usize>,
+}
+
+impl CompileOptions {
+    /// Full optimization for a machine.
+    pub fn new(machine: MachineDescriptor) -> Self {
+        CompileOptions {
+            machine,
+            fusion: FusionOptions::default(),
+            coarse_fusion: true,
+            low_precision: true,
+            constant_weights: true,
+            propagate_layouts: true,
+            shrink_tensors: true,
+            reuse_buffers: true,
+            forced_post_anchor: None,
+            forced_pack: None,
+            library_params: false,
+            threads: None,
+        }
+    }
+
+    /// The paper's Figure-8 "middle setting": coarse-grain fusion
+    /// disabled, everything else on.
+    pub fn without_coarse_fusion(machine: MachineDescriptor) -> Self {
+        CompileOptions {
+            coarse_fusion: false,
+            ..CompileOptions::new(machine)
+        }
+    }
+
+    /// All fusion off (every op lowered standalone).
+    pub fn unfused(machine: MachineDescriptor) -> Self {
+        CompileOptions {
+            fusion: FusionOptions::disabled(),
+            coarse_fusion: false,
+            propagate_layouts: false,
+            ..CompileOptions::new(machine)
+        }
+    }
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions::new(MachineDescriptor::xeon_8358())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let o = CompileOptions::default();
+        assert!(o.coarse_fusion && o.fusion.enabled);
+        let m = CompileOptions::without_coarse_fusion(MachineDescriptor::xeon_8358());
+        assert!(!m.coarse_fusion && m.fusion.enabled);
+        let u = CompileOptions::unfused(MachineDescriptor::xeon_8358());
+        assert!(!u.fusion.enabled && !u.propagate_layouts);
+    }
+}

@@ -1,0 +1,130 @@
+//! The compilation pipeline: Graph IR optimization → fusion → lowering.
+
+use crate::options::CompileOptions;
+use crate::CoreError;
+use gc_graph::passes::coarse_fusion::coarse_fuse;
+use gc_graph::passes::constant_fold::ConstantFold;
+use gc_graph::passes::constant_weight::ConstantWeight;
+use gc_graph::passes::cse::CommonSubexpressionElimination;
+use gc_graph::passes::dce::DeadCodeElimination;
+use gc_graph::passes::decompose::Decompose;
+use gc_graph::passes::low_precision::LowPrecision;
+use gc_graph::passes::PassManager;
+use gc_graph::{CoarseGroups, Graph, Partitioning};
+use gc_lowering::{lower_partitions, LowerOptions, Lowered};
+
+/// What the Graph IR stage decided (surfaced for tests, benches and the
+/// ablation harness).
+#[derive(Debug, Clone)]
+pub struct CompileReport {
+    /// Number of main-stage fused ops.
+    pub partitions: usize,
+    /// Number of init-stage (constant preprocessing) partitions.
+    pub init_partitions: usize,
+    /// Coarse-fusion groups with more than one member.
+    pub merged_groups: usize,
+    /// Post-ops fused across all partitions.
+    pub fused_post_ops: usize,
+    /// Live graph ops after optimization.
+    pub graph_ops: usize,
+}
+
+/// Run the Graph IR pass pipeline in the paper's order: decompose →
+/// general cleanups → low-precision conversion → constant-weight
+/// preprocessing → fusion.
+///
+/// # Errors
+///
+/// Propagates pass errors (e.g. non-constant batchnorm statistics).
+pub fn optimize_graph(graph: &mut Graph, opts: &CompileOptions) -> Result<(), CoreError> {
+    graph.validate()?;
+    let mut pm = PassManager::new();
+    // Low-precision conversion must see the original quantize/dequantize
+    // pattern, so constant folding (which would fold `dequantize(w)`
+    // into an f32 weight) only runs afterwards.
+    pm.add(Decompose)
+        .add(CommonSubexpressionElimination)
+        .add(DeadCodeElimination);
+    if opts.low_precision {
+        pm.add(LowPrecision);
+    }
+    pm.add(CommonSubexpressionElimination)
+        .add(ConstantFold::default())
+        .add(DeadCodeElimination);
+    if opts.constant_weights {
+        pm.add(ConstantWeight);
+    }
+    pm.run_to_fixpoint(graph, 8)?;
+    Ok(())
+}
+
+/// Partition the optimized graph (fine-grain fusion) and group for
+/// coarse-grain fusion.
+///
+/// # Errors
+///
+/// Propagates graph traversal errors.
+pub fn partition_graph(
+    graph: &Graph,
+    opts: &CompileOptions,
+) -> Result<(Partitioning, CoarseGroups), CoreError> {
+    let parts = gc_graph::passes::fusion::fuse(graph, &opts.fusion)?;
+    let groups = coarse_fuse(graph, &parts, opts.coarse_fusion)?;
+    Ok((parts, groups))
+}
+
+/// Lower the partitioned graph to an executable Tensor IR module.
+///
+/// # Errors
+///
+/// Propagates lowering errors.
+pub fn lower(
+    graph: &Graph,
+    parts: &Partitioning,
+    groups: &CoarseGroups,
+    opts: &CompileOptions,
+) -> Result<(Lowered, CompileReport), CoreError> {
+    let lower_opts = LowerOptions {
+        machine: opts.machine.clone(),
+        merge_coarse_groups: opts.coarse_fusion,
+        propagate_layouts: opts.propagate_layouts,
+        shrink_tensors: opts.shrink_tensors,
+        reuse_buffers: opts.reuse_buffers,
+        forced_post_anchor: opts.forced_post_anchor,
+        forced_pack: opts.forced_pack,
+        library_params: opts.library_params,
+    };
+    let mut lowered = lower_partitions(graph, parts, groups, &lower_opts)?;
+    // Coarse-grain fusion is validated against the performance
+    // projector: if merging the loops projects slower than leaving the
+    // fused ops separate (the analytic model is only a shortlist), keep
+    // the unmerged lowering.
+    if opts.coarse_fusion && lowered.merged_groups > 0 {
+        let singletons = gc_graph::CoarseGroups {
+            groups: groups.groups.iter().flat_map(|g| {
+                g.iter().map(|&pi| vec![pi]).collect::<Vec<_>>()
+            }).collect(),
+        };
+        let split = lower_partitions(graph, parts, &singletons, &lower_opts)?;
+        let merged_proj = gc_tir::sim::project(&lowered.module, &opts.machine, 1);
+        let split_proj = gc_tir::sim::project(&split.module, &opts.machine, 1);
+        if std::env::var("GC_DEBUG_COARSE").is_ok() {
+            eprintln!(
+                "[coarse] merged: total {:.0} comp {:.0} mem {:.0} sync {:.0} | split: total {:.0} comp {:.0} mem {:.0} sync {:.0}",
+                merged_proj.cycles, merged_proj.compute_cycles, merged_proj.memory_cycles, merged_proj.sync_cycles,
+                split_proj.cycles, split_proj.compute_cycles, split_proj.memory_cycles, split_proj.sync_cycles,
+            );
+        }
+        if split_proj.cycles < merged_proj.cycles {
+            lowered = split;
+        }
+    }
+    let report = CompileReport {
+        partitions: parts.parts.len(),
+        init_partitions: parts.init_parts.len(),
+        merged_groups: lowered.merged_groups,
+        fused_post_ops: parts.parts.iter().map(|p| p.post_ops.len()).sum(),
+        graph_ops: graph.live_ops().count(),
+    };
+    Ok((lowered, report))
+}

@@ -1,0 +1,93 @@
+//! Error type for Graph IR construction and passes.
+
+use std::fmt;
+
+/// Error produced by Graph IR construction, validation, or a pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An op referenced a logical tensor id that does not exist.
+    UnknownTensor(usize),
+    /// An op id was out of range.
+    UnknownOp(usize),
+    /// Shape inference failed for an op.
+    ShapeInference {
+        /// Mnemonic of the offending op.
+        op: String,
+        /// Explanation.
+        message: String,
+    },
+    /// The graph contains a cycle.
+    Cycle,
+    /// A logical tensor has more than one producer.
+    MultipleProducers(usize),
+    /// A pass precondition was violated.
+    Pass {
+        /// Pass name.
+        pass: String,
+        /// Explanation.
+        message: String,
+    },
+    /// Underlying tensor error.
+    Tensor(gc_tensor::TensorError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownTensor(id) => write!(f, "unknown logical tensor t{id}"),
+            GraphError::UnknownOp(id) => write!(f, "unknown op #{id}"),
+            GraphError::ShapeInference { op, message } => {
+                write!(f, "shape inference failed for {op}: {message}")
+            }
+            GraphError::Cycle => write!(f, "graph contains a cycle"),
+            GraphError::MultipleProducers(id) => {
+                write!(f, "logical tensor t{id} has multiple producers")
+            }
+            GraphError::Pass { pass, message } => write!(f, "pass {pass}: {message}"),
+            GraphError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<gc_tensor::TensorError> for GraphError {
+    fn from(e: gc_tensor::TensorError) -> Self {
+        GraphError::Tensor(e)
+    }
+}
+
+/// Result alias for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            GraphError::UnknownTensor(3).to_string(),
+            "unknown logical tensor t3"
+        );
+        assert!(GraphError::Cycle.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn tensor_error_converts_and_sources() {
+        use std::error::Error;
+        let te = gc_tensor::TensorError::LengthMismatch {
+            expected: 1,
+            actual: 2,
+        };
+        let ge: GraphError = te.into();
+        assert!(ge.source().is_some());
+    }
+}

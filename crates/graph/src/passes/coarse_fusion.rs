@@ -1,0 +1,203 @@
+//! Coarse-grain fusion: merge multiple Fused OPs under one parallel
+//! loop nest.
+//!
+//! "Multiple Fused ops could be lowered to one parallel loop, in order
+//! to improve data locality or better exploit the parallelism. For
+//! example, the outermost 'mpi' loop of two fused ops may have the same
+//! blocking factor, so that they can be merged as one loop."
+//!
+//! This pass only *decides and marks* merge groups; the mechanical loop
+//! merge happens in Tensor IR, "as guided by the Graph IR
+//! optimizations".
+
+use crate::error::Result;
+use crate::graph::Graph;
+use crate::passes::fusion::Partitioning;
+
+/// Merge groups over the main partitions of a [`Partitioning`]: each
+/// group is a run of partition indices lowered into one parallel loop.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoarseGroups {
+    /// Groups in execution order; singleton groups are unmerged parts.
+    pub groups: Vec<Vec<usize>>,
+}
+
+impl CoarseGroups {
+    /// The group containing partition `part`.
+    pub fn group_of(&self, part: usize) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&part))
+    }
+
+    /// Number of merged groups with more than one member.
+    pub fn merged_count(&self) -> usize {
+        self.groups.iter().filter(|g| g.len() > 1).count()
+    }
+}
+
+/// Rows processed by a partition's parallel loop: the product of every
+/// output dimension except the last (M, or batch·heads·M for batched
+/// matmuls).
+fn parallel_rows(g: &Graph, parts: &Partitioning, idx: usize) -> Option<usize> {
+    let p = &parts.parts[idx];
+    p.tunable?;
+    let out = p.output(g);
+    let shape = g.desc(out).shape();
+    if shape.len() < 2 {
+        return None;
+    }
+    Some(shape[..shape.len() - 1].iter().product())
+}
+
+/// Decide coarse-fusion groups.
+///
+/// Two adjacent partitions merge when (a) both are Tunable-anchored,
+/// (b) the first one's unique output feeds the second's lhs operand
+/// (directly or through its fused pre-ops), and (c) their parallel row
+/// counts match, so the heuristic can pick identical outer blocking
+/// factors.
+///
+/// # Errors
+///
+/// Propagates graph traversal errors.
+pub fn coarse_fuse(g: &Graph, parts: &Partitioning, enabled: bool) -> Result<CoarseGroups> {
+    let n = parts.parts.len();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    for i in 0..n {
+        if current.is_empty() {
+            current.push(i);
+            continue;
+        }
+        let prev = *current.last().unwrap();
+        if enabled && mergeable(g, parts, prev, i) {
+            current.push(i);
+        } else {
+            groups.push(std::mem::take(&mut current));
+            current.push(i);
+        }
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    Ok(CoarseGroups { groups })
+}
+
+fn mergeable(g: &Graph, parts: &Partitioning, a: usize, b: usize) -> bool {
+    let (pa, pb) = (&parts.parts[a], &parts.parts[b]);
+    if pa.tunable.is_none() || pb.tunable.is_none() {
+        return false;
+    }
+    let (Some(rows_a), Some(rows_b)) = (parallel_rows(g, parts, a), parallel_rows(g, parts, b))
+    else {
+        return false;
+    };
+    if rows_a != rows_b {
+        return false;
+    }
+    // b's lhs operand (or a fused pre-op's input) must be a's output
+    let a_out = pa.output(g);
+    let tb = g.op(pb.tunable.unwrap());
+    let lhs = tb.inputs[0];
+    if lhs == a_out {
+        return true;
+    }
+    // through a pre-op (reorder/transpose) fused into b
+    pb.pre_ops.iter().any(|&p| {
+        let pop = g.op(p);
+        pop.outputs.contains(&lhs) && pop.inputs.contains(&a_out)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpKind, UnaryKind};
+    use crate::passes::fusion::{fuse, FusionOptions};
+    use gc_tensor::{DataType, Tensor, TensorDesc};
+
+    fn mlp3(m: usize) -> Graph {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([m, 64], DataType::F32), "x");
+        let w1 = g.add_constant(Tensor::random(&[64, 64], DataType::F32, 1), "w1");
+        let w2 = g.add_constant(Tensor::random(&[64, 32], DataType::F32, 2), "w2");
+        let w3 = g.add_constant(Tensor::random(&[32, 16], DataType::F32, 3), "w3");
+        let mut t = x;
+        for (i, w) in [w1, w2, w3].into_iter().enumerate() {
+            let mm = g.add_op(OpKind::MatMul, &[t, w]).unwrap();
+            t = g.add_op(OpKind::Unary(UnaryKind::Relu), &[mm]).unwrap();
+            if i == 2 {
+                g.mark_output(t);
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn mlp_merges_all_three_layers() {
+        let g = mlp3(128);
+        let parts = fuse(&g, &FusionOptions::default()).unwrap();
+        assert_eq!(parts.parts.len(), 3);
+        let cg = coarse_fuse(&g, &parts, true).unwrap();
+        assert_eq!(cg.groups, vec![vec![0, 1, 2]]);
+        assert_eq!(cg.merged_count(), 1);
+        assert_eq!(cg.group_of(1), Some(0));
+    }
+
+    #[test]
+    fn disabled_gives_singletons() {
+        let g = mlp3(128);
+        let parts = fuse(&g, &FusionOptions::default()).unwrap();
+        let cg = coarse_fuse(&g, &parts, false).unwrap();
+        assert_eq!(cg.groups.len(), 3);
+        assert_eq!(cg.merged_count(), 0);
+    }
+
+    #[test]
+    fn unconnected_matmuls_not_merged() {
+        let mut g = Graph::new();
+        let x1 = g.add_input(TensorDesc::new([32, 16], DataType::F32), "x1");
+        let x2 = g.add_input(TensorDesc::new([32, 16], DataType::F32), "x2");
+        let w = g.add_constant(Tensor::random(&[16, 16], DataType::F32, 1), "w");
+        let a = g.add_op(OpKind::MatMul, &[x1, w]).unwrap();
+        let b = g.add_op(OpKind::MatMul, &[x2, w]).unwrap();
+        g.mark_output(a);
+        g.mark_output(b);
+        let parts = fuse(&g, &FusionOptions::default()).unwrap();
+        let cg = coarse_fuse(&g, &parts, true).unwrap();
+        assert_eq!(cg.merged_count(), 0);
+    }
+
+    #[test]
+    fn standalone_partition_breaks_chain() {
+        // matmul -> transpose (standalone, not post-fusible since it's
+        // the lhs of... actually make transpose a graph output user) ->
+        // matmul with different rows
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([32, 16], DataType::F32), "x");
+        let w = g.add_constant(Tensor::random(&[16, 16], DataType::F32, 1), "w");
+        let a = g.add_op(OpKind::MatMul, &[x, w]).unwrap();
+        g.mark_output(a); // a escapes -> relu can't fuse into it
+        let r = g.add_op(OpKind::Unary(UnaryKind::Relu), &[a]).unwrap();
+        let b = g.add_op(OpKind::MatMul, &[r, w]).unwrap();
+        g.mark_output(b);
+        let parts = fuse(&g, &FusionOptions::default()).unwrap();
+        // parts: [matmul a], [relu], [matmul b] -- relu breaks adjacency
+        assert_eq!(parts.parts.len(), 3);
+        let cg = coarse_fuse(&g, &parts, true).unwrap();
+        assert_eq!(cg.merged_count(), 0);
+    }
+
+    #[test]
+    fn batched_matmul_rows_include_batch() {
+        let mut g = Graph::new();
+        let q = g.add_input(TensorDesc::new([4, 16, 8], DataType::F32), "q");
+        let kt = g.add_input(TensorDesc::new([4, 8, 16], DataType::F32), "kt");
+        let v = g.add_input(TensorDesc::new([4, 16, 8], DataType::F32), "v");
+        let s = g.add_op(OpKind::MatMul, &[q, kt]).unwrap();
+        let p = g.add_op(OpKind::MatMul, &[s, v]).unwrap();
+        g.mark_output(p);
+        let parts = fuse(&g, &FusionOptions::default()).unwrap();
+        let cg = coarse_fuse(&g, &parts, true).unwrap();
+        assert_eq!(cg.groups, vec![vec![0, 1]]);
+    }
+}

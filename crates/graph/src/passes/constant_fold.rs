@@ -1,0 +1,231 @@
+//! Constant folding: evaluate ops whose inputs are all compile-time
+//! constants with bound values.
+//!
+//! Per the paper, quantization scales and zero points "can be folded in
+//! the compile-time"; large weight preprocessing is deliberately left to
+//! the runtime init stage (constant-weight preprocessing), so folding is
+//! bounded by an output-size threshold.
+
+use crate::error::Result;
+use crate::graph::Graph;
+use crate::op::OpKind;
+use crate::passes::Pass;
+use gc_tensor::{reference, DataType, Storage, Tensor, TensorDesc};
+
+/// The constant-folding pass.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantFold {
+    /// Maximum output elements an op may have to be folded at compile
+    /// time; larger results are left for the runtime init stage.
+    pub max_elems: usize,
+}
+
+impl Default for ConstantFold {
+    fn default() -> Self {
+        // scales, zero points, compensation rows — not whole weights
+        ConstantFold { max_elems: 1 << 16 }
+    }
+}
+
+impl ConstantFold {
+    /// Fold everything regardless of size (used by tests and the init
+    /// stage executor).
+    pub fn unbounded() -> Self {
+        ConstantFold {
+            max_elems: usize::MAX,
+        }
+    }
+}
+
+impl Pass for ConstantFold {
+    fn name(&self) -> &'static str {
+        "constant-fold"
+    }
+
+    fn run(&self, g: &mut Graph) -> Result<bool> {
+        let mut changed = false;
+        let order = g.topo_order()?;
+        for id in order {
+            let op = g.op(id).clone();
+            let out = op.outputs[0];
+            if g.desc(out).volume() > self.max_elems {
+                continue;
+            }
+            let vals: Option<Vec<Tensor>> = op
+                .inputs
+                .iter()
+                .map(|&i| g.const_value(i).cloned())
+                .collect();
+            let Some(vals) = vals else { continue };
+            let Some(result) = eval_op(&op.kind, &vals)? else {
+                continue;
+            };
+            g.bind_const(out, result);
+            g.kill_op(id);
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+/// Evaluate one op on constant inputs using the reference library.
+/// Returns `Ok(None)` for kinds folding does not support.
+pub(crate) fn eval_op(kind: &OpKind, vals: &[Tensor]) -> Result<Option<Tensor>> {
+    let r = match kind {
+        OpKind::MatMul => Some(reference::matmul_f32(&vals[0], &vals[1])?),
+        OpKind::Unary(u) => {
+            use crate::op::UnaryKind as U;
+            let f = match u {
+                U::Relu => reference::relu,
+                U::Gelu => reference::gelu,
+                U::Sigmoid => reference::sigmoid,
+                U::Tanh => reference::tanh,
+                U::Exp => reference::exp,
+                U::Square => |t: &Tensor| {
+                    reference::binary(reference::BinaryKind::Mul, t, t)
+                },
+                U::Neg => |t: &Tensor| {
+                    let v: Vec<f32> = t.f32_slice()?.iter().map(|&x| -x).collect();
+                    Tensor::from_vec_f32(t.desc().shape(), v)
+                },
+                U::Identity => |t: &Tensor| Ok(t.clone()),
+            };
+            Some(f(&vals[0])?)
+        }
+        OpKind::Binary(b) => {
+            use crate::op::BinaryKind as B;
+            let k = match b {
+                B::Add => reference::BinaryKind::Add,
+                B::Sub => reference::BinaryKind::Sub,
+                B::Mul => reference::BinaryKind::Mul,
+                B::Div => reference::BinaryKind::Div,
+                B::Max => reference::BinaryKind::Max,
+                B::Min => reference::BinaryKind::Min,
+            };
+            Some(reference::binary(k, &vals[0], &vals[1])?)
+        }
+        OpKind::Reduce(rk) => {
+            use crate::op::ReduceKind as R;
+            let k = match rk {
+                R::Sum => reference::ReduceKind::Sum,
+                R::Max => reference::ReduceKind::Max,
+            };
+            Some(reference::reduce_last_axis(k, &vals[0])?)
+        }
+        OpKind::Transpose => Some(gc_tensor::reorder::transpose_last2(&vals[0])?),
+        OpKind::Reorder { target } => Some(gc_tensor::reorder::reorder(&vals[0], target.clone())?),
+        OpKind::Quantize { dtype, params } => {
+            Some(reference::quantize(&vals[0], *dtype, *params)?)
+        }
+        OpKind::Dequantize { params } => Some(reference::dequantize(&vals[0], *params)?),
+        OpKind::TypeCast { to } => Some(cast(&vals[0], *to)?),
+        _ => None,
+    };
+    Ok(r)
+}
+
+fn cast(t: &Tensor, to: DataType) -> gc_tensor::Result<Tensor> {
+    let n = t.desc().volume();
+    let desc = TensorDesc::new(t.desc().shape(), to);
+    let storage = match to {
+        DataType::F32 => Storage::F32((0..n).map(|i| t.storage().get_as_f64(i) as f32).collect()),
+        DataType::I32 => Storage::I32((0..n).map(|i| t.storage().get_as_f64(i) as i32).collect()),
+        DataType::I64 => Storage::I64((0..n).map(|i| t.storage().get_as_f64(i) as i64).collect()),
+        DataType::U8 => Storage::U8(
+            (0..n)
+                .map(|i| t.storage().get_as_f64(i).clamp(0.0, 255.0) as u8)
+                .collect(),
+        ),
+        DataType::I8 => Storage::I8(
+            (0..n)
+                .map(|i| t.storage().get_as_f64(i).clamp(-128.0, 127.0) as i8)
+                .collect(),
+        ),
+        DataType::Bf16 => Storage::Bf16(
+            (0..n)
+                .map(|i| gc_tensor::f32_to_bf16_bits(t.storage().get_as_f64(i) as f32))
+                .collect(),
+        ),
+    };
+    Tensor::from_parts(desc, storage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BinaryKind, UnaryKind};
+    use crate::passes::Pass;
+
+    #[test]
+    fn folds_scalar_scale_computation() {
+        // a_s * b_s as the low-precision pass would leave behind
+        let mut g = Graph::new();
+        let a = g.add_constant(Tensor::scalar_f32(0.5), "a_s");
+        let b = g.add_constant(Tensor::scalar_f32(0.25), "b_s");
+        let m = g.add_op(OpKind::Binary(BinaryKind::Mul), &[a, b]).unwrap();
+        g.mark_output(m);
+        assert!(ConstantFold::default().run(&mut g).unwrap());
+        assert_eq!(g.live_ops().count(), 0);
+        let v = g.const_value(m).unwrap();
+        assert_eq!(v.f32_slice().unwrap(), &[0.125]);
+    }
+
+    #[test]
+    fn respects_size_threshold() {
+        let mut g = Graph::new();
+        let w = g.add_constant(Tensor::random(&[64, 64], DataType::F32, 1), "w");
+        let r = g.add_op(OpKind::Unary(UnaryKind::Relu), &[w]).unwrap();
+        g.mark_output(r);
+        let pass = ConstantFold { max_elems: 16 };
+        assert!(!pass.run(&mut g).unwrap());
+        assert!(ConstantFold::unbounded().run(&mut g).unwrap());
+    }
+
+    #[test]
+    fn does_not_fold_with_variable_inputs() {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([2], DataType::F32), "x");
+        let y = g.add_op(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        g.mark_output(y);
+        assert!(!ConstantFold::default().run(&mut g).unwrap());
+    }
+
+    #[test]
+    fn folds_chains_in_one_run() {
+        let mut g = Graph::new();
+        let a = g.add_constant(Tensor::from_vec_f32(&[2], vec![1.0, -2.0]).unwrap(), "a");
+        let r = g.add_op(OpKind::Unary(UnaryKind::Relu), &[a]).unwrap();
+        let e = g.add_op(OpKind::Unary(UnaryKind::Neg), &[r]).unwrap();
+        g.mark_output(e);
+        assert!(ConstantFold::default().run(&mut g).unwrap());
+        assert_eq!(g.live_ops().count(), 0);
+        assert_eq!(g.const_value(e).unwrap().f32_slice().unwrap(), &[-1.0, 0.0]);
+    }
+
+    #[test]
+    fn folds_quantize_roundtrip() {
+        let mut g = Graph::new();
+        let a = g.add_constant(Tensor::from_vec_f32(&[2], vec![0.5, 1.0]).unwrap(), "a");
+        let q = g
+            .add_op(
+                OpKind::Quantize {
+                    dtype: DataType::U8,
+                    params: gc_tensor::QuantParams::new(0.5, 0),
+                },
+                &[a],
+            )
+            .unwrap();
+        g.mark_output(q);
+        assert!(ConstantFold::default().run(&mut g).unwrap());
+        assert_eq!(g.const_value(q).unwrap().u8_slice().unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn cast_helper_covers_types() {
+        let t = Tensor::from_vec_f32(&[3], vec![-1.5, 0.0, 300.0]).unwrap();
+        let u = cast(&t, DataType::U8).unwrap();
+        assert_eq!(u.u8_slice().unwrap(), &[0, 0, 255]);
+        let i = cast(&t, DataType::I32).unwrap();
+        assert_eq!(i.i32_slice().unwrap(), &[-1, 0, 300]);
+    }
+}

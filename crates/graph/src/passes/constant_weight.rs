@@ -1,0 +1,115 @@
+//! Constant-weight preprocessing: runtime-constant propagation and
+//! init-stage marking.
+//!
+//! "The optimization propagates and marks all the runtime constants
+//! throughout the graph. Later the lowering generates special code for
+//! runtime constants, to make sure these runtime constants only be
+//! executed once in the first execution, and all future execution will
+//! reuse the processed result."
+//!
+//! An op whose inputs are all constant produces a constant; such ops are
+//! moved to the `Init` stage and the engine runs them once, caching the
+//! results (the "processed weight").
+
+use crate::error::Result;
+use crate::graph::{Graph, Property};
+use crate::op::Stage;
+use crate::passes::Pass;
+
+/// The constant-weight preprocessing pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ConstantWeight;
+
+impl Pass for ConstantWeight {
+    fn name(&self) -> &'static str {
+        "constant-weight"
+    }
+
+    fn run(&self, g: &mut Graph) -> Result<bool> {
+        let order = g.topo_order()?;
+        let mut changed = false;
+        for id in order {
+            let op = g.op(id);
+            let all_const = op
+                .inputs
+                .iter()
+                .all(|&i| g.tensor(i).property == Property::Constant);
+            if !all_const {
+                continue;
+            }
+            let outs = op.outputs.clone();
+            for o in outs {
+                if g.tensor(o).property != Property::Constant {
+                    g.tensor_mut(o).property = Property::Constant;
+                    changed = true;
+                }
+            }
+            if g.op(id).stage != Stage::Init {
+                g.op_mut(id).stage = Stage::Init;
+                changed = true;
+            }
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpKind, UnaryKind};
+    use gc_tensor::{DataType, Layout, Tensor, TensorDesc};
+
+    #[test]
+    fn propagates_through_chains() {
+        let mut g = Graph::new();
+        let w = g.add_constant(Tensor::random(&[8, 8], DataType::F32, 1), "w");
+        let r = g
+            .add_op(
+                OpKind::Reorder {
+                    target: Layout::blocked_b(2, 4, 4),
+                },
+                &[w],
+            )
+            .unwrap();
+        let x = g.add_input(TensorDesc::new([8, 8], DataType::F32), "x");
+        // matmul takes a variable input, so its output stays variable.
+        // (reorder of a blocked weight is exactly the paper's prepack)
+        let mm = g.add_op(OpKind::MatMul, &[x, w]).unwrap();
+        g.mark_output(mm);
+        g.mark_output(r);
+        assert!(ConstantWeight.run(&mut g).unwrap());
+        assert_eq!(g.tensor(r).property, Property::Constant);
+        assert_eq!(g.op(g.producer(r).unwrap()).stage, Stage::Init);
+        assert_eq!(g.tensor(mm).property, Property::Variable);
+        assert_eq!(g.op(g.producer(mm).unwrap()).stage, Stage::Main);
+    }
+
+    #[test]
+    fn runtime_constant_without_value_propagates() {
+        let mut g = Graph::new();
+        let w = g.add_runtime_constant(TensorDesc::new([4], DataType::F32), "w");
+        let s = g.add_op(OpKind::Unary(UnaryKind::Square), &[w]).unwrap();
+        g.mark_output(s);
+        assert!(ConstantWeight.run(&mut g).unwrap());
+        assert_eq!(g.tensor(s).property, Property::Constant);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut g = Graph::new();
+        let w = g.add_constant(Tensor::random(&[4], DataType::F32, 2), "w");
+        let s = g.add_op(OpKind::Unary(UnaryKind::Square), &[w]).unwrap();
+        g.mark_output(s);
+        assert!(ConstantWeight.run(&mut g).unwrap());
+        assert!(!ConstantWeight.run(&mut g).unwrap());
+    }
+
+    #[test]
+    fn variable_only_graph_unchanged() {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([4], DataType::F32), "x");
+        let y = g.add_op(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        g.mark_output(y);
+        assert!(!ConstantWeight.run(&mut g).unwrap());
+    }
+}

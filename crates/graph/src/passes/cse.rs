@@ -1,0 +1,100 @@
+//! Common subexpression elimination: merge live ops with identical
+//! kinds and inputs.
+
+use crate::error::Result;
+use crate::graph::Graph;
+use crate::op::Stage;
+use crate::passes::Pass;
+
+/// The CSE pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CommonSubexpressionElimination;
+
+impl Pass for CommonSubexpressionElimination {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn run(&self, g: &mut Graph) -> Result<bool> {
+        let order = g.topo_order()?;
+        let mut changed = false;
+        // Quadratic scan is fine at DNN-graph sizes; OpKind carries f32
+        // attributes so a hash key is not straightforwardly available.
+        let mut seen: Vec<crate::graph::OpId> = Vec::new();
+        for id in order {
+            let op = g.op(id).clone();
+            if op.stage == Stage::Init {
+                // init-stage ops are scheduled separately; don't merge
+                // across stages
+            }
+            let dup = seen.iter().copied().find(|&s| {
+                let so = g.op(s);
+                so.kind == op.kind && so.inputs == op.inputs && so.stage == op.stage
+            });
+            if let Some(prev) = dup {
+                let keep = g.op(prev).outputs[0];
+                let drop = op.outputs[0];
+                g.replace_uses(drop, keep);
+                g.kill_op(id);
+                changed = true;
+            } else {
+                seen.push(id);
+            }
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BinaryKind, OpKind, UnaryKind};
+    use gc_tensor::{DataType, TensorDesc};
+
+    #[test]
+    fn merges_identical_ops() {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([2], DataType::F32), "x");
+        let a = g.add_op(OpKind::Unary(UnaryKind::Exp), &[x]).unwrap();
+        let b = g.add_op(OpKind::Unary(UnaryKind::Exp), &[x]).unwrap();
+        let c = g.add_op(OpKind::Binary(BinaryKind::Add), &[a, b]).unwrap();
+        g.mark_output(c);
+        assert!(CommonSubexpressionElimination.run(&mut g).unwrap());
+        g.validate().unwrap();
+        assert_eq!(g.live_ops().count(), 2);
+        // both add inputs now point at the same tensor
+        let add = g.producer(c).unwrap();
+        let ins = &g.op(add).inputs;
+        assert_eq!(ins[0], ins[1]);
+    }
+
+    #[test]
+    fn distinct_kinds_not_merged() {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([2], DataType::F32), "x");
+        let a = g.add_op(OpKind::Unary(UnaryKind::Exp), &[x]).unwrap();
+        let b = g.add_op(OpKind::Unary(UnaryKind::Tanh), &[x]).unwrap();
+        let c = g.add_op(OpKind::Binary(BinaryKind::Add), &[a, b]).unwrap();
+        g.mark_output(c);
+        assert!(!CommonSubexpressionElimination.run(&mut g).unwrap());
+    }
+
+    #[test]
+    fn cascading_cse_via_fixpoint() {
+        // exp(x) twice, then relu of each: one CSE run merges exps, a
+        // second merges the relus.
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([2], DataType::F32), "x");
+        let a = g.add_op(OpKind::Unary(UnaryKind::Exp), &[x]).unwrap();
+        let b = g.add_op(OpKind::Unary(UnaryKind::Exp), &[x]).unwrap();
+        let ra = g.add_op(OpKind::Unary(UnaryKind::Relu), &[a]).unwrap();
+        let rb = g.add_op(OpKind::Unary(UnaryKind::Relu), &[b]).unwrap();
+        let c = g.add_op(OpKind::Binary(BinaryKind::Add), &[ra, rb]).unwrap();
+        g.mark_output(c);
+        let pass = CommonSubexpressionElimination;
+        assert!(pass.run(&mut g).unwrap());
+        // single run already converges because we scan in topo order
+        assert!(!pass.run(&mut g).unwrap());
+        assert_eq!(g.live_ops().count(), 3);
+    }
+}

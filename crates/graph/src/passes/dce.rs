@@ -1,0 +1,78 @@
+//! Dead code elimination: remove ops whose results can never reach a
+//! graph output.
+
+use crate::error::Result;
+use crate::graph::Graph;
+use crate::passes::Pass;
+use std::collections::HashSet;
+
+/// The DCE pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DeadCodeElimination;
+
+impl Pass for DeadCodeElimination {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, g: &mut Graph) -> Result<bool> {
+        // Walk backwards from outputs, marking live ops.
+        let mut live_tensors: HashSet<_> = g.outputs().iter().copied().collect();
+        let order = g.topo_order()?;
+        let mut live_ops = HashSet::new();
+        for &id in order.iter().rev() {
+            let op = g.op(id);
+            if op.outputs.iter().any(|o| live_tensors.contains(o)) {
+                live_ops.insert(id);
+                live_tensors.extend(op.inputs.iter().copied());
+            }
+        }
+        let mut changed = false;
+        for id in order {
+            if !live_ops.contains(&id) {
+                g.kill_op(id);
+                changed = true;
+            }
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{OpKind, UnaryKind};
+    use gc_tensor::{DataType, TensorDesc};
+
+    #[test]
+    fn removes_unused_chain() {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([2], DataType::F32), "x");
+        let used = g.add_op(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        let dead1 = g.add_op(OpKind::Unary(UnaryKind::Exp), &[x]).unwrap();
+        let _dead2 = g.add_op(OpKind::Unary(UnaryKind::Tanh), &[dead1]).unwrap();
+        g.mark_output(used);
+        assert!(DeadCodeElimination.run(&mut g).unwrap());
+        assert_eq!(g.live_ops().count(), 1);
+    }
+
+    #[test]
+    fn keeps_transitive_dependencies() {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([2], DataType::F32), "x");
+        let a = g.add_op(OpKind::Unary(UnaryKind::Exp), &[x]).unwrap();
+        let b = g.add_op(OpKind::Unary(UnaryKind::Relu), &[a]).unwrap();
+        g.mark_output(b);
+        assert!(!DeadCodeElimination.run(&mut g).unwrap());
+        assert_eq!(g.live_ops().count(), 2);
+    }
+
+    #[test]
+    fn no_outputs_kills_everything() {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([2], DataType::F32), "x");
+        let _ = g.add_op(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        assert!(DeadCodeElimination.run(&mut g).unwrap());
+        assert_eq!(g.live_ops().count(), 0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Low-precision conversion.
+//!
+//! Transforms the framework's quantized pattern
+//!
+//! ```text
+//! C = Quantize(Dequantize(A, a_s, a_z) x_f32 Dequantize(B, b_s), c_s, c_z)
+//! ```
+//!
+//! into a mathematically equivalent form whose matmul runs in int8:
+//!
+//! ```text
+//! C = (A x_int8 B  *  (a_s * b_s)  +  compensation) * c_s + c_z
+//! ```
+//!
+//! The rewrite replaces `matmul(dequant(A), dequant(B))` with a
+//! [`OpKind::QuantizedMatMul`] consuming the int8 tensors directly; the
+//! compensation term (`a_z · 1 x B · b_s`) is materialized by the
+//! lowering's constant-weight init function, and any surrounding
+//! `Quantize` stays behind as a Fusible op for post-op fusion.
+
+use crate::error::Result;
+use crate::graph::Graph;
+use crate::op::OpKind;
+use crate::passes::Pass;
+
+/// The low-precision conversion pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LowPrecision;
+
+impl Pass for LowPrecision {
+    fn name(&self) -> &'static str {
+        "low-precision"
+    }
+
+    fn run(&self, g: &mut Graph) -> Result<bool> {
+        let mut changed = false;
+        let ids: Vec<_> = g.live_ops().collect();
+        for id in ids {
+            let op = g.op(id).clone();
+            if op.kind != OpKind::MatMul {
+                continue;
+            }
+            let (a_dq, b_dq) = (g.producer(op.inputs[0]), g.producer(op.inputs[1]));
+            let (Some(a_dq), Some(b_dq)) = (a_dq, b_dq) else {
+                continue;
+            };
+            let OpKind::Dequantize { params: a_params } = g.op(a_dq).kind else {
+                continue;
+            };
+            let OpKind::Dequantize { params: b_params } = g.op(b_dq).kind else {
+                continue;
+            };
+            let a_q = g.op(a_dq).inputs[0];
+            let b_q = g.op(b_dq).inputs[0];
+            // Activations must be u8, weights i8 (the int8 kernel's
+            // contract); anything else stays in f32.
+            if g.desc(a_q).dtype() != gc_tensor::DataType::U8
+                || g.desc(b_q).dtype() != gc_tensor::DataType::I8
+            {
+                continue;
+            }
+            let qmm = g.add_op(
+                OpKind::QuantizedMatMul {
+                    a_params,
+                    b_scale: b_params.scale,
+                    out_params: None,
+                },
+                &[a_q, b_q],
+            )?;
+            g.replace_uses(op.outputs[0], qmm);
+            g.kill_op(id);
+            // dequantize ops die via DCE if now unused
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::dce::DeadCodeElimination;
+    use gc_tensor::{DataType, QuantParams, Tensor, TensorDesc};
+
+    fn quantized_matmul_graph() -> (Graph, crate::graph::LtId) {
+        let mut g = Graph::new();
+        let a = g.add_input(TensorDesc::new([4, 8], DataType::U8), "a_q");
+        let b = g.add_constant(Tensor::random(&[8, 4], DataType::I8, 1), "b_q");
+        let a_f = g
+            .add_op(
+                OpKind::Dequantize {
+                    params: QuantParams::new(0.1, 3),
+                },
+                &[a],
+            )
+            .unwrap();
+        let b_f = g
+            .add_op(
+                OpKind::Dequantize {
+                    params: QuantParams::symmetric(0.2),
+                },
+                &[b],
+            )
+            .unwrap();
+        let c = g.add_op(OpKind::MatMul, &[a_f, b_f]).unwrap();
+        let q = g
+            .add_op(
+                OpKind::Quantize {
+                    dtype: DataType::U8,
+                    params: QuantParams::new(0.05, 10),
+                },
+                &[c],
+            )
+            .unwrap();
+        g.mark_output(q);
+        (g, q)
+    }
+
+    #[test]
+    fn rewrites_dq_matmul_to_int8() {
+        let (mut g, q) = quantized_matmul_graph();
+        assert!(LowPrecision.run(&mut g).unwrap());
+        DeadCodeElimination.run(&mut g).unwrap();
+        g.validate().unwrap();
+        // remaining: qmatmul + quantize
+        let kinds: Vec<_> = g.live_ops().map(|i| g.op(i).kind.clone()).collect();
+        assert_eq!(kinds.len(), 2);
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, OpKind::QuantizedMatMul { .. })));
+        assert!(kinds.iter().any(|k| matches!(k, OpKind::Quantize { .. })));
+        // the quantize consumes the qmatmul's f32 output
+        let qop = g.producer(q).unwrap();
+        let qin = g.op(qop).inputs[0];
+        assert_eq!(g.desc(qin).dtype(), DataType::F32);
+        // and the qmatmul consumes the int8 tensors directly
+        let mm = g.producer(qin).unwrap();
+        let OpKind::QuantizedMatMul {
+            a_params, b_scale, ..
+        } = g.op(mm).kind
+        else {
+            panic!("expected qmatmul")
+        };
+        assert_eq!(a_params.zero_point, 3);
+        assert_eq!(b_scale, 0.2);
+    }
+
+    #[test]
+    fn leaves_f32_matmul_alone() {
+        let mut g = Graph::new();
+        let a = g.add_input(TensorDesc::new([4, 8], DataType::F32), "a");
+        let b = g.add_input(TensorDesc::new([8, 4], DataType::F32), "b");
+        let c = g.add_op(OpKind::MatMul, &[a, b]).unwrap();
+        g.mark_output(c);
+        assert!(!LowPrecision.run(&mut g).unwrap());
+    }
+
+    #[test]
+    fn requires_dequantize_on_both_sides() {
+        let mut g = Graph::new();
+        let a = g.add_input(TensorDesc::new([4, 8], DataType::U8), "a_q");
+        let b = g.add_input(TensorDesc::new([8, 4], DataType::F32), "b");
+        let a_f = g
+            .add_op(
+                OpKind::Dequantize {
+                    params: QuantParams::new(0.1, 0),
+                },
+                &[a],
+            )
+            .unwrap();
+        let c = g.add_op(OpKind::MatMul, &[a_f, b]).unwrap();
+        g.mark_output(c);
+        assert!(!LowPrecision.run(&mut g).unwrap());
+    }
+
+    #[test]
+    fn rejects_i8_activations() {
+        let mut g = Graph::new();
+        let a = g.add_input(TensorDesc::new([4, 8], DataType::I8), "a_q");
+        let b = g.add_constant(Tensor::random(&[8, 4], DataType::I8, 1), "b_q");
+        let a_f = g
+            .add_op(
+                OpKind::Dequantize {
+                    params: QuantParams::new(0.1, 0),
+                },
+                &[a],
+            )
+            .unwrap();
+        let b_f = g
+            .add_op(
+                OpKind::Dequantize {
+                    params: QuantParams::symmetric(0.2),
+                },
+                &[b],
+            )
+            .unwrap();
+        let c = g.add_op(OpKind::MatMul, &[a_f, b_f]).unwrap();
+        g.mark_output(c);
+        assert!(!LowPrecision.run(&mut g).unwrap());
+    }
+}

@@ -1,0 +1,157 @@
+//! Pass-interaction tests: the full Graph IR pipeline on realistic
+//! framework graphs, checking that passes compose (decomposition feeds
+//! fusion, low-precision conversion survives cleanups, constants
+//! propagate into the init stage).
+
+use gc_graph::passes::coarse_fusion::coarse_fuse;
+use gc_graph::passes::constant_fold::ConstantFold;
+use gc_graph::passes::constant_weight::ConstantWeight;
+use gc_graph::passes::cse::CommonSubexpressionElimination;
+use gc_graph::passes::dce::DeadCodeElimination;
+use gc_graph::passes::decompose::Decompose;
+use gc_graph::passes::low_precision::LowPrecision;
+use gc_graph::passes::{fusion, Pass, PassManager};
+use gc_graph::{FusionOptions, Graph, OpCategory, OpKind, Stage, UnaryKind};
+use gc_tensor::{DataType, QuantParams, Tensor, TensorDesc};
+
+fn standard_pipeline() -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(Decompose)
+        .add(CommonSubexpressionElimination)
+        .add(DeadCodeElimination)
+        .add(LowPrecision)
+        .add(CommonSubexpressionElimination)
+        .add(ConstantFold::default())
+        .add(DeadCodeElimination)
+        .add(ConstantWeight);
+    pm
+}
+
+/// quantized matmul + relu + quantize, framework style
+fn quantized_layer() -> Graph {
+    let a_q = QuantParams::new(0.1, 4);
+    let mut g = Graph::new();
+    let a = g.add_input(TensorDesc::new([16, 32], DataType::U8), "a");
+    let w = g.add_constant(Tensor::random(&[32, 16], DataType::I8, 1), "w");
+    let af = g.add_op(OpKind::Dequantize { params: a_q }, &[a]).unwrap();
+    let wf = g
+        .add_op(
+            OpKind::Dequantize {
+                params: QuantParams::symmetric(0.2),
+            },
+            &[w],
+        )
+        .unwrap();
+    let mm = g.add_op(OpKind::MatMul, &[af, wf]).unwrap();
+    let r = g.add_op(OpKind::Unary(UnaryKind::Relu), &[mm]).unwrap();
+    let q = g
+        .add_op(
+            OpKind::Quantize {
+                dtype: DataType::U8,
+                params: QuantParams::new(0.05, 7),
+            },
+            &[r],
+        )
+        .unwrap();
+    g.mark_output(q);
+    g
+}
+
+#[test]
+fn pipeline_rewrites_quantized_layer_to_int8() {
+    let mut g = quantized_layer();
+    standard_pipeline().run_to_fixpoint(&mut g, 8).unwrap();
+    g.validate().unwrap();
+    let kinds: Vec<_> = g.live_ops().map(|i| g.op(i).kind.clone()).collect();
+    assert!(
+        kinds.iter().any(|k| matches!(k, OpKind::QuantizedMatMul { .. })),
+        "matmul must convert: {kinds:?}"
+    );
+    assert!(
+        !kinds.iter().any(|k| matches!(k, OpKind::Dequantize { .. })),
+        "dequantize ops must die: {kinds:?}"
+    );
+    // fine-grain fusion then folds relu + quantize into the matmul
+    let parts = fusion::fuse(&g, &FusionOptions::default()).unwrap();
+    assert_eq!(parts.parts.len(), 1);
+    assert_eq!(parts.parts[0].post_ops.len(), 2);
+}
+
+#[test]
+fn softmax_between_matmuls_stays_fused_after_cleanups() {
+    let mut g = Graph::new();
+    let q = g.add_input(TensorDesc::new([4, 8, 8], DataType::F32), "q");
+    let k = g.add_input(TensorDesc::new([4, 8, 8], DataType::F32), "k");
+    let v = g.add_input(TensorDesc::new([4, 8, 8], DataType::F32), "v");
+    let kt = g.add_op(OpKind::Transpose, &[k]).unwrap();
+    let s = g.add_op(OpKind::MatMul, &[q, kt]).unwrap();
+    let p = g.add_op(OpKind::Softmax, &[s]).unwrap();
+    let o = g.add_op(OpKind::MatMul, &[p, v]).unwrap();
+    g.mark_output(o);
+    standard_pipeline().run_to_fixpoint(&mut g, 8).unwrap();
+    for id in g.live_ops() {
+        assert_ne!(g.op(id).kind.category(), OpCategory::Complex);
+    }
+    let parts = fusion::fuse(&g, &FusionOptions::default()).unwrap();
+    // two fused matmuls; the first one absorbed the transpose pre-op and
+    // the softmax chain post-ops
+    assert_eq!(parts.parts.len(), 2);
+    assert_eq!(parts.parts[0].pre_ops.len(), 1);
+    assert_eq!(parts.parts[0].post_ops.len(), 5);
+    // and the pair is coarse-fusable
+    let groups = coarse_fuse(&g, &parts, true).unwrap();
+    assert_eq!(groups.groups, vec![vec![0, 1]]);
+}
+
+#[test]
+fn constant_weight_marks_init_stage_through_folding() {
+    // weight -> square -> used by matmul: the square is init-stage work
+    // unless folding already evaluated it; either way the main graph
+    // only runs the matmul.
+    let mut g = Graph::new();
+    let x = g.add_input(TensorDesc::new([8, 8], DataType::F32), "x");
+    // runtime constant: marked constant, no compile-time value
+    let w = g.add_runtime_constant(TensorDesc::new([8, 8], DataType::F32), "w");
+    let w2 = g.add_op(OpKind::Unary(UnaryKind::Square), &[w]).unwrap();
+    let mm = g.add_op(OpKind::MatMul, &[x, w2]).unwrap();
+    g.mark_output(mm);
+    standard_pipeline().run_to_fixpoint(&mut g, 8).unwrap();
+    let square = g
+        .live_ops()
+        .find(|&i| matches!(g.op(i).kind, OpKind::Unary(UnaryKind::Square)))
+        .expect("square survives (no value to fold)");
+    assert_eq!(g.op(square).stage, Stage::Init);
+    let parts = fusion::fuse(&g, &FusionOptions::default()).unwrap();
+    assert_eq!(parts.init_parts.len(), 1);
+    assert_eq!(parts.parts.len(), 1);
+}
+
+#[test]
+fn cse_and_fold_interact_across_iterations() {
+    // two identical constant subexpressions: CSE merges, fold evaluates
+    let mut g = Graph::new();
+    let x = g.add_input(TensorDesc::new([4], DataType::F32), "x");
+    let c1 = g.add_constant(Tensor::from_vec_f32(&[4], vec![1., 2., 3., 4.]).unwrap(), "c");
+    let a = g.add_op(OpKind::Unary(UnaryKind::Exp), &[c1]).unwrap();
+    let b = g.add_op(OpKind::Unary(UnaryKind::Exp), &[c1]).unwrap();
+    let s1 = g.add_op(OpKind::Binary(gc_graph::BinaryKind::Add), &[x, a]).unwrap();
+    let s2 = g.add_op(OpKind::Binary(gc_graph::BinaryKind::Add), &[s1, b]).unwrap();
+    g.mark_output(s2);
+    standard_pipeline().run_to_fixpoint(&mut g, 8).unwrap();
+    // the exp ops folded away; only the two adds remain
+    let kinds: Vec<_> = g.live_ops().map(|i| g.op(i).kind.clone()).collect();
+    assert_eq!(kinds.len(), 2, "{kinds:?}");
+    assert!(kinds.iter().all(|k| matches!(k, OpKind::Binary(_))));
+}
+
+#[test]
+fn fusion_disabled_still_partitions_everything() {
+    let mut g = quantized_layer();
+    standard_pipeline().run_to_fixpoint(&mut g, 8).unwrap();
+    let parts = fusion::fuse(&g, &FusionOptions::disabled()).unwrap();
+    let total_ops: usize = parts.parts.iter().map(|p| p.ops().len()).sum();
+    assert_eq!(total_ops, g.live_ops().filter(|&i| g.op(i).stage == Stage::Main).count());
+    for p in &parts.parts {
+        assert_eq!(p.ops().len(), 1);
+    }
+}

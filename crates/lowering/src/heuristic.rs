@@ -1,0 +1,362 @@
+//! The expert-tuned parameter heuristic.
+//!
+//! "For a given output matrix size, it first proposes single-core kernel
+//! size options, a set of [MPN, NPN], which can use all cores with good
+//! load balance. It further proposes microkernel size options, a set of
+//! [MB, NB, KB, BS], which ensure good microkernel performance. Then the
+//! heuristic picks a pair of these sizes [...] based on a cost model
+//! which considers multi-core load balancing and single-core kernel
+//! efficiency."
+
+use crate::params::{divisors, MatmulParams, MatmulProblem};
+use gc_machine::{cost, MachineDescriptor};
+
+/// Constraints the surrounding graph imposes on the decomposition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Constraints {
+    /// Force `NPN = 1` (reduction post-ops along n, or membership in a
+    /// coarse-fusion group whose members must share a row-only task
+    /// decomposition).
+    pub full_n_per_task: bool,
+    /// Force a specific `MB` so chained fused ops share blocking.
+    pub fixed_mb: Option<usize>,
+    /// Force a specific `KB` (layout propagation: a chained matmul reads
+    /// its producer's blocked output, so `KB` must equal the producer's
+    /// `NB`).
+    pub fixed_kb: Option<usize>,
+    /// Force a specific task count (coarse-fusion groups share one
+    /// parallel loop, so every member must decompose into the same
+    /// number of tasks).
+    pub fixed_tasks: Option<usize>,
+}
+
+/// Pick template parameters for `problem` on `machine`.
+///
+/// The returned parameters always validate against the problem.
+pub fn choose_params(
+    machine: &MachineDescriptor,
+    problem: &MatmulProblem,
+    constraints: &Constraints,
+) -> MatmulParams {
+    let mut m_tile_candidates = tile_candidates(problem.m, &[64, 48, 32, 16, 8, 4, 2, 1]);
+    let n_tile_candidates = tile_candidates(problem.n, &[64, 48, 32, 16, 8, 4, 2, 1]);
+    let mut k_tile_candidates = tile_candidates(problem.k, &[256, 128, 64, 32, 16, 8, 4, 2, 1]);
+    if let Some(f) = constraints.fixed_kb {
+        if problem.k % f == 0 && !k_tile_candidates.contains(&f) {
+            k_tile_candidates.push(f);
+        }
+    }
+    if let Some(f) = constraints.fixed_mb {
+        if problem.m % f == 0 && !m_tile_candidates.contains(&f) {
+            m_tile_candidates.push(f);
+        }
+    }
+
+    let mut best: Option<(f64, MatmulParams)> = None;
+    for &mb in &m_tile_candidates {
+        if let Some(f) = constraints.fixed_mb {
+            if mb != f {
+                continue;
+            }
+        }
+        let m_tiles = problem.m / mb;
+        for &nb in &n_tile_candidates {
+            let n_tiles = problem.n / nb;
+            for &kb in &k_tile_candidates {
+                if let Some(f) = constraints.fixed_kb {
+                    if kb != f {
+                        continue;
+                    }
+                }
+                let k_tiles = problem.k / kb;
+                for bs in divisors(k_tiles) {
+                    if bs > 8 {
+                        continue;
+                    }
+                    for mpn in divisors(m_tiles) {
+                        for npn in divisors(n_tiles) {
+                            if constraints.full_n_per_task && npn != 1 {
+                                continue;
+                            }
+                            let tasks = problem.batch * mpn * npn;
+                            if let Some(ft) = constraints.fixed_tasks {
+                                if problem.batch * mpn * npn != ft {
+                                    continue;
+                                }
+                            } else if tasks > 4 * machine.cores && tasks > problem.batch {
+                                continue;
+                            }
+                            let p = MatmulParams {
+                                mpn,
+                                npn,
+                                mb,
+                                nb,
+                                kb,
+                                bs,
+                            };
+                            let c = estimate_cycles(machine, problem, &p);
+                            if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
+                                best = Some((c, p));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let p = best.expect("at least the all-ones decomposition is valid").1;
+    debug_assert!(p.validate(problem).is_ok());
+    p
+}
+
+/// Divisors of `dim` restricted to a preferred candidate list (plus 1 as
+/// a fallback and `dim` itself for prime dims like k=479).
+fn tile_candidates(dim: usize, prefer: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = prefer
+        .iter()
+        .copied()
+        .filter(|&b| b <= dim && dim % b == 0)
+        .collect();
+    if out.is_empty() {
+        out.push(crate::largest_divisor_at_most(dim, *prefer.first().unwrap_or(&64)));
+    }
+    if !out.contains(&dim) && dim <= 1024 {
+        out.push(dim);
+    }
+    out.dedup();
+    out
+}
+
+/// Cost model for one instantiation: compute / balance + memory traffic
+/// + per-kernel overheads.
+pub fn estimate_cycles(
+    machine: &MachineDescriptor,
+    problem: &MatmulProblem,
+    p: &MatmulParams,
+) -> f64 {
+    let tasks = problem.batch * p.tasks();
+    let eff = cost::microkernel_efficiency(machine, p.mb, p.nb, p.kb, p.bs, problem.elem_bytes);
+    // Tasks beyond the core count just queue: the wall-clock is the
+    // per-task cost times the number of waves.
+    let waves = tasks.div_ceil(machine.cores) as f64;
+    let flops_per_task = problem.flops() / tasks as f64;
+    let compute =
+        waves * cost::compute_cycles(machine, flops_per_task, problem.elem_bytes, eff);
+    // memory traffic per task. The single-core kernel walks: for each of
+    // its MSN m-tiles, the whole task B slice (re-read each sweep, from
+    // whichever cache level holds it) and the m-tile's A panels.
+    let msn = p.msn(problem.m).max(1);
+    let nsn = p.nsn(problem.n).max(1);
+    let a_bytes = (msn * p.mb * problem.k * problem.elem_bytes) as f64;
+    let b_slice = (nsn * p.nb * problem.k * problem.elem_bytes) as f64;
+    let c_bytes = (msn * p.mb * nsn * p.nb * 4) as f64;
+    // bandwidth tier by residency: a slice that stays in L2 / the LLC
+    // slice moves at cache bandwidth, not DRAM bandwidth
+    let tier = |bytes: f64| -> f64 {
+        if bytes as usize <= machine.l2_bytes() {
+            bytes / (8.0 * machine.mem_bw_bytes_per_cycle)
+        } else if bytes as usize <= machine.llc_bytes() / machine.cores.max(1) {
+            bytes / (4.0 * machine.mem_bw_bytes_per_cycle)
+        } else {
+            cost::stream_cycles(machine, bytes)
+        }
+    };
+    let mem = waves * (tier(a_bytes) + msn as f64 * tier(b_slice) + tier(c_bytes));
+    // per-microkernel-call fixed overhead
+    let calls = waves * (msn * nsn * p.k_chunks(problem.k).max(1)) as f64;
+    compute.max(mem) + calls * 40.0 + cost::barrier_cycles(machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xeon() -> MachineDescriptor {
+        MachineDescriptor::xeon_8358()
+    }
+
+    #[test]
+    fn params_validate_for_mlp_shapes() {
+        let machine = xeon();
+        for &(m, n, k) in &[
+            (512usize, 512usize, 13usize),
+            (512, 256, 512),
+            (128, 128, 256),
+            (32, 512, 13),
+            (256, 1024, 479),
+            (512, 1, 256),
+        ] {
+            for eb in [4usize, 1] {
+                let prob = MatmulProblem::new(m, n, k, eb);
+                let p = choose_params(&machine, &prob, &Constraints::default());
+                p.validate(&prob).unwrap_or_else(|e| {
+                    panic!("invalid params for {m}x{n}x{k} eb{eb}: {e} ({p:?})")
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn uses_many_cores_when_possible() {
+        let machine = xeon();
+        let prob = MatmulProblem::new(512, 512, 512, 4);
+        let p = choose_params(&machine, &prob, &Constraints::default());
+        assert!(p.tasks() >= machine.cores / 2, "{p:?}");
+    }
+
+    #[test]
+    fn small_batch_uses_n_parallelism() {
+        let machine = xeon();
+        // M = 32: not enough rows for 32 cores with big MB
+        let prob = MatmulProblem::new(32, 512, 512, 4);
+        let p = choose_params(&machine, &prob, &Constraints::default());
+        assert!(p.tasks() >= 8, "{p:?}");
+    }
+
+    #[test]
+    fn full_n_constraint_respected() {
+        let machine = xeon();
+        let prob = MatmulProblem::new(32, 512, 512, 4);
+        let c = Constraints {
+            full_n_per_task: true,
+            ..Constraints::default()
+        };
+        let p = choose_params(&machine, &prob, &c);
+        assert_eq!(p.npn, 1);
+    }
+
+    #[test]
+    fn fixed_mb_and_tasks_respected() {
+        let machine = xeon();
+        let prob = MatmulProblem::new(128, 512, 512, 4);
+        let c = Constraints {
+            full_n_per_task: true,
+            fixed_mb: Some(4),
+            fixed_tasks: Some(32),
+            ..Constraints::default()
+        };
+        let p = choose_params(&machine, &prob, &c);
+        assert_eq!(p.mb, 4);
+        assert_eq!(p.npn, 1);
+        assert_eq!(p.mpn * prob.batch, 32);
+    }
+
+    #[test]
+    fn batched_problem_counts_batch_parallelism() {
+        let machine = xeon();
+        // 256 batch matrices: batch alone saturates the cores
+        let prob = MatmulProblem::batched(256, 128, 128, 64, 4);
+        let p = choose_params(&machine, &prob, &Constraints::default());
+        p.validate(&prob).unwrap();
+        assert!(prob.batch * p.tasks() >= machine.cores);
+    }
+
+    #[test]
+    fn prime_k_gets_degenerate_blocking() {
+        let machine = xeon();
+        let prob = MatmulProblem::new(256, 1024, 479, 1);
+        let p = choose_params(&machine, &prob, &Constraints::default());
+        // 479 is prime: kb must be 1 or 479
+        assert!(p.kb == 1 || p.kb == 479, "{p:?}");
+        p.validate(&prob).unwrap();
+    }
+
+    #[test]
+    fn int8_and_f32_both_work() {
+        let machine = xeon();
+        let prob_f = MatmulProblem::new(512, 512, 256, 4);
+        let prob_i = MatmulProblem::new(512, 512, 256, 1);
+        let pf = choose_params(&machine, &prob_f, &Constraints::default());
+        let pi = choose_params(&machine, &prob_i, &Constraints::default());
+        pf.validate(&prob_f).unwrap();
+        pi.validate(&prob_i).unwrap();
+    }
+
+    #[test]
+    fn cost_orders_sane_vs_pathological() {
+        let machine = xeon();
+        let prob = MatmulProblem::new(512, 512, 512, 4);
+        let good = MatmulParams {
+            mpn: 8,
+            npn: 4,
+            mb: 32,
+            nb: 32,
+            kb: 64,
+            bs: 2,
+        };
+        let bad = MatmulParams {
+            mpn: 1,
+            npn: 1,
+            mb: 1,
+            nb: 1,
+            kb: 1,
+            bs: 1,
+        };
+        assert!(
+            estimate_cycles(&machine, &prob, &good) < estimate_cycles(&machine, &prob, &bad)
+        );
+    }
+}
+
+/// Parameter selection emulating a primitives *library*: a fixed menu
+/// of mature kernels (`MB`/`NB`/`KB` from a small set) rather than the
+/// compiler's free search. Used by the baseline.
+pub fn choose_params_library(
+    machine: &MachineDescriptor,
+    problem: &MatmulProblem,
+    constraints: &Constraints,
+) -> MatmulParams {
+    fn menu(dim: usize, menu: &[usize], fallback_cap: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = menu
+            .iter()
+            .copied()
+            .filter(|&b| b <= dim && dim % b == 0)
+            .collect();
+        if out.is_empty() {
+            out.push(crate::largest_divisor_at_most(dim, fallback_cap));
+        }
+        out
+    }
+    let mbs = menu(problem.m, &[32, 16], 32);
+    let nbs = menu(problem.n, &[64, 32, 16], 64);
+    // the library's mature kernels handle long reduction tails, so the
+    // fallback accepts whatever divisor keeps one kernel per panel
+    let kbs = menu(problem.k, &[64, 32], 512);
+    let mut best: Option<(f64, MatmulParams)> = None;
+    for &mb in &mbs {
+        for &nb in &nbs {
+            for &kb in &kbs {
+                let k_tiles = problem.k / kb;
+                for bs in divisors(k_tiles) {
+                    if bs > 4 {
+                        continue;
+                    }
+                    for mpn in divisors(problem.m / mb) {
+                        for npn in divisors(problem.n / nb) {
+                            if constraints.full_n_per_task && npn != 1 {
+                                continue;
+                            }
+                            let tasks = problem.batch * mpn * npn;
+                            if tasks > 4 * machine.cores && tasks > problem.batch {
+                                continue;
+                            }
+                            let p = MatmulParams {
+                                mpn,
+                                npn,
+                                mb,
+                                nb,
+                                kb,
+                                bs,
+                            };
+                            let c = estimate_cycles(machine, problem, &p);
+                            if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
+                                best = Some((c, p));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    best.expect("library menu always yields a valid decomposition").1
+}

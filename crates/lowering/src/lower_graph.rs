@@ -1,0 +1,1276 @@
+//! Lowering a partitioned Graph IR into a Tensor IR module.
+//!
+//! This is where the Graph IR decisions (fusion membership, coarse
+//! groups, constant-weight staging) meet the templates:
+//!
+//! - every Tunable partition is lowered through the matmul template with
+//!   heuristic parameters;
+//! - **layout negotiation** realizes layout propagation: a matmul chain
+//!   keeps intermediate activations in blocked layout by constraining
+//!   the consumer's `KB`/`MB` to the producer's `NB`/`MB`;
+//! - constant weights get synthesized *init functions* (prepack into the
+//!   blocked weight layout, int8 compensation) producing persistent
+//!   globals, run once at first execution;
+//! - coarse-fusion groups are lowered into a single function whose
+//!   adjacent parallel loops the Tensor IR merge pass then fuses;
+//! - everything else lowers through the standalone op lowering.
+
+use crate::heuristic::{choose_params, Constraints};
+use crate::params::MatmulProblem;
+use crate::standalone::{binary_op, lower_reorder, lower_standalone, unary_op};
+use crate::template::{
+    lower_matmul, AInput, BInput, Int8Spec, MatmulSpec, OutLayout, ParamRole, PostOpSpec,
+};
+use gc_graph::{
+    CoarseGroups, FusedOp, Graph, LtId, OpKind, Partitioning, Property, ReduceKind,
+};
+use gc_machine::MachineDescriptor;
+use gc_tensor::{DataType, Layout, Tensor};
+use gc_tir::passes::{merge_parallel_loops, reuse_func_locals, reuse_module_scratch, shrink_locals};
+use gc_tir::{BufDecl, BufId, Call, Expr, Func, GlobalDecl, GlobalKind, Intrinsic, Module, Stmt, View};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced during lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LowerError(pub String);
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lowering error: {}", self.0)
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+fn err(msg: impl Into<String>) -> LowerError {
+    LowerError(msg.into())
+}
+
+/// Options controlling lowering (the ablation knobs).
+#[derive(Debug, Clone)]
+pub struct LowerOptions {
+    /// Target machine (drives every heuristic).
+    pub machine: MachineDescriptor,
+    /// Merge the parallel loops of coarse-fusion groups (the paper's
+    /// coarse-grain fusion; groups still share one function when off,
+    /// but loops stay separate).
+    pub merge_coarse_groups: bool,
+    /// Keep intermediate activations blocked between chained matmuls
+    /// (layout propagation).
+    pub propagate_layouts: bool,
+    /// Run the tensor-size optimization.
+    pub shrink_tensors: bool,
+    /// Run module-level scratch-buffer reuse.
+    pub reuse_buffers: bool,
+    /// Force the post-op anchor (ablation).
+    pub forced_post_anchor: Option<crate::anchors::PostOpAnchor>,
+    /// Force the A-pack placement (ablation).
+    pub forced_pack: Option<crate::anchors::PackPlacement>,
+    /// Choose template parameters from the primitives library's fixed
+    /// kernel menu instead of the compiler heuristic (baseline mode).
+    pub library_params: bool,
+}
+
+impl LowerOptions {
+    /// Defaults for a machine: everything enabled.
+    pub fn new(machine: MachineDescriptor) -> Self {
+        LowerOptions {
+            machine,
+            merge_coarse_groups: true,
+            propagate_layouts: true,
+            shrink_tensors: true,
+            reuse_buffers: true,
+            forced_post_anchor: None,
+            forced_pack: None,
+            library_params: false,
+        }
+    }
+}
+
+/// Result of lowering: the module plus the data the engine needs to
+/// seed weight globals.
+#[derive(Debug, Clone)]
+pub struct Lowered {
+    /// The compiled Tensor IR module.
+    pub module: Module,
+    /// Initial contents of `Weight` globals (plain weights and constant
+    /// operands), by global index.
+    pub weight_seeds: Vec<(usize, Tensor)>,
+    /// Number of merged coarse groups (diagnostics).
+    pub merged_groups: usize,
+}
+
+struct Builder<'g> {
+    graph: &'g Graph,
+    opts: &'g LowerOptions,
+    module: Module,
+    global_of: HashMap<LtId, usize>,
+    weight_seeds: Vec<(usize, Tensor)>,
+    /// memoized prepacked weights: (weight ltid, kb, nb) -> persistent
+    prepacked: HashMap<(LtId, usize, usize), usize>,
+    /// memoized compensation vectors: (weight ltid, kb, nb) -> persistent
+    comps: HashMap<(LtId, usize, usize), usize>,
+}
+
+/// Per-part lowering decisions.
+#[derive(Debug, Clone)]
+struct PartPlan {
+    spec: MatmulSpec,
+    /// LtId bound to each template param role (None for synthesized
+    /// comp / prepacked-weight params).
+    binds: Vec<Bind>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Bind {
+    Tensor(LtId),
+    PrepackedWeight(LtId),
+    Comp(LtId),
+}
+
+/// Lower a partitioned graph.
+///
+/// # Errors
+///
+/// Returns an error for graphs using unsupported shapes/patterns.
+pub fn lower_partitions(
+    graph: &Graph,
+    parts: &Partitioning,
+    groups: &CoarseGroups,
+    opts: &LowerOptions,
+) -> Result<Lowered, LowerError> {
+    // a tensor that is simultaneously a graph input and a graph output
+    // would need aliased Input/Output globals; reject it explicitly
+    // rather than silently dropping the output
+    if let Some(lt) = graph.outputs().iter().find(|o| graph.inputs().contains(o)) {
+        return Err(err(format!(
+            "graph output t{} is also a graph input; insert an Identity op",
+            lt.0
+        )));
+    }
+    let mut b = Builder {
+        graph,
+        opts,
+        module: Module::new(),
+        global_of: HashMap::new(),
+        weight_seeds: Vec::new(),
+        prepacked: HashMap::new(),
+        comps: HashMap::new(),
+    };
+
+    // -- graph-level init ops (constant-weight preprocessing the user's
+    // graph already contains)
+    for init in &parts.init_parts {
+        b.lower_init_op(init)?;
+    }
+
+    // -- plan tunable parts (params + layout negotiation), in order.
+    // Groups whose shared decomposition would be unprofitable are split
+    // back into singletons first (the heuristic side of coarse fusion).
+    let groups = {
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for group in &groups.groups {
+            if group.len() > 1 && !group_profitable(&opts.machine, graph, parts, group) {
+                out.extend(group.iter().map(|&pi| vec![pi]));
+            } else {
+                out.push(group.clone());
+            }
+        }
+        gc_graph::CoarseGroups { groups: out }
+    };
+    let groups = &groups;
+    let mut plans: HashMap<usize, PartPlan> = HashMap::new();
+    for (gi, group) in groups.groups.iter().enumerate() {
+        let grouped = group.len() > 1;
+        let mut group_mb: Option<usize> = None;
+        let mut group_tasks: Option<usize> = None;
+        for (pos, &pi) in group.iter().enumerate() {
+            let part = &parts.parts[pi];
+            if part.tunable.is_none() {
+                continue;
+            }
+            let prev = if pos > 0 { plans.get(&group[pos - 1]) } else { None };
+            let plan = b.plan_tunable(
+                parts,
+                pi,
+                part,
+                grouped,
+                &mut group_mb,
+                &mut group_tasks,
+                prev,
+                &plans,
+            )?;
+            plans.insert(pi, plan);
+        }
+        let _ = gi;
+    }
+
+    // -- mark producers whose consumers read blocked output
+    // (done inside plan_tunable via `prev`); now fix each producer's
+    // OutLayout if its single consumer plans to read it blocked.
+    let mut blocked_outputs: HashMap<usize, (usize, usize)> = HashMap::new(); // part -> (mb, nb)
+    for (&pi, plan) in &plans {
+        if plan.spec.a_input == AInput::Blocked {
+            // find producer part of the A tensor
+            let a_lt = plan
+                .binds
+                .iter()
+                .zip(&plan_roles(plan))
+                .find_map(|(b_, r)| match (b_, r) {
+                    (Bind::Tensor(lt), ParamRole::A) => Some(*lt),
+                    _ => None,
+                })
+                .expect("A bind");
+            if let Some(prod_op) = graph.producer(a_lt) {
+                if let Some(ppi) = parts.part_of(prod_op) {
+                    blocked_outputs.insert(
+                        ppi,
+                        (plan.spec.params.mb, plan.spec.params.kb),
+                    );
+                    let _ = pi;
+                }
+            }
+        }
+    }
+    for (pi, (mb, kb)) in blocked_outputs {
+        if let Some(plan) = plans.get_mut(&pi) {
+            assert_eq!(plan.spec.params.mb, mb, "negotiated MB mismatch");
+            assert_eq!(plan.spec.params.nb, kb, "negotiated NB mismatch");
+            plan.spec.out = OutLayout::BlockedMbNb;
+        }
+    }
+
+    // -- lower main partitions group by group
+    let mut merged_groups = 0usize;
+    for group in &groups.groups {
+        let all_tunable = group.iter().all(|pi| plans.contains_key(pi));
+        if group.len() > 1 && all_tunable {
+            merged_groups += 1;
+            b.lower_group(parts, group, &plans)?;
+        } else {
+            for &pi in group {
+                let part = &parts.parts[pi];
+                if let Some(plan) = plans.get(&pi) {
+                    b.lower_single_tunable(parts, pi, part, plan)?;
+                } else {
+                    b.lower_standalone_part(part)?;
+                }
+            }
+        }
+    }
+
+    // -- Tensor IR optimizations
+    for f in &mut b.module.funcs {
+        if opts.shrink_tensors {
+            let _ = shrink_locals(f);
+        }
+        let _ = reuse_func_locals(f);
+    }
+    if opts.reuse_buffers {
+        let _ = reuse_module_scratch(&mut b.module);
+    }
+    b.module
+        .validate()
+        .map_err(|e| err(format!("module validation: {e}")))?;
+
+    Ok(Lowered {
+        module: b.module,
+        weight_seeds: b.weight_seeds,
+        merged_groups,
+    })
+}
+
+fn plan_roles(plan: &PartPlan) -> Vec<ParamRole> {
+    // binds are stored parallel to the lowered roles; recompute roles
+    // from the spec the same way lower_matmul does.
+    let mut roles = vec![ParamRole::A, ParamRole::B];
+    if plan.spec.int8.is_some() {
+        roles.push(ParamRole::Comp);
+    }
+    if plan.spec.bias {
+        roles.push(ParamRole::Bias);
+    }
+    for (i, po) in plan.spec.post_ops.iter().enumerate() {
+        if po.takes_param() {
+            roles.push(ParamRole::PostOperand(i));
+        }
+    }
+    roles.push(ParamRole::Out);
+    roles
+}
+
+impl Builder<'_> {
+    fn desc(&self, lt: LtId) -> &gc_tensor::TensorDesc {
+        self.graph.desc(lt)
+    }
+
+    fn global_for(&mut self, lt: LtId) -> usize {
+        if let Some(&g) = self.global_of.get(&lt) {
+            return g;
+        }
+        let t = self.graph.tensor(lt);
+        let kind = if let Some(pos) = self.graph.inputs().iter().position(|&i| i == lt) {
+            GlobalKind::Input(pos)
+        } else if let Some(pos) = self.graph.outputs().iter().position(|&o| o == lt) {
+            GlobalKind::Output(pos)
+        } else if t.property == Property::Constant && self.graph.const_value(lt).is_some() {
+            GlobalKind::Weight
+        } else if t.property == Property::Constant {
+            GlobalKind::Persistent
+        } else {
+            GlobalKind::Scratch
+        };
+        let g = self.module.add_global(GlobalDecl {
+            dtype: t.desc.dtype(),
+            elems: t.desc.volume(),
+            kind,
+            name: t.name.clone(),
+        });
+        if kind == GlobalKind::Weight {
+            self.weight_seeds
+                .push((g, self.graph.const_value(lt).unwrap().clone()));
+        }
+        self.global_of.insert(lt, g);
+        g
+    }
+
+    /// Persistent blocked weight for `(w, kb, nb)`, creating the prepack
+    /// init call on first use.
+    fn prepacked_weight(&mut self, w: LtId, kb: usize, nb: usize) -> Result<usize, LowerError> {
+        if let Some(&g) = self.prepacked.get(&(w, kb, nb)) {
+            return Ok(g);
+        }
+        let desc = self.desc(w).clone();
+        if !desc.layout().is_plain() {
+            return Err(err("weights must arrive in plain layout"));
+        }
+        let plain_g = self.global_for(w);
+        let layout = Layout::blocked_b(desc.rank(), kb, nb);
+        let func = lower_reorder(&desc, &layout, &format!("prepack_w{}", w.0));
+        let persistent = self.module.add_global(GlobalDecl {
+            dtype: desc.dtype(),
+            elems: desc.volume(),
+            kind: GlobalKind::Persistent,
+            name: format!("{}_blocked", self.graph.tensor(w).name),
+        });
+        let fi = self.module.add_func(func);
+        self.module.init_calls.push(Call {
+            func: fi,
+            args: vec![plain_g, persistent],
+        });
+        self.prepacked.insert((w, kb, nb), persistent);
+        Ok(persistent)
+    }
+
+    /// Persistent compensation vector for an int8 weight, from its
+    /// prepacked blocked form.
+    fn compensation(&mut self, w: LtId, kb: usize, nb: usize) -> Result<usize, LowerError> {
+        if let Some(&g) = self.comps.get(&(w, kb, nb)) {
+            return Ok(g);
+        }
+        let blocked = self.prepacked_weight(w, kb, nb)?;
+        let desc = self.desc(w);
+        let shape = desc.shape();
+        let (k, n) = (shape[shape.len() - 2], shape[shape.len() - 1]);
+        let comp_g = self.module.add_global(GlobalDecl {
+            dtype: DataType::I32,
+            elems: n,
+            kind: GlobalKind::Persistent,
+            name: format!("{}_comp", self.graph.tensor(w).name),
+        });
+        // comp[n] = sum_k B[k, n], computed from blocked tiles
+        let mut f = Func {
+            name: format!("comp_w{}", w.0),
+            params: vec![
+                BufDecl::new(DataType::I8, k * n, "wb"),
+                BufDecl::new(DataType::I32, n, "comp"),
+            ],
+            locals: vec![],
+            var_count: 0,
+            body: vec![],
+        };
+        let kt = f.fresh_var();
+        let nt = f.fresh_var();
+        let (k_tiles, n_tiles) = (k / kb, n / nb);
+        f.body.push(Stmt::Op(Intrinsic::ZeroI32 {
+            dst: View::new(BufId::Param(1), 0usize, n),
+        }));
+        f.body.push(Stmt::loop_(
+            kt,
+            k_tiles,
+            vec![Stmt::loop_(
+                nt,
+                n_tiles,
+                vec![Stmt::Op(Intrinsic::CompAccumulate {
+                    b_tile: View::new(
+                        BufId::Param(0),
+                        Expr::v(kt)
+                            .mul(Expr::from(n_tiles))
+                            .add(Expr::v(nt))
+                            .mul(Expr::from(nb * kb)),
+                        nb * kb,
+                    ),
+                    comp: View::new(BufId::Param(1), Expr::v(nt).mul(Expr::from(nb)), nb),
+                    nb,
+                    kb,
+                })],
+            )],
+        ));
+        let fi = self.module.add_func(f);
+        self.module.init_calls.push(Call {
+            func: fi,
+            args: vec![blocked, comp_g],
+        });
+        self.comps.insert((w, kb, nb), comp_g);
+        Ok(comp_g)
+    }
+
+    fn lower_init_op(&mut self, init: &FusedOp) -> Result<(), LowerError> {
+        let op_id = init.pre_ops[0];
+        let op = self.graph.op(op_id);
+        let in_descs: Vec<_> = op.inputs.iter().map(|&i| self.graph.desc(i)).collect();
+        let out = op.outputs[0];
+        let func = lower_standalone(
+            &op.kind,
+            &in_descs,
+            self.graph.desc(out),
+            None,
+            &format!("init_{}", op.kind.mnemonic()),
+        );
+        let n_params = func.params.len();
+        let fi = self.module.add_func(func);
+        let mut args: Vec<usize> = op.inputs.iter().map(|&i| self.global_for(i)).collect();
+        args.push(self.global_for(out));
+        if args.len() != n_params {
+            return Err(err(format!(
+                "init op {} arity mismatch",
+                op.kind.mnemonic()
+            )));
+        }
+        self.module.init_calls.push(Call { func: fi, args });
+        Ok(())
+    }
+
+    /// Build the spec + binds for one tunable partition.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_tunable(
+        &mut self,
+        parts: &Partitioning,
+        _pi: usize,
+        part: &FusedOp,
+        grouped: bool,
+        group_mb: &mut Option<usize>,
+        group_tasks: &mut Option<usize>,
+        prev_in_group: Option<&PartPlan>,
+        all_plans: &HashMap<usize, PartPlan>,
+    ) -> Result<PartPlan, LowerError> {
+        let graph = self.graph;
+        let machine = &self.opts.machine;
+        let t_op = graph.op(part.tunable.unwrap());
+
+        // --- operand sources, redirected through fused pre-ops
+        let mut a_src = t_op.inputs[0];
+        let mut b_src = t_op.inputs[1];
+        let mut b_transposed = false;
+        for &pre in &part.pre_ops {
+            let p = graph.op(pre);
+            let out = p.outputs[0];
+            if out == a_src {
+                match p.kind {
+                    OpKind::Reorder { .. } => a_src = p.inputs[0],
+                    _ => return Err(err("unsupported pre-op on activation")),
+                }
+            } else if out == b_src {
+                match p.kind {
+                    OpKind::Transpose => {
+                        b_src = p.inputs[0];
+                        b_transposed = true;
+                    }
+                    OpKind::Reorder { .. } => b_src = p.inputs[0],
+                    _ => return Err(err("unsupported pre-op on rhs")),
+                }
+            }
+        }
+
+        // --- problem sizes
+        let a_desc = graph.desc(a_src).clone();
+        let out_lt = part.output(graph);
+        let out_desc = graph.desc(out_lt).clone();
+        let shape = out_desc.shape();
+        let rank = shape.len();
+        let (m, n) = (shape[rank - 2], shape[rank - 1]);
+        let k = *a_desc.shape().last().unwrap();
+        let batch: usize = shape[..rank - 2].iter().product();
+        let (int8, elem_bytes) = match &t_op.kind {
+            OpKind::MatMul => (None, 4),
+            OpKind::QuantizedMatMul {
+                a_params, b_scale, ..
+            } => (
+                Some(Int8Spec {
+                    a_zero: a_params.zero_point,
+                    scale: a_params.scale * b_scale,
+                }),
+                1,
+            ),
+            other => return Err(err(format!("{other} is not a tunable op"))),
+        };
+        let problem = MatmulProblem::batched(batch, m, n, k, elem_bytes);
+
+        // --- post-op translation
+        let mut post_ops = Vec::new();
+        let mut produced: Vec<LtId> = vec![t_op.outputs[0]];
+        let mut reduce_outputs: Vec<LtId> = Vec::new();
+        let mut operand_binds: Vec<(usize, LtId)> = Vec::new();
+        for &po_id in &part.post_ops {
+            let po = graph.op(po_id);
+            let idx = post_ops.len();
+            match &po.kind {
+                OpKind::Unary(u) => post_ops.push(PostOpSpec::Unary(unary_op(*u))),
+                OpKind::Binary(bk) => {
+                    let op = binary_op(*bk);
+                    // identify the non-chain operand
+                    let rhs = po
+                        .inputs
+                        .iter()
+                        .copied()
+                        .find(|i| !produced.contains(i))
+                        .unwrap_or(po.inputs[1]);
+                    if reduce_outputs.contains(&rhs) {
+                        post_ops.push(PostOpSpec::BinaryColStat { op });
+                    } else if let Some(v) = self.scalar_const(rhs) {
+                        post_ops.push(PostOpSpec::BinaryScalarConst(op, v));
+                    } else {
+                        let rd = graph.desc(rhs);
+                        if rd.volume() == n {
+                            post_ops.push(PostOpSpec::BinaryRowVec {
+                                op,
+                                batch_indexed: false,
+                            });
+                            operand_binds.push((idx, rhs));
+                        } else if rd.volume() == batch * n {
+                            post_ops.push(PostOpSpec::BinaryRowVec {
+                                op,
+                                batch_indexed: true,
+                            });
+                            operand_binds.push((idx, rhs));
+                        } else if rd.shape() == out_desc.shape() {
+                            post_ops.push(PostOpSpec::BinaryFull { op });
+                            operand_binds.push((idx, rhs));
+                        } else {
+                            return Err(err(format!(
+                                "unsupported fused binary operand shape {:?}",
+                                rd.shape()
+                            )));
+                        }
+                    }
+                }
+                OpKind::Reduce(rk) => {
+                    let op = match rk {
+                        ReduceKind::Sum => gc_tir::ReduceOp::Sum,
+                        ReduceKind::Max => gc_tir::ReduceOp::Max,
+                    };
+                    post_ops.push(PostOpSpec::ReduceRow(op));
+                    reduce_outputs.push(po.outputs[0]);
+                }
+                OpKind::Quantize { dtype, params } => {
+                    if *dtype != DataType::U8 {
+                        return Err(err("fused quantize must target u8"));
+                    }
+                    post_ops.push(PostOpSpec::Quantize {
+                        scale: params.scale,
+                        zero_point: params.zero_point,
+                    });
+                }
+                OpKind::Reorder { target } => {
+                    if !target.is_plain() {
+                        return Err(err("fused output reorder must target plain layout"));
+                    }
+                    // plain output is the default; nothing to add
+                }
+                other => return Err(err(format!("unsupported fused post-op {other}"))),
+            }
+            produced.push(po.outputs[0]);
+        }
+        // quantize, if present, must be last (output write handles it)
+        if let Some(qpos) = post_ops
+            .iter()
+            .position(|p| matches!(p, PostOpSpec::Quantize { .. }))
+        {
+            if qpos + 1 != post_ops.len() {
+                return Err(err("fused quantize must be the final post-op"));
+            }
+        }
+        let has_reduce = !reduce_outputs.is_empty();
+
+        // --- constraints (grouping + layout negotiation)
+        let mut constraints = Constraints {
+            full_n_per_task: has_reduce || grouped,
+            ..Constraints::default()
+        };
+        if grouped {
+            if group_mb.is_none() {
+                let (mb, tasks) = group_decomposition(machine, batch, m);
+                *group_mb = Some(mb);
+                *group_tasks = Some(tasks);
+            }
+            constraints.fixed_mb = *group_mb;
+            constraints.fixed_tasks = *group_tasks;
+        }
+        // chained producer: previous member of the group, or (when
+        // layout propagation is on) any tunable part producing our A
+        let chained_prev: Option<&PartPlan> = if let Some(p) = prev_in_group {
+            Some(p)
+        } else if self.opts.propagate_layouts {
+            graph
+                .producer(a_src)
+                .and_then(|po| parts.part_of(po))
+                .and_then(|ppi| all_plans.get(&ppi))
+                .filter(|_p| {
+                    // single consumer and shapes chain directly
+                    graph.consumers(a_src).len() == 1
+                })
+        } else {
+            None
+        };
+        // Layout propagation is cost-driven: reading the producer's
+        // blocked output pins MB/KB to the producer's MB/NB, which can
+        // force a poor tiling. Compare against free parameters plus the
+        // fused pack's streaming cost and keep the cheaper option.
+        let pick = |c: &Constraints| {
+            if self.opts.library_params {
+                crate::heuristic::choose_params_library(machine, &problem, c)
+            } else {
+                choose_params(machine, &problem, c)
+            }
+        };
+        let p_plain = pick(&constraints);
+        let pack_cost = gc_machine::cost::stream_cycles(
+            machine,
+            2.0 * (problem.batch * problem.m * problem.k * problem.elem_bytes) as f64,
+        ) / machine.cores as f64;
+        let cost_plain =
+            crate::heuristic::estimate_cycles(machine, &problem, &p_plain) + pack_cost;
+        let (a_input, params) = match chained_prev {
+            Some(prev) if self.opts.propagate_layouts => {
+                let mut blocked = constraints;
+                blocked.fixed_mb = Some(prev.spec.params.mb);
+                blocked.fixed_kb = Some(prev.spec.params.nb);
+                // pinned MB/KB may be infeasible together with a fixed
+                // group task count; fall back to plain if so
+                let feasible = problem.m % prev.spec.params.mb == 0
+                    && problem.k % prev.spec.params.nb == 0;
+                if feasible {
+                    let p_blocked = pick(&blocked);
+                    let cost_blocked =
+                        crate::heuristic::estimate_cycles(machine, &problem, &p_blocked);
+                    if cost_blocked <= cost_plain {
+                        (AInput::Blocked, p_blocked)
+                    } else {
+                        (AInput::Plain, p_plain)
+                    }
+                } else {
+                    (AInput::Plain, p_plain)
+                }
+            }
+            _ => (AInput::Plain, p_plain),
+        };
+
+        // --- rhs arrival
+        let b_is_const = graph.tensor(b_src).property == Property::Constant;
+        let b_input = if b_is_const && graph.const_value(b_src).is_some() {
+            BInput::BlockedWeight
+        } else {
+            BInput::PlainInLoop {
+                transposed: b_transposed,
+            }
+        };
+
+        let spec = MatmulSpec {
+            problem,
+            params,
+            int8,
+            bias: false,
+            a_input,
+            b_input,
+            post_ops,
+            out: OutLayout::Plain, // may be upgraded to blocked later
+            out_dtype: out_desc.dtype(),
+            forced_post_anchor: self.opts.forced_post_anchor,
+            forced_pack: self.opts.forced_pack,
+        };
+
+        // --- binds, in role order
+        let mut binds = vec![Bind::Tensor(a_src)];
+        binds.push(match b_input {
+            BInput::BlockedWeight => Bind::PrepackedWeight(b_src),
+            BInput::PlainInLoop { .. } => Bind::Tensor(b_src),
+        });
+        if spec.int8.is_some() {
+            binds.push(Bind::Comp(b_src));
+        }
+        for (idx, lt) in &operand_binds {
+            let _ = idx;
+            binds.push(Bind::Tensor(*lt));
+        }
+        binds.push(Bind::Tensor(out_lt));
+
+        Ok(PartPlan { spec, binds })
+    }
+
+    fn resolve_bind(&mut self, bind: Bind, spec: &MatmulSpec) -> Result<usize, LowerError> {
+        match bind {
+            Bind::Tensor(lt) => Ok(self.global_for(lt)),
+            Bind::PrepackedWeight(w) => {
+                self.prepacked_weight(w, spec.params.kb, spec.params.nb)
+            }
+            Bind::Comp(w) => self.compensation(w, spec.params.kb, spec.params.nb),
+        }
+    }
+
+    fn lower_single_tunable(
+        &mut self,
+        _parts: &Partitioning,
+        pi: usize,
+        _part: &FusedOp,
+        plan: &PartPlan,
+    ) -> Result<(), LowerError> {
+        let lowered = lower_matmul(&self.opts.machine, &plan.spec, &format!("fused_op_{pi}"));
+        let mut args = Vec::with_capacity(plan.binds.len());
+        for &bind in &plan.binds {
+            args.push(self.resolve_bind(bind, &plan.spec)?);
+        }
+        debug_assert_eq!(args.len(), lowered.func.params.len());
+        let fi = self.module.add_func(lowered.func);
+        self.module.main_calls.push(Call { func: fi, args });
+        Ok(())
+    }
+
+    /// Lower a coarse group into a single function, then (optionally)
+    /// merge its parallel loops.
+    fn lower_group(
+        &mut self,
+        parts: &Partitioning,
+        group: &[usize],
+        plans: &HashMap<usize, PartPlan>,
+    ) -> Result<(), LowerError> {
+        // intermediates: tensors produced and consumed inside the group
+        let mut internal: Vec<LtId> = Vec::new();
+        for (i, &pi) in group.iter().enumerate() {
+            if i + 1 == group.len() {
+                break;
+            }
+            let out = parts.parts[pi].output(self.graph);
+            internal.push(out);
+        }
+
+        let mut combined = Func {
+            name: format!("group_{}", group[0]),
+            params: vec![],
+            locals: vec![],
+            var_count: 0,
+            body: vec![],
+        };
+        let mut args: Vec<usize> = Vec::new();
+        let mut global_to_param: HashMap<usize, usize> = HashMap::new();
+        let mut internal_local: HashMap<LtId, usize> = HashMap::new();
+
+        for &pi in group {
+            let plan = &plans[&pi];
+            let lowered =
+                lower_matmul(&self.opts.machine, &plan.spec, &format!("fused_op_{pi}"));
+            let f = lowered.func;
+            let var_off = combined.var_count;
+            combined.var_count += f.var_count;
+            // map this member's params (may itself append `inter_*`
+            // locals, so the member-local offset is computed after)
+            let mut param_map: Vec<BufId> = Vec::with_capacity(f.params.len());
+            for (j, decl) in f.params.iter().enumerate() {
+                let bind = plan.binds[j];
+                let as_internal = match bind {
+                    Bind::Tensor(lt) if internal.contains(&lt) => Some(lt),
+                    _ => None,
+                };
+                if let Some(lt) = as_internal {
+                    let l = *internal_local.entry(lt).or_insert_with(|| {
+                        combined.locals.push(BufDecl::new(
+                            decl.dtype,
+                            decl.elems,
+                            format!("inter_{}", lt.0),
+                        ));
+                        combined.locals.len() - 1
+                    });
+                    param_map.push(BufId::Local(l));
+                } else {
+                    let g = self.resolve_bind(bind, &plan.spec)?;
+                    let p = *global_to_param.entry(g).or_insert_with(|| {
+                        combined.params.push(decl.clone());
+                        args.push(g);
+                        combined.params.len() - 1
+                    });
+                    param_map.push(BufId::Param(p));
+                }
+            }
+            let local_off = combined.locals.len();
+            for l in &f.locals {
+                combined.locals.push(l.clone());
+            }
+            for stmt in f.body {
+                combined
+                    .body
+                    .push(remap_stmt(stmt, &param_map, local_off, var_off));
+            }
+        }
+
+        if self.opts.merge_coarse_groups {
+            let _ = merge_parallel_loops(&mut combined);
+        }
+        let fi = self.module.add_func(combined);
+        self.module.main_calls.push(Call { func: fi, args });
+        Ok(())
+    }
+
+    fn lower_standalone_part(&mut self, part: &FusedOp) -> Result<(), LowerError> {
+        let op_id = part.ops()[0];
+        let op = self.graph.op(op_id).clone();
+        // scalar-const rhs for binary ops
+        let scalar_rhs = match op.kind {
+            OpKind::Binary(_) => self.scalar_const(op.inputs[1]),
+            _ => None,
+        };
+        let in_descs: Vec<_> = op.inputs.iter().map(|&i| self.graph.desc(i)).collect();
+        let out = op.outputs[0];
+        let func = lower_standalone(
+            &op.kind,
+            &in_descs,
+            self.graph.desc(out),
+            scalar_rhs,
+            &format!("op_{}", op.kind.mnemonic()),
+        );
+        let n_params = func.params.len();
+        let fi = self.module.add_func(func);
+        let mut args: Vec<usize> = Vec::new();
+        for (j, &i) in op.inputs.iter().enumerate() {
+            if scalar_rhs.is_some() && j == 1 {
+                continue; // folded into the kernel
+            }
+            args.push(self.global_for(i));
+        }
+        args.push(self.global_for(out));
+        if args.len() != n_params {
+            return Err(err(format!(
+                "standalone op {} arity mismatch ({} args, {} params)",
+                op.kind.mnemonic(),
+                args.len(),
+                n_params
+            )));
+        }
+        self.module.main_calls.push(Call { func: fi, args });
+        Ok(())
+    }
+
+    fn scalar_const(&self, lt: LtId) -> Option<f32> {
+        let v = self.graph.const_value(lt)?;
+        if v.desc().volume() == 1 && v.desc().dtype() == DataType::F32 {
+            Some(v.f32_slice().ok()?[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// Extract the matmul problem of a tunable partition (for group
+/// profitability analysis; mirrors `plan_tunable`'s size derivation).
+fn part_problem(graph: &Graph, part: &FusedOp) -> Option<(MatmulProblem, bool)> {
+    let t_op = graph.op(part.tunable?);
+    let mut a_src = t_op.inputs[0];
+    for &pre in &part.pre_ops {
+        let p = graph.op(pre);
+        if p.outputs[0] == a_src {
+            a_src = p.inputs[0];
+        }
+    }
+    let out_lt = part.output(graph);
+    let shape = graph.desc(out_lt).shape().to_vec();
+    let rank = shape.len();
+    if rank < 2 {
+        return None;
+    }
+    let (m, n) = (shape[rank - 2], shape[rank - 1]);
+    let k = *graph.desc(a_src).shape().last()?;
+    let batch: usize = shape[..rank - 2].iter().product();
+    let elem = match &t_op.kind {
+        OpKind::QuantizedMatMul { .. } => 1,
+        _ => 4,
+    };
+    let has_reduce = part
+        .post_ops
+        .iter()
+        .any(|&o| matches!(graph.op(o).kind, OpKind::Reduce(_)));
+    Some((MatmulProblem::batched(batch, m, n, k, elem), has_reduce))
+}
+
+/// Decide whether merging a coarse group is profitable: the shared
+/// row-only decomposition can force poor tilings (e.g. MB = 1 for tiny
+/// batches without k-slicing), in which case the group is split.
+fn group_profitable(
+    machine: &MachineDescriptor,
+    graph: &Graph,
+    parts: &Partitioning,
+    group: &[usize],
+) -> bool {
+    let mut probs = Vec::new();
+    for &pi in group {
+        match part_problem(graph, &parts.parts[pi]) {
+            Some(pr) => probs.push(pr),
+            None => return false,
+        }
+    }
+    let (batch, m) = (probs[0].0.batch, probs[0].0.m);
+    let (mb_g, tasks_g) = group_decomposition(machine, batch, m);
+    // degenerate shared decompositions (MB < 4) are never merged — the
+    // paper handles those with k-slicing template variants instead
+    if mb_g < 4 {
+        return false;
+    }
+    let mut merged = 0.0;
+    let mut free = 0.0;
+    for (prob, has_reduce) in &probs {
+        let gc = Constraints {
+            full_n_per_task: true,
+            fixed_mb: Some(mb_g),
+            fixed_tasks: Some(tasks_g),
+            ..Constraints::default()
+        };
+        let fc = Constraints {
+            full_n_per_task: *has_reduce,
+            ..Constraints::default()
+        };
+        let pg = choose_params(machine, prob, &gc);
+        let pf = choose_params(machine, prob, &fc);
+        let cg = crate::heuristic::estimate_cycles(machine, prob, &pg);
+        let cf = crate::heuristic::estimate_cycles(machine, prob, &pf);
+        if std::env::var("GC_DEBUG_GROUPS").is_ok() {
+            eprintln!("  member {prob:?}: grouped {pg:?} = {cg:.0} | free {pf:?} = {cf:.0}");
+        }
+        merged += cg;
+        free += cf;
+    }
+    // merging removes the inter-op barriers and keeps each intermediate
+    // slice hot instead of round-tripping it through memory
+    let barrier_savings = (group.len() - 1) as f64 * gc_machine::cost::barrier_cycles(machine);
+    let mut locality_savings = 0.0;
+    for (prob, _) in probs.iter().take(probs.len() - 1) {
+        let bytes = (prob.batch * prob.m * prob.n * 4) as f64;
+        locality_savings +=
+            2.0 * gc_machine::cost::stream_cycles(machine, bytes) / machine.cores as f64;
+    }
+    // The analytic model cannot see the merged loop's inter-op cache
+    // locality (each core's activation slice stays hot between members),
+    // so the comparison carries a tolerance in favour of merging; only
+    // clearly-degenerate shared decompositions (e.g. MB = 1 row-slicing
+    // of tiny batches, which the paper handles with k-slicing templates
+    // we do not implement) fall back to unmerged lowering.
+    if std::env::var("GC_DEBUG_GROUPS").is_ok() {
+        eprintln!(
+            "[coarse] group of {}: merged {:.0} vs free {:.0} (+barrier {:.0} +locality {:.0})",
+            group.len(),
+            merged,
+            free,
+            barrier_savings,
+            locality_savings
+        );
+    }
+    merged <= free + barrier_savings + locality_savings
+}
+
+/// Pick the shared (MB, task-count) decomposition for a coarse group:
+/// row-only parallelism sized to the machine.
+fn group_decomposition(machine: &MachineDescriptor, batch: usize, m: usize) -> (usize, usize) {
+    if batch >= machine.cores {
+        // batch parallelism suffices; keep comfortable tiles
+        return (crate::largest_divisor_at_most(m, 32), batch);
+    }
+    let want_mpn = machine.cores.div_ceil(batch);
+    // choose mb as large as possible while still allowing >= want_mpn
+    // row-tasks (or as many as m allows)
+    let mut best = (
+        1usize,
+        batch * crate::largest_divisor_at_most(m, want_mpn),
+    );
+    for mb in (1..=32).rev() {
+        if m % mb != 0 {
+            continue;
+        }
+        let m_tiles = m / mb;
+        // mpn = largest divisor of m_tiles <= want_mpn
+        let mpn = (1..=m_tiles.min(want_mpn))
+            .rev()
+            .find(|d| m_tiles % d == 0)
+            .unwrap_or(1);
+        let tasks = batch * mpn;
+        let better = tasks >= best.1 || (tasks == best.1 && mb > best.0);
+        if better {
+            best = (mb, tasks);
+            if mpn == want_mpn {
+                break;
+            }
+        }
+    }
+    best
+}
+
+fn remap_stmt(s: Stmt, param_map: &[BufId], local_off: usize, var_off: usize) -> Stmt {
+    match s {
+        Stmt::For {
+            var,
+            extent,
+            parallel,
+            body,
+        } => Stmt::For {
+            var: gc_tir::VarId(var.0 + var_off),
+            extent,
+            parallel,
+            body: body
+                .into_iter()
+                .map(|b| remap_stmt(b, param_map, local_off, var_off))
+                .collect(),
+        },
+        Stmt::Op(i) => {
+            let i = gc_tir::visit::map_intrinsic_exprs(i, &|e| shift_vars(e, var_off));
+            Stmt::Op(remap_bufs(i, param_map, local_off))
+        }
+    }
+}
+
+fn shift_vars(e: &Expr, off: usize) -> Expr {
+    match e {
+        Expr::Const(_) => e.clone(),
+        Expr::Var(v) => Expr::Var(gc_tir::VarId(v.0 + off)),
+        Expr::Add(a, b) => Expr::Add(Box::new(shift_vars(a, off)), Box::new(shift_vars(b, off))),
+        Expr::Mul(a, b) => Expr::Mul(Box::new(shift_vars(a, off)), Box::new(shift_vars(b, off))),
+        Expr::Div(a, b) => Expr::Div(Box::new(shift_vars(a, off)), Box::new(shift_vars(b, off))),
+        Expr::Rem(a, b) => Expr::Rem(Box::new(shift_vars(a, off)), Box::new(shift_vars(b, off))),
+    }
+}
+
+fn remap_bufs(i: Intrinsic, param_map: &[BufId], local_off: usize) -> Intrinsic {
+    let mb = |b: BufId| match b {
+        BufId::Param(p) => param_map[p],
+        BufId::Local(l) => BufId::Local(l + local_off),
+    };
+    map_intrinsic_bufs(i, &mb)
+}
+
+/// Map every buffer reference of an intrinsic.
+pub(crate) fn map_intrinsic_bufs(i: Intrinsic, f: &impl Fn(BufId) -> BufId) -> Intrinsic {
+    use Intrinsic as I;
+    let mv = |v: View| View {
+        buf: f(v.buf),
+        offset: v.offset,
+        len: v.len,
+    };
+    match i {
+        I::BrgemmF32 {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+        } => I::BrgemmF32 {
+            a: mv(a),
+            a_stride,
+            b: mv(b),
+            b_stride,
+            c: mv(c),
+            m,
+            n,
+            k,
+            batch,
+        },
+        I::BrgemmU8I8 {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+        } => I::BrgemmU8I8 {
+            a: mv(a),
+            a_stride,
+            b: mv(b),
+            b_stride,
+            c: mv(c),
+            m,
+            n,
+            k,
+            batch,
+        },
+        I::FillF32 { dst, value } => I::FillF32 { dst: mv(dst), value },
+        I::ZeroI32 { dst } => I::ZeroI32 { dst: mv(dst) },
+        I::Pack2D {
+            src,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            rows,
+            cols,
+        } => I::Pack2D {
+            src: f(src),
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst: mv(dst),
+            rows,
+            cols,
+        },
+        I::Unpack2D {
+            src,
+            dst,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+        } => I::Unpack2D {
+            src: mv(src),
+            dst: f(dst),
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+        },
+        I::Unary { op, src, dst } => I::Unary {
+            op,
+            src: mv(src),
+            dst: mv(dst),
+        },
+        I::Binary { op, a, b, dst } => I::Binary {
+            op,
+            a: mv(a),
+            b: mv(b),
+            dst: mv(dst),
+        },
+        I::BinaryScalar { op, a, scalar, dst } => I::BinaryScalar {
+            op,
+            a: mv(a),
+            scalar,
+            dst: mv(dst),
+        },
+        I::BinaryRowBcast {
+            op,
+            a,
+            b,
+            dst,
+            rows,
+            cols,
+        } => I::BinaryRowBcast {
+            op,
+            a: mv(a),
+            b: mv(b),
+            dst: mv(dst),
+            rows,
+            cols,
+        },
+        I::BinaryColBcast {
+            op,
+            a,
+            b,
+            dst,
+            rows,
+            cols,
+        } => I::BinaryColBcast {
+            op,
+            a: mv(a),
+            b: mv(b),
+            dst: mv(dst),
+            rows,
+            cols,
+        },
+        I::ReduceRows {
+            op,
+            src,
+            acc,
+            rows,
+            cols,
+            accumulate,
+        } => I::ReduceRows {
+            op,
+            src: mv(src),
+            acc: mv(acc),
+            rows,
+            cols,
+            accumulate,
+        },
+        I::DequantAcc {
+            acc,
+            comp,
+            a_zero,
+            scale,
+            bias,
+            dst,
+            rows,
+            cols,
+        } => I::DequantAcc {
+            acc: mv(acc),
+            comp: mv(comp),
+            a_zero,
+            scale,
+            bias: bias.map(mv),
+            dst: mv(dst),
+            rows,
+            cols,
+        },
+        I::QuantU8 {
+            src,
+            dst,
+            scale,
+            zero_point,
+        } => I::QuantU8 {
+            src: mv(src),
+            dst: mv(dst),
+            scale,
+            zero_point,
+        },
+        I::DequantU8 {
+            src,
+            dst,
+            scale,
+            zero_point,
+        } => I::DequantU8 {
+            src: mv(src),
+            dst: mv(dst),
+            scale,
+            zero_point,
+        },
+        I::DequantI8 { src, dst, scale } => I::DequantI8 {
+            src: mv(src),
+            dst: mv(dst),
+            scale,
+        },
+        I::CompAccumulate {
+            b_tile,
+            comp,
+            nb,
+            kb,
+        } => I::CompAccumulate {
+            b_tile: mv(b_tile),
+            comp: mv(comp),
+            nb,
+            kb,
+        },
+        I::CastI32F32 { src, dst } => I::CastI32F32 {
+            src: mv(src),
+            dst: mv(dst),
+        },
+    }
+}

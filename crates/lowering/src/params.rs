@@ -1,0 +1,188 @@
+//! Template parameters for Tunable-OP lowering.
+//!
+//! These mirror the paper's Figure-2 nomenclature: a matmul over
+//! `A[M, K] x B[K, N]` is decomposed into `MPN x NPN` parallel
+//! single-core kernels; each single-core kernel runs `MSN x NSN` loop
+//! iterations whose innermost body calls a batch-reduce GEMM microkernel
+//! over `[MB, NB, KB]` tiles with batch size `BS`.
+
+/// Instantiation parameters of the matmul template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatmulParams {
+    /// Parallel decomposition along m (number of single-core kernels).
+    pub mpn: usize,
+    /// Parallel decomposition along n.
+    pub npn: usize,
+    /// Microkernel tile rows.
+    pub mb: usize,
+    /// Microkernel tile columns.
+    pub nb: usize,
+    /// Microkernel tile reduction depth.
+    pub kb: usize,
+    /// Batch-reduce batch size (k tiles per microkernel call).
+    pub bs: usize,
+}
+
+/// A matmul problem to lower: `batch` independent `[m, k] x [k, n]`
+/// multiplications (batch > 1 for the MHA batch matmuls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatmulProblem {
+    /// Leading batch (product of all batch dims; 1 for plain matmul).
+    pub batch: usize,
+    /// Rows.
+    pub m: usize,
+    /// Columns.
+    pub n: usize,
+    /// Reduction.
+    pub k: usize,
+    /// Element size of the compute inputs in bytes (4 = f32, 1 = int8).
+    pub elem_bytes: usize,
+}
+
+impl MatmulProblem {
+    /// Plain 2-D problem.
+    pub fn new(m: usize, n: usize, k: usize, elem_bytes: usize) -> Self {
+        MatmulProblem {
+            batch: 1,
+            m,
+            n,
+            k,
+            elem_bytes,
+        }
+    }
+
+    /// Batched problem.
+    pub fn batched(batch: usize, m: usize, n: usize, k: usize, elem_bytes: usize) -> Self {
+        MatmulProblem {
+            batch,
+            m,
+            n,
+            k,
+            elem_bytes,
+        }
+    }
+
+    /// Total multiply-accumulate FLOPs (2 per MAC).
+    pub fn flops(&self) -> f64 {
+        2.0 * (self.batch * self.m * self.n * self.k) as f64
+    }
+}
+
+impl MatmulParams {
+    /// m-tiles per single-core kernel (`MSN`).
+    pub fn msn(&self, m: usize) -> usize {
+        m / self.mb / self.mpn
+    }
+
+    /// n-tiles per single-core kernel (`NSN`).
+    pub fn nsn(&self, n: usize) -> usize {
+        n / self.nb / self.npn
+    }
+
+    /// k-tiles total (`KSN`).
+    pub fn ksn(&self, k: usize) -> usize {
+        k / self.kb
+    }
+
+    /// Microkernel invocations in one k-sweep (`KSN / BS`).
+    pub fn k_chunks(&self, k: usize) -> usize {
+        self.ksn(k) / self.bs
+    }
+
+    /// Parallel tasks per matrix (`MPN * NPN`).
+    pub fn tasks(&self) -> usize {
+        self.mpn * self.npn
+    }
+
+    /// Check the parameters exactly tile the problem.
+    pub fn validate(&self, p: &MatmulProblem) -> Result<(), String> {
+        let MatmulParams {
+            mpn,
+            npn,
+            mb,
+            nb,
+            kb,
+            bs,
+        } = *self;
+        if mb == 0 || nb == 0 || kb == 0 || bs == 0 || mpn == 0 || npn == 0 {
+            return Err("zero parameter".to_string());
+        }
+        if p.m % mb != 0 {
+            return Err(format!("mb {mb} does not divide m {}", p.m));
+        }
+        if p.n % nb != 0 {
+            return Err(format!("nb {nb} does not divide n {}", p.n));
+        }
+        if p.k % kb != 0 {
+            return Err(format!("kb {kb} does not divide k {}", p.k));
+        }
+        if (p.m / mb) % mpn != 0 {
+            return Err(format!("mpn {mpn} does not divide m-tiles {}", p.m / mb));
+        }
+        if (p.n / nb) % npn != 0 {
+            return Err(format!("npn {npn} does not divide n-tiles {}", p.n / nb));
+        }
+        if (p.k / kb) % bs != 0 {
+            return Err(format!("bs {bs} does not divide k-tiles {}", p.k / kb));
+        }
+        Ok(())
+    }
+}
+
+/// All divisors of `n`, ascending.
+pub fn divisors(n: usize) -> Vec<usize> {
+    let mut d: Vec<usize> = (1..=n).filter(|x| n % x == 0).collect();
+    d.dedup();
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_counts() {
+        let p = MatmulParams {
+            mpn: 4,
+            npn: 2,
+            mb: 32,
+            nb: 32,
+            kb: 64,
+            bs: 2,
+        };
+        // M=512: 16 m-tiles, 4 per kernel; N=256: 8 n-tiles, 4 per kernel
+        assert_eq!(p.msn(512), 4);
+        assert_eq!(p.nsn(256), 4);
+        assert_eq!(p.ksn(256), 4);
+        assert_eq!(p.k_chunks(256), 2);
+        assert_eq!(p.tasks(), 8);
+    }
+
+    #[test]
+    fn validate_catches_non_divisible() {
+        let p = MatmulParams {
+            mpn: 4,
+            npn: 1,
+            mb: 32,
+            nb: 32,
+            kb: 64,
+            bs: 2,
+        };
+        let prob = MatmulProblem::new(512, 256, 256, 4);
+        p.validate(&prob).unwrap();
+        let bad = MatmulProblem::new(500, 256, 256, 4);
+        assert!(p.validate(&bad).is_err());
+    }
+
+    #[test]
+    fn divisors_of_12() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(1), vec![1]);
+    }
+
+    #[test]
+    fn flops_counts_batch() {
+        let p = MatmulProblem::batched(4, 8, 8, 8, 4);
+        assert_eq!(p.flops(), 2.0 * 4.0 * 512.0);
+    }
+}

@@ -1,0 +1,771 @@
+//! Lowering of standalone (unfused) Fusible OPs.
+//!
+//! When fine-grain fusion is disabled — or an op cannot be fused — each
+//! Fusible OP lowers to its own small function: a parallel loop over row
+//! blocks with the op's slice kernel in the body. Reorders lower to
+//! tile pack/unpack loops (also used by the init stage for constant
+//! weight prepacking).
+
+use gc_graph::{BinaryKind, OpKind, ReduceKind, UnaryKind};
+use gc_microkernel::{BinaryOp, UnaryOp};
+use gc_tensor::{DataType, Layout, TensorDesc};
+use gc_tir::{BufDecl, BufId, Expr, Func, Intrinsic, ReduceOp, Stmt, View};
+
+/// Map graph unary kinds to microkernel ops.
+pub fn unary_op(k: UnaryKind) -> UnaryOp {
+    match k {
+        UnaryKind::Relu => UnaryOp::Relu,
+        UnaryKind::Gelu => UnaryOp::Gelu,
+        UnaryKind::Sigmoid => UnaryOp::Sigmoid,
+        UnaryKind::Tanh => UnaryOp::Tanh,
+        UnaryKind::Exp => UnaryOp::Exp,
+        UnaryKind::Square => UnaryOp::Square,
+        UnaryKind::Neg => UnaryOp::Neg,
+        UnaryKind::Identity => UnaryOp::Identity,
+    }
+}
+
+/// Map graph binary kinds to microkernel ops.
+pub fn binary_op(k: BinaryKind) -> BinaryOp {
+    match k {
+        BinaryKind::Add => BinaryOp::Add,
+        BinaryKind::Sub => BinaryOp::Sub,
+        BinaryKind::Mul => BinaryOp::Mul,
+        BinaryKind::Div => BinaryOp::Div,
+        BinaryKind::Max => BinaryOp::Max,
+        BinaryKind::Min => BinaryOp::Min,
+    }
+}
+
+fn chunked_elementwise(
+    name: &str,
+    in_dtype: DataType,
+    out_dtype: DataType,
+    elems: usize,
+    body: impl Fn(View, View) -> Intrinsic,
+) -> Func {
+    let mut f = Func {
+        name: name.to_string(),
+        params: vec![
+            BufDecl::new(in_dtype, elems, "in"),
+            BufDecl::new(out_dtype, elems, "out"),
+        ],
+        locals: vec![],
+        var_count: 0,
+        body: vec![],
+    };
+    let v = f.fresh_var();
+    // chunk to ~16KiB granules for parallelism
+    let chunk = (elems / 64).clamp(1, 4096).max(1);
+    let chunks = elems / chunk;
+    let tail = elems % chunk;
+    f.body.push(Stmt::parallel(
+        v,
+        chunks,
+        vec![Stmt::Op(body(
+            View::new(BufId::Param(0), Expr::v(v).mul(Expr::from(chunk)), chunk),
+            View::new(BufId::Param(1), Expr::v(v).mul(Expr::from(chunk)), chunk),
+        ))],
+    ));
+    if tail > 0 {
+        f.body.push(Stmt::Op(body(
+            View::new(BufId::Param(0), Expr::from(chunks * chunk), tail),
+            View::new(BufId::Param(1), Expr::from(chunks * chunk), tail),
+        )));
+    }
+    f
+}
+
+/// Lower a standalone op given its input/output descriptors.
+/// `scalar_rhs` carries the rhs value for binary ops whose rhs is a
+/// compile-time scalar constant.
+///
+/// # Panics
+///
+/// Panics for op kinds that can never be standalone (Tunable ops go
+/// through the template; Complex ops are decomposed before lowering) or
+/// unsupported layout combinations.
+pub fn lower_standalone(
+    kind: &OpKind,
+    inputs: &[&TensorDesc],
+    output: &TensorDesc,
+    scalar_rhs: Option<f32>,
+    name: &str,
+) -> Func {
+    match kind {
+        OpKind::Unary(u) => {
+            let op = unary_op(*u);
+            chunked_elementwise(name, DataType::F32, DataType::F32, output.volume(), |s, d| {
+                Intrinsic::Unary { op, src: s, dst: d }
+            })
+        }
+        OpKind::TypeCast { to: DataType::F32 } if inputs[0].dtype() == DataType::I32 => {
+            chunked_elementwise(name, DataType::I32, DataType::F32, output.volume(), |s, d| {
+                Intrinsic::CastI32F32 { src: s, dst: d }
+            })
+        }
+        OpKind::Quantize { dtype, params } => {
+            assert_eq!(*dtype, DataType::U8, "standalone quantize targets u8");
+            let (scale, zp) = (params.scale, params.zero_point);
+            chunked_elementwise(name, DataType::F32, DataType::U8, output.volume(), |s, d| {
+                Intrinsic::QuantU8 {
+                    src: s,
+                    dst: d,
+                    scale,
+                    zero_point: zp,
+                }
+            })
+        }
+        OpKind::Dequantize { params } => {
+            let (scale, zp) = (params.scale, params.zero_point);
+            match inputs[0].dtype() {
+                DataType::U8 => chunked_elementwise(
+                    name,
+                    DataType::U8,
+                    DataType::F32,
+                    output.volume(),
+                    |s, d| Intrinsic::DequantU8 {
+                        src: s,
+                        dst: d,
+                        scale,
+                        zero_point: zp,
+                    },
+                ),
+                DataType::I8 => chunked_elementwise(
+                    name,
+                    DataType::I8,
+                    DataType::F32,
+                    output.volume(),
+                    |s, d| Intrinsic::DequantI8 {
+                        src: s,
+                        dst: d,
+                        scale,
+                    },
+                ),
+                other => panic!("dequantize of {other}"),
+            }
+        }
+        OpKind::Binary(b) => lower_standalone_binary(*b, inputs, output, scalar_rhs, name),
+        OpKind::Reduce(r) => {
+            let op = match r {
+                ReduceKind::Sum => ReduceOp::Sum,
+                ReduceKind::Max => ReduceOp::Max,
+            };
+            let shape = inputs[0].shape();
+            let cols = *shape.last().unwrap();
+            let rows = inputs[0].volume() / cols;
+            let mut f = Func {
+                name: name.to_string(),
+                params: vec![
+                    BufDecl::new(DataType::F32, rows * cols, "in"),
+                    BufDecl::new(DataType::F32, rows, "out"),
+                ],
+                locals: vec![],
+                var_count: 0,
+                body: vec![],
+            };
+            let v = f.fresh_var();
+            let row_block = 8.min(rows);
+            let blocks = rows / row_block;
+            f.body.push(Stmt::parallel(
+                v,
+                blocks,
+                vec![Stmt::Op(Intrinsic::ReduceRows {
+                    op,
+                    src: View::new(
+                        BufId::Param(0),
+                        Expr::v(v).mul(Expr::from(row_block * cols)),
+                        row_block * cols,
+                    ),
+                    acc: View::new(BufId::Param(1), Expr::v(v).mul(Expr::from(row_block)), row_block),
+                    rows: row_block,
+                    cols,
+                    accumulate: false,
+                })],
+            ));
+            let tail = rows % row_block;
+            if tail > 0 {
+                f.body.push(Stmt::Op(Intrinsic::ReduceRows {
+                    op,
+                    src: View::new(BufId::Param(0), Expr::from(blocks * row_block * cols), tail * cols),
+                    acc: View::new(BufId::Param(1), Expr::from(blocks * row_block), tail),
+                    rows: tail,
+                    cols,
+                    accumulate: false,
+                }));
+            }
+            f
+        }
+        OpKind::Reorder { target } => lower_reorder(inputs[0], target, name),
+        OpKind::Transpose => lower_transpose(inputs[0], name),
+        other => panic!("{other} cannot be lowered standalone"),
+    }
+}
+
+fn lower_standalone_binary(
+    b: BinaryKind,
+    inputs: &[&TensorDesc],
+    output: &TensorDesc,
+    scalar_rhs: Option<f32>,
+    name: &str,
+) -> Func {
+    let op = binary_op(b);
+    let out_elems = output.volume();
+    let rhs = inputs[1];
+    let lhs_shape = inputs[0].shape();
+    let cols = *lhs_shape.last().unwrap_or(&1);
+    let rows = out_elems / cols.max(1);
+
+    if let Some(s) = scalar_rhs {
+        return chunked_elementwise(name, DataType::F32, DataType::F32, out_elems, |sv, d| {
+            Intrinsic::BinaryScalar {
+                op,
+                a: sv,
+                scalar: s,
+                dst: d,
+            }
+        });
+    }
+
+    let mut f = Func {
+        name: name.to_string(),
+        params: vec![
+            BufDecl::new(DataType::F32, out_elems, "a"),
+            BufDecl::new(DataType::F32, rhs.volume(), "b"),
+            BufDecl::new(DataType::F32, out_elems, "out"),
+        ],
+        locals: vec![],
+        var_count: 0,
+        body: vec![],
+    };
+    let v = f.fresh_var();
+
+    if rhs.volume() == out_elems && rhs.shape() == lhs_shape {
+        // same shape: flat chunks
+        let chunk = cols;
+        f.body.push(Stmt::parallel(
+            v,
+            rows,
+            vec![Stmt::Op(Intrinsic::Binary {
+                op,
+                a: View::new(BufId::Param(0), Expr::v(v).mul(Expr::from(chunk)), chunk),
+                b: View::new(BufId::Param(1), Expr::v(v).mul(Expr::from(chunk)), chunk),
+                dst: View::new(BufId::Param(2), Expr::v(v).mul(Expr::from(chunk)), chunk),
+            })],
+        ));
+        return f;
+    }
+    // row vector [cols] (possibly with leading 1s)
+    if rhs.volume() == cols {
+        f.body.push(Stmt::parallel(
+            v,
+            rows,
+            vec![Stmt::Op(Intrinsic::BinaryRowBcast {
+                op,
+                a: View::new(BufId::Param(0), Expr::v(v).mul(Expr::from(cols)), cols),
+                b: View::new(BufId::Param(1), 0usize, cols),
+                dst: View::new(BufId::Param(2), Expr::v(v).mul(Expr::from(cols)), cols),
+                rows: 1,
+                cols,
+            })],
+        ));
+        return f;
+    }
+    // batch-indexed row vector [B, 1, cols] against lhs [B, M, cols]
+    // (the MHA mask pattern): row r uses vector (r / M)
+    if lhs_shape.len() >= 2
+        && rhs.shape().last() == Some(&cols)
+        && rhs.volume() < out_elems
+        && rhs.volume() % cols == 0
+        && rhs.volume() / cols > 1
+    {
+        let vecs = rhs.volume() / cols;
+        let m_rows = rows / vecs;
+        if vecs * m_rows == rows {
+            let b_off = Expr::Div(
+                Box::new(Expr::v(v)),
+                Box::new(Expr::from(m_rows)),
+            )
+            .mul(Expr::from(cols));
+            f.body.push(Stmt::parallel(
+                v,
+                rows,
+                vec![Stmt::Op(Intrinsic::BinaryRowBcast {
+                    op,
+                    a: View::new(BufId::Param(0), Expr::v(v).mul(Expr::from(cols)), cols),
+                    b: View::new(BufId::Param(1), b_off, cols),
+                    dst: View::new(BufId::Param(2), Expr::v(v).mul(Expr::from(cols)), cols),
+                    rows: 1,
+                    cols,
+                })],
+            ));
+            return f;
+        }
+    }
+    // keepdim column stats [rows, 1] (softmax sub/div pattern)
+    if rhs.volume() == rows && rhs.shape().last() == Some(&1) {
+        f.body.push(Stmt::parallel(
+            v,
+            rows,
+            vec![Stmt::Op(Intrinsic::BinaryColBcast {
+                op,
+                a: View::new(BufId::Param(0), Expr::v(v).mul(Expr::from(cols)), cols),
+                b: View::new(BufId::Param(1), Expr::v(v), 1),
+                dst: View::new(BufId::Param(2), Expr::v(v).mul(Expr::from(cols)), cols),
+                rows: 1,
+                cols,
+            })],
+        ));
+        return f;
+    }
+    panic!(
+        "unsupported standalone broadcast: lhs {:?} rhs {:?}",
+        lhs_shape,
+        rhs.shape()
+    );
+}
+
+/// Lower a reorder between plain and the canonical blocked layouts.
+pub fn lower_reorder(input: &TensorDesc, target: &Layout, name: &str) -> Func {
+    let shape = input.shape();
+    let rank = shape.len();
+    assert!(rank >= 2, "reorder needs rank >= 2");
+    let rows_dim = shape[rank - 2];
+    let cols_dim = shape[rank - 1];
+    let batch: usize = shape[..rank - 2].iter().product();
+    let elems = input.volume();
+    let dtype = input.dtype();
+
+    let mut f = Func {
+        name: name.to_string(),
+        params: vec![
+            BufDecl::new(dtype, elems, "in"),
+            BufDecl::new(dtype, elems, "out"),
+        ],
+        locals: vec![],
+        var_count: 0,
+        body: vec![],
+    };
+    let tvar = f.fresh_var();
+    let inner = f.fresh_var();
+
+    match (input.layout(), target) {
+        (Layout::Plain, Layout::Blocked(_)) => {
+            let (rb, cb, b_is_weight) = blocked_factors(target, rank, rows_dim, cols_dim);
+            let r_tiles = rows_dim / rb;
+            let c_tiles = cols_dim / cb;
+            // For blocked_a: dst tile (rt, ct) holds rows-major [rb, cb]
+            // For blocked_b (weight): dst tile (rt, ct) holds [cb_n][rb_k]
+            // panels; here rows_dim=K, cols_dim=N, tile [NB, KB].
+            let body = if !b_is_weight {
+                let src_off = Expr::v(tvar)
+                    .mul(Expr::from(rows_dim * cols_dim))
+                    .add(Expr::v(inner).clone().div_floor(c_tiles).mul(Expr::from(rb * cols_dim)))
+                    .add(Expr::v(inner).rem_of(c_tiles).mul(Expr::from(cb)));
+                let dst = View::new(
+                    BufId::Param(1),
+                    Expr::v(tvar)
+                        .mul(Expr::from(r_tiles * c_tiles))
+                        .add(Expr::v(inner))
+                        .mul(Expr::from(rb * cb)),
+                    rb * cb,
+                );
+                Intrinsic::Pack2D {
+                    src: BufId::Param(0),
+                    src_offset: src_off,
+                    src_row_stride: cols_dim,
+                    src_col_stride: 1,
+                    dst,
+                    rows: rb,
+                    cols: cb,
+                }
+            } else {
+                // weight layout: outer [K/KB, N/NB], tile [NB, KB]
+                // inner indexes (kt * n_tiles + nt)
+                let kt = Expr::v(inner).div_floor(c_tiles);
+                let nt = Expr::v(inner).rem_of(c_tiles);
+                let src_off = Expr::v(tvar)
+                    .mul(Expr::from(rows_dim * cols_dim))
+                    .add(kt.mul(Expr::from(rb * cols_dim)))
+                    .add(nt.mul(Expr::from(cb)));
+                let dst = View::new(
+                    BufId::Param(1),
+                    Expr::v(tvar)
+                        .mul(Expr::from(r_tiles * c_tiles))
+                        .add(Expr::v(inner))
+                        .mul(Expr::from(rb * cb)),
+                    rb * cb,
+                );
+                Intrinsic::Pack2D {
+                    src: BufId::Param(0),
+                    src_offset: src_off,
+                    // dst[r=n][c=k] = src[(kt*KB + c)*N + nt*NB + r]
+                    src_row_stride: 1,
+                    src_col_stride: cols_dim,
+                    dst,
+                    rows: cb,
+                    cols: rb,
+                }
+            };
+            f.body.push(Stmt::parallel(
+                tvar,
+                batch,
+                vec![Stmt::loop_(inner, r_tiles * c_tiles, vec![Stmt::Op(body)])],
+            ));
+        }
+        (Layout::Blocked(_), Layout::Plain) => {
+            let (rb, cb, b_is_weight) = blocked_factors(input.layout(), rank, rows_dim, cols_dim);
+            assert!(!b_is_weight, "unpacking weight layout is not needed");
+            let r_tiles = rows_dim / rb;
+            let c_tiles = cols_dim / cb;
+            let src = View::new(
+                BufId::Param(0),
+                Expr::v(tvar)
+                    .mul(Expr::from(r_tiles * c_tiles))
+                    .add(Expr::v(inner))
+                    .mul(Expr::from(rb * cb)),
+                rb * cb,
+            );
+            let dst_off = Expr::v(tvar)
+                .mul(Expr::from(rows_dim * cols_dim))
+                .add(Expr::v(inner).div_floor(c_tiles).mul(Expr::from(rb * cols_dim)))
+                .add(Expr::v(inner).rem_of(c_tiles).mul(Expr::from(cb)));
+            f.body.push(Stmt::parallel(
+                tvar,
+                batch,
+                vec![Stmt::loop_(
+                    inner,
+                    r_tiles * c_tiles,
+                    vec![Stmt::Op(Intrinsic::Unpack2D {
+                        src,
+                        dst: BufId::Param(1),
+                        dst_offset: dst_off,
+                        dst_row_stride: cols_dim,
+                        dst_col_stride: 1,
+                        rows: rb,
+                        cols: cb,
+                    })],
+                )],
+            ));
+        }
+        (a, b) => panic!("unsupported reorder {a} -> {b}"),
+    }
+    f
+}
+
+/// Extract (row_block, col_block, is_weight_layout) from a blocked
+/// layout over the last two axes.
+fn blocked_factors(layout: &Layout, rank: usize, _rows: usize, _cols: usize) -> (usize, usize, bool) {
+    let Layout::Blocked(blocks) = layout else {
+        panic!("expected blocked layout")
+    };
+    assert_eq!(blocks.len(), 2, "two-axis blocking expected");
+    let row_axis = rank - 2;
+    let col_axis = rank - 1;
+    // blocked_a lists (row, col); blocked_b lists (col, row)
+    if blocks[0].axis == row_axis && blocks[1].axis == col_axis {
+        (blocks[0].block, blocks[1].block, false)
+    } else if blocks[0].axis == col_axis && blocks[1].axis == row_axis {
+        (blocks[1].block, blocks[0].block, true)
+    } else {
+        panic!("blocking must cover the last two axes");
+    }
+}
+
+/// Standalone transpose of the last two axes (plain layouts).
+pub fn lower_transpose(input: &TensorDesc, name: &str) -> Func {
+    let shape = input.shape();
+    let rank = shape.len();
+    let rows = shape[rank - 2];
+    let cols = shape[rank - 1];
+    let batch: usize = shape[..rank - 2].iter().product();
+    let mut f = Func {
+        name: name.to_string(),
+        params: vec![
+            BufDecl::new(input.dtype(), input.volume(), "in"),
+            BufDecl::new(input.dtype(), input.volume(), "out"),
+        ],
+        locals: vec![],
+        var_count: 0,
+        body: vec![],
+    };
+    let v = f.fresh_var();
+    // out[b][c][r] = in[b][r][c]: pack with swapped strides
+    f.body.push(Stmt::parallel(
+        v,
+        batch,
+        vec![Stmt::Op(Intrinsic::Pack2D {
+            src: BufId::Param(0),
+            src_offset: Expr::v(v).mul(Expr::from(rows * cols)),
+            src_row_stride: 1,
+            src_col_stride: cols,
+            dst: View::new(
+                BufId::Param(1),
+                Expr::v(v).mul(Expr::from(rows * cols)),
+                rows * cols,
+            ),
+            rows: cols,
+            cols: rows,
+        })],
+    ));
+    f
+}
+
+/// Small helpers on `Expr` for div/rem by constants.
+trait ExprExt {
+    fn div_floor(self, c: usize) -> Expr;
+    fn rem_of(self, c: usize) -> Expr;
+}
+
+impl ExprExt for Expr {
+    fn div_floor(self, c: usize) -> Expr {
+        if c == 1 {
+            self
+        } else {
+            Expr::Div(Box::new(self), Box::new(Expr::from(c)))
+        }
+    }
+    fn rem_of(self, c: usize) -> Expr {
+        if c == 1 {
+            Expr::c(0)
+        } else {
+            Expr::Rem(Box::new(self), Box::new(Expr::from(c)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_runtime::ThreadPool;
+    use gc_tensor::{reference, reorder, Storage, Tensor};
+    use gc_tir::{Call, GlobalDecl, GlobalKind, Module};
+
+    fn run1(f: Func, ins: Vec<Storage>, out: Storage) -> Storage {
+        let mut m = Module::new();
+        let n_params = f.params.len();
+        let decls: Vec<_> = f.params.clone();
+        let fi = m.add_func(f);
+        for (i, d) in decls.iter().enumerate() {
+            m.add_global(GlobalDecl {
+                dtype: d.dtype,
+                elems: d.elems,
+                kind: GlobalKind::Scratch,
+                name: format!("g{i}"),
+            });
+        }
+        m.main_calls.push(Call {
+            func: fi,
+            args: (0..n_params).collect(),
+        });
+        m.validate().unwrap();
+        let mut globals: Vec<Storage> = ins;
+        globals.push(out);
+        gc_tir::exec::run_module(&m, &mut globals, &ThreadPool::new(2), true).unwrap();
+        globals.pop().unwrap()
+    }
+
+    #[test]
+    fn standalone_relu_matches_reference() {
+        let t = Tensor::random(&[33, 17], DataType::F32, 1);
+        let f = lower_standalone(
+            &OpKind::Unary(UnaryKind::Relu),
+            &[t.desc()],
+            t.desc(),
+            None,
+            "relu",
+        );
+        let out = run1(
+            f,
+            vec![Storage::F32(t.f32_slice().unwrap().to_vec())],
+            Storage::F32(vec![0.; t.desc().volume()]),
+        );
+        let want = reference::relu(&t).unwrap();
+        assert_eq!(out.as_slice::<f32>().unwrap(), want.f32_slice().unwrap());
+    }
+
+    #[test]
+    fn standalone_binary_row_broadcast() {
+        let a = Tensor::random(&[10, 16], DataType::F32, 2);
+        let b = Tensor::random(&[16], DataType::F32, 3);
+        let f = lower_standalone(
+            &OpKind::Binary(BinaryKind::Add),
+            &[a.desc(), b.desc()],
+            a.desc(),
+            None,
+            "add",
+        );
+        let out = run1(
+            f,
+            vec![
+                Storage::F32(a.f32_slice().unwrap().to_vec()),
+                Storage::F32(b.f32_slice().unwrap().to_vec()),
+            ],
+            Storage::F32(vec![0.; 160]),
+        );
+        let want = reference::binary(reference::BinaryKind::Add, &a, &b).unwrap();
+        assert_eq!(out.as_slice::<f32>().unwrap(), want.f32_slice().unwrap());
+    }
+
+    #[test]
+    fn standalone_colstat_broadcast() {
+        let a = Tensor::random(&[12, 8], DataType::F32, 4);
+        let s = Tensor::random(&[12, 1], DataType::F32, 5);
+        let f = lower_standalone(
+            &OpKind::Binary(BinaryKind::Sub),
+            &[a.desc(), s.desc()],
+            a.desc(),
+            None,
+            "sub",
+        );
+        let out = run1(
+            f,
+            vec![
+                Storage::F32(a.f32_slice().unwrap().to_vec()),
+                Storage::F32(s.f32_slice().unwrap().to_vec()),
+            ],
+            Storage::F32(vec![0.; 96]),
+        );
+        let want = reference::binary(reference::BinaryKind::Sub, &a, &s).unwrap();
+        assert_eq!(out.as_slice::<f32>().unwrap(), want.f32_slice().unwrap());
+    }
+
+    #[test]
+    fn standalone_reduce_rows() {
+        let a = Tensor::random(&[13, 9], DataType::F32, 6);
+        let out_desc = TensorDesc::new([13usize, 1], DataType::F32);
+        let f = lower_standalone(
+            &OpKind::Reduce(ReduceKind::Max),
+            &[a.desc()],
+            &out_desc,
+            None,
+            "rmax",
+        );
+        let out = run1(
+            f,
+            vec![Storage::F32(a.f32_slice().unwrap().to_vec())],
+            Storage::F32(vec![0.; 13]),
+        );
+        let want = reference::reduce_last_axis(reference::ReduceKind::Max, &a).unwrap();
+        assert_eq!(out.as_slice::<f32>().unwrap(), want.f32_slice().unwrap());
+    }
+
+    #[test]
+    fn reorder_plain_to_blocked_a_and_back() {
+        let t = Tensor::random(&[16, 24], DataType::F32, 7);
+        let layout = Layout::blocked_a(2, 4, 8);
+        let f = lower_reorder(t.desc(), &layout, "pack");
+        let blocked = run1(
+            f,
+            vec![Storage::F32(t.f32_slice().unwrap().to_vec())],
+            Storage::F32(vec![0.; t.desc().volume()]),
+        );
+        let want = reorder::reorder(&t, layout.clone()).unwrap();
+        assert_eq!(blocked.as_slice::<f32>().unwrap(), want.f32_slice().unwrap());
+
+        // and back
+        let bdesc = TensorDesc::with_layout([16usize, 24], DataType::F32, layout).unwrap();
+        let f2 = lower_reorder(&bdesc, &Layout::Plain, "unpack");
+        let plain = run1(
+            f2,
+            vec![blocked],
+            Storage::F32(vec![0.; t.desc().volume()]),
+        );
+        assert_eq!(plain.as_slice::<f32>().unwrap(), t.f32_slice().unwrap());
+    }
+
+    #[test]
+    fn reorder_weight_layout_matches_reference() {
+        let w = Tensor::random(&[12, 8], DataType::I8, 8);
+        let layout = Layout::blocked_b(2, 4, 2); // KB=4, NB=2
+        let f = lower_reorder(w.desc(), &layout, "prepack");
+        let blocked = run1(
+            f,
+            vec![Storage::I8(w.i8_slice().unwrap().to_vec())],
+            Storage::I8(vec![0; w.desc().volume()]),
+        );
+        let want = reorder::reorder(&w, layout).unwrap();
+        assert_eq!(blocked.as_slice::<i8>().unwrap(), want.i8_slice().unwrap());
+    }
+
+    #[test]
+    fn batched_reorder() {
+        let t = Tensor::random(&[3, 8, 8], DataType::F32, 9);
+        let layout = Layout::blocked_a(3, 4, 4);
+        let f = lower_reorder(t.desc(), &layout, "pack3");
+        let blocked = run1(
+            f,
+            vec![Storage::F32(t.f32_slice().unwrap().to_vec())],
+            Storage::F32(vec![0.; t.desc().volume()]),
+        );
+        let want = reorder::reorder(&t, layout).unwrap();
+        assert_eq!(blocked.as_slice::<f32>().unwrap(), want.f32_slice().unwrap());
+    }
+
+    #[test]
+    fn standalone_transpose() {
+        let t = Tensor::random(&[2, 5, 7], DataType::F32, 10);
+        let f = lower_transpose(t.desc(), "t");
+        let out = run1(
+            f,
+            vec![Storage::F32(t.f32_slice().unwrap().to_vec())],
+            Storage::F32(vec![0.; t.desc().volume()]),
+        );
+        let want = reorder::transpose_last2(&t).unwrap();
+        assert_eq!(out.as_slice::<f32>().unwrap(), want.f32_slice().unwrap());
+    }
+
+    #[test]
+    fn standalone_quant_dequant() {
+        let t = Tensor::random(&[40], DataType::F32, 11);
+        let p = gc_tensor::QuantParams::new(0.02, 128);
+        let f = lower_standalone(
+            &OpKind::Quantize {
+                dtype: DataType::U8,
+                params: p,
+            },
+            &[t.desc()],
+            &TensorDesc::new([40usize], DataType::U8),
+            None,
+            "q",
+        );
+        let out = run1(
+            f,
+            vec![Storage::F32(t.f32_slice().unwrap().to_vec())],
+            Storage::U8(vec![0; 40]),
+        );
+        let want = reference::quantize(&t, DataType::U8, p).unwrap();
+        // reciprocal-multiply rounding may differ by 1 at boundaries
+        for (a, b) in out
+            .as_slice::<u8>()
+            .unwrap()
+            .iter()
+            .zip(want.u8_slice().unwrap())
+        {
+            assert!((*a as i32 - *b as i32).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn scalar_rhs_binary() {
+        let t = Tensor::random(&[10], DataType::F32, 12);
+        let sdesc = TensorDesc::new(Vec::<usize>::new(), DataType::F32);
+        let f = lower_standalone(
+            &OpKind::Binary(BinaryKind::Mul),
+            &[t.desc(), &sdesc],
+            t.desc(),
+            Some(2.5),
+            "muls",
+        );
+        // scalar path only takes 2 params (in/out)
+        assert_eq!(f.params.len(), 2);
+        let out = run1(
+            f,
+            vec![Storage::F32(t.f32_slice().unwrap().to_vec())],
+            Storage::F32(vec![0.; 10]),
+        );
+        for (o, x) in out.as_slice::<f32>().unwrap().iter().zip(t.f32_slice().unwrap()) {
+            assert_eq!(*o, x * 2.5);
+        }
+    }
+}

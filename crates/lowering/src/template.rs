@@ -1,0 +1,1130 @@
+//! The microkernel-based matmul template (paper Figures 2–4).
+//!
+//! One instantiation lowers a Fused OP — a (possibly batched, possibly
+//! int8) matmul plus its fused pre-ops and post-ops — into one Tensor IR
+//! function:
+//!
+//! ```text
+//! parallel loop t in 0..batch*MPN*NPN {          // multi-core kernel
+//!   (batch_idx, mpi, npi) = decompose(t)
+//!   [anchor#2: pack task's B slice / A slice]
+//!   loop msi in 0..MSN {                         // single-core kernel
+//!     C'[nsi,:,:] = 0
+//!     loop kchunk in 0..KSN/BS {
+//!       [anchor#4: pack A chunk]                 // Figure 4 pre-op
+//!       loop nsi in 0..NSN {
+//!         C'[nsi] += batch_reduce_gemm(A tiles, B tiles, BS)
+//!       }
+//!     }
+//!     [anchor#1 post-ops: int8 epilogue, eltwise stages split at
+//!      reductions, output write]                 // Figure 4 post-ops
+//!   }
+//! }
+//! ```
+
+use crate::anchors::{choose_a_pack, PackPlacement, PostOpAnchor};
+use crate::params::{MatmulParams, MatmulProblem};
+use gc_machine::MachineDescriptor;
+use gc_microkernel::{BinaryOp, UnaryOp};
+use gc_tensor::DataType;
+use gc_tir::{BufDecl, BufId, Expr, Func, Intrinsic, ReduceOp, Stmt, VarId, View};
+
+/// Int8 epilogue attributes (from the low-precision conversion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Int8Spec {
+    /// Activation zero point.
+    pub a_zero: i32,
+    /// Combined scale `a_s * b_s`.
+    pub scale: f32,
+}
+
+/// How the activation operand arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AInput {
+    /// Already blocked `[.., M/MB, K/KB, MB, KB]` matching the params.
+    Blocked,
+    /// Plain row-major; the template fuses the pack as a pre-op.
+    Plain,
+}
+
+/// How the weight/rhs operand arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BInput {
+    /// Preprocessed blocked weight `[K/KB, N/NB, NB, KB]` (runtime
+    /// constant; shared across the batch).
+    BlockedWeight,
+    /// Plain, batched, variable rhs (MHA); packed per task as a fused
+    /// pre-op. `transposed` means the logical rhs is the transpose of
+    /// the buffer (`Q x K^T` — the fused transpose is free inside the
+    /// pack).
+    PlainInLoop {
+        /// Whether the rhs buffer holds `B^T` rather than `B`.
+        transposed: bool,
+    },
+}
+
+/// Output placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutLayout {
+    /// Blocked `[.., M/MB, N/NB, MB, NB]` matching the params.
+    BlockedMbNb,
+    /// Plain row-major (unpack fused as the final post-op).
+    Plain,
+}
+
+/// One fused post-op, in tile form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PostOpSpec {
+    /// Elementwise unary.
+    Unary(UnaryOp),
+    /// Elementwise binary with a compile-time scalar rhs.
+    BinaryScalarConst(BinaryOp, f32),
+    /// Binary with a `[N]` (or batch-indexed `[.., N]`) vector operand,
+    /// broadcast over rows; the operand is a function parameter.
+    BinaryRowVec {
+        /// Operation.
+        op: BinaryOp,
+        /// Operand carries leading batch dims (offset by batch index).
+        batch_indexed: bool,
+    },
+    /// Binary with a full-shape plain operand parameter.
+    BinaryFull {
+        /// Operation.
+        op: BinaryOp,
+    },
+    /// Row reduction along n (softmax max/sum); its result feeds later
+    /// [`PostOpSpec::BinaryColStat`] ops. Requires `npn == 1`.
+    ReduceRow(ReduceOp),
+    /// Binary whose rhs is the most recent reduction's per-row result.
+    BinaryColStat {
+        /// Operation.
+        op: BinaryOp,
+    },
+    /// Final requantization to u8.
+    Quantize {
+        /// Scale.
+        scale: f32,
+        /// Zero point.
+        zero_point: i32,
+    },
+}
+
+impl PostOpSpec {
+    /// Whether this op consumes an extra function parameter.
+    pub fn takes_param(&self) -> bool {
+        matches!(
+            self,
+            PostOpSpec::BinaryRowVec { .. } | PostOpSpec::BinaryFull { .. }
+        )
+    }
+}
+
+/// Complete specification of one Fused OP to lower.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatmulSpec {
+    /// Problem sizes.
+    pub problem: MatmulProblem,
+    /// Template parameters.
+    pub params: MatmulParams,
+    /// Int8 epilogue (None = f32 matmul).
+    pub int8: Option<Int8Spec>,
+    /// Bias added right after the (de-quantized) accumulator, length
+    /// `[N]`, as a function parameter.
+    pub bias: bool,
+    /// Activation arrival.
+    pub a_input: AInput,
+    /// Rhs arrival.
+    pub b_input: BInput,
+    /// Fused post-ops, in order.
+    pub post_ops: Vec<PostOpSpec>,
+    /// Output placement.
+    pub out: OutLayout,
+    /// Output dtype (`F32`, or `U8` when the chain ends in Quantize).
+    pub out_dtype: DataType,
+    /// Post-op anchor (None = cost-model choice).
+    pub forced_post_anchor: Option<PostOpAnchor>,
+    /// A-pack anchor (None = cost-model choice).
+    pub forced_pack: Option<PackPlacement>,
+}
+
+/// Role of each function parameter, in declaration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamRole {
+    /// Activation input.
+    A,
+    /// Rhs input.
+    B,
+    /// Int8 compensation vector `[N]` (i32).
+    Comp,
+    /// Bias vector `[N]`.
+    Bias,
+    /// Extra operand of post-op `i`.
+    PostOperand(usize),
+    /// Output.
+    Out,
+}
+
+/// A lowered template: the function plus its parameter roles.
+#[derive(Debug, Clone)]
+pub struct LoweredMatmul {
+    /// The Tensor IR function.
+    pub func: Func,
+    /// Role of each parameter.
+    pub roles: Vec<ParamRole>,
+}
+
+struct Ctx {
+    // sizes
+    m: usize,
+    n: usize,
+    k: usize,
+    batch: usize,
+    p: MatmulParams,
+    msn: usize,
+    nsn: usize,
+    kch: usize,
+    m_tiles: usize,
+    n_tiles: usize,
+    k_tiles: usize,
+    tasks_per_mat: usize,
+    total_tasks: usize,
+    int8: Option<Int8Spec>,
+}
+
+/// Lower one [`MatmulSpec`] into a Tensor IR function.
+///
+/// # Panics
+///
+/// Panics if the params do not validate against the problem, or a
+/// reduction post-op is used with `npn != 1`.
+pub fn lower_matmul(machine: &MachineDescriptor, spec: &MatmulSpec, name: &str) -> LoweredMatmul {
+    spec.params
+        .validate(&spec.problem)
+        .expect("params must tile the problem");
+    let has_reduce = spec
+        .post_ops
+        .iter()
+        .any(|p| matches!(p, PostOpSpec::ReduceRow(_)));
+    assert!(
+        !has_reduce || spec.params.npn == 1,
+        "row reductions require npn == 1"
+    );
+
+    let p = spec.params;
+    let prob = spec.problem;
+    let ctx = Ctx {
+        m: prob.m,
+        n: prob.n,
+        k: prob.k,
+        batch: prob.batch,
+        p,
+        msn: p.msn(prob.m),
+        nsn: p.nsn(prob.n),
+        kch: p.k_chunks(prob.k),
+        m_tiles: prob.m / p.mb,
+        n_tiles: prob.n / p.nb,
+        k_tiles: prob.k / p.kb,
+        tasks_per_mat: p.tasks(),
+        total_tasks: prob.batch * p.tasks(),
+        int8: spec.int8,
+    };
+
+    let acc_dtype = if spec.int8.is_some() {
+        DataType::I32
+    } else {
+        DataType::F32
+    };
+    let in_dtype = if spec.int8.is_some() {
+        DataType::U8
+    } else {
+        DataType::F32
+    };
+    let w_dtype = if spec.int8.is_some() {
+        DataType::I8
+    } else {
+        DataType::F32
+    };
+
+    // ---- parameters
+    let mut params = Vec::new();
+    let mut roles = Vec::new();
+    params.push(BufDecl::new(in_dtype, ctx.batch * ctx.m * ctx.k, "A"));
+    roles.push(ParamRole::A);
+    let b_elems = match spec.b_input {
+        BInput::BlockedWeight => ctx.k * ctx.n,
+        BInput::PlainInLoop { .. } => ctx.batch * ctx.k * ctx.n,
+    };
+    params.push(BufDecl::new(w_dtype, b_elems, "B"));
+    roles.push(ParamRole::B);
+    if spec.int8.is_some() {
+        params.push(BufDecl::new(DataType::I32, ctx.n, "comp"));
+        roles.push(ParamRole::Comp);
+    }
+    if spec.bias {
+        params.push(BufDecl::new(DataType::F32, ctx.n, "bias"));
+        roles.push(ParamRole::Bias);
+    }
+    for (i, po) in spec.post_ops.iter().enumerate() {
+        match po {
+            PostOpSpec::BinaryRowVec { batch_indexed, .. } => {
+                let elems = if *batch_indexed {
+                    ctx.batch * ctx.n
+                } else {
+                    ctx.n
+                };
+                params.push(BufDecl::new(DataType::F32, elems, format!("opnd{i}")));
+                roles.push(ParamRole::PostOperand(i));
+            }
+            PostOpSpec::BinaryFull { .. } => {
+                params.push(BufDecl::new(
+                    DataType::F32,
+                    ctx.batch * ctx.m * ctx.n,
+                    format!("opnd{i}"),
+                ));
+                roles.push(ParamRole::PostOperand(i));
+            }
+            _ => {}
+        }
+    }
+    params.push(BufDecl::new(
+        spec.out_dtype,
+        ctx.batch * ctx.m * ctx.n,
+        "OUT",
+    ));
+    roles.push(ParamRole::Out);
+
+    let mut func = Func {
+        name: name.to_string(),
+        params,
+        locals: vec![],
+        var_count: 0,
+        body: vec![],
+    };
+    let param_of = |role: ParamRole| -> BufId {
+        BufId::Param(roles.iter().position(|&r| r == role).expect("role"))
+    };
+
+    // ---- locals
+    let post_anchor = spec
+        .forced_post_anchor
+        .unwrap_or_else(|| crate::anchors::choose_post_anchor(machine, &p, &prob));
+    // m-tiles buffered before post-processing: 1 for P1, MSN for P2
+    let buf_msn = match post_anchor {
+        PostOpAnchor::P1 => 1,
+        _ => ctx.msn,
+    };
+    let tile = p.mb * p.nb;
+    let cprime = func.add_local(BufDecl::new(
+        acc_dtype,
+        ctx.total_tasks * buf_msn * ctx.nsn * tile,
+        "cprime",
+    ));
+    let cpf = if spec.int8.is_some() {
+        func.add_local(BufDecl::new(
+            DataType::F32,
+            ctx.total_tasks * buf_msn * ctx.nsn * tile,
+            "cprime_f32",
+        ))
+    } else {
+        cprime
+    };
+    let pack_place = match spec.a_input {
+        AInput::Plain => Some(
+            spec.forced_pack
+                .unwrap_or_else(|| choose_a_pack(machine, &p, &prob)),
+        ),
+        AInput::Blocked => None,
+    };
+    let aprime = pack_place.map(|pp| {
+        let elems = match pp {
+            PackPlacement::PerKChunk => ctx.total_tasks * p.bs * p.mb * p.kb,
+            PackPlacement::PerTask => ctx.total_tasks * ctx.msn * ctx.k_tiles * p.mb * p.kb,
+        };
+        func.add_local(BufDecl::new(in_dtype, elems, "aprime"))
+    });
+    let bprime = match spec.b_input {
+        BInput::PlainInLoop { .. } => Some(func.add_local(BufDecl::new(
+            w_dtype,
+            ctx.total_tasks * ctx.k_tiles * ctx.nsn * p.nb * p.kb,
+            "bprime",
+        ))),
+        BInput::BlockedWeight => None,
+    };
+    let n_reductions = spec
+        .post_ops
+        .iter()
+        .filter(|p| matches!(p, PostOpSpec::ReduceRow(_)))
+        .count();
+    let rowstats: Vec<BufId> = (0..n_reductions)
+        .map(|i| {
+            func.add_local(BufDecl::new(
+                DataType::F32,
+                ctx.total_tasks * buf_msn * p.mb,
+                format!("rowstat{i}"),
+            ))
+        })
+        .collect();
+    // scratch tile for quantize-then-unpack
+    let needs_qtile = spec.out_dtype == DataType::U8 && spec.out == OutLayout::Plain;
+    let qtile = if needs_qtile {
+        Some(func.add_local(BufDecl::new(
+            DataType::U8,
+            ctx.total_tasks * tile,
+            "qtile",
+        )))
+    } else {
+        None
+    };
+
+    // ---- variables
+    let t = func.fresh_var();
+    let msi = func.fresh_var();
+    let kchunk = func.fresh_var();
+    let nsi = func.fresh_var();
+    let bsi = func.fresh_var();
+    let nsi2 = func.fresh_var(); // post-processing sweeps
+
+    let e = ExprBuilder {
+        ctx: &ctx,
+        t,
+        msi,
+        kchunk,
+        nsi,
+        bsi,
+    };
+
+    // ---- body
+    let mut task_body: Vec<Stmt> = Vec::new();
+
+    // anchor #2: pack the task's B slice (MHA in-loop rhs)
+    if let Some(bp) = bprime {
+        let transposed = matches!(
+            spec.b_input,
+            BInput::PlainInLoop { transposed: true }
+        );
+        task_body.push(e.pack_b_per_task(param_of(ParamRole::B), bp, transposed));
+    }
+    // anchor #2 variant for A (PerTask pack)
+    if let (Some(ap), Some(PackPlacement::PerTask)) = (aprime, pack_place) {
+        task_body.push(e.pack_a_per_task(param_of(ParamRole::A), ap, msi, kchunk, bsi));
+    }
+
+    // ---- single-core kernel: loop msi
+    let mut msi_body: Vec<Stmt> = Vec::new();
+
+    // zero accumulators for this m-tile
+    let acc_view_all = |e: &ExprBuilder<'_>| {
+        View::new(
+            cprime,
+            e.cprime_base(buf_msn).mul(Expr::from(ctx.nsn * tile)),
+            ctx.nsn * tile,
+        )
+    };
+    if spec.int8.is_some() {
+        msi_body.push(Stmt::Op(Intrinsic::ZeroI32 {
+            dst: acc_view_all(&e),
+        }));
+    } else {
+        msi_body.push(Stmt::Op(Intrinsic::FillF32 {
+            dst: acc_view_all(&e),
+            value: 0.0,
+        }));
+    }
+
+    // k loop with anchor #4 pack and nsi brgemm loop
+    let mut kchunk_body: Vec<Stmt> = Vec::new();
+    if let (Some(ap), Some(PackPlacement::PerKChunk)) = (aprime, pack_place) {
+        kchunk_body.push(e.pack_a_per_chunk(param_of(ParamRole::A), ap, bsi));
+    }
+    // brgemm over nsi
+    let a_view_stride = match (spec.a_input, pack_place) {
+        (AInput::Blocked, _) => {
+            let off = e
+                .a_blocked_tile_base()
+                .mul(Expr::from(p.mb * p.kb));
+            (View::new(param_of(ParamRole::A), off, p.mb * p.kb), p.mb * p.kb)
+        }
+        (AInput::Plain, Some(PackPlacement::PerKChunk)) => (
+            View::new(
+                aprime.unwrap(),
+                Expr::v(t).mul(Expr::from(p.bs * p.mb * p.kb)),
+                p.mb * p.kb,
+            ),
+            p.mb * p.kb,
+        ),
+        (AInput::Plain, Some(PackPlacement::PerTask)) => {
+            // [task][msi][k_tile][MB*KB]
+            let off = Expr::v(t)
+                .mul(Expr::from(ctx.msn * ctx.k_tiles))
+                .add(Expr::v(msi).mul(Expr::from(ctx.k_tiles)))
+                .add(Expr::v(kchunk).mul(Expr::from(p.bs)))
+                .mul(Expr::from(p.mb * p.kb));
+            (View::new(aprime.unwrap(), off, p.mb * p.kb), p.mb * p.kb)
+        }
+        (AInput::Plain, None) => unreachable!(),
+    };
+    let (b_view, b_stride) = match spec.b_input {
+        BInput::BlockedWeight => {
+            // [K/KB, N/NB, NB, KB]: tile(kt, npsi)
+            let off = Expr::v(kchunk)
+                .mul(Expr::from(p.bs))
+                .mul(Expr::from(ctx.n_tiles))
+                .add(e.npsi(nsi))
+                .mul(Expr::from(p.nb * p.kb));
+            (
+                View::new(param_of(ParamRole::B), off, p.nb * p.kb),
+                ctx.n_tiles * p.nb * p.kb,
+            )
+        }
+        BInput::PlainInLoop { .. } => {
+            // bprime: [task][k_tile][nsi][NB*KB]
+            let off = Expr::v(t)
+                .mul(Expr::from(ctx.k_tiles * ctx.nsn))
+                .add(Expr::v(kchunk).mul(Expr::from(p.bs * ctx.nsn)))
+                .add(Expr::v(nsi))
+                .mul(Expr::from(p.nb * p.kb));
+            (
+                View::new(bprime.unwrap(), off, p.nb * p.kb),
+                ctx.nsn * p.nb * p.kb,
+            )
+        }
+    };
+    let c_tile_view = View::new(
+        cprime,
+        e.cprime_base(buf_msn)
+            .mul(Expr::from(ctx.nsn))
+            .add(Expr::v(nsi))
+            .mul(Expr::from(tile)),
+        tile,
+    );
+    let brgemm = if spec.int8.is_some() {
+        Intrinsic::BrgemmU8I8 {
+            a: a_view_stride.0.clone(),
+            a_stride: a_view_stride.1,
+            b: b_view,
+            b_stride,
+            c: c_tile_view,
+            m: p.mb,
+            n: p.nb,
+            k: p.kb,
+            batch: p.bs,
+        }
+    } else {
+        Intrinsic::BrgemmF32 {
+            a: a_view_stride.0,
+            a_stride: a_view_stride.1,
+            b: b_view,
+            b_stride,
+            c: c_tile_view,
+            m: p.mb,
+            n: p.nb,
+            k: p.kb,
+            batch: p.bs,
+        }
+    };
+    kchunk_body.push(Stmt::loop_(nsi, ctx.nsn, vec![Stmt::Op(brgemm)]));
+    msi_body.push(Stmt::loop_(kchunk, ctx.kch, kchunk_body));
+
+    // ---- post-op anchor #1 (or buffered for #2): emitted per m-tile
+    if post_anchor == PostOpAnchor::P1 {
+        msi_body.extend(emit_post_ops(
+            spec, &ctx, &e, &param_of, cprime, cpf, &rowstats, qtile, nsi2, buf_msn,
+        ));
+    }
+
+    task_body.push(Stmt::loop_(msi, ctx.msn, msi_body));
+
+    // anchor #2/#3 post-ops: process all buffered m-tiles after the msi
+    // loop (ablation path)
+    if post_anchor != PostOpAnchor::P1 {
+        let mut per_msi = emit_post_ops(
+            spec, &ctx, &e, &param_of, cprime, cpf, &rowstats, qtile, nsi2, buf_msn,
+        );
+        let mut body = Vec::new();
+        body.append(&mut per_msi);
+        task_body.push(Stmt::loop_(msi, ctx.msn, body));
+    }
+
+    func.body
+        .push(Stmt::parallel(t, ctx.total_tasks, task_body));
+
+    LoweredMatmul { func, roles }
+}
+
+/// Emits the staged post-op pipeline for the current m-tile.
+#[allow(clippy::too_many_arguments)]
+fn emit_post_ops(
+    spec: &MatmulSpec,
+    ctx: &Ctx,
+    e: &ExprBuilder<'_>,
+    param_of: &dyn Fn(ParamRole) -> BufId,
+    cprime: BufId,
+    cpf: BufId,
+    rowstats: &[BufId],
+    qtile: Option<BufId>,
+    nsi2: VarId,
+    buf_msn: usize,
+) -> Vec<Stmt> {
+    let p = ctx.p;
+    let tile = p.mb * p.nb;
+    let mut stmts = Vec::new();
+
+    let cpf_tile = |nv: VarId| {
+        View::new(
+            cpf,
+            e.cprime_base(buf_msn)
+                .mul(Expr::from(ctx.nsn))
+                .add(Expr::v(nv))
+                .mul(Expr::from(tile)),
+            tile,
+        )
+    };
+
+    // stage -1: int8 epilogue (+ bias folded in)
+    if let Some(int8) = ctx.int8 {
+        let acc_tile = View::new(
+            cprime,
+            e.cprime_base(buf_msn)
+                .mul(Expr::from(ctx.nsn))
+                .add(Expr::v(nsi2))
+                .mul(Expr::from(tile)),
+            tile,
+        );
+        let comp_view = View::new(
+            param_of(ParamRole::Comp),
+            e.npsi(nsi2).mul(Expr::from(p.nb)),
+            p.nb,
+        );
+        let bias = spec.bias.then(|| {
+            View::new(
+                param_of(ParamRole::Bias),
+                e.npsi(nsi2).mul(Expr::from(p.nb)),
+                p.nb,
+            )
+        });
+        stmts.push(Stmt::loop_(
+            nsi2,
+            ctx.nsn,
+            vec![Stmt::Op(Intrinsic::DequantAcc {
+                acc: acc_tile,
+                comp: comp_view,
+                a_zero: int8.a_zero,
+                scale: int8.scale,
+                bias,
+                dst: cpf_tile(nsi2),
+                rows: p.mb,
+                cols: p.nb,
+            })],
+        ));
+    } else if spec.bias {
+        let bias_view = View::new(
+            param_of(ParamRole::Bias),
+            e.npsi(nsi2).mul(Expr::from(p.nb)),
+            p.nb,
+        );
+        stmts.push(Stmt::loop_(
+            nsi2,
+            ctx.nsn,
+            vec![Stmt::Op(Intrinsic::BinaryRowBcast {
+                op: BinaryOp::Add,
+                a: cpf_tile(nsi2),
+                b: bias_view,
+                dst: cpf_tile(nsi2),
+                rows: p.mb,
+                cols: p.nb,
+            })],
+        ));
+    }
+
+    // split post-ops into stages at reductions
+    let mut stages: Vec<Vec<&PostOpSpec>> = vec![Vec::new()];
+    let mut reduce_of_stage: Vec<Option<(usize, ReduceOp)>> = Vec::new();
+    let mut ridx = 0usize;
+    for po in &spec.post_ops {
+        if let PostOpSpec::ReduceRow(op) = po {
+            reduce_of_stage.push(Some((ridx, *op)));
+            ridx += 1;
+            stages.push(Vec::new());
+        } else {
+            stages.last_mut().unwrap().push(po);
+        }
+    }
+    reduce_of_stage.push(None);
+
+    let rowstat_view = |r: usize| {
+        View::new(
+            rowstats[r],
+            e.cprime_base(buf_msn).mul(Expr::from(p.mb)),
+            p.mb,
+        )
+    };
+
+    let n_stages = stages.len();
+    let mut current_stat: Option<usize> = None;
+    for (si, stage) in stages.iter().enumerate() {
+        let is_last = si + 1 == n_stages;
+        let mut sweep: Vec<Stmt> = Vec::new();
+        for po in stage {
+            let tile_v = cpf_tile(nsi2);
+            let stmt = match po {
+                PostOpSpec::Unary(op) => Intrinsic::Unary {
+                    op: *op,
+                    src: tile_v.clone(),
+                    dst: tile_v,
+                },
+                PostOpSpec::BinaryScalarConst(op, s) => Intrinsic::BinaryScalar {
+                    op: *op,
+                    a: tile_v.clone(),
+                    scalar: *s,
+                    dst: tile_v,
+                },
+                PostOpSpec::BinaryRowVec { op, batch_indexed } => {
+                    let pi = spec
+                        .post_ops
+                        .iter()
+                        .position(|x| std::ptr::eq(x, *po))
+                        .unwrap();
+                    let base = if *batch_indexed {
+                        e.batch_idx().mul(Expr::from(ctx.n))
+                    } else {
+                        Expr::c(0)
+                    };
+                    Intrinsic::BinaryRowBcast {
+                        op: *op,
+                        a: tile_v.clone(),
+                        b: View::new(
+                            param_of(ParamRole::PostOperand(pi)),
+                            base.add(e.npsi(nsi2).mul(Expr::from(p.nb))),
+                            p.nb,
+                        ),
+                        dst: tile_v,
+                        rows: p.mb,
+                        cols: p.nb,
+                    }
+                }
+                PostOpSpec::BinaryFull { op } => {
+                    // pack the operand tile from its plain buffer lazily:
+                    // use Pack2D into qtile-sized scratch is avoided by
+                    // reading strided via Pack2D into a dedicated tile;
+                    // to keep the template lean we require the operand
+                    // plain and apply row by row through Unpack-style
+                    // strided access. Simplest correct approach: pack
+                    // into the (f32) rowstat-sized... use a Binary with
+                    // a packed tile is required -> use Pack2D into the
+                    // cprime_f32 of a scratch region is unsafe; instead
+                    // we emit per-row BinaryRowBcast over the operand's
+                    // row slices.
+                    let pi = spec
+                        .post_ops
+                        .iter()
+                        .position(|x| std::ptr::eq(x, *po))
+                        .unwrap();
+                    // operand plain [.., M, N]: row r of tile = offset
+                    // batch*M*N + (mpsi*MB + r)*N + npsi*NB. Emit a
+                    // per-tile strided binary via rows loop unrolled in
+                    // the executor: use BinaryRowBcast per row is wrong
+                    // (rhs varies per row) -> use Binary on each row.
+                    // We express it as `rows` Binary calls via a serial
+                    // loop variable reusing bsi.
+                    let r = e.bsi;
+                    let a_row = View::new(
+                        cpf,
+                        e.cprime_base(buf_msn)
+                            .mul(Expr::from(ctx.nsn))
+                            .add(Expr::v(nsi2))
+                            .mul(Expr::from(tile))
+                            .add(Expr::v(r).mul(Expr::from(p.nb))),
+                        p.nb,
+                    );
+                    let opnd_row = View::new(
+                        param_of(ParamRole::PostOperand(pi)),
+                        e.batch_idx()
+                            .mul(Expr::from(ctx.m * ctx.n))
+                            .add(
+                                e.mpsi(e.msi)
+                                    .mul(Expr::from(p.mb))
+                                    .add(Expr::v(r))
+                                    .mul(Expr::from(ctx.n)),
+                            )
+                            .add(e.npsi(nsi2).mul(Expr::from(p.nb))),
+                        p.nb,
+                    );
+                    sweep.push(Stmt::loop_(
+                        r,
+                        p.mb,
+                        vec![Stmt::Op(Intrinsic::Binary {
+                            op: *op,
+                            a: a_row.clone(),
+                            b: opnd_row,
+                            dst: a_row,
+                        })],
+                    ));
+                    continue;
+                }
+                PostOpSpec::BinaryColStat { op } => {
+                    let stat = current_stat.expect("col-stat op needs a preceding reduction");
+                    Intrinsic::BinaryColBcast {
+                        op: *op,
+                        a: tile_v.clone(),
+                        b: rowstat_view(stat),
+                        dst: tile_v,
+                        rows: p.mb,
+                        cols: p.nb,
+                    }
+                }
+                PostOpSpec::Quantize { scale, zero_point } => {
+                    // quantize happens as part of the output write below
+                    // when it is the last op; otherwise into the same
+                    // tile is impossible (dtype change), so it must be
+                    // last — enforced by construction in lower_graph.
+                    let _ = (scale, zero_point);
+                    continue;
+                }
+                PostOpSpec::ReduceRow(_) => unreachable!("split into stages"),
+            };
+            sweep.push(Stmt::Op(stmt));
+        }
+        // reduction closing this stage
+        if let Some((r, op)) = reduce_of_stage[si] {
+            // init the accumulator before the sweep
+            let init = match op {
+                ReduceOp::Sum => 0.0,
+                ReduceOp::Max => f32::NEG_INFINITY,
+            };
+            stmts.push(Stmt::Op(Intrinsic::FillF32 {
+                dst: rowstat_view(r),
+                value: init,
+            }));
+            sweep.push(Stmt::Op(Intrinsic::ReduceRows {
+                op,
+                src: cpf_tile(nsi2),
+                acc: rowstat_view(r),
+                rows: p.mb,
+                cols: p.nb,
+                accumulate: true,
+            }));
+            current_stat = Some(r);
+        }
+        // final stage: write the output tile
+        if is_last {
+            let quant = spec.post_ops.iter().find_map(|po| match po {
+                PostOpSpec::Quantize { scale, zero_point } => Some((*scale, *zero_point)),
+                _ => None,
+            });
+            sweep.extend(emit_out_write(spec, ctx, e, param_of, cpf_tile(nsi2), quant, qtile, nsi2));
+        }
+        if !sweep.is_empty() {
+            stmts.push(Stmt::loop_(nsi2, ctx.nsn, sweep));
+        }
+    }
+    stmts
+}
+
+fn emit_out_write(
+    spec: &MatmulSpec,
+    ctx: &Ctx,
+    e: &ExprBuilder<'_>,
+    param_of: &dyn Fn(ParamRole) -> BufId,
+    src_tile: View,
+    quant: Option<(f32, i32)>,
+    qtile: Option<BufId>,
+    nsi2: VarId,
+) -> Vec<Stmt> {
+    let p = ctx.p;
+    let tile = p.mb * p.nb;
+    let out = param_of(ParamRole::Out);
+    let mut stmts = Vec::new();
+    match (spec.out, quant) {
+        (OutLayout::BlockedMbNb, None) => {
+            let off = e
+                .batch_idx()
+                .mul(Expr::from(ctx.m_tiles))
+                .add(e.mpsi(e.msi))
+                .mul(Expr::from(ctx.n_tiles))
+                .add(e.npsi(nsi2))
+                .mul(Expr::from(tile));
+            stmts.push(Stmt::Op(Intrinsic::Unary {
+                op: UnaryOp::Identity,
+                src: src_tile,
+                dst: View::new(out, off, tile),
+            }));
+        }
+        (OutLayout::BlockedMbNb, Some((s, z))) => {
+            let off = e
+                .batch_idx()
+                .mul(Expr::from(ctx.m_tiles))
+                .add(e.mpsi(e.msi))
+                .mul(Expr::from(ctx.n_tiles))
+                .add(e.npsi(nsi2))
+                .mul(Expr::from(tile));
+            stmts.push(Stmt::Op(Intrinsic::QuantU8 {
+                src: src_tile,
+                dst: View::new(out, off, tile),
+                scale: s,
+                zero_point: z,
+            }));
+        }
+        (OutLayout::Plain, None) => {
+            let off = e
+                .batch_idx()
+                .mul(Expr::from(ctx.m * ctx.n))
+                .add(e.mpsi(e.msi).mul(Expr::from(p.mb * ctx.n)))
+                .add(e.npsi(nsi2).mul(Expr::from(p.nb)));
+            stmts.push(Stmt::Op(Intrinsic::Unpack2D {
+                src: src_tile,
+                dst: out,
+                dst_offset: off,
+                dst_row_stride: ctx.n,
+                dst_col_stride: 1,
+                rows: p.mb,
+                cols: p.nb,
+            }));
+        }
+        (OutLayout::Plain, Some((s, z))) => {
+            let qt = qtile.expect("qtile allocated for plain u8 output");
+            let qview = View::new(qt, Expr::v(e.t).mul(Expr::from(tile)), tile);
+            stmts.push(Stmt::Op(Intrinsic::QuantU8 {
+                src: src_tile,
+                dst: qview.clone(),
+                scale: s,
+                zero_point: z,
+            }));
+            let off = e
+                .batch_idx()
+                .mul(Expr::from(ctx.m * ctx.n))
+                .add(e.mpsi(e.msi).mul(Expr::from(p.mb * ctx.n)))
+                .add(e.npsi(nsi2).mul(Expr::from(p.nb)));
+            stmts.push(Stmt::Op(Intrinsic::Unpack2D {
+                src: qview,
+                dst: out,
+                dst_offset: off,
+                dst_row_stride: ctx.n,
+                dst_col_stride: 1,
+                rows: p.mb,
+                cols: p.nb,
+            }));
+        }
+    }
+    stmts
+}
+
+/// Index-expression helpers shared by the emission code.
+struct ExprBuilder<'c> {
+    ctx: &'c Ctx,
+    t: VarId,
+    msi: VarId,
+    kchunk: VarId,
+    nsi: VarId,
+    bsi: VarId,
+}
+
+impl ExprBuilder<'_> {
+    fn batch_idx(&self) -> Expr {
+        if self.ctx.batch == 1 {
+            Expr::c(0)
+        } else {
+            Expr::Div(
+                Box::new(Expr::v(self.t)),
+                Box::new(Expr::from(self.ctx.tasks_per_mat)),
+            )
+        }
+    }
+
+    fn task_in_mat(&self) -> Expr {
+        if self.ctx.batch == 1 {
+            Expr::v(self.t)
+        } else {
+            Expr::Rem(
+                Box::new(Expr::v(self.t)),
+                Box::new(Expr::from(self.ctx.tasks_per_mat)),
+            )
+        }
+    }
+
+    fn mpi(&self) -> Expr {
+        if self.ctx.p.npn == 1 {
+            self.task_in_mat()
+        } else {
+            Expr::Div(
+                Box::new(self.task_in_mat()),
+                Box::new(Expr::from(self.ctx.p.npn)),
+            )
+        }
+    }
+
+    fn npi(&self) -> Expr {
+        if self.ctx.p.npn == 1 {
+            Expr::c(0)
+        } else {
+            Expr::Rem(
+                Box::new(self.task_in_mat()),
+                Box::new(Expr::from(self.ctx.p.npn)),
+            )
+        }
+    }
+
+    /// Global m-tile index of the current msi.
+    fn mpsi(&self, msi: VarId) -> Expr {
+        self.mpi()
+            .mul(Expr::from(self.ctx.msn))
+            .add(Expr::v(msi))
+    }
+
+    /// Global n-tile index for an nsi-like variable.
+    fn npsi(&self, nv: VarId) -> Expr {
+        self.npi()
+            .mul(Expr::from(self.ctx.nsn))
+            .add(Expr::v(nv))
+    }
+
+    /// Base index (in m-tile units) of cprime for the current (t, msi):
+    /// `t * buf_msn + (msi % buf_msn)` — with `buf_msn == 1` the msi
+    /// term vanishes.
+    fn cprime_base(&self, buf_msn: usize) -> Expr {
+        if buf_msn == 1 {
+            Expr::v(self.t)
+        } else {
+            Expr::v(self.t)
+                .mul(Expr::from(buf_msn))
+                .add(Expr::v(self.msi))
+        }
+    }
+
+    /// A blocked tile base (in tiles) for brgemm's first tile at
+    /// (batch, mpsi, kchunk*BS).
+    fn a_blocked_tile_base(&self) -> Expr {
+        self.batch_idx()
+            .mul(Expr::from(self.ctx.m_tiles))
+            .add(self.mpsi(self.msi))
+            .mul(Expr::from(self.ctx.k_tiles))
+            .add(Expr::v(self.kchunk).mul(Expr::from(self.ctx.p.bs)))
+    }
+
+    /// Pack one BS-chunk of plain A into aprime (anchor #4).
+    fn pack_a_per_chunk(&self, a: BufId, aprime: BufId, bsi: VarId) -> Stmt {
+        let p = self.ctx.p;
+        let src_off = self
+            .batch_idx()
+            .mul(Expr::from(self.ctx.m * self.ctx.k))
+            .add(self.mpsi(self.msi).mul(Expr::from(p.mb * self.ctx.k)))
+            .add(
+                Expr::v(self.kchunk)
+                    .mul(Expr::from(p.bs))
+                    .add(Expr::v(bsi))
+                    .mul(Expr::from(p.kb)),
+            );
+        let dst = View::new(
+            aprime,
+            Expr::v(self.t)
+                .mul(Expr::from(p.bs))
+                .add(Expr::v(bsi))
+                .mul(Expr::from(p.mb * p.kb)),
+            p.mb * p.kb,
+        );
+        Stmt::loop_(
+            bsi,
+            p.bs,
+            vec![Stmt::Op(Intrinsic::Pack2D {
+                src: a,
+                src_offset: src_off,
+                src_row_stride: self.ctx.k,
+                src_col_stride: 1,
+                dst,
+                rows: p.mb,
+                cols: p.kb,
+            })],
+        )
+    }
+
+    /// Pack the task's whole A slice at task start (anchor #2).
+    fn pack_a_per_task(&self, a: BufId, aprime: BufId, msi: VarId, kt: VarId, _bsi: VarId) -> Stmt {
+        let p = self.ctx.p;
+        let src_off = self
+            .batch_idx()
+            .mul(Expr::from(self.ctx.m * self.ctx.k))
+            .add(self.mpsi(msi).mul(Expr::from(p.mb * self.ctx.k)))
+            .add(Expr::v(kt).mul(Expr::from(p.kb)));
+        let dst = View::new(
+            aprime,
+            Expr::v(self.t)
+                .mul(Expr::from(self.ctx.msn * self.ctx.k_tiles))
+                .add(Expr::v(msi).mul(Expr::from(self.ctx.k_tiles)))
+                .add(Expr::v(kt))
+                .mul(Expr::from(p.mb * p.kb)),
+            p.mb * p.kb,
+        );
+        Stmt::loop_(
+            msi,
+            self.ctx.msn,
+            vec![Stmt::loop_(
+                kt,
+                self.ctx.k_tiles,
+                vec![Stmt::Op(Intrinsic::Pack2D {
+                    src: a,
+                    src_offset: src_off,
+                    src_row_stride: self.ctx.k,
+                    src_col_stride: 1,
+                    dst,
+                    rows: p.mb,
+                    cols: p.kb,
+                })],
+            )],
+        )
+    }
+
+    /// Pack the task's B slice into `[k_tile][nsi][NB*KB]` panels
+    /// (anchor #2; fuses an optional transpose for free).
+    fn pack_b_per_task(&self, b: BufId, bprime: BufId, transposed: bool) -> Stmt {
+        let p = self.ctx.p;
+        let (kt, nv) = (self.kchunk, self.nsi);
+        // element (n, k) of tile (kt, npsi):
+        //   plain B[.., K, N]:  src[(kt*KB + k) * N + npsi*NB + n]
+        //   transposed (buffer holds B^T = [.., N, K]):
+        //                       src[(npsi*NB + n) * K + kt*KB + k]
+        let (row_stride, col_stride, base) = if transposed {
+            (
+                self.ctx.k, // n advances rows of B^T
+                1,          // k advances columns
+                self.batch_idx()
+                    .mul(Expr::from(self.ctx.k * self.ctx.n))
+                    .add(self.npsi(nv).mul(Expr::from(p.nb * self.ctx.k)))
+                    .add(Expr::v(kt).mul(Expr::from(p.kb))),
+            )
+        } else {
+            (
+                1,          // n advances columns of B
+                self.ctx.n, // k advances rows
+                self.batch_idx()
+                    .mul(Expr::from(self.ctx.k * self.ctx.n))
+                    .add(Expr::v(kt).mul(Expr::from(p.kb * self.ctx.n)))
+                    .add(self.npsi(nv).mul(Expr::from(p.nb))),
+            )
+        };
+        let dst = View::new(
+            bprime,
+            Expr::v(self.t)
+                .mul(Expr::from(self.ctx.k_tiles * self.ctx.nsn))
+                .add(Expr::v(kt).mul(Expr::from(self.ctx.nsn)))
+                .add(Expr::v(nv))
+                .mul(Expr::from(p.nb * p.kb)),
+            p.nb * p.kb,
+        );
+        Stmt::loop_(
+            kt,
+            self.ctx.k_tiles,
+            vec![Stmt::loop_(
+                nv,
+                self.ctx.nsn,
+                vec![Stmt::Op(Intrinsic::Pack2D {
+                    src: b,
+                    src_offset: base,
+                    src_row_stride: row_stride,
+                    src_col_stride: col_stride,
+                    dst,
+                    rows: p.nb,
+                    cols: p.kb,
+                })],
+            )],
+        )
+    }
+}

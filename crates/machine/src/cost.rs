@@ -1,0 +1,201 @@
+//! Analytical cost model.
+//!
+//! The paper's heuristic "iteratively searches for the best parameters,
+//! based on a cost model which considers multi-core load balancing and
+//! single-core kernel efficiency". This module provides those terms, as
+//! well as the streaming / synchronization / dispatch costs used by the
+//! fusion profitability heuristic and the performance projector.
+
+use crate::desc::MachineDescriptor;
+
+/// Parallel efficiency of distributing `tasks` equal tasks over the
+/// machine's cores: `tasks / (ceil(tasks/cores) * cores)`, in `(0, 1]`.
+pub fn load_balance(machine: &MachineDescriptor, tasks: usize) -> f64 {
+    if tasks == 0 {
+        return 0.0;
+    }
+    let waves = tasks.div_ceil(machine.cores);
+    tasks as f64 / (waves * machine.cores) as f64
+}
+
+/// Single-core efficiency (0, 1] of a brgemm microkernel with tile
+/// sizes `[mb, nb, kb]` and batch `bs`.
+///
+/// The shape of this function encodes the expert knowledge the paper
+/// distills from kernel development:
+///
+/// - `nb` should be a multiple of the SIMD width (register blocking);
+/// - `mb` has a sweet spot — enough rows to hide FMA latency, few
+///   enough to keep the accumulator tile in registers;
+/// - the working set `(mb + nb) * kb * bs + mb * nb` must fit in L1;
+/// - small `kb * bs` can't amortize the tile setup.
+pub fn microkernel_efficiency(
+    machine: &MachineDescriptor,
+    mb: usize,
+    nb: usize,
+    kb: usize,
+    bs: usize,
+    elem_bytes: usize,
+) -> f64 {
+    let lanes = machine.vector_bytes / 4; // accumulators are f32/i32
+    let mut eff = 1.0;
+
+    // Register blocking along n.
+    if nb % lanes != 0 {
+        eff *= 0.6 + 0.4 * (nb % lanes) as f64 / lanes as f64 * 0.0;
+    }
+    let n_regs = nb.div_ceil(lanes);
+
+    // Accumulator tile must fit the register file (32 zmm minus operands).
+    let acc_regs = mb * n_regs;
+    if acc_regs > 28 {
+        eff *= 28.0 / acc_regs as f64;
+    }
+
+    // FMA-latency hiding: very short m tiles stall the pipeline.
+    if mb < 4 {
+        eff *= 0.55 + 0.15 * (mb as f64 - 1.0);
+    }
+
+    // L1 residency of the microkernel working set.
+    let ws = (mb + nb) * kb * bs * elem_bytes + mb * nb * 4;
+    let l1 = machine.l1_bytes();
+    if ws > l1 {
+        eff *= (l1 as f64 / ws as f64).max(0.35);
+    }
+
+    // Reduction depth amortizes prologue/epilogue.
+    let kdepth = kb * bs;
+    if kdepth < 32 {
+        eff *= 0.7 + 0.3 * kdepth as f64 / 32.0;
+    }
+
+    eff.clamp(0.05, 1.0)
+}
+
+/// Ideal compute cycles for `flops` floating/integer ops on one core at
+/// `efficiency`.
+pub fn compute_cycles(
+    machine: &MachineDescriptor,
+    flops: f64,
+    elem_bytes: usize,
+    efficiency: f64,
+) -> f64 {
+    flops / (machine.ops_per_cycle(elem_bytes) * efficiency.max(1e-6))
+}
+
+/// Cycles to stream `bytes` from memory on one core (bandwidth-bound).
+pub fn stream_cycles(machine: &MachineDescriptor, bytes: f64) -> f64 {
+    bytes / machine.mem_bw_bytes_per_cycle
+}
+
+/// Cycles for one all-core barrier (ends every parallel region).
+pub fn barrier_cycles(machine: &MachineDescriptor) -> f64 {
+    machine.barrier_cycles as f64
+}
+
+/// Fixed per-primitive dispatch overhead (framework API call, primitive
+/// cache lookup). The paper measures this at ~10% of MLP_1 baseline
+/// runtime, recovered by compiling the subgraph into a single call.
+pub fn dispatch_cycles(machine: &MachineDescriptor) -> f64 {
+    machine.dispatch_cycles as f64
+}
+
+/// Estimated total cycles of a multi-core matmul `[m, n, k]` given a
+/// task decomposition producing `tasks` single-core kernels with
+/// single-core efficiency `kernel_eff`.
+pub fn matmul_cycles(
+    machine: &MachineDescriptor,
+    m: usize,
+    n: usize,
+    k: usize,
+    elem_bytes: usize,
+    tasks: usize,
+    kernel_eff: f64,
+) -> f64 {
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    let per_core_flops = flops / machine.cores.min(tasks.max(1)) as f64;
+    let balance = load_balance(machine, tasks).max(1e-6);
+    compute_cycles(machine, per_core_flops, elem_bytes, kernel_eff) / balance
+        + barrier_cycles(machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xeon() -> MachineDescriptor {
+        MachineDescriptor::xeon_8358()
+    }
+
+    #[test]
+    fn load_balance_perfect_and_ragged() {
+        let m = xeon();
+        assert_eq!(load_balance(&m, 32), 1.0);
+        assert_eq!(load_balance(&m, 64), 1.0);
+        let lb33 = load_balance(&m, 33);
+        assert!(lb33 < 0.6, "33 tasks on 32 cores wastes almost a wave");
+        assert_eq!(load_balance(&m, 0), 0.0);
+    }
+
+    #[test]
+    fn efficiency_prefers_lane_multiples() {
+        let m = xeon();
+        let good = microkernel_efficiency(&m, 6, 32, 64, 4, 4);
+        let bad = microkernel_efficiency(&m, 6, 33, 64, 4, 4);
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn efficiency_penalizes_register_overflow() {
+        let m = xeon();
+        let fits = microkernel_efficiency(&m, 6, 64, 32, 2, 4);
+        let spills = microkernel_efficiency(&m, 24, 64, 32, 2, 4);
+        assert!(fits > spills);
+    }
+
+    #[test]
+    fn efficiency_penalizes_l1_overflow() {
+        let m = xeon();
+        let fits = microkernel_efficiency(&m, 8, 32, 64, 2, 4);
+        let blows = microkernel_efficiency(&m, 8, 32, 1024, 16, 4);
+        assert!(fits > blows);
+    }
+
+    #[test]
+    fn efficiency_in_unit_range() {
+        let m = xeon();
+        for mb in [1, 2, 8, 32] {
+            for nb in [8, 16, 48] {
+                for kb in [16, 64, 512] {
+                    let e = microkernel_efficiency(&m, mb, nb, kb, 4, 4);
+                    assert!((0.05..=1.0).contains(&e));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_compute_is_faster() {
+        let m = xeon();
+        let f32c = compute_cycles(&m, 1e9, 4, 1.0);
+        let i8c = compute_cycles(&m, 1e9, 1, 1.0);
+        assert!((f32c / i8c - m.int8_speedup).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_cycles_scale_with_size() {
+        let m = xeon();
+        let small = matmul_cycles(&m, 128, 128, 128, 4, 32, 0.9);
+        let big = matmul_cycles(&m, 512, 512, 512, 4, 32, 0.9);
+        assert!(big > small * 10.0);
+    }
+
+    #[test]
+    fn stream_and_fixed_costs() {
+        let m = xeon();
+        assert_eq!(stream_cycles(&m, 4096.0), 1024.0);
+        assert!(barrier_cycles(&m) > 0.0);
+        assert!(dispatch_cycles(&m) > barrier_cycles(&m));
+    }
+}

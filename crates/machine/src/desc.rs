@@ -1,0 +1,206 @@
+//! Machine descriptors: the hardware parameters the heuristics and the
+//! performance projector consume.
+//!
+//! The paper's heuristic decides template parameters "based on the input
+//! data tensor shape and hardware sizes of the microarchitecture"; this
+//! module is where those hardware sizes live.
+
+/// One level of the data-cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLevel {
+    /// Capacity in bytes (per core for private levels, total for shared).
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub associativity: usize,
+    /// Cache line size in bytes.
+    pub line_bytes: usize,
+    /// Load-to-use latency in cycles.
+    pub latency_cycles: u64,
+    /// Whether the level is shared by all cores.
+    pub shared: bool,
+}
+
+/// Descriptor of a target CPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineDescriptor {
+    /// Human-readable name.
+    pub name: String,
+    /// Physical cores available to the kernel.
+    pub cores: usize,
+    /// Nominal frequency in GHz (for cycle→time conversion in reports).
+    pub freq_ghz: f64,
+    /// SIMD register width in bytes (64 for AVX-512).
+    pub vector_bytes: usize,
+    /// Cache levels, innermost first (L1d, L2, L3).
+    pub caches: Vec<CacheLevel>,
+    /// Main-memory latency in cycles.
+    pub mem_latency_cycles: u64,
+    /// Sustained per-core memory bandwidth, bytes per cycle.
+    pub mem_bw_bytes_per_cycle: f64,
+    /// Peak f32 FLOPs per cycle per core (2 × FMA width × units).
+    pub f32_flops_per_cycle: f64,
+    /// Throughput multiplier for int8 (VNNI ≈ 4× over f32).
+    pub int8_speedup: f64,
+    /// Cycles for a full-barrier synchronization across `cores`.
+    pub barrier_cycles: u64,
+    /// Cycles of fixed overhead per primitive/partition dispatch
+    /// (framework API call, descriptor hash lookup, ...).
+    pub dispatch_cycles: u64,
+}
+
+impl MachineDescriptor {
+    /// The paper's evaluation machine: Intel Xeon Platinum 8358
+    /// (Ice Lake SP), 32 cores, AVX-512 + VNNI.
+    pub fn xeon_8358() -> Self {
+        MachineDescriptor {
+            name: "Intel Xeon Platinum 8358 (32c, AVX-512/VNNI)".to_string(),
+            cores: 32,
+            freq_ghz: 2.6,
+            vector_bytes: 64,
+            caches: vec![
+                CacheLevel {
+                    size_bytes: 48 * 1024,
+                    associativity: 12,
+                    line_bytes: 64,
+                    latency_cycles: 5,
+                    shared: false,
+                },
+                CacheLevel {
+                    size_bytes: 1280 * 1024,
+                    associativity: 20,
+                    line_bytes: 64,
+                    latency_cycles: 14,
+                    shared: false,
+                },
+                CacheLevel {
+                    size_bytes: 48 * 1024 * 1024,
+                    associativity: 12,
+                    line_bytes: 64,
+                    latency_cycles: 42,
+                    shared: true,
+                },
+            ],
+            mem_latency_cycles: 220,
+            mem_bw_bytes_per_cycle: 4.0,
+            // 2 AVX-512 FMA units × 16 f32 lanes × 2 (mul+add)
+            f32_flops_per_cycle: 64.0,
+            int8_speedup: 4.0,
+            barrier_cycles: 2_000,
+            dispatch_cycles: 12_000,
+        }
+    }
+
+    /// A small generic machine useful for fast tests: 4 cores, AVX2-ish.
+    pub fn small_generic() -> Self {
+        MachineDescriptor {
+            name: "generic-4c".to_string(),
+            cores: 4,
+            freq_ghz: 3.0,
+            vector_bytes: 32,
+            caches: vec![
+                CacheLevel {
+                    size_bytes: 32 * 1024,
+                    associativity: 8,
+                    line_bytes: 64,
+                    latency_cycles: 4,
+                    shared: false,
+                },
+                CacheLevel {
+                    size_bytes: 512 * 1024,
+                    associativity: 8,
+                    line_bytes: 64,
+                    latency_cycles: 12,
+                    shared: false,
+                },
+                CacheLevel {
+                    size_bytes: 8 * 1024 * 1024,
+                    associativity: 16,
+                    line_bytes: 64,
+                    latency_cycles: 36,
+                    shared: true,
+                },
+            ],
+            mem_latency_cycles: 180,
+            mem_bw_bytes_per_cycle: 3.0,
+            f32_flops_per_cycle: 16.0,
+            int8_speedup: 2.0,
+            barrier_cycles: 600,
+            dispatch_cycles: 6_000,
+        }
+    }
+
+    /// L1 data cache size in bytes.
+    pub fn l1_bytes(&self) -> usize {
+        self.caches.first().map(|c| c.size_bytes).unwrap_or(32 * 1024)
+    }
+
+    /// L2 cache size in bytes.
+    pub fn l2_bytes(&self) -> usize {
+        self.caches.get(1).map(|c| c.size_bytes).unwrap_or(512 * 1024)
+    }
+
+    /// Last-level cache size in bytes (total if shared).
+    pub fn llc_bytes(&self) -> usize {
+        self.caches.last().map(|c| c.size_bytes).unwrap_or(8 << 20)
+    }
+
+    /// f32 lanes per SIMD register.
+    pub fn f32_lanes(&self) -> usize {
+        self.vector_bytes / 4
+    }
+
+    /// Peak ops/cycle/core for a dtype with the given element size in
+    /// bytes (1 for int8, 4 for f32).
+    pub fn ops_per_cycle(&self, elem_bytes: usize) -> f64 {
+        if elem_bytes == 1 {
+            self.f32_flops_per_cycle * self.int8_speedup
+        } else {
+            self.f32_flops_per_cycle
+        }
+    }
+
+    /// Convert cycles at this machine's frequency to milliseconds.
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles / (self.freq_ghz * 1e6)
+    }
+}
+
+impl Default for MachineDescriptor {
+    fn default() -> Self {
+        MachineDescriptor::xeon_8358()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xeon_preset_sizes() {
+        let m = MachineDescriptor::xeon_8358();
+        assert_eq!(m.cores, 32);
+        assert_eq!(m.l1_bytes(), 48 * 1024);
+        assert_eq!(m.l2_bytes(), 1280 * 1024);
+        assert_eq!(m.llc_bytes(), 48 * 1024 * 1024);
+        assert_eq!(m.f32_lanes(), 16);
+    }
+
+    #[test]
+    fn int8_is_faster_than_f32() {
+        let m = MachineDescriptor::xeon_8358();
+        assert!(m.ops_per_cycle(1) > m.ops_per_cycle(4));
+        assert_eq!(m.ops_per_cycle(1), 256.0);
+    }
+
+    #[test]
+    fn cycles_to_ms_conversion() {
+        let m = MachineDescriptor::xeon_8358();
+        let ms = m.cycles_to_ms(2.6e6);
+        assert!((ms - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_xeon() {
+        assert_eq!(MachineDescriptor::default().cores, 32);
+    }
+}

@@ -1,0 +1,35 @@
+//! Hardware-model substrate for the oneDNN Graph Compiler reproduction.
+//!
+//! The paper's heuristics pick template parameters from "hardware sizes
+//! of the microarchitecture" and its evaluation runs on a 32-core Intel
+//! Xeon Platinum 8358. That machine is not available to this
+//! reproduction, so this crate supplies:
+//!
+//! - [`MachineDescriptor`] — cores, SIMD width, cache hierarchy, peak
+//!   throughput (with the Xeon 8358 preset used by all experiments);
+//! - [`cache`] — a set-associative LRU multi-level cache simulator that
+//!   replays a compiled program's memory trace;
+//! - [`cost`] — the analytical cost model shared by the lowering
+//!   heuristic, the fusion-profitability analysis, and the multi-core
+//!   performance projector.
+//!
+//! # Examples
+//!
+//! ```
+//! use gc_machine::{MachineDescriptor, cost};
+//!
+//! let m = MachineDescriptor::xeon_8358();
+//! // 32 perfectly balanced tasks use all cores:
+//! assert_eq!(cost::load_balance(&m, 32), 1.0);
+//! // int8 peak throughput is 4x f32 (VNNI):
+//! assert_eq!(m.ops_per_cycle(1), 4.0 * m.ops_per_cycle(4));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cost;
+mod desc;
+
+pub use cache::{CacheHierarchy, LevelStats, SetAssocCache};
+pub use desc::{CacheLevel, MachineDescriptor};

@@ -1,0 +1,44 @@
+//! Expert-tuned microkernels for the oneDNN Graph Compiler reproduction.
+//!
+//! The paper's compiler does not lower compute-intensive inner loops to
+//! plain scalar code; it calls carefully hand-tuned *microkernels* that
+//! "fulfill a subtask of a DNN OP with data in the fastest cache on a
+//! single CPU core" and abstract away the ISA. This crate is that layer:
+//!
+//! - [`brgemm`] — the batch-reduce GEMM microkernel (LIBXSMM-style), in
+//!   f32 and u8×i8→i32 variants, plus obviously-correct scalar versions
+//!   for differential testing;
+//! - [`eltwise`] — vectorizable slice kernels for fused unary/binary
+//!   post-ops;
+//! - [`reduce`] — reduction kernels, including the running accumulators
+//!   used by split (two-anchor) reduction post-ops;
+//! - [`epilogue`] — the int8 dequantize/compensate/requantize epilogue
+//!   from the paper's low-precision equation.
+//!
+//! In the original system these are JIT-generated AVX-512/AMX code; here
+//! they are tight Rust loops written to autovectorize. The interface —
+//! offsets into packed, blocked buffers — is the same, which is what the
+//! lowering templates depend on.
+//!
+//! # Examples
+//!
+//! ```
+//! use gc_microkernel::brgemm::{brgemm_f32, BrgemmShape};
+//!
+//! // One 2x2x2 tile pair: C += A x B, B stored as [n][k] panels.
+//! let a = [1.0f32, 2.0, 3.0, 4.0]; // [[1,2],[3,4]]
+//! let b = [1.0f32, 0.0, 0.0, 1.0]; // panels: n0=[1,0], n1=[0,1] => identity
+//! let mut c = [0.0f32; 4];
+//! brgemm_f32(BrgemmShape::new(2, 2, 2), &a, &[0], &b, &[0], &mut c);
+//! assert_eq!(c, a);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod brgemm;
+pub mod eltwise;
+pub mod epilogue;
+pub mod reduce;
+
+pub use brgemm::{brgemm_f32, brgemm_u8i8, BrgemmShape};
+pub use eltwise::{BinaryOp, UnaryOp};

@@ -1,0 +1,130 @@
+//! Reduction kernels for fused reduction post-ops (softmax's max and
+//! sum, bias gradients, etc.).
+
+/// Maximum of a slice; `-inf` for an empty slice.
+pub fn reduce_max(xs: &[f32]) -> f32 {
+    xs.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Sum of a slice.
+pub fn reduce_sum(xs: &[f32]) -> f32 {
+    // 4-way accumulators for vectorization and better numerics than a
+    // single serial chain.
+    let chunks = xs.len() / 4;
+    let mut acc = [0f32; 4];
+    for c in 0..chunks {
+        let x4 = &xs[c * 4..c * 4 + 4];
+        for l in 0..4 {
+            acc[l] += x4[l];
+        }
+    }
+    let mut s = acc.iter().sum::<f32>();
+    for &x in &xs[chunks * 4..] {
+        s += x;
+    }
+    s
+}
+
+/// Elementwise running maximum: `acc[i] = max(acc[i], xs[i])`.
+///
+/// Used for the *partial* half of a split reduction post-op (the paper's
+/// two-anchor reduction: partials at anchor #1, final at #2/#3).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn accumulate_max(acc: &mut [f32], xs: &[f32]) {
+    assert_eq!(acc.len(), xs.len());
+    for (a, &x) in acc.iter_mut().zip(xs) {
+        if x > *a {
+            *a = x;
+        }
+    }
+}
+
+/// Elementwise running sum: `acc[i] += xs[i]`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn accumulate_sum(acc: &mut [f32], xs: &[f32]) {
+    assert_eq!(acc.len(), xs.len());
+    for (a, &x) in acc.iter_mut().zip(xs) {
+        *a += x;
+    }
+}
+
+/// Row-wise reduce of a `[rows, cols]` tile into `out[rows]`.
+///
+/// # Panics
+///
+/// Panics if `tile.len() != rows * cols` or `out.len() != rows`.
+pub fn reduce_rows_max(tile: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
+    assert_eq!(tile.len(), rows * cols);
+    assert_eq!(out.len(), rows);
+    for (o, row) in out.iter_mut().zip(tile.chunks_exact(cols)) {
+        *o = reduce_max(row);
+    }
+}
+
+/// Row-wise sum of a `[rows, cols]` tile into `out[rows]`.
+///
+/// # Panics
+///
+/// Panics if `tile.len() != rows * cols` or `out.len() != rows`.
+pub fn reduce_rows_sum(tile: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
+    assert_eq!(tile.len(), rows * cols);
+    assert_eq!(out.len(), rows);
+    for (o, row) in out.iter_mut().zip(tile.chunks_exact(cols)) {
+        *o = reduce_sum(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_and_sum() {
+        let xs = [1.0f32, -2.0, 5.0, 3.0];
+        assert_eq!(reduce_max(&xs), 5.0);
+        assert_eq!(reduce_sum(&xs), 7.0);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(reduce_max(&[]), f32::NEG_INFINITY);
+        assert_eq!(reduce_sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn sum_matches_naive_on_odd_lengths() {
+        for n in [1usize, 3, 5, 7, 13] {
+            let xs: Vec<f32> = (0..n).map(|i| i as f32 + 0.5).collect();
+            let naive: f32 = xs.iter().sum();
+            assert!((reduce_sum(&xs) - naive).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn running_accumulators() {
+        let mut mx = vec![f32::NEG_INFINITY; 3];
+        accumulate_max(&mut mx, &[1.0, 5.0, -1.0]);
+        accumulate_max(&mut mx, &[2.0, 3.0, -2.0]);
+        assert_eq!(mx, vec![2.0, 5.0, -1.0]);
+        let mut s = vec![0f32; 3];
+        accumulate_sum(&mut s, &[1.0, 2.0, 3.0]);
+        accumulate_sum(&mut s, &[1.0, 2.0, 3.0]);
+        assert_eq!(s, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn row_reductions() {
+        let tile = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut out = [0f32; 2];
+        reduce_rows_max(&tile, 2, 3, &mut out);
+        assert_eq!(out, [3.0, 6.0]);
+        reduce_rows_sum(&tile, 2, 3, &mut out);
+        assert_eq!(out, [6.0, 15.0]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Slab arena backing the temporary buffers of a compiled partition.
+//!
+//! The Tensor IR memory-buffer optimization computes, at compile time,
+//! the peak temporary footprint and an offset for every buffer; the
+//! arena is the runtime realization: one allocation, reused across
+//! executions.
+
+/// A planned slab allocator: offsets are assigned up front, memory is
+/// one contiguous block.
+#[derive(Debug)]
+pub struct Arena {
+    bytes: Vec<u8>,
+}
+
+/// Builds the offset plan for an [`Arena`].
+#[derive(Debug, Default)]
+pub struct ArenaPlanner {
+    cursor: usize,
+    peak: usize,
+    /// (offset, size) of each planned allocation, by handle order.
+    slots: Vec<(usize, usize)>,
+    free: Vec<(usize, usize)>,
+}
+
+/// Handle to a planned arena slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlotId(pub usize);
+
+const ALIGN: usize = 64;
+
+fn align_up(x: usize) -> usize {
+    (x + ALIGN - 1) & !(ALIGN - 1)
+}
+
+impl ArenaPlanner {
+    /// A fresh planner.
+    pub fn new() -> Self {
+        ArenaPlanner::default()
+    }
+
+    /// Reserve `size` bytes; reuses a freed slot when one fits
+    /// (most-recently-freed first, which keeps reused memory hot in
+    /// cache, per the paper's buffer-reuse policy).
+    pub fn alloc(&mut self, size: usize) -> SlotId {
+        let size = align_up(size.max(1));
+        // most recently freed first
+        if let Some(pos) = self.free.iter().rposition(|&(_, s)| s >= size) {
+            let (off, s) = self.free.remove(pos);
+            let id = SlotId(self.slots.len());
+            self.slots.push((off, size));
+            // return the tail of an oversized slot to the free list
+            if s > size {
+                self.free.push((off + size, s - size));
+            }
+            return id;
+        }
+        let off = self.cursor;
+        self.cursor += size;
+        self.peak = self.peak.max(self.cursor);
+        let id = SlotId(self.slots.len());
+        self.slots.push((off, size));
+        id
+    }
+
+    /// Mark a slot as dead; its bytes become reusable.
+    pub fn release(&mut self, id: SlotId) {
+        let (off, size) = self.slots[id.0];
+        self.free.push((off, size));
+    }
+
+    /// Peak bytes the arena must provide.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak
+    }
+
+    /// Byte offset of a slot.
+    pub fn offset(&self, id: SlotId) -> usize {
+        self.slots[id.0].0
+    }
+
+    /// Materialize the arena.
+    pub fn build(&self) -> Arena {
+        Arena {
+            bytes: vec![0u8; self.peak],
+        }
+    }
+}
+
+impl Arena {
+    /// Total bytes held.
+    pub fn capacity(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// View a slot's bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the arena.
+    pub fn bytes(&self, offset: usize, len: usize) -> &[u8] {
+        &self.bytes[offset..offset + len]
+    }
+
+    /// Mutable view of a slot's bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the arena.
+    pub fn bytes_mut(&mut self, offset: usize, len: usize) -> &mut [u8] {
+        &mut self.bytes[offset..offset + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_allocs_advance_cursor() {
+        let mut p = ArenaPlanner::new();
+        let a = p.alloc(100);
+        let b = p.alloc(100);
+        assert_eq!(p.offset(a), 0);
+        assert_eq!(p.offset(b), 128); // aligned to 64
+        assert_eq!(p.peak_bytes(), 256);
+    }
+
+    #[test]
+    fn released_slot_is_reused() {
+        let mut p = ArenaPlanner::new();
+        let a = p.alloc(256);
+        p.release(a);
+        let b = p.alloc(256);
+        assert_eq!(p.offset(a), p.offset(b));
+        assert_eq!(p.peak_bytes(), 256);
+    }
+
+    #[test]
+    fn most_recently_freed_wins() {
+        let mut p = ArenaPlanner::new();
+        let a = p.alloc(64);
+        let b = p.alloc(64);
+        p.release(a);
+        p.release(b);
+        let c = p.alloc(64);
+        assert_eq!(p.offset(c), p.offset(b), "hot slot reused first");
+    }
+
+    #[test]
+    fn oversized_slot_splits() {
+        let mut p = ArenaPlanner::new();
+        let a = p.alloc(256);
+        p.release(a);
+        let b = p.alloc(64);
+        let c = p.alloc(128);
+        assert_eq!(p.offset(b), 0);
+        assert_eq!(p.offset(c), 64);
+        assert_eq!(p.peak_bytes(), 256);
+    }
+
+    #[test]
+    fn arena_views_are_disjoint() {
+        let mut p = ArenaPlanner::new();
+        let a = p.alloc(64);
+        let b = p.alloc(64);
+        let mut arena = p.build();
+        arena.bytes_mut(p.offset(a), 64).fill(1);
+        arena.bytes_mut(p.offset(b), 64).fill(2);
+        assert!(arena.bytes(p.offset(a), 64).iter().all(|&x| x == 1));
+        assert!(arena.bytes(p.offset(b), 64).iter().all(|&x| x == 2));
+        assert_eq!(arena.capacity(), 128);
+    }
+
+    #[test]
+    fn zero_size_allocation_is_padded() {
+        let mut p = ArenaPlanner::new();
+        let a = p.alloc(0);
+        assert_eq!(p.offset(a), 0);
+        assert_eq!(p.peak_bytes(), 64);
+    }
+}

@@ -1,0 +1,111 @@
+//! One-time initialization cache for runtime constants.
+//!
+//! "These runtime constants only be executed once in the first
+//! execution, and all future execution will reuse the processed result."
+//! A compiled partition's init function runs through this cache: the
+//! first caller computes the processed weights, everyone else reuses
+//! them.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A keyed once-cache: `get_or_init` computes a value on first use and
+/// returns the shared result thereafter.
+#[derive(Debug)]
+pub struct ConstantCache<V> {
+    map: Mutex<HashMap<u64, Arc<V>>>,
+    computes: Mutex<u64>,
+}
+
+impl<V> Default for ConstantCache<V> {
+    fn default() -> Self {
+        ConstantCache {
+            map: Mutex::new(HashMap::new()),
+            computes: Mutex::new(0),
+        }
+    }
+}
+
+impl<V> ConstantCache<V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ConstantCache::default()
+    }
+
+    /// Return the cached value for `key`, computing it with `init` on
+    /// first use.
+    pub fn get_or_init(&self, key: u64, init: impl FnOnce() -> V) -> Arc<V> {
+        // Fast path.
+        if let Some(v) = self.map.lock().get(&key) {
+            return Arc::clone(v);
+        }
+        // Compute outside the map lock would allow duplicate inits;
+        // partitions are few and inits heavy, so hold the lock.
+        let mut map = self.map.lock();
+        if let Some(v) = map.get(&key) {
+            return Arc::clone(v);
+        }
+        let v = Arc::new(init());
+        *self.computes.lock() += 1;
+        map.insert(key, Arc::clone(&v));
+        v
+    }
+
+    /// How many initializations actually ran (for tests and stats).
+    pub fn compute_count(&self) -> u64 {
+        *self.computes.lock()
+    }
+
+    /// Drop everything (weights changed / tests).
+    pub fn clear(&self) {
+        self.map.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initializes_once() {
+        let cache = ConstantCache::<Vec<u8>>::new();
+        let a = cache.get_or_init(1, || vec![1, 2, 3]);
+        let b = cache.get_or_init(1, || panic!("must not re-init"));
+        assert_eq!(*a, *b);
+        assert_eq!(cache.compute_count(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_distinct_values() {
+        let cache = ConstantCache::<u32>::new();
+        let a = cache.get_or_init(1, || 10);
+        let b = cache.get_or_init(2, || 20);
+        assert_eq!((*a, *b), (10, 20));
+        assert_eq!(cache.compute_count(), 2);
+    }
+
+    #[test]
+    fn clear_forces_reinit() {
+        let cache = ConstantCache::<u32>::new();
+        let _ = cache.get_or_init(1, || 10);
+        cache.clear();
+        let v = cache.get_or_init(1, || 11);
+        assert_eq!(*v, 11);
+        assert_eq!(cache.compute_count(), 2);
+    }
+
+    #[test]
+    fn concurrent_access_single_init() {
+        let cache = Arc::new(ConstantCache::<u64>::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&cache);
+            handles.push(std::thread::spawn(move || *c.get_or_init(7, || 42)));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 42);
+        }
+        assert_eq!(cache.compute_count(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! A persistent thread pool executing the parallel loops of compiled
+//! code.
+//!
+//! Each lowered parallel loop becomes one `parallel_for` call; the pool
+//! is created once per engine, mirroring the OpenMP-style runtime the
+//! original system relies on. Every `parallel_for` ends with an implicit
+//! barrier — the synchronization the paper's coarse-grain fusion
+//! eliminates by merging loops.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Arc<dyn Fn(usize) + Send + Sync>;
+
+enum Message {
+    Run {
+        job: Job,
+        start: usize,
+        end: usize,
+        done: Sender<()>,
+    },
+    Shutdown,
+}
+
+/// A fixed-size pool of worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use gc_runtime::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::new(2);
+/// let sum = AtomicUsize::new(0);
+/// pool.parallel_for(100, |i| { sum.fetch_add(i, Ordering::Relaxed); });
+/// assert_eq!(sum.into_inner(), 4950);
+/// ```
+pub struct ThreadPool {
+    sender: Sender<Message>,
+    receiver: Receiver<Message>,
+    workers: Vec<JoinHandle<()>>,
+    barriers: AtomicU64,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = unbounded::<Message>();
+        let workers = (0..threads)
+            .map(|w| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("gc-worker-{w}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            sender,
+            receiver,
+            workers,
+            barriers: AtomicU64::new(0),
+        }
+    }
+
+    /// Pool sized to the host's available parallelism.
+    pub fn with_host_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ThreadPool::new(n)
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run `body(i)` for every `i in 0..n`, splitting the index space
+    /// into one contiguous chunk per worker. Blocks until all indices
+    /// complete (implicit barrier).
+    pub fn parallel_for<F>(&self, n: usize, body: F)
+    where
+        F: Fn(usize) + Send + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        self.barriers.fetch_add(1, Ordering::Relaxed);
+        // SAFETY-free approach: wrap the borrowed closure in an Arc with
+        // a 'static lifetime by scoping: we block until all chunks are
+        // done, so the borrow cannot outlive this call. To stay in safe
+        // Rust we instead clone the work through an Arc<dyn Fn> built
+        // from a scoped channel round-trip.
+        crossbeam::scope(|s| {
+            let chunks = self.workers.len().min(n);
+            let per = n.div_ceil(chunks);
+            for c in 0..chunks {
+                let start = c * per;
+                let end = ((c + 1) * per).min(n);
+                if start >= end {
+                    continue;
+                }
+                let body = &body;
+                s.spawn(move |_| {
+                    for i in start..end {
+                        body(i);
+                    }
+                });
+            }
+        })
+        .expect("parallel_for worker panicked");
+    }
+
+    /// Total `parallel_for` barriers executed so far — the
+    /// synchronization count that coarse-grain fusion reduces.
+    pub fn barrier_count(&self) -> u64 {
+        self.barriers.load(Ordering::Relaxed)
+    }
+
+    /// Submit an asynchronous chunked job over `0..n` using the
+    /// persistent workers and wait for completion.
+    ///
+    /// Unlike [`ThreadPool::parallel_for`] this routes through the
+    /// long-lived worker threads (no per-call spawn), at the cost of
+    /// requiring a `'static` job.
+    pub fn parallel_for_static(&self, n: usize, job: Job) {
+        if n == 0 {
+            return;
+        }
+        self.barriers.fetch_add(1, Ordering::Relaxed);
+        let chunks = self.workers.len().min(n);
+        let per = n.div_ceil(chunks);
+        let (done_tx, done_rx) = unbounded();
+        let mut sent = 0;
+        for c in 0..chunks {
+            let start = c * per;
+            let end = ((c + 1) * per).min(n);
+            if start >= end {
+                continue;
+            }
+            self.sender
+                .send(Message::Run {
+                    job: Arc::clone(&job),
+                    start,
+                    end,
+                    done: done_tx.clone(),
+                })
+                .expect("worker channel closed");
+            sent += 1;
+        }
+        for _ in 0..sent {
+            done_rx.recv().expect("worker dropped completion");
+        }
+    }
+}
+
+fn worker_loop(rx: &Receiver<Message>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Message::Run {
+                job,
+                start,
+                end,
+                done,
+            } => {
+                for i in start..end {
+                    job(i);
+                }
+                let _ = done.send(());
+            }
+            Message::Shutdown => break,
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for _ in &self.workers {
+            let _ = self.sender.send(Message::Shutdown);
+        }
+        // Drain our copy of the receiver so shutdown messages are not
+        // starved by queued jobs.
+        let _ = &self.receiver;
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn covers_all_indices_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(1000, |i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn zero_iterations_no_barrier_hang() {
+        let pool = ThreadPool::new(2);
+        pool.parallel_for(0, |_| panic!("must not run"));
+        assert_eq!(pool.barrier_count(), 0);
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = ThreadPool::new(1);
+        let sum = AtomicUsize::new(0);
+        pool.parallel_for(10, |i| {
+            sum.fetch_add(i + 1, Ordering::SeqCst);
+        });
+        assert_eq!(sum.into_inner(), 55);
+    }
+
+    #[test]
+    fn counts_barriers() {
+        let pool = ThreadPool::new(2);
+        for _ in 0..5 {
+            pool.parallel_for(4, |_| {});
+        }
+        assert_eq!(pool.barrier_count(), 5);
+    }
+
+    #[test]
+    fn static_path_matches() {
+        let pool = ThreadPool::new(3);
+        let sum = Arc::new(AtomicUsize::new(0));
+        let s2 = Arc::clone(&sum);
+        pool.parallel_for_static(
+            100,
+            Arc::new(move |i| {
+                s2.fetch_add(i, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(sum.load(Ordering::SeqCst), 4950);
+    }
+
+    #[test]
+    fn more_threads_than_work() {
+        let pool = ThreadPool::new(8);
+        let sum = AtomicUsize::new(0);
+        pool.parallel_for(3, |i| {
+            sum.fetch_add(i + 1, Ordering::SeqCst);
+        });
+        assert_eq!(sum.into_inner(), 6);
+    }
+}

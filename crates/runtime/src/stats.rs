@@ -1,0 +1,58 @@
+//! Execution statistics collected by the engine.
+
+use std::time::Duration;
+
+/// Statistics for one compiled-partition execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Wall-clock time of the whole execution.
+    pub wall: Duration,
+    /// Wall-clock time spent in the one-time init stage (zero when the
+    /// constant cache was already warm).
+    pub init_wall: Duration,
+    /// Number of parallel-loop barriers executed.
+    pub barriers: u64,
+    /// Number of function (fused-op) invocations.
+    pub func_calls: u64,
+    /// Peak temporary-arena bytes.
+    pub peak_temp_bytes: usize,
+}
+
+impl ExecStats {
+    /// Merge another run's stats into an aggregate (sums; peak maxes).
+    pub fn accumulate(&mut self, other: &ExecStats) {
+        self.wall += other.wall;
+        self.init_wall += other.init_wall;
+        self.barriers += other.barriers;
+        self.func_calls += other.func_calls;
+        self.peak_temp_bytes = self.peak_temp_bytes.max(other.peak_temp_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_and_maxes() {
+        let mut a = ExecStats {
+            wall: Duration::from_millis(2),
+            init_wall: Duration::from_millis(1),
+            barriers: 3,
+            func_calls: 2,
+            peak_temp_bytes: 100,
+        };
+        let b = ExecStats {
+            wall: Duration::from_millis(5),
+            init_wall: Duration::ZERO,
+            barriers: 1,
+            func_calls: 4,
+            peak_temp_bytes: 50,
+        };
+        a.accumulate(&b);
+        assert_eq!(a.wall, Duration::from_millis(7));
+        assert_eq!(a.barriers, 4);
+        assert_eq!(a.func_calls, 6);
+        assert_eq!(a.peak_temp_bytes, 100);
+    }
+}

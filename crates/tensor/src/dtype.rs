@@ -1,0 +1,171 @@
+//! Element data types supported by the compiler.
+//!
+//! The paper's workloads use FP32 and Int8 (asymmetric U8 activations,
+//! symmetric I8 weights) with I32 accumulation; BF16 is carried as a
+//! storage-only type converted through F32, matching how low-precision
+//! types are treated by the Graph IR's low-precision conversion pass.
+
+use std::fmt;
+
+/// Data type of a tensor element.
+///
+/// # Examples
+///
+/// ```
+/// use gc_tensor::DataType;
+/// assert_eq!(DataType::F32.size_bytes(), 4);
+/// assert!(DataType::I8.is_integral());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// IEEE-754 single precision.
+    F32,
+    /// bfloat16, stored as the upper 16 bits of an `f32`.
+    Bf16,
+    /// Unsigned 8-bit integer (quantized activations).
+    U8,
+    /// Signed 8-bit integer (quantized weights).
+    I8,
+    /// Signed 32-bit integer (int8 matmul accumulator).
+    I32,
+    /// Signed 64-bit integer (indices, zero points after widening).
+    I64,
+}
+
+impl DataType {
+    /// Size of one element in bytes.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DataType::F32 => 4,
+            DataType::Bf16 => 2,
+            DataType::U8 | DataType::I8 => 1,
+            DataType::I32 => 4,
+            DataType::I64 => 8,
+        }
+    }
+
+    /// Whether the type is an integer type.
+    pub fn is_integral(self) -> bool {
+        matches!(
+            self,
+            DataType::U8 | DataType::I8 | DataType::I32 | DataType::I64
+        )
+    }
+
+    /// Whether the type is a floating-point type.
+    pub fn is_float(self) -> bool {
+        !self.is_integral()
+    }
+
+    /// Whether the type is one of the 8-bit quantized types.
+    pub fn is_quantized_int(self) -> bool {
+        matches!(self, DataType::U8 | DataType::I8)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::F32 => "f32",
+            DataType::Bf16 => "bf16",
+            DataType::U8 => "u8",
+            DataType::I8 => "i8",
+            DataType::I32 => "i32",
+            DataType::I64 => "i64",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Convert an `f32` to bfloat16 bits with round-to-nearest-even.
+pub fn f32_to_bf16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    // round-to-nearest-even on the truncated 16 bits
+    let rounding_bias = 0x7fff + ((bits >> 16) & 1);
+    ((bits.wrapping_add(rounding_bias)) >> 16) as u16
+}
+
+/// Convert bfloat16 bits back to `f32` (exact).
+pub fn bf16_bits_to_f32(bits: u16) -> f32 {
+    f32::from_bits((bits as u32) << 16)
+}
+
+/// A Rust type that can be stored as a tensor element.
+///
+/// This trait is sealed; it is implemented exactly for the Rust carrier
+/// types of [`DataType`].
+pub trait Element: Copy + Default + PartialEq + fmt::Debug + Send + Sync + 'static {
+    /// The corresponding [`DataType`].
+    const DTYPE: DataType;
+}
+
+impl Element for f32 {
+    const DTYPE: DataType = DataType::F32;
+}
+impl Element for u8 {
+    const DTYPE: DataType = DataType::U8;
+}
+impl Element for i8 {
+    const DTYPE: DataType = DataType::I8;
+}
+impl Element for i32 {
+    const DTYPE: DataType = DataType::I32;
+}
+impl Element for i64 {
+    const DTYPE: DataType = DataType::I64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DataType::F32.size_bytes(), 4);
+        assert_eq!(DataType::Bf16.size_bytes(), 2);
+        assert_eq!(DataType::U8.size_bytes(), 1);
+        assert_eq!(DataType::I8.size_bytes(), 1);
+        assert_eq!(DataType::I32.size_bytes(), 4);
+        assert_eq!(DataType::I64.size_bytes(), 8);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(DataType::F32.is_float());
+        assert!(DataType::Bf16.is_float());
+        assert!(DataType::U8.is_integral());
+        assert!(DataType::I8.is_quantized_int());
+        assert!(!DataType::I32.is_quantized_int());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DataType::F32.to_string(), "f32");
+        assert_eq!(DataType::I8.to_string(), "i8");
+    }
+
+    #[test]
+    fn bf16_round_trip_exact_values() {
+        for &x in &[0.0f32, 1.0, -2.5, 0.15625, 1024.0] {
+            let b = f32_to_bf16_bits(x);
+            assert_eq!(bf16_bits_to_f32(b), x, "value {x} should be bf16-exact");
+        }
+    }
+
+    #[test]
+    fn bf16_rounds_to_nearest() {
+        // 1.0 + 2^-9 is not representable in bf16; nearest is 1.0.
+        let x = 1.0f32 + 2f32.powi(-9);
+        let y = bf16_bits_to_f32(f32_to_bf16_bits(x));
+        assert!((y - x).abs() <= 2f32.powi(-8));
+    }
+
+    #[test]
+    fn element_dtype_mapping() {
+        assert_eq!(<f32 as Element>::DTYPE, DataType::F32);
+        assert_eq!(<u8 as Element>::DTYPE, DataType::U8);
+        assert_eq!(<i8 as Element>::DTYPE, DataType::I8);
+        assert_eq!(<i32 as Element>::DTYPE, DataType::I32);
+        assert_eq!(<i64 as Element>::DTYPE, DataType::I64);
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for tensor operations.
+
+use crate::DataType;
+use std::fmt;
+
+/// Error returned by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes that were required to match did not.
+    ShapeMismatch {
+        /// Shape that was expected.
+        expected: Vec<usize>,
+        /// Shape that was provided.
+        actual: Vec<usize>,
+    },
+    /// A data type did not match what the operation requires.
+    DtypeMismatch {
+        /// Data type that was expected.
+        expected: DataType,
+        /// Data type that was provided.
+        actual: DataType,
+    },
+    /// A dimension is not divisible by its block size.
+    BlockNotDivisible {
+        /// Axis being blocked.
+        axis: usize,
+        /// Dimension extent.
+        dim: usize,
+        /// Block size.
+        block: usize,
+    },
+    /// An axis index was out of range for the tensor rank.
+    AxisOutOfRange {
+        /// Offending axis.
+        axis: usize,
+        /// Tensor rank.
+        rank: usize,
+    },
+    /// The provided element count does not match the shape volume.
+    LengthMismatch {
+        /// Number of elements expected from the shape.
+        expected: usize,
+        /// Number provided.
+        actual: usize,
+    },
+    /// A layout was not valid for the requested operation.
+    InvalidLayout(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected:?}, got {actual:?}")
+            }
+            TensorError::DtypeMismatch { expected, actual } => {
+                write!(f, "dtype mismatch: expected {expected}, got {actual}")
+            }
+            TensorError::BlockNotDivisible { axis, dim, block } => write!(
+                f,
+                "dimension {dim} on axis {axis} is not divisible by block {block}"
+            ),
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected} elements, got {actual}")
+            }
+            TensorError::InvalidLayout(msg) => write!(f, "invalid layout: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience alias for results of tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let e = TensorError::ShapeMismatch {
+            expected: vec![2, 3],
+            actual: vec![3, 2],
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("shape mismatch"));
+        let e = TensorError::DtypeMismatch {
+            expected: DataType::F32,
+            actual: DataType::I8,
+        };
+        assert!(e.to_string().contains("f32"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,296 @@
+//! Memory layouts: plain (row-major strided) and blocked.
+//!
+//! The paper's Tunable-OP templates require *blocked* layouts so each
+//! microkernel invocation reads a contiguous buffer: a logical matrix
+//! `A[M, K]` blocked with factors `[MB, KB]` is stored as the 4-D plain
+//! array `A'[M/MB, K/KB, MB, KB]`. The weight matrix `B[K, N]` uses the
+//! transposed-inner layout `B'[K/KB, N/NB, NB, KB]` so that a `(n, k)`
+//! microtile is contiguous. Both are expressed here by listing, per
+//! blocked axis, the block size and the order in which the *inner*
+//! (block) dimensions appear in storage.
+
+use crate::error::{Result, TensorError};
+use std::fmt;
+
+/// One blocked axis: which logical axis is split and by what factor.
+///
+/// The position of a `BlockSpec` within [`Layout::Blocked`]'s list gives
+/// the storage order of the inner block dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockSpec {
+    /// Logical axis being blocked.
+    pub axis: usize,
+    /// Block size (tile extent along `axis`).
+    pub block: usize,
+}
+
+impl BlockSpec {
+    /// Create a block spec for `axis` with block size `block`.
+    pub fn new(axis: usize, block: usize) -> Self {
+        BlockSpec { axis, block }
+    }
+}
+
+/// Memory layout of a tensor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Dense row-major storage in logical axis order.
+    Plain,
+    /// Blocked storage.
+    ///
+    /// Storage dimensions are: all logical axes in order, with blocked
+    /// axes replaced by their outer extents (`dim / block`), followed by
+    /// the block (inner) dimensions in the order given by `blocks`.
+    Blocked(Vec<BlockSpec>),
+}
+
+impl Layout {
+    /// The canonical blocked layout for a left-hand matmul operand
+    /// `A[..., M, K]`: storage `[..., M/MB, K/KB, MB, KB]`.
+    pub fn blocked_a(rank: usize, mb: usize, kb: usize) -> Layout {
+        Layout::Blocked(vec![
+            BlockSpec::new(rank - 2, mb),
+            BlockSpec::new(rank - 1, kb),
+        ])
+    }
+
+    /// The canonical blocked layout for a right-hand matmul operand
+    /// `B[..., K, N]`: storage `[..., K/KB, N/NB, NB, KB]` (inner tile is
+    /// `(n, k)`-major so a microkernel's B panel is contiguous).
+    pub fn blocked_b(rank: usize, kb: usize, nb: usize) -> Layout {
+        Layout::Blocked(vec![
+            BlockSpec::new(rank - 1, nb),
+            BlockSpec::new(rank - 2, kb),
+        ])
+    }
+
+    /// Whether this is the plain layout.
+    pub fn is_plain(&self) -> bool {
+        matches!(self, Layout::Plain)
+    }
+
+    /// Whether this is a blocked layout.
+    pub fn is_blocked(&self) -> bool {
+        matches!(self, Layout::Blocked(_))
+    }
+
+    /// Block size applied to logical `axis`, if any.
+    pub fn block_of(&self, axis: usize) -> Option<usize> {
+        match self {
+            Layout::Plain => None,
+            Layout::Blocked(blocks) => blocks.iter().find(|b| b.axis == axis).map(|b| b.block),
+        }
+    }
+
+    /// Compute the *storage* dimensions for a tensor of `shape` under
+    /// this layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::BlockNotDivisible`] if a blocked axis is
+    /// not divisible by its block size, or [`TensorError::AxisOutOfRange`]
+    /// if a block spec names an axis beyond the rank.
+    pub fn storage_dims(&self, shape: &[usize]) -> Result<Vec<usize>> {
+        match self {
+            Layout::Plain => Ok(shape.to_vec()),
+            Layout::Blocked(blocks) => {
+                let mut dims = Vec::with_capacity(shape.len() + blocks.len());
+                for (axis, &d) in shape.iter().enumerate() {
+                    if let Some(block) = self.block_of(axis) {
+                        if d % block != 0 {
+                            return Err(TensorError::BlockNotDivisible {
+                                axis,
+                                dim: d,
+                                block,
+                            });
+                        }
+                        dims.push(d / block);
+                    } else {
+                        dims.push(d);
+                    }
+                }
+                for b in blocks {
+                    if b.axis >= shape.len() {
+                        return Err(TensorError::AxisOutOfRange {
+                            axis: b.axis,
+                            rank: shape.len(),
+                        });
+                    }
+                    dims.push(b.block);
+                }
+                Ok(dims)
+            }
+        }
+    }
+
+    /// Row-major strides of the storage dims for a tensor of `shape`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Layout::storage_dims`].
+    pub fn storage_strides(&self, shape: &[usize]) -> Result<Vec<usize>> {
+        let dims = self.storage_dims(shape)?;
+        Ok(row_major_strides(&dims))
+    }
+
+    /// Linear storage offset of the logical index `idx` for a tensor of
+    /// `shape` under this layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `idx` rank differs from `shape` rank.
+    pub fn offset_of(&self, shape: &[usize], idx: &[usize]) -> usize {
+        debug_assert_eq!(shape.len(), idx.len());
+        match self {
+            Layout::Plain => {
+                let strides = row_major_strides(shape);
+                idx.iter().zip(&strides).map(|(i, s)| i * s).sum()
+            }
+            Layout::Blocked(blocks) => {
+                let dims = self
+                    .storage_dims(shape)
+                    .expect("offset_of requires a valid layout for the shape");
+                let strides = row_major_strides(&dims);
+                let rank = shape.len();
+                let mut off = 0usize;
+                for (axis, &i) in idx.iter().enumerate() {
+                    if let Some(block) = self.block_of(axis) {
+                        off += (i / block) * strides[axis];
+                        // inner position
+                        let inner_pos = blocks.iter().position(|b| b.axis == axis).unwrap();
+                        off += (i % block) * strides[rank + inner_pos];
+                    } else {
+                        off += i * strides[axis];
+                    }
+                }
+                off
+            }
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Layout::Plain => f.write_str("plain"),
+            Layout::Blocked(blocks) => {
+                f.write_str("blocked[")?;
+                for (i, b) in blocks.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "ax{}:{}", b.axis, b.block)?;
+                }
+                f.write_str("]")
+            }
+        }
+    }
+}
+
+/// Row-major strides for `dims`.
+pub fn row_major_strides(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+/// Total number of elements of `dims`.
+pub fn volume(dims: &[usize]) -> usize {
+    dims.iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_storage_is_shape() {
+        let l = Layout::Plain;
+        assert_eq!(l.storage_dims(&[4, 6]).unwrap(), vec![4, 6]);
+        assert_eq!(l.storage_strides(&[4, 6]).unwrap(), vec![6, 1]);
+    }
+
+    #[test]
+    fn blocked_a_storage_dims() {
+        let l = Layout::blocked_a(2, 2, 4);
+        // A[6, 8] with MB=2, KB=4 -> [3, 2, 2, 4]
+        assert_eq!(l.storage_dims(&[6, 8]).unwrap(), vec![3, 2, 2, 4]);
+    }
+
+    #[test]
+    fn blocked_b_storage_dims() {
+        let l = Layout::blocked_b(2, 4, 2);
+        // B[8, 6] with KB=4, NB=2 -> [2, 3, 2, 4]
+        assert_eq!(l.storage_dims(&[8, 6]).unwrap(), vec![2, 3, 2, 4]);
+    }
+
+    #[test]
+    fn blocked_batched_keeps_leading_dims() {
+        let l = Layout::blocked_a(3, 2, 4);
+        assert_eq!(l.storage_dims(&[5, 6, 8]).unwrap(), vec![5, 3, 2, 2, 4]);
+    }
+
+    #[test]
+    fn non_divisible_block_errors() {
+        let l = Layout::blocked_a(2, 4, 4);
+        let err = l.storage_dims(&[6, 8]).unwrap_err();
+        assert!(matches!(err, TensorError::BlockNotDivisible { axis: 0, .. }));
+    }
+
+    #[test]
+    fn axis_out_of_range_errors() {
+        let l = Layout::Blocked(vec![BlockSpec::new(5, 2)]);
+        assert!(l.storage_dims(&[4, 4]).is_err());
+    }
+
+    #[test]
+    fn offset_plain_matches_row_major() {
+        let l = Layout::Plain;
+        assert_eq!(l.offset_of(&[4, 6], &[2, 3]), 2 * 6 + 3);
+    }
+
+    #[test]
+    fn offset_blocked_a() {
+        // A[4, 8], MB=2, KB=4 -> [2, 2, 2, 4]; element (3, 5):
+        // outer (1, 1), inner (1, 1) -> ((1*2+1)*2+1)*4+1
+        let l = Layout::blocked_a(2, 2, 4);
+        let strides = l.storage_strides(&[4, 8]).unwrap();
+        assert_eq!(strides, vec![16, 8, 4, 1]);
+        assert_eq!(l.offset_of(&[4, 8], &[3, 5]), 16 + 8 + 4 + 1);
+    }
+
+    #[test]
+    fn offset_blocked_b_inner_order() {
+        // B[8, 4], KB=4, NB=2 -> dims [2, 2, 2, 4] strides [16, 8, 4, 1].
+        // element (k=5, n=3): outer k=1, outer n=1, inner n=1, inner k=1
+        // -> 16 + 8 + 1*4 (inner n stride) + 1
+        let l = Layout::blocked_b(2, 4, 2);
+        assert_eq!(l.offset_of(&[8, 4], &[5, 3]), 16 + 8 + 4 + 1);
+    }
+
+    #[test]
+    fn block_of_finds_blocks() {
+        let l = Layout::blocked_b(2, 4, 2);
+        assert_eq!(l.block_of(0), Some(4));
+        assert_eq!(l.block_of(1), Some(2));
+        assert_eq!(Layout::Plain.block_of(0), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Layout::Plain.to_string(), "plain");
+        assert_eq!(
+            Layout::blocked_a(2, 32, 64).to_string(),
+            "blocked[ax0:32, ax1:64]"
+        );
+    }
+
+    #[test]
+    fn strides_helpers() {
+        assert_eq!(row_major_strides(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(volume(&[2, 3, 4]), 24);
+        assert_eq!(row_major_strides(&[]), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,550 @@
+//! Naive reference implementations of every DNN operation.
+//!
+//! These are the *oracle* against which compiled executions, the
+//! baseline primitives library, and the microkernels are all tested.
+//! They favour obviousness over speed and operate on plain-layout
+//! tensors only.
+
+use crate::dtype::DataType;
+use crate::error::{Result, TensorError};
+use crate::quant::QuantParams;
+use crate::tensor::{Storage, Tensor, TensorDesc};
+
+fn require_plain(t: &Tensor) -> Result<()> {
+    if t.desc().layout().is_plain() {
+        Ok(())
+    } else {
+        Err(TensorError::InvalidLayout(
+            "reference ops require plain layout".to_string(),
+        ))
+    }
+}
+
+fn matmul_dims(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    let (sa, sb) = (a.desc().shape(), b.desc().shape());
+    if sa.len() < 2 || sb.len() < 2 || sa.len() != sb.len() {
+        return Err(TensorError::ShapeMismatch {
+            expected: sa.to_vec(),
+            actual: sb.to_vec(),
+        });
+    }
+    let r = sa.len();
+    let (m, k) = (sa[r - 2], sa[r - 1]);
+    let (k2, n) = (sb[r - 2], sb[r - 1]);
+    if k != k2 || sa[..r - 2] != sb[..r - 2] {
+        return Err(TensorError::ShapeMismatch {
+            expected: sa.to_vec(),
+            actual: sb.to_vec(),
+        });
+    }
+    let batch: usize = sa[..r - 2].iter().product();
+    Ok((batch, m, n, k))
+}
+
+/// `C[..., M, N] = A[..., M, K] x B[..., K, N]` in f32.
+///
+/// Leading axes are a shared batch. Inputs must be plain-layout f32.
+///
+/// # Errors
+///
+/// Returns an error on shape/dtype/layout mismatch.
+pub fn matmul_f32(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    require_plain(a)?;
+    require_plain(b)?;
+    let (batch, m, n, k) = matmul_dims(a, b)?;
+    let av = a.f32_slice()?;
+    let bv = b.f32_slice()?;
+    let mut out = vec![0f32; batch * m * n];
+    for t in 0..batch {
+        let abase = t * m * k;
+        let bbase = t * k * n;
+        let cbase = t * m * n;
+        for i in 0..m {
+            for l in 0..k {
+                let x = av[abase + i * k + l];
+                for j in 0..n {
+                    out[cbase + i * n + j] += x * bv[bbase + l * n + j];
+                }
+            }
+        }
+    }
+    let mut shape = a.desc().shape().to_vec();
+    let r = shape.len();
+    shape[r - 1] = n;
+    Tensor::from_vec_f32(&shape, out)
+}
+
+/// Int8 matmul: `C_i32[..., M, N] = A_u8[..., M, K] x B_i8[..., K, N]`
+/// with raw (uncompensated) i32 accumulation.
+///
+/// # Errors
+///
+/// Returns an error on shape/dtype/layout mismatch.
+pub fn matmul_u8i8_i32(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    require_plain(a)?;
+    require_plain(b)?;
+    let (batch, m, n, k) = matmul_dims(a, b)?;
+    let av = a.u8_slice()?;
+    let bv = b.i8_slice()?;
+    let mut out = vec![0i32; batch * m * n];
+    for t in 0..batch {
+        let abase = t * m * k;
+        let bbase = t * k * n;
+        let cbase = t * m * n;
+        for i in 0..m {
+            for l in 0..k {
+                let x = av[abase + i * k + l] as i32;
+                for j in 0..n {
+                    out[cbase + i * n + j] += x * bv[bbase + l * n + j] as i32;
+                }
+            }
+        }
+    }
+    let mut shape = a.desc().shape().to_vec();
+    let r = shape.len();
+    shape[r - 1] = n;
+    Tensor::from_vec_i32(&shape, out)
+}
+
+fn unary_f32(t: &Tensor, f: impl Fn(f32) -> f32) -> Result<Tensor> {
+    require_plain(t)?;
+    let v = t.f32_slice()?;
+    let out: Vec<f32> = v.iter().map(|&x| f(x)).collect();
+    Tensor::from_vec_f32(t.desc().shape(), out)
+}
+
+/// Elementwise ReLU.
+///
+/// # Errors
+///
+/// Returns an error if the input is not plain-layout f32.
+pub fn relu(t: &Tensor) -> Result<Tensor> {
+    unary_f32(t, |x| x.max(0.0))
+}
+
+/// Elementwise GELU (tanh approximation, as decomposed by DL frameworks).
+///
+/// # Errors
+///
+/// Returns an error if the input is not plain-layout f32.
+pub fn gelu(t: &Tensor) -> Result<Tensor> {
+    unary_f32(t, gelu_scalar)
+}
+
+/// The scalar GELU-tanh formula shared with compiled kernels.
+pub fn gelu_scalar(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Elementwise sigmoid.
+///
+/// # Errors
+///
+/// Returns an error if the input is not plain-layout f32.
+pub fn sigmoid(t: &Tensor) -> Result<Tensor> {
+    unary_f32(t, |x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Elementwise tanh.
+///
+/// # Errors
+///
+/// Returns an error if the input is not plain-layout f32.
+pub fn tanh(t: &Tensor) -> Result<Tensor> {
+    unary_f32(t, f32::tanh)
+}
+
+/// Elementwise exp.
+///
+/// # Errors
+///
+/// Returns an error if the input is not plain-layout f32.
+pub fn exp(t: &Tensor) -> Result<Tensor> {
+    unary_f32(t, f32::exp)
+}
+
+/// Supported binary ops for [`binary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryKind {
+    /// Elementwise addition.
+    Add,
+    /// Elementwise subtraction.
+    Sub,
+    /// Elementwise multiplication.
+    Mul,
+    /// Elementwise division.
+    Div,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+}
+
+impl BinaryKind {
+    /// Apply the op to two scalars.
+    pub fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinaryKind::Add => a + b,
+            BinaryKind::Sub => a - b,
+            BinaryKind::Mul => a * b,
+            BinaryKind::Div => a / b,
+            BinaryKind::Max => a.max(b),
+            BinaryKind::Min => a.min(b),
+        }
+    }
+}
+
+/// Elementwise binary op with right-aligned broadcasting of `b` onto `a`
+/// (numpy rules restricted to: equal dims, or `b` dim == 1, or missing
+/// leading dims in `b`).
+///
+/// # Errors
+///
+/// Returns an error on incompatible shapes or non-f32 inputs.
+pub fn binary(kind: BinaryKind, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    require_plain(a)?;
+    require_plain(b)?;
+    let sa = a.desc().shape().to_vec();
+    let sb = b.desc().shape().to_vec();
+    // validate right-aligned broadcast of b onto a
+    let offset = sa.len().checked_sub(sb.len()).ok_or_else(|| {
+        TensorError::ShapeMismatch {
+            expected: sa.clone(),
+            actual: sb.clone(),
+        }
+    })?;
+    for (i, &db) in sb.iter().enumerate() {
+        let da = sa[offset + i];
+        if db != da && db != 1 {
+            return Err(TensorError::ShapeMismatch {
+                expected: sa.clone(),
+                actual: sb.clone(),
+            });
+        }
+    }
+    let av = a.f32_slice()?;
+    let bv = b.f32_slice()?;
+    let mut out = vec![0f32; av.len()];
+    let rank = sa.len();
+    let mut idx = vec![0usize; rank];
+    let b_strides = crate::layout::row_major_strides(&sb);
+    for (lin, o) in out.iter_mut().enumerate() {
+        let mut b_off = 0usize;
+        for (i, &db) in sb.iter().enumerate() {
+            let ia = idx[offset + i];
+            let ib = if db == 1 { 0 } else { ia };
+            b_off += ib * b_strides[i];
+        }
+        *o = kind.apply(av[lin], bv[b_off]);
+        for ax in (0..rank).rev() {
+            idx[ax] += 1;
+            if idx[ax] < sa[ax] {
+                break;
+            }
+            idx[ax] = 0;
+        }
+    }
+    Tensor::from_vec_f32(&sa, out)
+}
+
+/// Add a bias vector `[N]` to the last axis of `t`.
+///
+/// # Errors
+///
+/// Returns an error on shape mismatch.
+pub fn bias_add(t: &Tensor, bias: &Tensor) -> Result<Tensor> {
+    binary(BinaryKind::Add, t, bias)
+}
+
+/// Reduction kinds for [`reduce_last_axis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceKind {
+    /// Sum of the axis.
+    Sum,
+    /// Maximum of the axis.
+    Max,
+}
+
+/// Reduce the last axis; output keeps the axis with extent 1.
+///
+/// # Errors
+///
+/// Returns an error for non-f32 or non-plain input.
+pub fn reduce_last_axis(kind: ReduceKind, t: &Tensor) -> Result<Tensor> {
+    require_plain(t)?;
+    let shape = t.desc().shape();
+    let r = shape.len();
+    if r == 0 {
+        return Err(TensorError::AxisOutOfRange { axis: 0, rank: 0 });
+    }
+    let n = shape[r - 1];
+    let rows: usize = shape[..r - 1].iter().product();
+    let v = t.f32_slice()?;
+    let mut out = Vec::with_capacity(rows);
+    for row in v.chunks_exact(n) {
+        let val = match kind {
+            ReduceKind::Sum => row.iter().sum::<f32>(),
+            ReduceKind::Max => row.iter().copied().fold(f32::NEG_INFINITY, f32::max),
+        };
+        out.push(val);
+    }
+    let mut out_shape = shape.to_vec();
+    out_shape[r - 1] = 1;
+    Tensor::from_vec_f32(&out_shape, out)
+}
+
+/// Numerically-stable softmax over the last axis.
+///
+/// # Errors
+///
+/// Returns an error for non-f32 or non-plain input.
+pub fn softmax_last_axis(t: &Tensor) -> Result<Tensor> {
+    require_plain(t)?;
+    let shape = t.desc().shape();
+    let r = shape.len();
+    let n = shape[r - 1];
+    let v = t.f32_slice()?;
+    let mut out = vec![0f32; v.len()];
+    for (orow, row) in out.chunks_exact_mut(n).zip(v.chunks_exact(n)) {
+        let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0f32;
+        for (o, &x) in orow.iter_mut().zip(row) {
+            let e = (x - mx).exp();
+            *o = e;
+            sum += e;
+        }
+        let inv = 1.0 / sum;
+        for o in orow.iter_mut() {
+            *o *= inv;
+        }
+    }
+    Tensor::from_vec_f32(shape, out)
+}
+
+/// Quantize an f32 tensor to `U8` or `I8`.
+///
+/// # Errors
+///
+/// Returns an error for non-f32 input or a non-quantized target dtype.
+pub fn quantize(t: &Tensor, dtype: DataType, p: QuantParams) -> Result<Tensor> {
+    require_plain(t)?;
+    let v = t.f32_slice()?;
+    let desc = TensorDesc::new(t.desc().shape(), dtype);
+    let storage = match dtype {
+        DataType::U8 => Storage::U8(v.iter().map(|&x| crate::quant::quantize_u8(x, p)).collect()),
+        DataType::I8 => Storage::I8(
+            v.iter()
+                .map(|&x| crate::quant::quantize_i8(x, p.scale))
+                .collect(),
+        ),
+        other => {
+            return Err(TensorError::DtypeMismatch {
+                expected: DataType::U8,
+                actual: other,
+            })
+        }
+    };
+    Tensor::from_parts(desc, storage)
+}
+
+/// Dequantize a `U8`/`I8` tensor to f32.
+///
+/// # Errors
+///
+/// Returns an error for a non-quantized input dtype.
+pub fn dequantize(t: &Tensor, p: QuantParams) -> Result<Tensor> {
+    require_plain(t)?;
+    let out: Vec<f32> = match t.storage() {
+        Storage::U8(v) => v.iter().map(|&q| crate::quant::dequantize_u8(q, p)).collect(),
+        Storage::I8(v) => v
+            .iter()
+            .map(|&q| crate::quant::dequantize_i8(q, p.scale))
+            .collect(),
+        other => {
+            return Err(TensorError::DtypeMismatch {
+                expected: DataType::U8,
+                actual: other.dtype(),
+            })
+        }
+    };
+    Tensor::from_vec_f32(t.desc().shape(), out)
+}
+
+/// Cast i32 to f32 elementwise.
+///
+/// # Errors
+///
+/// Returns an error for a non-i32 input.
+pub fn cast_i32_f32(t: &Tensor) -> Result<Tensor> {
+    require_plain(t)?;
+    let v = t.i32_slice()?;
+    Tensor::from_vec_f32(t.desc().shape(), v.iter().map(|&x| x as f32).collect())
+}
+
+/// A full reference MLP layer: `act(X x W + b)` in f32.
+///
+/// `act` of `None` means linear.
+///
+/// # Errors
+///
+/// Propagates any shape/dtype error from the constituent ops.
+pub fn mlp_layer_f32(
+    x: &Tensor,
+    w: &Tensor,
+    bias: Option<&Tensor>,
+    act: Option<fn(&Tensor) -> Result<Tensor>>,
+) -> Result<Tensor> {
+    let mut y = matmul_f32(x, w)?;
+    if let Some(b) = bias {
+        y = bias_add(&y, b)?;
+    }
+    if let Some(f) = act {
+        y = f(&y)?;
+    }
+    Ok(y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Tensor::from_vec_f32(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec_f32(&[3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul_f32(&a, &b).unwrap();
+        assert_eq!(c.desc().shape(), &[2, 2]);
+        assert_eq!(c.f32_slice().unwrap(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_batched() {
+        let a = Tensor::random(&[3, 2, 4], DataType::F32, 1);
+        let b = Tensor::random(&[3, 4, 5], DataType::F32, 2);
+        let c = matmul_f32(&a, &b).unwrap();
+        assert_eq!(c.desc().shape(), &[3, 2, 5]);
+        // check one element by hand
+        let want: f32 = (0..4).map(|k| a.at(&[2, 1, k]) as f32 * b.at(&[2, k, 3]) as f32).sum();
+        assert!((c.at(&[2, 1, 3]) as f32 - want).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 3], DataType::F32);
+        let b = Tensor::zeros(&[4, 2], DataType::F32);
+        assert!(matmul_f32(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_int8_known() {
+        let a = Tensor::from_vec_u8(&[1, 2], vec![3, 5]).unwrap();
+        let b = Tensor::from_vec_i8(&[2, 1], vec![-2, 4]).unwrap();
+        let c = matmul_u8i8_i32(&a, &b).unwrap();
+        assert_eq!(c.i32_slice().unwrap(), &[3 * -2 + 5 * 4]);
+    }
+
+    #[test]
+    fn relu_clamps() {
+        let t = Tensor::from_vec_f32(&[4], vec![-1., 0., 2., -3.]).unwrap();
+        assert_eq!(relu(&t).unwrap().f32_slice().unwrap(), &[0., 0., 2., 0.]);
+    }
+
+    #[test]
+    fn gelu_known_points() {
+        let t = Tensor::from_vec_f32(&[3], vec![0., 1., -1.]).unwrap();
+        let g = gelu(&t).unwrap();
+        let v = g.f32_slice().unwrap();
+        assert!((v[0] - 0.0).abs() < 1e-6);
+        assert!((v[1] - 0.841192).abs() < 1e-4);
+        assert!((v[2] + 0.158808).abs() < 1e-4);
+    }
+
+    #[test]
+    fn binary_broadcast_row() {
+        let a = Tensor::from_vec_f32(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec_f32(&[3], vec![10., 20., 30.]).unwrap();
+        let c = binary(BinaryKind::Add, &a, &b).unwrap();
+        assert_eq!(c.f32_slice().unwrap(), &[11., 22., 33., 14., 25., 36.]);
+    }
+
+    #[test]
+    fn binary_broadcast_keepdim() {
+        // b has shape [2, 1]: broadcast along last axis
+        let a = Tensor::from_vec_f32(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec_f32(&[2, 1], vec![10., 100.]).unwrap();
+        let c = binary(BinaryKind::Mul, &a, &b).unwrap();
+        assert_eq!(c.f32_slice().unwrap(), &[10., 20., 30., 400., 500., 600.]);
+    }
+
+    #[test]
+    fn binary_incompatible_shapes_error() {
+        let a = Tensor::zeros(&[2, 3], DataType::F32);
+        let b = Tensor::zeros(&[2], DataType::F32);
+        assert!(binary(BinaryKind::Add, &a, &b).is_err());
+    }
+
+    #[test]
+    fn reduce_sum_and_max() {
+        let t = Tensor::from_vec_f32(&[2, 3], vec![1., 5., 2., -1., -5., -2.]).unwrap();
+        let s = reduce_last_axis(ReduceKind::Sum, &t).unwrap();
+        assert_eq!(s.desc().shape(), &[2, 1]);
+        assert_eq!(s.f32_slice().unwrap(), &[8., -8.]);
+        let m = reduce_last_axis(ReduceKind::Max, &t).unwrap();
+        assert_eq!(m.f32_slice().unwrap(), &[5., -1.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::random(&[4, 7], DataType::F32, 9);
+        let s = softmax_last_axis(&t).unwrap();
+        for row in s.f32_slice().unwrap().chunks_exact(7) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let t = Tensor::from_vec_f32(&[1, 3], vec![1., 2., 3.]).unwrap();
+        let t2 = Tensor::from_vec_f32(&[1, 3], vec![1001., 1002., 1003.]).unwrap();
+        let a = softmax_last_axis(&t).unwrap();
+        let b = softmax_last_axis(&t2).unwrap();
+        assert!(a.allclose(&b, 1e-5));
+    }
+
+    #[test]
+    fn quantize_dequantize_tensors() {
+        let t = Tensor::from_vec_f32(&[3], vec![0.0, 0.5, -0.5]).unwrap();
+        let p = QuantParams::new(0.25, 128);
+        let q = quantize(&t, DataType::U8, p).unwrap();
+        assert_eq!(q.u8_slice().unwrap(), &[128, 130, 126]);
+        let d = dequantize(&q, p).unwrap();
+        assert!(t.allclose(&d, 1e-6));
+    }
+
+    #[test]
+    fn cast_i32() {
+        let t = Tensor::from_vec_i32(&[2], vec![3, -4]).unwrap();
+        let f = cast_i32_f32(&t).unwrap();
+        assert_eq!(f.f32_slice().unwrap(), &[3.0, -4.0]);
+    }
+
+    #[test]
+    fn mlp_layer_composes() {
+        let x = Tensor::random(&[2, 4], DataType::F32, 11);
+        let w = Tensor::random(&[4, 3], DataType::F32, 12);
+        let b = Tensor::random(&[3], DataType::F32, 13);
+        let y = mlp_layer_f32(&x, &w, Some(&b), Some(relu)).unwrap();
+        let manual = relu(&bias_add(&matmul_f32(&x, &w).unwrap(), &b).unwrap()).unwrap();
+        assert!(y.allclose(&manual, 0.0));
+    }
+
+    #[test]
+    fn reference_rejects_blocked_layout() {
+        let t = Tensor::random(&[4, 4], DataType::F32, 14);
+        let blocked = crate::reorder::reorder(&t, crate::Layout::blocked_a(2, 2, 2)).unwrap();
+        assert!(relu(&blocked).is_err());
+    }
+}

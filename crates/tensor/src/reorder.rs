@@ -1,0 +1,219 @@
+//! Layout reorders: copy a tensor's logical contents into a new layout.
+//!
+//! Layout propagation inserts reorder OPs at graph boundaries and
+//! between Tunable OPs whose preferred blocked layouts differ; this
+//! module is the runtime realization of those OPs (and the oracle the
+//! fused in-template reorders are tested against).
+
+use crate::error::{Result, TensorError};
+use crate::layout::Layout;
+use crate::tensor::{Storage, StorageElement, Tensor, TensorDesc};
+
+/// Reorder `src` into layout `dst_layout`, preserving logical contents.
+///
+/// # Errors
+///
+/// Returns an error if `dst_layout` is invalid for the shape or the
+/// dtype is unsupported for reorder (bf16 reorders are not needed by any
+/// pipeline and are rejected).
+pub fn reorder(src: &Tensor, dst_layout: Layout) -> Result<Tensor> {
+    let desc = TensorDesc::with_layout(src.desc().shape(), src.desc().dtype(), dst_layout)?;
+    if src.desc().layout() == desc.layout() {
+        return Ok(src.clone());
+    }
+    let mut out = Storage::zeros(desc.dtype(), desc.volume());
+    match src.storage() {
+        Storage::F32(_) => reorder_typed::<f32>(src, &desc, &mut out)?,
+        Storage::U8(_) => reorder_typed::<u8>(src, &desc, &mut out)?,
+        Storage::I8(_) => reorder_typed::<i8>(src, &desc, &mut out)?,
+        Storage::I32(_) => reorder_typed::<i32>(src, &desc, &mut out)?,
+        Storage::I64(_) => reorder_typed::<i64>(src, &desc, &mut out)?,
+        Storage::Bf16(_) => {
+            return Err(TensorError::InvalidLayout(
+                "bf16 reorder is not supported".to_string(),
+            ))
+        }
+    }
+    Tensor::from_parts(desc, out)
+}
+
+fn reorder_typed<T: StorageElement>(
+    src: &Tensor,
+    dst_desc: &TensorDesc,
+    out: &mut Storage,
+) -> Result<()> {
+    let shape = src.desc().shape().to_vec();
+    let src_layout = src.desc().layout().clone();
+    let dst_layout = dst_desc.layout().clone();
+    let sdata = src.storage().as_slice::<T>()?;
+    let ddata = out.as_mut_slice::<T>()?;
+    let rank = shape.len();
+    let mut idx = vec![0usize; rank];
+    let n: usize = shape.iter().product();
+    for _ in 0..n {
+        let s_off = src_layout.offset_of(&shape, &idx);
+        let d_off = dst_layout.offset_of(&shape, &idx);
+        ddata[d_off] = sdata[s_off];
+        for ax in (0..rank).rev() {
+            idx[ax] += 1;
+            if idx[ax] < shape[ax] {
+                break;
+            }
+            idx[ax] = 0;
+        }
+    }
+    Ok(())
+}
+
+/// Transpose the last two logical axes of a plain-layout tensor.
+///
+/// Used by the MHA pipeline (`K^T` in `Q x K^T`).
+///
+/// # Errors
+///
+/// Returns an error if the tensor is not plain-layout, has rank < 2, or
+/// is bf16.
+pub fn transpose_last2(src: &Tensor) -> Result<Tensor> {
+    if !src.desc().layout().is_plain() {
+        return Err(TensorError::InvalidLayout(
+            "transpose requires plain layout".to_string(),
+        ));
+    }
+    let shape = src.desc().shape();
+    if shape.len() < 2 {
+        return Err(TensorError::AxisOutOfRange {
+            axis: 1,
+            rank: shape.len(),
+        });
+    }
+    let mut out_shape = shape.to_vec();
+    let r = out_shape.len();
+    out_shape.swap(r - 2, r - 1);
+    let desc = TensorDesc::new(out_shape.clone(), src.desc().dtype());
+    let mut out = Storage::zeros(desc.dtype(), desc.volume());
+    match src.storage() {
+        Storage::F32(_) => transpose_typed::<f32>(src, &out_shape, &mut out)?,
+        Storage::U8(_) => transpose_typed::<u8>(src, &out_shape, &mut out)?,
+        Storage::I8(_) => transpose_typed::<i8>(src, &out_shape, &mut out)?,
+        Storage::I32(_) => transpose_typed::<i32>(src, &out_shape, &mut out)?,
+        Storage::I64(_) => transpose_typed::<i64>(src, &out_shape, &mut out)?,
+        Storage::Bf16(_) => {
+            return Err(TensorError::InvalidLayout(
+                "bf16 transpose is not supported".to_string(),
+            ))
+        }
+    }
+    Tensor::from_parts(desc, out)
+}
+
+fn transpose_typed<T: StorageElement>(
+    src: &Tensor,
+    out_shape: &[usize],
+    out: &mut Storage,
+) -> Result<()> {
+    let in_shape = src.desc().shape();
+    let r = in_shape.len();
+    let rows = in_shape[r - 2];
+    let cols = in_shape[r - 1];
+    let batch: usize = in_shape[..r - 2].iter().product();
+    let _ = out_shape;
+    let sdata = src.storage().as_slice::<T>()?;
+    let ddata = out.as_mut_slice::<T>()?;
+    for b in 0..batch {
+        let s = &sdata[b * rows * cols..(b + 1) * rows * cols];
+        let d = &mut ddata[b * rows * cols..(b + 1) * rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                d[j * rows + i] = s[i * cols + j];
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtype::DataType;
+
+    #[test]
+    fn reorder_plain_to_blocked_round_trip() {
+        let t = Tensor::random(&[8, 12], DataType::F32, 1);
+        let blocked = reorder(&t, Layout::blocked_a(2, 4, 3)).unwrap();
+        assert!(t.allclose(&blocked, 0.0));
+        let back = reorder(&blocked, Layout::Plain).unwrap();
+        assert_eq!(back.f32_slice().unwrap(), t.f32_slice().unwrap());
+    }
+
+    #[test]
+    fn reorder_b_layout_places_panels_contiguously() {
+        // B[4, 4] with KB=2, NB=2 -> storage [2, 2, 2, 2] with inner (n, k)
+        let t = Tensor::from_vec_f32(
+            &[4, 4],
+            (0..16).map(|x| x as f32).collect(),
+        )
+        .unwrap();
+        let b = reorder(&t, Layout::blocked_b(2, 2, 2)).unwrap();
+        let d = b.f32_slice().unwrap();
+        // first tile: k in 0..2, n in 0..2, stored n-major then k:
+        // (n=0,k=0)=B[0,0]=0, (n=0,k=1)=B[1,0]=4, (n=1,k=0)=B[0,1]=1, (n=1,k=1)=B[1,1]=5
+        assert_eq!(&d[..4], &[0.0, 4.0, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn reorder_same_layout_is_identity() {
+        let t = Tensor::random(&[4, 4], DataType::I8, 2);
+        let r = reorder(&t, Layout::Plain).unwrap();
+        assert_eq!(r.i8_slice().unwrap(), t.i8_slice().unwrap());
+    }
+
+    #[test]
+    fn reorder_between_two_blocked_layouts() {
+        let t = Tensor::random(&[8, 8], DataType::F32, 3);
+        let a = reorder(&t, Layout::blocked_a(2, 2, 4)).unwrap();
+        let b = reorder(&a, Layout::blocked_a(2, 4, 2)).unwrap();
+        assert!(t.allclose(&b, 0.0));
+    }
+
+    #[test]
+    fn reorder_int8_types() {
+        let t = Tensor::random(&[4, 8], DataType::U8, 4);
+        let b = reorder(&t, Layout::blocked_b(2, 2, 4)).unwrap();
+        assert!(t.allclose(&b, 0.0));
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let t = Tensor::from_vec_f32(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let tt = transpose_last2(&t).unwrap();
+        assert_eq!(tt.desc().shape(), &[3, 2]);
+        assert_eq!(tt.f32_slice().unwrap(), &[1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn transpose_batched() {
+        let t = Tensor::random(&[3, 4, 5], DataType::F32, 5);
+        let tt = transpose_last2(&t).unwrap();
+        assert_eq!(tt.desc().shape(), &[3, 5, 4]);
+        for b in 0..3 {
+            for i in 0..4 {
+                for j in 0..5 {
+                    assert_eq!(t.at(&[b, i, j]), tt.at(&[b, j, i]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_rejects_blocked() {
+        let t = Tensor::random(&[4, 4], DataType::F32, 6);
+        let b = reorder(&t, Layout::blocked_a(2, 2, 2)).unwrap();
+        assert!(transpose_last2(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_rejects_rank1() {
+        let t = Tensor::random(&[4], DataType::F32, 7);
+        assert!(transpose_last2(&t).is_err());
+    }
+}

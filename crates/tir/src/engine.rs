@@ -1,0 +1,361 @@
+//! The compiled-partition execution engine.
+//!
+//! Owns a compiled [`Module`] plus everything needed to run it: seeded
+//! weight globals, the cached persistent state produced by the init
+//! stage ("these runtime constants only be executed once in the first
+//! execution"), a thread pool, and execution statistics.
+
+use crate::exec::{run_calls, ExecError};
+use crate::ir::{GlobalKind, Module};
+use crate::sim::{project, Projection};
+use gc_machine::MachineDescriptor;
+use gc_runtime::{ExecStats, ThreadPool};
+use gc_tensor::{Storage, Tensor, TensorDesc};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A compiled, executable partition.
+pub struct Executable {
+    module: Module,
+    weight_seeds: Vec<(usize, Tensor)>,
+    pool: Arc<ThreadPool>,
+    /// Number of user-visible API calls this module replaces (1 for a
+    /// compiled partition, one per primitive for the baseline).
+    dispatch_count: usize,
+    state: parking_lot::Mutex<Option<Vec<(usize, Storage)>>>,
+    init_runs: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for Executable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executable")
+            .field("funcs", &self.module.funcs.len())
+            .field("globals", &self.module.globals.len())
+            .field("dispatch_count", &self.dispatch_count)
+            .finish()
+    }
+}
+
+impl Executable {
+    /// Wrap a lowered module.
+    pub fn new(
+        module: Module,
+        weight_seeds: Vec<(usize, Tensor)>,
+        pool: Arc<ThreadPool>,
+        dispatch_count: usize,
+    ) -> Self {
+        Executable {
+            module,
+            weight_seeds,
+            pool,
+            dispatch_count,
+            state: parking_lot::Mutex::new(None),
+            init_runs: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying module (diagnostics, projection).
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Number of framework API calls this executable stands for.
+    pub fn dispatch_count(&self) -> usize {
+        self.dispatch_count
+    }
+
+    /// How many times the init stage actually ran (should stay 1).
+    pub fn init_runs(&self) -> u64 {
+        self.init_runs.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Expected input descriptors, in order.
+    pub fn input_descs(&self) -> Vec<(usize, gc_tensor::DataType)> {
+        let mut ins: Vec<(usize, usize, gc_tensor::DataType)> = self
+            .module
+            .globals
+            .iter()
+            .filter_map(|g| match g.kind {
+                GlobalKind::Input(i) => Some((i, g.elems, g.dtype)),
+                _ => None,
+            })
+            .collect();
+        ins.sort();
+        ins.into_iter().map(|(_, e, d)| (e, d)).collect()
+    }
+
+    /// Execute on `inputs` (one tensor per graph input, in order).
+    /// Returns the outputs in graph-output order plus statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when inputs disagree with the compiled
+    /// descriptors.
+    pub fn execute(&self, inputs: &[Tensor]) -> Result<(Vec<Tensor>, ExecStats), ExecError> {
+        let mut stats = ExecStats::default();
+        let barriers0 = self.pool.barrier_count();
+        let wall0 = Instant::now();
+
+        let mut state = self.state.lock();
+
+        // assemble globals
+        let mut globals: Vec<Storage> = Vec::with_capacity(self.module.globals.len());
+        for g in &self.module.globals {
+            globals.push(Storage::zeros(g.dtype, g.elems));
+        }
+        // inputs
+        let mut n_inputs = 0usize;
+        for (gi, g) in self.module.globals.iter().enumerate() {
+            if let GlobalKind::Input(i) = g.kind {
+                n_inputs = n_inputs.max(i + 1);
+                let t = inputs.get(i).ok_or_else(|| {
+                    ExecError(format!("missing input {i} ({})", g.name))
+                })?;
+                if t.desc().dtype() != g.dtype || t.desc().volume() != g.elems {
+                    return Err(ExecError(format!(
+                        "input {i} ({}) expects {} x{}, got {} x{}",
+                        g.name,
+                        g.dtype,
+                        g.elems,
+                        t.desc().dtype(),
+                        t.desc().volume()
+                    )));
+                }
+                globals[gi] = t.storage().clone();
+            }
+        }
+        if inputs.len() != n_inputs {
+            return Err(ExecError(format!(
+                "{} inputs provided, partition expects {n_inputs}",
+                inputs.len()
+            )));
+        }
+
+        match state.as_ref() {
+            Some(cached) => {
+                for (gi, st) in cached {
+                    globals[*gi] = st.clone();
+                }
+            }
+            None => {
+                // first execution: seed weights, run init stage, cache
+                let init0 = Instant::now();
+                for (gi, t) in &self.weight_seeds {
+                    globals[*gi] = t.storage().clone();
+                }
+                run_calls(&self.module, &self.module.init_calls, &mut globals, &self.pool);
+                let cached: Vec<(usize, Storage)> = self
+                    .module
+                    .globals
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| {
+                        matches!(g.kind, GlobalKind::Weight | GlobalKind::Persistent)
+                    })
+                    .map(|(gi, _)| (gi, globals[gi].clone()))
+                    .collect();
+                *state = Some(cached);
+                self.init_runs
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                stats.init_wall = init0.elapsed();
+            }
+        }
+
+        run_calls(&self.module, &self.module.main_calls, &mut globals, &self.pool);
+
+        // collect outputs
+        let mut outs: Vec<(usize, Tensor)> = Vec::new();
+        for (gi, g) in self.module.globals.iter().enumerate() {
+            if let GlobalKind::Output(i) = g.kind {
+                let desc = TensorDesc::new(vec![g.elems], g.dtype);
+                let t = Tensor::from_parts(desc, globals[gi].clone())
+                    .map_err(|e| ExecError(format!("output {i}: {e}")))?;
+                outs.push((i, t));
+            }
+        }
+        outs.sort_by_key(|(i, _)| *i);
+
+        stats.wall = wall0.elapsed();
+        // Barriers are counted structurally (every executed parallel
+        // region ends in one), so the number is meaningful even when
+        // the host pool degenerates to a single thread.
+        let _ = barriers0;
+        stats.barriers = self
+            .module
+            .main_calls
+            .iter()
+            .map(|c| parallel_regions(&self.module.funcs[c.func].body, 1))
+            .sum();
+        stats.func_calls = self.module.main_calls.len() as u64;
+        stats.peak_temp_bytes = self
+            .module
+            .globals
+            .iter()
+            .filter(|g| g.kind == GlobalKind::Scratch)
+            .map(|g| g.elems * g.dtype.size_bytes())
+            .sum::<usize>()
+            + self
+                .module
+                .funcs
+                .iter()
+                .map(crate::ir::Func::local_bytes)
+                .max()
+                .unwrap_or(0);
+        Ok((outs.into_iter().map(|(_, t)| t).collect(), stats))
+    }
+
+    /// Project one steady-state execution (init excluded) on `machine`.
+    pub fn project(&self, machine: &MachineDescriptor) -> Projection {
+        project(&self.module, machine, self.dispatch_count)
+    }
+}
+
+fn parallel_regions(stmts: &[crate::ir::Stmt], mult: u64) -> u64 {
+    use crate::ir::Stmt;
+    let mut n = 0;
+    for s in stmts {
+        if let Stmt::For {
+            extent,
+            parallel,
+            body,
+            ..
+        } = s
+        {
+            if *parallel {
+                n += mult;
+            } else {
+                n += parallel_regions(body, mult * *extent as u64);
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ir::{BufDecl, BufId, Call, Func, GlobalDecl, Intrinsic, Stmt, View};
+    use gc_microkernel::UnaryOp;
+    use gc_tensor::DataType;
+
+    /// out = relu(in) with a persistent "processed weight" that the
+    /// init stage computes as square(weight).
+    fn demo_module() -> (Module, Vec<(usize, Tensor)>) {
+        let mut m = Module::new();
+        let g_in = m.add_global(GlobalDecl {
+            dtype: DataType::F32,
+            elems: 8,
+            kind: GlobalKind::Input(0),
+            name: "x".into(),
+        });
+        let g_w = m.add_global(GlobalDecl {
+            dtype: DataType::F32,
+            elems: 8,
+            kind: GlobalKind::Weight,
+            name: "w".into(),
+        });
+        let g_wp = m.add_global(GlobalDecl {
+            dtype: DataType::F32,
+            elems: 8,
+            kind: GlobalKind::Persistent,
+            name: "w_processed".into(),
+        });
+        let g_out = m.add_global(GlobalDecl {
+            dtype: DataType::F32,
+            elems: 8,
+            kind: GlobalKind::Output(0),
+            name: "y".into(),
+        });
+        let square = Func {
+            name: "init_square".into(),
+            params: vec![
+                BufDecl::new(DataType::F32, 8, "in"),
+                BufDecl::new(DataType::F32, 8, "out"),
+            ],
+            locals: vec![],
+            var_count: 0,
+            body: vec![Stmt::Op(Intrinsic::Unary {
+                op: UnaryOp::Square,
+                src: View::new(BufId::Param(0), Expr::c(0), 8),
+                dst: View::new(BufId::Param(1), Expr::c(0), 8),
+            })],
+        };
+        let addw = Func {
+            name: "main_add".into(),
+            params: vec![
+                BufDecl::new(DataType::F32, 8, "x"),
+                BufDecl::new(DataType::F32, 8, "w"),
+                BufDecl::new(DataType::F32, 8, "y"),
+            ],
+            locals: vec![],
+            var_count: 0,
+            body: vec![Stmt::Op(Intrinsic::Binary {
+                op: gc_microkernel::BinaryOp::Add,
+                a: View::new(BufId::Param(0), Expr::c(0), 8),
+                b: View::new(BufId::Param(1), Expr::c(0), 8),
+                dst: View::new(BufId::Param(2), Expr::c(0), 8),
+            })],
+        };
+        let f_init = m.add_func(square);
+        let f_main = m.add_func(addw);
+        m.init_calls.push(Call {
+            func: f_init,
+            args: vec![g_w, g_wp],
+        });
+        m.main_calls.push(Call {
+            func: f_main,
+            args: vec![g_in, g_wp, g_out],
+        });
+        m.validate().unwrap();
+        let w = Tensor::from_vec_f32(&[8], vec![1., 2., 3., 4., 5., 6., 7., 8.]).unwrap();
+        (m, vec![(g_w, w)])
+    }
+
+    #[test]
+    fn init_runs_once_and_results_are_cached() {
+        let (m, seeds) = demo_module();
+        let exe = Executable::new(m, seeds, Arc::new(ThreadPool::new(1)), 1);
+        let x = Tensor::from_vec_f32(&[8], vec![0.5; 8]).unwrap();
+        let (out1, s1) = exe.execute(&[x.clone()]).unwrap();
+        let (out2, s2) = exe.execute(&[x]).unwrap();
+        assert_eq!(exe.init_runs(), 1);
+        assert!(s1.init_wall > std::time::Duration::ZERO);
+        assert_eq!(s2.init_wall, std::time::Duration::ZERO);
+        // y = x + w^2
+        let want: Vec<f32> = (1..=8).map(|i| 0.5 + (i * i) as f32).collect();
+        assert_eq!(out1[0].f32_slice().unwrap(), want.as_slice());
+        assert_eq!(out2[0].f32_slice().unwrap(), want.as_slice());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let (m, seeds) = demo_module();
+        let exe = Executable::new(m, seeds, Arc::new(ThreadPool::new(1)), 1);
+        assert!(exe.execute(&[]).is_err());
+        let wrong = Tensor::zeros(&[4], DataType::F32);
+        assert!(exe.execute(&[wrong]).is_err());
+        let wrong_dt = Tensor::zeros(&[8], DataType::I8);
+        assert!(exe.execute(&[wrong_dt]).is_err());
+    }
+
+    #[test]
+    fn projection_is_positive_and_counts_dispatch() {
+        let (m, seeds) = demo_module();
+        let exe = Executable::new(m, seeds, Arc::new(ThreadPool::new(1)), 3);
+        let machine = MachineDescriptor::xeon_8358();
+        let p = exe.project(&machine);
+        assert!(p.cycles > 0.0);
+        assert_eq!(
+            p.dispatch_cycles,
+            3.0 * gc_machine::cost::dispatch_cycles(&machine)
+        );
+    }
+
+    #[test]
+    fn input_descs_reported() {
+        let (m, seeds) = demo_module();
+        let exe = Executable::new(m, seeds, Arc::new(ThreadPool::new(1)), 1);
+        assert_eq!(exe.input_descs(), vec![(8, DataType::F32)]);
+    }
+}

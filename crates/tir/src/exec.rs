@@ -1,0 +1,1079 @@
+//! Tensor IR execution.
+//!
+//! The original system lowers Tensor IR to LLVM IR and JITs native code.
+//! This reproduction executes the same IR directly: loop nests are
+//! interpreted (they are shallow — a handful of levels with static trip
+//! counts), and all bulk data work happens inside pre-compiled native
+//! intrinsics from `gc-microkernel`, exactly at the boundary where the
+//! original calls its JITed microkernels.
+//!
+//! # Safety model
+//!
+//! Parallel loop iterations write to disjoint buffer regions — this is a
+//! *lowering invariant*, the same one the original compiler's codegen
+//! guarantees. The executor materializes each buffer's raw pointer once
+//! per function call and builds disjoint slices from it; debug builds
+//! assert in-bounds access and dtype agreement.
+
+use crate::expr::VarId;
+use crate::ir::{BufId, Call, Func, Intrinsic, Module, ReduceOp, Stmt, View};
+use gc_microkernel::{brgemm, eltwise, epilogue, reduce, UnaryOp};
+use gc_runtime::ThreadPool;
+use gc_tensor::{DataType, Storage};
+
+/// Error produced while preparing execution (dtype/shape mismatches are
+/// panics, as they indicate compiler bugs, not user errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError(pub String);
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "execution error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[derive(Clone, Copy)]
+struct RawBuf {
+    ptr: *mut u8,
+    elems: usize,
+    dtype: DataType,
+}
+
+unsafe impl Send for RawBuf {}
+unsafe impl Sync for RawBuf {}
+
+impl RawBuf {
+    fn of(storage: &mut Storage) -> RawBuf {
+        let dtype = storage.dtype();
+        let elems = storage.len();
+        let ptr = match storage {
+            Storage::F32(v) => v.as_mut_ptr() as *mut u8,
+            Storage::Bf16(v) => v.as_mut_ptr() as *mut u8,
+            Storage::U8(v) => v.as_mut_ptr(),
+            Storage::I8(v) => v.as_mut_ptr() as *mut u8,
+            Storage::I32(v) => v.as_mut_ptr() as *mut u8,
+            Storage::I64(v) => v.as_mut_ptr() as *mut u8,
+        };
+        RawBuf { ptr, elems, dtype }
+    }
+
+    #[inline]
+    fn check(&self, off: usize, len: usize, dtype: DataType) {
+        debug_assert_eq!(self.dtype, dtype, "intrinsic dtype mismatch");
+        debug_assert!(
+            off + len <= self.elems,
+            "view out of bounds: {}+{} > {}",
+            off,
+            len,
+            self.elems
+        );
+    }
+
+    /// # Safety
+    /// Range must be in bounds and disjoint from other live slices.
+    #[inline]
+    unsafe fn f32(&self, off: usize, len: usize) -> &mut [f32] {
+        self.check(off, len, DataType::F32);
+        std::slice::from_raw_parts_mut((self.ptr as *mut f32).add(off), len)
+    }
+
+    /// # Safety
+    /// Range must be in bounds and disjoint from other live slices.
+    #[inline]
+    unsafe fn u8(&self, off: usize, len: usize) -> &mut [u8] {
+        self.check(off, len, DataType::U8);
+        std::slice::from_raw_parts_mut(self.ptr.add(off), len)
+    }
+
+    /// # Safety
+    /// Range must be in bounds and disjoint from other live slices.
+    #[inline]
+    unsafe fn i8(&self, off: usize, len: usize) -> &mut [i8] {
+        self.check(off, len, DataType::I8);
+        std::slice::from_raw_parts_mut((self.ptr as *mut i8).add(off), len)
+    }
+
+    /// # Safety
+    /// Range must be in bounds and disjoint from other live slices.
+    #[inline]
+    unsafe fn i32(&self, off: usize, len: usize) -> &mut [i32] {
+        self.check(off, len, DataType::I32);
+        std::slice::from_raw_parts_mut((self.ptr as *mut i32).add(off), len)
+    }
+}
+
+struct Frame<'a> {
+    bufs: Vec<RawBuf>,
+    n_params: usize,
+    pool: &'a ThreadPool,
+}
+
+impl Frame<'_> {
+    #[inline]
+    fn buf(&self, id: BufId) -> RawBuf {
+        match id {
+            BufId::Param(i) => self.bufs[i],
+            BufId::Local(i) => self.bufs[self.n_params + i],
+        }
+    }
+
+    #[inline]
+    fn resolve(&self, v: &View, vars: &[i64]) -> (RawBuf, usize) {
+        let off = v.offset.eval(vars);
+        debug_assert!(off >= 0, "negative view offset {off}");
+        (self.buf(v.buf), off as usize)
+    }
+}
+
+/// Execute a module's init and/or main call sequences against `globals`
+/// (one [`Storage`] per module global, in declaration order).
+///
+/// # Errors
+///
+/// Returns an error if `globals` disagrees with the module's
+/// declarations.
+///
+/// # Panics
+///
+/// Panics on out-of-bounds views or dtype mismatches (compiler-invariant
+/// violations).
+pub fn run_module(
+    module: &Module,
+    globals: &mut [Storage],
+    pool: &ThreadPool,
+    include_init: bool,
+) -> Result<(), ExecError> {
+    if globals.len() != module.globals.len() {
+        return Err(ExecError(format!(
+            "{} globals provided, module declares {}",
+            globals.len(),
+            module.globals.len()
+        )));
+    }
+    for (g, decl) in globals.iter().zip(&module.globals) {
+        if g.dtype() != decl.dtype || g.len() < decl.elems {
+            return Err(ExecError(format!(
+                "global {}: have {} x{}, need {} x{}",
+                decl.name,
+                g.dtype(),
+                g.len(),
+                decl.dtype,
+                decl.elems
+            )));
+        }
+    }
+    if include_init {
+        run_calls(module, &module.init_calls, globals, pool);
+    }
+    run_calls(module, &module.main_calls, globals, pool);
+    Ok(())
+}
+
+/// Execute a list of calls (no validation; see [`run_module`]).
+///
+/// # Panics
+///
+/// Panics on compiler-invariant violations.
+pub fn run_calls(module: &Module, calls: &[Call], globals: &mut [Storage], pool: &ThreadPool) {
+    for call in calls {
+        let func = &module.funcs[call.func];
+        run_func(func, call, globals, pool);
+    }
+}
+
+fn run_func(func: &Func, call: &Call, globals: &mut [Storage], pool: &ThreadPool) {
+    // Materialize raw param pointers (sequentially, one &mut at a time).
+    // A global may be bound to several parameters (e.g. a residual graph
+    // passing the same tensor as activation and post-op operand); those
+    // parameters share one RawBuf, so aliasing stays confined to the
+    // intrinsic-level disjointness contract.
+    let mut bufs: Vec<RawBuf> = Vec::with_capacity(func.params.len() + func.locals.len());
+    {
+        let mut seen: std::collections::HashMap<usize, RawBuf> = std::collections::HashMap::new();
+        for &a in &call.args {
+            let raw = match seen.get(&a) {
+                Some(r) => *r,
+                None => {
+                    let r = RawBuf::of(&mut globals[a]);
+                    seen.insert(a, r);
+                    r
+                }
+            };
+            bufs.push(raw);
+        }
+    }
+    // Allocate locals.
+    let mut local_storage: Vec<Storage> = func
+        .locals
+        .iter()
+        .map(|d| Storage::zeros(d.dtype, d.elems))
+        .collect();
+    for s in &mut local_storage {
+        bufs.push(RawBuf::of(s));
+    }
+    let frame = Frame {
+        bufs,
+        n_params: func.params.len(),
+        pool,
+    };
+    let mut vars = vec![0i64; func.var_count];
+    exec_stmts(&func.body, &frame, &mut vars);
+    // local_storage dropped here; frame pointers die with it.
+}
+
+fn exec_stmts(stmts: &[Stmt], frame: &Frame<'_>, vars: &mut Vec<i64>) {
+    for s in stmts {
+        exec_stmt(s, frame, vars);
+    }
+}
+
+fn exec_stmt(stmt: &Stmt, frame: &Frame<'_>, vars: &mut Vec<i64>) {
+    match stmt {
+        Stmt::For {
+            var,
+            extent,
+            parallel,
+            body,
+        } => {
+            if *parallel && frame.pool.threads() > 1 && *extent > 1 {
+                let vars_proto = vars.clone();
+                let var = *var;
+                frame.pool.parallel_for(*extent, |i| {
+                    let mut my_vars = vars_proto.clone();
+                    set_var(&mut my_vars, var, i as i64);
+                    exec_stmts(body, frame, &mut my_vars);
+                });
+            } else {
+                for i in 0..*extent {
+                    set_var(vars, *var, i as i64);
+                    exec_stmts(body, frame, vars);
+                }
+            }
+        }
+        Stmt::Op(intr) => exec_intrinsic(intr, frame, vars),
+    }
+}
+
+#[inline]
+fn set_var(vars: &mut Vec<i64>, var: VarId, val: i64) {
+    if var.0 >= vars.len() {
+        vars.resize(var.0 + 1, 0);
+    }
+    vars[var.0] = val;
+}
+
+#[inline]
+fn assert_disjoint(a: (RawBuf, usize, usize), b: (RawBuf, usize, usize)) {
+    debug_assert!(
+        a.0.ptr != b.0.ptr || a.1 + a.2 <= b.1 || b.1 + b.2 <= a.1,
+        "overlapping views in intrinsic"
+    );
+}
+
+#[allow(clippy::too_many_lines)]
+fn exec_intrinsic(intr: &Intrinsic, frame: &Frame<'_>, vars: &[i64]) {
+    match intr {
+        Intrinsic::BrgemmF32 {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+        } => {
+            let (ab, ao) = frame.resolve(a, vars);
+            let (bb, bo) = frame.resolve(b, vars);
+            let (cb, co) = frame.resolve(c, vars);
+            let a_offs: Vec<usize> = (0..*batch).map(|i| ao + i * a_stride).collect();
+            let b_offs: Vec<usize> = (0..*batch).map(|i| bo + i * b_stride).collect();
+            let a_end = a_offs.last().map(|&o| o + m * k).unwrap_or(ao);
+            let b_end = b_offs.last().map(|&o| o + n * k).unwrap_or(bo);
+            unsafe {
+                let asl = ab.f32(ao, a_end - ao);
+                let bsl = bb.f32(bo, b_end - bo);
+                let csl = cb.f32(co, m * n);
+                let a_rel: Vec<usize> = a_offs.iter().map(|&o| o - ao).collect();
+                let b_rel: Vec<usize> = b_offs.iter().map(|&o| o - bo).collect();
+                brgemm::brgemm_f32(
+                    brgemm::BrgemmShape::new(*m, *n, *k),
+                    asl,
+                    &a_rel,
+                    bsl,
+                    &b_rel,
+                    csl,
+                );
+            }
+        }
+        Intrinsic::BrgemmU8I8 {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+        } => {
+            let (ab, ao) = frame.resolve(a, vars);
+            let (bb, bo) = frame.resolve(b, vars);
+            let (cb, co) = frame.resolve(c, vars);
+            let a_offs: Vec<usize> = (0..*batch).map(|i| i * a_stride).collect();
+            let b_offs: Vec<usize> = (0..*batch).map(|i| i * b_stride).collect();
+            let a_len = a_offs.last().unwrap_or(&0) + m * k;
+            let b_len = b_offs.last().unwrap_or(&0) + n * k;
+            unsafe {
+                let asl = ab.u8(ao, a_len);
+                let bsl = bb.i8(bo, b_len);
+                let csl = cb.i32(co, m * n);
+                brgemm::brgemm_u8i8(
+                    brgemm::BrgemmShape::new(*m, *n, *k),
+                    asl,
+                    &a_offs,
+                    bsl,
+                    &b_offs,
+                    csl,
+                );
+            }
+        }
+        Intrinsic::FillF32 { dst, value } => {
+            let (db, off) = frame.resolve(dst, vars);
+            unsafe { db.f32(off, dst.len) }.fill(*value);
+        }
+        Intrinsic::ZeroI32 { dst } => {
+            let (db, off) = frame.resolve(dst, vars);
+            unsafe { db.i32(off, dst.len) }.fill(0);
+        }
+        Intrinsic::Pack2D {
+            src,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            rows,
+            cols,
+        } => {
+            let sb = frame.buf(*src);
+            let so = src_offset.eval(vars) as usize;
+            let (db, doff) = frame.resolve(dst, vars);
+            pack2d(
+                sb,
+                so,
+                *src_row_stride,
+                *src_col_stride,
+                db,
+                doff,
+                *rows,
+                *cols,
+            );
+        }
+        Intrinsic::Unpack2D {
+            src,
+            dst,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+        } => {
+            let (sb, so) = frame.resolve(src, vars);
+            let db = frame.buf(*dst);
+            let doff = dst_offset.eval(vars) as usize;
+            unpack2d(
+                sb,
+                so,
+                db,
+                doff,
+                *dst_row_stride,
+                *dst_col_stride,
+                *rows,
+                *cols,
+            );
+        }
+        Intrinsic::Unary { op, src, dst } => {
+            let (sb, so) = frame.resolve(src, vars);
+            let (db, doff) = frame.resolve(dst, vars);
+            if sb.ptr == db.ptr && so == doff {
+                debug_assert_eq!(src.len, dst.len);
+                let buf = unsafe { db.f32(doff, dst.len) };
+                eltwise::unary_inplace(*op, buf);
+            } else {
+                assert_disjoint((sb, so, src.len), (db, doff, dst.len));
+                unsafe {
+                    eltwise::unary(*op, sb.f32(so, src.len), db.f32(doff, dst.len));
+                }
+            }
+        }
+        Intrinsic::Binary { op, a, b, dst } => {
+            let (ab, ao) = frame.resolve(a, vars);
+            let (bb, bo) = frame.resolve(b, vars);
+            let (db, doff) = frame.resolve(dst, vars);
+            // In-place over `a` is permitted (dst == a); `b` must be
+            // disjoint from dst.
+            assert_disjoint((bb, bo, b.len), (db, doff, dst.len));
+            if ab.ptr == db.ptr && ao == doff {
+                unsafe {
+                    let dsl = db.f32(doff, dst.len);
+                    let bsl = bb.f32(bo, b.len);
+                    for (d, &y) in dsl.iter_mut().zip(bsl.iter()) {
+                        *d = op.apply(*d, y);
+                    }
+                }
+            } else {
+                assert_disjoint((ab, ao, a.len), (db, doff, dst.len));
+                unsafe {
+                    eltwise::binary(
+                        *op,
+                        ab.f32(ao, a.len),
+                        bb.f32(bo, b.len),
+                        db.f32(doff, dst.len),
+                    );
+                }
+            }
+        }
+        Intrinsic::BinaryScalar {
+            op,
+            a,
+            scalar,
+            dst,
+        } => {
+            let (ab, ao) = frame.resolve(a, vars);
+            let (db, doff) = frame.resolve(dst, vars);
+            if ab.ptr == db.ptr && ao == doff {
+                let dsl = unsafe { db.f32(doff, dst.len) };
+                for d in dsl.iter_mut() {
+                    *d = op.apply(*d, *scalar);
+                }
+            } else {
+                assert_disjoint((ab, ao, a.len), (db, doff, dst.len));
+                unsafe {
+                    eltwise::binary_scalar(*op, ab.f32(ao, a.len), *scalar, db.f32(doff, dst.len));
+                }
+            }
+        }
+        Intrinsic::BinaryRowBcast {
+            op,
+            a,
+            b,
+            dst,
+            rows,
+            cols,
+        } => {
+            let (ab, ao) = frame.resolve(a, vars);
+            let (bb, bo) = frame.resolve(b, vars);
+            let (db, doff) = frame.resolve(dst, vars);
+            unsafe {
+                let bsl = bb.f32(bo, *cols);
+                for r in 0..*rows {
+                    let arow = ab.f32(ao + r * cols, *cols);
+                    let drow = db.f32(doff + r * cols, *cols);
+                    for ((d, &x), &y) in drow.iter_mut().zip(arow.iter()).zip(bsl.iter()) {
+                        *d = op.apply(x, y);
+                    }
+                }
+            }
+        }
+        Intrinsic::BinaryColBcast {
+            op,
+            a,
+            b,
+            dst,
+            rows,
+            cols,
+        } => {
+            let (ab, ao) = frame.resolve(a, vars);
+            let (bb, bo) = frame.resolve(b, vars);
+            let (db, doff) = frame.resolve(dst, vars);
+            unsafe {
+                let bsl = bb.f32(bo, *rows);
+                for r in 0..*rows {
+                    let arow = ab.f32(ao + r * cols, *cols);
+                    let drow = db.f32(doff + r * cols, *cols);
+                    let y = bsl[r];
+                    match op {
+                        gc_microkernel::BinaryOp::Div => {
+                            let inv = 1.0 / y;
+                            for (d, &x) in drow.iter_mut().zip(arow.iter()) {
+                                *d = x * inv;
+                            }
+                        }
+                        _ => {
+                            for (d, &x) in drow.iter_mut().zip(arow.iter()) {
+                                *d = op.apply(x, y);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Intrinsic::ReduceRows {
+            op,
+            src,
+            acc,
+            rows,
+            cols,
+            accumulate,
+        } => {
+            let (sb, so) = frame.resolve(src, vars);
+            let (accb, acco) = frame.resolve(acc, vars);
+            unsafe {
+                let ssl = sb.f32(so, rows * cols);
+                let asl = accb.f32(acco, *rows);
+                match (op, accumulate) {
+                    (ReduceOp::Max, false) => reduce::reduce_rows_max(ssl, *rows, *cols, asl),
+                    (ReduceOp::Sum, false) => reduce::reduce_rows_sum(ssl, *rows, *cols, asl),
+                    (ReduceOp::Max, true) => {
+                        for (a, row) in asl.iter_mut().zip(ssl.chunks_exact(*cols)) {
+                            let m = reduce::reduce_max(row);
+                            if m > *a {
+                                *a = m;
+                            }
+                        }
+                    }
+                    (ReduceOp::Sum, true) => {
+                        for (a, row) in asl.iter_mut().zip(ssl.chunks_exact(*cols)) {
+                            *a += reduce::reduce_sum(row);
+                        }
+                    }
+                }
+            }
+        }
+        Intrinsic::DequantAcc {
+            acc,
+            comp,
+            a_zero,
+            scale,
+            bias,
+            dst,
+            rows,
+            cols,
+        } => {
+            let (accb, acco) = frame.resolve(acc, vars);
+            let (compb, compo) = frame.resolve(comp, vars);
+            let (db, doff) = frame.resolve(dst, vars);
+            unsafe {
+                let asl = accb.i32(acco, rows * cols);
+                let csl = compb.i32(compo, *cols);
+                let dsl = db.f32(doff, rows * cols);
+                match bias {
+                    Some(bv) => {
+                        let (bb, bo) = frame.resolve(bv, vars);
+                        let bsl = bb.f32(bo, *cols);
+                        epilogue::dequant_acc_bias(
+                            asl, *rows, *cols, csl, *a_zero, *scale, bsl, dsl,
+                        );
+                    }
+                    None => epilogue::dequant_acc(asl, *rows, *cols, csl, *a_zero, *scale, dsl),
+                }
+            }
+        }
+        Intrinsic::QuantU8 {
+            src,
+            dst,
+            scale,
+            zero_point,
+        } => {
+            let (sb, so) = frame.resolve(src, vars);
+            let (db, doff) = frame.resolve(dst, vars);
+            unsafe {
+                epilogue::requant_u8(
+                    sb.f32(so, src.len),
+                    1.0 / *scale,
+                    *zero_point,
+                    db.u8(doff, dst.len),
+                );
+            }
+        }
+        Intrinsic::DequantU8 {
+            src,
+            dst,
+            scale,
+            zero_point,
+        } => {
+            let (sb, so) = frame.resolve(src, vars);
+            let (db, doff) = frame.resolve(dst, vars);
+            unsafe {
+                let ssl = sb.u8(so, src.len);
+                let dsl = db.f32(doff, dst.len);
+                for (d, &q) in dsl.iter_mut().zip(ssl.iter()) {
+                    *d = *scale * (q as i32 - zero_point) as f32;
+                }
+            }
+        }
+        Intrinsic::DequantI8 { src, dst, scale } => {
+            let (sb, so) = frame.resolve(src, vars);
+            let (db, doff) = frame.resolve(dst, vars);
+            unsafe {
+                let ssl = sb.i8(so, src.len);
+                let dsl = db.f32(doff, dst.len);
+                for (d, &q) in dsl.iter_mut().zip(ssl.iter()) {
+                    *d = *scale * q as f32;
+                }
+            }
+        }
+        Intrinsic::CompAccumulate {
+            b_tile,
+            comp,
+            nb,
+            kb,
+        } => {
+            let (bb, bo) = frame.resolve(b_tile, vars);
+            let (cb, co) = frame.resolve(comp, vars);
+            unsafe {
+                let bsl = bb.i8(bo, nb * kb);
+                let csl = cb.i32(co, *nb);
+                for (c, panel) in csl.iter_mut().zip(bsl.chunks_exact(*kb)) {
+                    *c += panel.iter().map(|&x| x as i32).sum::<i32>();
+                }
+            }
+        }
+        Intrinsic::CastI32F32 { src, dst } => {
+            let (sb, so) = frame.resolve(src, vars);
+            let (db, doff) = frame.resolve(dst, vars);
+            unsafe {
+                epilogue::i32_to_f32(sb.i32(so, src.len), db.f32(doff, dst.len));
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pack2d(
+    sb: RawBuf,
+    so: usize,
+    rs: usize,
+    cs: usize,
+    db: RawBuf,
+    doff: usize,
+    rows: usize,
+    cols: usize,
+) {
+    macro_rules! go {
+        ($get:ident) => {{
+            unsafe {
+                let need = so + (rows - 1) * rs + (cols - 1) * cs + 1;
+                let ssl = sb.$get(so, need - so);
+                let dsl = db.$get(doff, rows * cols);
+                if cs == 1 {
+                    for r in 0..rows {
+                        dsl[r * cols..(r + 1) * cols]
+                            .copy_from_slice(&ssl[r * rs..r * rs + cols]);
+                    }
+                } else {
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            dsl[r * cols + c] = ssl[r * rs + c * cs];
+                        }
+                    }
+                }
+            }
+        }};
+    }
+    match sb.dtype {
+        DataType::F32 => go!(f32),
+        DataType::U8 => go!(u8),
+        DataType::I8 => go!(i8),
+        DataType::I32 => go!(i32),
+        other => panic!("pack2d unsupported dtype {other}"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn unpack2d(
+    sb: RawBuf,
+    so: usize,
+    db: RawBuf,
+    doff: usize,
+    rs: usize,
+    cs: usize,
+    rows: usize,
+    cols: usize,
+) {
+    macro_rules! go {
+        ($get:ident) => {{
+            unsafe {
+                let ssl = sb.$get(so, rows * cols);
+                let need = doff + (rows - 1) * rs + (cols - 1) * cs + 1;
+                let dsl = db.$get(doff, need - doff);
+                if cs == 1 {
+                    for r in 0..rows {
+                        dsl[r * rs..r * rs + cols]
+                            .copy_from_slice(&ssl[r * cols..(r + 1) * cols]);
+                    }
+                } else {
+                    for r in 0..rows {
+                        for c in 0..cols {
+                            dsl[r * rs + c * cs] = ssl[r * cols + c];
+                        }
+                    }
+                }
+            }
+        }};
+    }
+    match sb.dtype {
+        DataType::F32 => go!(f32),
+        DataType::U8 => go!(u8),
+        DataType::I8 => go!(i8),
+        DataType::I32 => go!(i32),
+        other => panic!("unpack2d unsupported dtype {other}"),
+    }
+}
+
+/// Convenience: like [`UnaryOp::Identity`] copy via `Unary`, used by
+/// tests to express plain copies.
+pub fn copy_intrinsic(src: View, dst: View) -> Intrinsic {
+    Intrinsic::Unary {
+        op: UnaryOp::Identity,
+        src,
+        dst,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ir::{BufDecl, GlobalDecl, GlobalKind};
+    use gc_microkernel::BinaryOp;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(2)
+    }
+
+    fn mk_module(func: Func, globals: Vec<GlobalDecl>) -> Module {
+        let n = func.params.len();
+        let mut m = Module::new();
+        let f = m.add_func(func);
+        for g in globals {
+            m.add_global(g);
+        }
+        m.main_calls.push(Call {
+            func: f,
+            args: (0..n).collect(),
+        });
+        m
+    }
+
+    fn g(dtype: DataType, elems: usize, name: &str) -> GlobalDecl {
+        GlobalDecl {
+            dtype,
+            elems,
+            kind: GlobalKind::Scratch,
+            name: name.to_string(),
+        }
+    }
+
+    #[test]
+    fn relu_loop_executes() {
+        let mut f = Func {
+            name: "relu".into(),
+            params: vec![
+                BufDecl::new(DataType::F32, 8, "in"),
+                BufDecl::new(DataType::F32, 8, "out"),
+            ],
+            locals: vec![],
+            var_count: 0,
+            body: vec![],
+        };
+        let v = f.fresh_var();
+        f.body.push(Stmt::loop_(
+            v,
+            2,
+            vec![Stmt::Op(Intrinsic::Unary {
+                op: UnaryOp::Relu,
+                src: View::new(BufId::Param(0), Expr::v(v).mul(Expr::c(4)), 4),
+                dst: View::new(BufId::Param(1), Expr::v(v).mul(Expr::c(4)), 4),
+            })],
+        ));
+        let m = mk_module(
+            f,
+            vec![g(DataType::F32, 8, "in"), g(DataType::F32, 8, "out")],
+        );
+        m.validate().unwrap();
+        let mut globals = vec![
+            Storage::F32(vec![-1., 2., -3., 4., -5., 6., -7., 8.]),
+            Storage::F32(vec![0.; 8]),
+        ];
+        run_module(&m, &mut globals, &pool(), true).unwrap();
+        let out = globals[1].as_slice::<f32>().unwrap();
+        assert_eq!(out, &[0., 2., 0., 4., 0., 6., 0., 8.]);
+    }
+
+    #[test]
+    fn parallel_loop_matches_serial() {
+        let build = |parallel: bool| {
+            let mut f = Func {
+                name: "square".into(),
+                params: vec![
+                    BufDecl::new(DataType::F32, 64, "in"),
+                    BufDecl::new(DataType::F32, 64, "out"),
+                ],
+                locals: vec![],
+                var_count: 0,
+                body: vec![],
+            };
+            let v = f.fresh_var();
+            f.body.push(Stmt::For {
+                var: v,
+                extent: 8,
+                parallel,
+                body: vec![Stmt::Op(Intrinsic::Unary {
+                    op: UnaryOp::Square,
+                    src: View::new(BufId::Param(0), Expr::v(v).mul(Expr::c(8)), 8),
+                    dst: View::new(BufId::Param(1), Expr::v(v).mul(Expr::c(8)), 8),
+                })],
+            });
+            mk_module(
+                f,
+                vec![g(DataType::F32, 64, "in"), g(DataType::F32, 64, "out")],
+            )
+        };
+        let input: Vec<f32> = (0..64).map(|i| i as f32 - 32.0).collect();
+        let run = |m: &Module| {
+            let mut globals = vec![Storage::F32(input.clone()), Storage::F32(vec![0.; 64])];
+            run_module(m, &mut globals, &pool(), true).unwrap();
+            globals[1].as_slice::<f32>().unwrap().to_vec()
+        };
+        assert_eq!(run(&build(false)), run(&build(true)));
+    }
+
+    #[test]
+    fn brgemm_intrinsic_matches_reference() {
+        use gc_tensor::{reference, Tensor};
+        // single-tile matmul: A[4,8] x B[8,4]
+        let a = Tensor::random(&[4, 8], DataType::F32, 1);
+        let bt = Tensor::random(&[4, 8], DataType::F32, 2); // [n][k] panels
+        let mut f = Func {
+            name: "mm".into(),
+            params: vec![
+                BufDecl::new(DataType::F32, 32, "a"),
+                BufDecl::new(DataType::F32, 32, "b"),
+                BufDecl::new(DataType::F32, 16, "c"),
+            ],
+            locals: vec![],
+            var_count: 0,
+            body: vec![],
+        };
+        f.body.push(Stmt::Op(Intrinsic::FillF32 {
+            dst: View::new(BufId::Param(2), 0usize, 16),
+            value: 0.0,
+        }));
+        f.body.push(Stmt::Op(Intrinsic::BrgemmF32 {
+            a: View::new(BufId::Param(0), 0usize, 32),
+            a_stride: 0,
+            b: View::new(BufId::Param(1), 0usize, 32),
+            b_stride: 0,
+            c: View::new(BufId::Param(2), 0usize, 16),
+            m: 4,
+            n: 4,
+            k: 8,
+            batch: 1,
+        }));
+        let m = mk_module(
+            f,
+            vec![
+                g(DataType::F32, 32, "a"),
+                g(DataType::F32, 32, "b"),
+                g(DataType::F32, 16, "c"),
+            ],
+        );
+        let mut globals = vec![
+            Storage::F32(a.f32_slice().unwrap().to_vec()),
+            Storage::F32(bt.f32_slice().unwrap().to_vec()),
+            Storage::F32(vec![0.; 16]),
+        ];
+        run_module(&m, &mut globals, &pool(), true).unwrap();
+        // reference: B = bt transposed
+        let b_plain = gc_tensor::reorder::transpose_last2(&bt).unwrap();
+        let want = reference::matmul_f32(&a, &b_plain).unwrap();
+        let got = globals[2].as_slice::<f32>().unwrap();
+        for (x, y) in got.iter().zip(want.f32_slice().unwrap()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pack_unpack_round_trip_with_transpose() {
+        // pack a transposed 3x5 -> 5x3 tile and unpack it back
+        let mut f = Func {
+            name: "t".into(),
+            params: vec![
+                BufDecl::new(DataType::F32, 15, "in"),
+                BufDecl::new(DataType::F32, 15, "out"),
+            ],
+            locals: vec![BufDecl::new(DataType::F32, 15, "tile")],
+            var_count: 0,
+            body: vec![],
+        };
+        // transpose: dst[r,c] = src[c*5 + r] -> row stride 1, col stride 5
+        f.body.push(Stmt::Op(Intrinsic::Pack2D {
+            src: BufId::Param(0),
+            src_offset: Expr::c(0),
+            src_row_stride: 1,
+            src_col_stride: 5,
+            dst: View::new(BufId::Local(0), 0usize, 15),
+            rows: 5,
+            cols: 3,
+        }));
+        // unpack transposing again restores original
+        f.body.push(Stmt::Op(Intrinsic::Unpack2D {
+            src: View::new(BufId::Local(0), 0usize, 15),
+            dst: BufId::Param(1),
+            dst_offset: Expr::c(0),
+            dst_row_stride: 1,
+            dst_col_stride: 5,
+            rows: 5,
+            cols: 3,
+        }));
+        let m = mk_module(
+            f,
+            vec![g(DataType::F32, 15, "in"), g(DataType::F32, 15, "out")],
+        );
+        let input: Vec<f32> = (0..15).map(|x| x as f32).collect();
+        let mut globals = vec![Storage::F32(input.clone()), Storage::F32(vec![0.; 15])];
+        run_module(&m, &mut globals, &pool(), true).unwrap();
+        assert_eq!(globals[1].as_slice::<f32>().unwrap(), input.as_slice());
+    }
+
+    #[test]
+    fn reduce_rows_and_col_broadcast_make_softmax_rows() {
+        // one 2x4 tile: exp, row sums, divide -> rows sum to 1
+        let mut f = Func {
+            name: "sm".into(),
+            params: vec![
+                BufDecl::new(DataType::F32, 8, "in"),
+                BufDecl::new(DataType::F32, 8, "out"),
+            ],
+            locals: vec![BufDecl::new(DataType::F32, 2, "sums")],
+            var_count: 0,
+            body: vec![],
+        };
+        f.body.push(Stmt::Op(Intrinsic::Unary {
+            op: UnaryOp::Exp,
+            src: View::new(BufId::Param(0), 0usize, 8),
+            dst: View::new(BufId::Param(1), 0usize, 8),
+        }));
+        f.body.push(Stmt::Op(Intrinsic::ReduceRows {
+            op: ReduceOp::Sum,
+            src: View::new(BufId::Param(1), 0usize, 8),
+            acc: View::new(BufId::Local(0), 0usize, 2),
+            rows: 2,
+            cols: 4,
+            accumulate: false,
+        }));
+        f.body.push(Stmt::Op(Intrinsic::BinaryColBcast {
+            op: BinaryOp::Div,
+            a: View::new(BufId::Param(1), 0usize, 8),
+            b: View::new(BufId::Local(0), 0usize, 2),
+            dst: View::new(BufId::Param(1), 0usize, 8),
+            rows: 2,
+            cols: 4,
+        }));
+        let m = mk_module(
+            f,
+            vec![g(DataType::F32, 8, "in"), g(DataType::F32, 8, "out")],
+        );
+        let mut globals = vec![
+            Storage::F32(vec![0.1, 0.2, 0.3, 0.4, -1.0, 0.0, 1.0, 2.0]),
+            Storage::F32(vec![0.; 8]),
+        ];
+        run_module(&m, &mut globals, &pool(), true).unwrap();
+        let out = globals[1].as_slice::<f32>().unwrap();
+        for row in out.chunks_exact(4) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn int8_pipeline_brgemm_plus_epilogue() {
+        use gc_tensor::QuantParams;
+        // A[1,4] u8, B[4,2] i8 as [n][k] panels, comp, dequant
+        let a = vec![1u8, 2, 3, 4];
+        let b_panels = vec![1i8, 1, 1, 1, -1, -1, -1, -1]; // n0 = ones, n1 = -ones
+        let comp: Vec<i32> = vec![4, -4];
+        let mut f = Func {
+            name: "q".into(),
+            params: vec![
+                BufDecl::new(DataType::U8, 4, "a"),
+                BufDecl::new(DataType::I8, 8, "b"),
+                BufDecl::new(DataType::I32, 2, "comp"),
+                BufDecl::new(DataType::F32, 2, "out"),
+            ],
+            locals: vec![BufDecl::new(DataType::I32, 2, "acc")],
+            var_count: 0,
+            body: vec![],
+        };
+        f.body.push(Stmt::Op(Intrinsic::ZeroI32 {
+            dst: View::new(BufId::Local(0), 0usize, 2),
+        }));
+        f.body.push(Stmt::Op(Intrinsic::BrgemmU8I8 {
+            a: View::new(BufId::Param(0), 0usize, 4),
+            a_stride: 0,
+            b: View::new(BufId::Param(1), 0usize, 8),
+            b_stride: 0,
+            c: View::new(BufId::Local(0), 0usize, 2),
+            m: 1,
+            n: 2,
+            k: 4,
+            batch: 1,
+        }));
+        f.body.push(Stmt::Op(Intrinsic::DequantAcc {
+            acc: View::new(BufId::Local(0), 0usize, 2),
+            comp: View::new(BufId::Param(2), 0usize, 2),
+            a_zero: 1,
+            scale: 0.5,
+            bias: None,
+            dst: View::new(BufId::Param(3), 0usize, 2),
+            rows: 1,
+            cols: 2,
+        }));
+        let m = mk_module(
+            f,
+            vec![
+                g(DataType::U8, 4, "a"),
+                g(DataType::I8, 8, "b"),
+                g(DataType::I32, 2, "comp"),
+                g(DataType::F32, 2, "out"),
+            ],
+        );
+        let mut globals = vec![
+            Storage::U8(a.clone()),
+            Storage::I8(b_panels),
+            Storage::I32(comp),
+            Storage::F32(vec![0.; 2]),
+        ];
+        run_module(&m, &mut globals, &pool(), true).unwrap();
+        let out = globals[3].as_slice::<f32>().unwrap();
+        // acc = [10, -10]; corrected = acc - 1*comp = [6, -6]; * 0.5
+        assert_eq!(out, &[3.0, -3.0]);
+        // reference check via quant module
+        let p = QuantParams::new(0.5, 1);
+        let real: f32 = a
+            .iter()
+            .map(|&q| gc_tensor::quant::dequantize_u8(q, QuantParams::new(1.0, 1)))
+            .sum();
+        let _ = (real, p);
+    }
+
+    #[test]
+    fn module_global_mismatch_errors() {
+        let f = Func {
+            name: "f".into(),
+            params: vec![BufDecl::new(DataType::F32, 4, "x")],
+            locals: vec![],
+            var_count: 0,
+            body: vec![],
+        };
+        let m = mk_module(f, vec![g(DataType::F32, 4, "x")]);
+        let mut wrong = vec![Storage::I8(vec![0; 4])];
+        assert!(run_module(&m, &mut wrong, &pool(), true).is_err());
+        let mut short = vec![Storage::F32(vec![0.; 2])];
+        assert!(run_module(&m, &mut short, &pool(), true).is_err());
+    }
+}

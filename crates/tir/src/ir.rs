@@ -1,0 +1,622 @@
+//! Tensor IR structures: module, function, statement, intrinsic.
+//!
+//! Tensor IR "is close to the C program semantics. The data structure it
+//! operates on is multidimensional arrays, representing tensor buffers
+//! in physical memory." All shapes, strides and loop extents are
+//! compile-time constants (static-shape optimization); only buffer
+//! offsets contain loop variables. Bulk data work happens in
+//! *intrinsics* — microkernel calls and vectorized slice kernels.
+
+use crate::expr::{Expr, VarId};
+use gc_microkernel::{BinaryOp, UnaryOp};
+use gc_tensor::DataType;
+
+/// Reference to a buffer visible inside a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BufId {
+    /// One of the function's parameters.
+    Param(usize),
+    /// A function-local temporary.
+    Local(usize),
+}
+
+/// A contiguous window into a buffer: `buf[offset .. offset + len]`
+/// (in elements).
+#[derive(Debug, Clone, PartialEq)]
+pub struct View {
+    /// Underlying buffer.
+    pub buf: BufId,
+    /// Element offset (may reference loop variables).
+    pub offset: Expr,
+    /// Window length in elements (static).
+    pub len: usize,
+}
+
+impl View {
+    /// Create a view.
+    pub fn new(buf: BufId, offset: impl Into<Expr>, len: usize) -> View {
+        View {
+            buf,
+            offset: offset.into(),
+            len,
+        }
+    }
+}
+
+/// Reduction flavour for [`Intrinsic::ReduceRows`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Row-wise sum.
+    Sum,
+    /// Row-wise max.
+    Max,
+}
+
+/// The intrinsic functions available to lowered code.
+///
+/// Each "is carefully hand-tuned and fulfills a subtask of a DNN OP with
+/// data in the fastest cache on a single CPU core" — in this
+/// reproduction, the kernels of `gc-microkernel`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Intrinsic {
+    /// `c[m,n] += sum_b a_tile(b) x b_tile(b)` — f32 batch-reduce GEMM.
+    /// Tile `i` of A starts at `a.offset + i * a_stride` (likewise B).
+    BrgemmF32 {
+        /// First A tile (len `m * k`).
+        a: View,
+        /// Element stride between consecutive A tiles.
+        a_stride: usize,
+        /// First B tile (len `n * k`, `[n][k]` panels).
+        b: View,
+        /// Element stride between consecutive B tiles.
+        b_stride: usize,
+        /// C tile (len `m * n`), accumulated into.
+        c: View,
+        /// Rows.
+        m: usize,
+        /// Columns.
+        n: usize,
+        /// Reduction per tile.
+        k: usize,
+        /// Number of tile pairs (BS).
+        batch: usize,
+    },
+    /// Int8 batch-reduce GEMM (u8 × i8 → i32).
+    BrgemmU8I8 {
+        /// First A tile (u8).
+        a: View,
+        /// Element stride between A tiles.
+        a_stride: usize,
+        /// First B tile (i8).
+        b: View,
+        /// Element stride between B tiles.
+        b_stride: usize,
+        /// C tile (i32), accumulated into.
+        c: View,
+        /// Rows.
+        m: usize,
+        /// Columns.
+        n: usize,
+        /// Reduction per tile.
+        k: usize,
+        /// Number of tile pairs.
+        batch: usize,
+    },
+    /// Fill an f32 view with a constant.
+    FillF32 {
+        /// Destination.
+        dst: View,
+        /// Fill value.
+        value: f32,
+    },
+    /// Zero an i32 view.
+    ZeroI32 {
+        /// Destination.
+        dst: View,
+    },
+    /// 2-D strided gather into a contiguous tile (layout pack /
+    /// transpose). `dst[r * cols + c] = src[off + r*rs + c*cs]`.
+    Pack2D {
+        /// Source buffer.
+        src: BufId,
+        /// Source base offset.
+        src_offset: Expr,
+        /// Source row stride (elements).
+        src_row_stride: usize,
+        /// Source column stride (elements; 1 for plain rows, use the
+        /// row pitch to express a transpose).
+        src_col_stride: usize,
+        /// Contiguous destination tile (len `rows * cols`).
+        dst: View,
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// 2-D strided scatter from a contiguous tile (layout unpack).
+    /// `dst[off + r*rs + c*cs] = src[r * cols + c]`.
+    Unpack2D {
+        /// Contiguous source tile (len `rows * cols`).
+        src: View,
+        /// Destination buffer.
+        dst: BufId,
+        /// Destination base offset.
+        dst_offset: Expr,
+        /// Destination row stride.
+        dst_row_stride: usize,
+        /// Destination column stride.
+        dst_col_stride: usize,
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Elementwise unary over f32 views (equal lengths; in-place allowed
+    /// when `src` and `dst` coincide exactly).
+    Unary {
+        /// Operation.
+        op: UnaryOp,
+        /// Source.
+        src: View,
+        /// Destination.
+        dst: View,
+    },
+    /// Elementwise binary over f32 views.
+    Binary {
+        /// Operation.
+        op: BinaryOp,
+        /// Left operand.
+        a: View,
+        /// Right operand.
+        b: View,
+        /// Destination.
+        dst: View,
+    },
+    /// Elementwise binary with a scalar rhs.
+    BinaryScalar {
+        /// Operation.
+        op: BinaryOp,
+        /// Left operand.
+        a: View,
+        /// Scalar rhs.
+        scalar: f32,
+        /// Destination.
+        dst: View,
+    },
+    /// `dst[r,c] = op(a[r,c], b[c])` — rhs broadcast along rows
+    /// (bias-style).
+    BinaryRowBcast {
+        /// Operation.
+        op: BinaryOp,
+        /// Tile operand (len `rows * cols`).
+        a: View,
+        /// Broadcast vector (len `cols`).
+        b: View,
+        /// Destination (len `rows * cols`).
+        dst: View,
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// `dst[r,c] = op(a[r,c], b[r])` — rhs broadcast along columns
+    /// (softmax normalization style).
+    BinaryColBcast {
+        /// Operation.
+        op: BinaryOp,
+        /// Tile operand.
+        a: View,
+        /// Broadcast vector (len `rows`).
+        b: View,
+        /// Destination.
+        dst: View,
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Row-wise reduction of a tile into `acc[rows]`; `accumulate`
+    /// combines with existing contents (the partial half of a split
+    /// reduction post-op).
+    ReduceRows {
+        /// Sum or max.
+        op: ReduceOp,
+        /// Tile (len `rows * cols`).
+        src: View,
+        /// Accumulator (len `rows`).
+        acc: View,
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+        /// Combine with existing accumulator contents.
+        accumulate: bool,
+    },
+    /// Int8 epilogue: dequantize an i32 accumulator tile applying
+    /// zero-point compensation, combined scale and optional bias.
+    DequantAcc {
+        /// Accumulator tile (i32, len `rows * cols`).
+        acc: View,
+        /// Compensation vector (i32, len `cols`).
+        comp: View,
+        /// Activation zero point.
+        a_zero: i32,
+        /// Combined scale (`a_s * b_s`).
+        scale: f32,
+        /// Optional bias (f32, len `cols`).
+        bias: Option<View>,
+        /// Destination (f32).
+        dst: View,
+        /// Rows.
+        rows: usize,
+        /// Columns.
+        cols: usize,
+    },
+    /// Requantize f32 → u8.
+    QuantU8 {
+        /// Source (f32).
+        src: View,
+        /// Destination (u8).
+        dst: View,
+        /// Quantization scale.
+        scale: f32,
+        /// Zero point.
+        zero_point: i32,
+    },
+    /// Dequantize u8 → f32.
+    DequantU8 {
+        /// Source (u8).
+        src: View,
+        /// Destination (f32).
+        dst: View,
+        /// Quantization scale.
+        scale: f32,
+        /// Zero point.
+        zero_point: i32,
+    },
+    /// Dequantize i8 → f32 (symmetric).
+    DequantI8 {
+        /// Source (i8).
+        src: View,
+        /// Destination (f32).
+        dst: View,
+        /// Quantization scale.
+        scale: f32,
+    },
+    /// Accumulate weight compensation from one blocked i8 weight tile:
+    /// `comp[j] += sum_k tile[j * kb + k]`.
+    CompAccumulate {
+        /// Weight tile (i8, `[nb][kb]` panels).
+        b_tile: View,
+        /// Compensation accumulator (i32, len `nb`).
+        comp: View,
+        /// Panels.
+        nb: usize,
+        /// Panel length.
+        kb: usize,
+    },
+    /// Widen i32 → f32.
+    CastI32F32 {
+        /// Source (i32).
+        src: View,
+        /// Destination (f32).
+        dst: View,
+    },
+}
+
+/// One Tensor IR statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A counted loop `for var in 0..extent`.
+    For {
+        /// Loop variable.
+        var: VarId,
+        /// Static trip count.
+        extent: usize,
+        /// Whether iterations run on the thread pool (with an implicit
+        /// trailing barrier).
+        parallel: bool,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// An intrinsic call.
+    Op(Intrinsic),
+}
+
+impl Stmt {
+    /// Build a serial loop.
+    pub fn loop_(var: VarId, extent: usize, body: Vec<Stmt>) -> Stmt {
+        Stmt::For {
+            var,
+            extent,
+            parallel: false,
+            body,
+        }
+    }
+
+    /// Build a parallel loop.
+    pub fn parallel(var: VarId, extent: usize, body: Vec<Stmt>) -> Stmt {
+        Stmt::For {
+            var,
+            extent,
+            parallel: true,
+            body,
+        }
+    }
+}
+
+/// Declaration of a buffer (parameter or local).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufDecl {
+    /// Element type.
+    pub dtype: DataType,
+    /// Number of elements.
+    pub elems: usize,
+    /// Debug name.
+    pub name: String,
+}
+
+impl BufDecl {
+    /// Create a declaration.
+    pub fn new(dtype: DataType, elems: usize, name: impl Into<String>) -> Self {
+        BufDecl {
+            dtype,
+            elems,
+            name: name.into(),
+        }
+    }
+
+    /// Size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.elems * self.dtype.size_bytes()
+    }
+}
+
+/// A lowered Fused OP: one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Func {
+    /// Name (diagnostics).
+    pub name: String,
+    /// Parameter buffers (bound to module globals at call sites).
+    pub params: Vec<BufDecl>,
+    /// Local temporary buffers.
+    pub locals: Vec<BufDecl>,
+    /// Number of scalar variables used by the body.
+    pub var_count: usize,
+    /// Statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Func {
+    /// Allocate a fresh variable id.
+    pub fn fresh_var(&mut self) -> VarId {
+        let v = VarId(self.var_count);
+        self.var_count += 1;
+        v
+    }
+
+    /// Declare a local buffer; returns its [`BufId`].
+    pub fn add_local(&mut self, decl: BufDecl) -> BufId {
+        self.locals.push(decl);
+        BufId::Local(self.locals.len() - 1)
+    }
+
+    /// Total bytes of all local temporaries (before buffer reuse).
+    pub fn local_bytes(&self) -> usize {
+        self.locals.iter().map(BufDecl::size_bytes).sum()
+    }
+}
+
+/// Role of a module-level buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalKind {
+    /// Bound to the i-th execution input.
+    Input(usize),
+    /// Bound to the i-th execution output.
+    Output(usize),
+    /// A weight (or other constant) bound at compile time.
+    Weight,
+    /// Produced by the init stage, cached across executions.
+    Persistent,
+    /// Scratch between fused ops, allocated per execution.
+    Scratch,
+}
+
+/// Declaration of a module-level buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Element type.
+    pub dtype: DataType,
+    /// Number of elements.
+    pub elems: usize,
+    /// Role.
+    pub kind: GlobalKind,
+    /// Debug name.
+    pub name: String,
+}
+
+/// A call in the module's entry sequence: `funcs[func](globals[args])`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// Index into [`Module::funcs`].
+    pub func: usize,
+    /// Global indices bound to the function's parameters, in order.
+    pub args: Vec<usize>,
+}
+
+/// A compiled Tensor IR module: "multiple functions, each of which
+/// represents a lowered Fused OP", plus an entry sequence of calls.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Functions (one per fused op / merged group).
+    pub funcs: Vec<Func>,
+    /// Module-level buffers.
+    pub globals: Vec<GlobalDecl>,
+    /// Calls executed once, on first run (constant preprocessing).
+    pub init_calls: Vec<Call>,
+    /// Calls executed on every run.
+    pub main_calls: Vec<Call>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Add a global buffer; returns its index.
+    pub fn add_global(&mut self, decl: GlobalDecl) -> usize {
+        self.globals.push(decl);
+        self.globals.len() - 1
+    }
+
+    /// Add a function; returns its index.
+    pub fn add_func(&mut self, func: Func) -> usize {
+        self.funcs.push(func);
+        self.funcs.len() - 1
+    }
+
+    /// Basic structural validation: call arities and buffer indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (ci, call) in self.init_calls.iter().chain(&self.main_calls).enumerate() {
+            let f = self
+                .funcs
+                .get(call.func)
+                .ok_or_else(|| format!("call {ci}: unknown func {}", call.func))?;
+            if call.args.len() != f.params.len() {
+                return Err(format!(
+                    "call {ci} to {}: {} args for {} params",
+                    f.name,
+                    call.args.len(),
+                    f.params.len()
+                ));
+            }
+            for (&a, p) in call.args.iter().zip(&f.params) {
+                let g = self
+                    .globals
+                    .get(a)
+                    .ok_or_else(|| format!("call {ci}: unknown global {a}"))?;
+                if g.dtype != p.dtype || g.elems < p.elems {
+                    return Err(format!(
+                        "call {ci} to {}: global {} ({} x{}) incompatible with param {} ({} x{})",
+                        f.name, g.name, g.dtype, g.elems, p.name, p.dtype, p.elems
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_func() -> Func {
+        let mut f = Func {
+            name: "f".to_string(),
+            params: vec![
+                BufDecl::new(DataType::F32, 16, "in"),
+                BufDecl::new(DataType::F32, 16, "out"),
+            ],
+            locals: vec![],
+            var_count: 0,
+            body: vec![],
+        };
+        let v = f.fresh_var();
+        f.body.push(Stmt::loop_(
+            v,
+            4,
+            vec![Stmt::Op(Intrinsic::Unary {
+                op: UnaryOp::Relu,
+                src: View::new(BufId::Param(0), Expr::v(v).mul(Expr::c(4)), 4),
+                dst: View::new(BufId::Param(1), Expr::v(v).mul(Expr::c(4)), 4),
+            })],
+        ));
+        f
+    }
+
+    #[test]
+    fn func_helpers() {
+        let mut f = tiny_func();
+        assert_eq!(f.var_count, 1);
+        let l = f.add_local(BufDecl::new(DataType::F32, 8, "tmp"));
+        assert_eq!(l, BufId::Local(0));
+        assert_eq!(f.local_bytes(), 32);
+    }
+
+    #[test]
+    fn module_validate_catches_arity() {
+        let mut m = Module::new();
+        let f = m.add_func(tiny_func());
+        let a = m.add_global(GlobalDecl {
+            dtype: DataType::F32,
+            elems: 16,
+            kind: GlobalKind::Input(0),
+            name: "a".to_string(),
+        });
+        m.main_calls.push(Call {
+            func: f,
+            args: vec![a],
+        });
+        assert!(m.validate().is_err()); // 1 arg for 2 params
+        let b = m.add_global(GlobalDecl {
+            dtype: DataType::F32,
+            elems: 16,
+            kind: GlobalKind::Output(0),
+            name: "b".to_string(),
+        });
+        m.main_calls[0].args.push(b);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn module_validate_catches_dtype() {
+        let mut m = Module::new();
+        let f = m.add_func(tiny_func());
+        let a = m.add_global(GlobalDecl {
+            dtype: DataType::I8,
+            elems: 16,
+            kind: GlobalKind::Input(0),
+            name: "a".to_string(),
+        });
+        let b = m.add_global(GlobalDecl {
+            dtype: DataType::F32,
+            elems: 16,
+            kind: GlobalKind::Output(0),
+            name: "b".to_string(),
+        });
+        m.main_calls.push(Call {
+            func: f,
+            args: vec![a, b],
+        });
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn undersized_global_rejected() {
+        let mut m = Module::new();
+        let f = m.add_func(tiny_func());
+        let a = m.add_global(GlobalDecl {
+            dtype: DataType::F32,
+            elems: 8,
+            kind: GlobalKind::Input(0),
+            name: "a".to_string(),
+        });
+        let b = m.add_global(GlobalDecl {
+            dtype: DataType::F32,
+            elems: 16,
+            kind: GlobalKind::Output(0),
+            name: "b".to_string(),
+        });
+        m.main_calls.push(Call {
+            func: f,
+            args: vec![a, b],
+        });
+        assert!(m.validate().is_err());
+    }
+}

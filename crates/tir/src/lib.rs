@@ -1,0 +1,35 @@
+//! Tensor IR for the oneDNN Graph Compiler reproduction.
+//!
+//! "Tensor IR is the lowest intermediate representation [...] the DNN
+//! computation graph is lowered to a C-like program, which includes
+//! function, statement, expression, and intrinsic functions." This crate
+//! provides:
+//!
+//! - the IR ([`ir`]): [`Module`] / [`Func`] / [`Stmt`] / [`Intrinsic`]
+//!   with integer index expressions ([`expr`]);
+//! - execution ([`exec`]): an in-process executor whose bulk work runs
+//!   in the native microkernels (the reproduction's stand-in for LLVM
+//!   JIT codegen);
+//! - the Tensor IR optimizations ([`passes`]): mechanical parallel-loop
+//!   merging (coarse-grain fusion), tensor-size optimization, and
+//!   memory-buffer reuse;
+//! - multi-core performance projection ([`sim`]) via the `gc-machine`
+//!   cache simulator and cost model;
+//! - a printer ([`printer`]) for diagnostics.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod exec;
+pub mod expr;
+pub mod ir;
+pub mod passes;
+pub mod printer;
+pub mod sim;
+pub mod visit;
+
+pub use engine::Executable;
+pub use expr::{Expr, VarId};
+pub use ir::{
+    BufDecl, BufId, Call, Func, GlobalDecl, GlobalKind, Intrinsic, Module, ReduceOp, Stmt, View,
+};

@@ -1,0 +1,9 @@
+//! Tensor IR optimization passes.
+
+pub mod buffer_reuse;
+pub mod merge_loops;
+pub mod shrink;
+
+pub use buffer_reuse::{reuse_func_locals, reuse_module_scratch, ReuseStats};
+pub use merge_loops::{merge_parallel_loops, MergeStats};
+pub use shrink::{shrink_locals, ShrinkStats};

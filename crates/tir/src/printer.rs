@@ -1,0 +1,217 @@
+//! Human-readable Tensor IR printer (diagnostics and golden tests).
+
+use crate::ir::{BufId, Func, Intrinsic, Module, Stmt, View};
+use std::fmt::Write;
+
+fn view_str(f: &Func, v: &View) -> String {
+    format!("{}[{} +{}]", buf_str(f, v.buf), v.offset, v.len)
+}
+
+fn buf_str(f: &Func, b: BufId) -> String {
+    match b {
+        BufId::Param(i) => format!("%{}", f.params[i].name),
+        BufId::Local(i) => format!("${}", f.locals[i].name),
+    }
+}
+
+fn intr_str(f: &Func, i: &Intrinsic) -> String {
+    match i {
+        Intrinsic::BrgemmF32 {
+            a, b, c, m, n, k, batch, ..
+        } => format!(
+            "brgemm.f32 {} += {} x {}  (m={m} n={n} k={k} bs={batch})",
+            view_str(f, c),
+            view_str(f, a),
+            view_str(f, b)
+        ),
+        Intrinsic::BrgemmU8I8 {
+            a, b, c, m, n, k, batch, ..
+        } => format!(
+            "brgemm.u8i8 {} += {} x {}  (m={m} n={n} k={k} bs={batch})",
+            view_str(f, c),
+            view_str(f, a),
+            view_str(f, b)
+        ),
+        Intrinsic::FillF32 { dst, value } => format!("fill {} = {value}", view_str(f, dst)),
+        Intrinsic::ZeroI32 { dst } => format!("zero.i32 {}", view_str(f, dst)),
+        Intrinsic::Pack2D {
+            src,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            rows,
+            cols,
+        } => format!(
+            "pack2d {} = {}[{} rs={src_row_stride} cs={src_col_stride}] ({rows}x{cols})",
+            view_str(f, dst),
+            buf_str(f, *src),
+            src_offset
+        ),
+        Intrinsic::Unpack2D {
+            src,
+            dst,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+        } => format!(
+            "unpack2d {}[{} rs={dst_row_stride} cs={dst_col_stride}] = {} ({rows}x{cols})",
+            buf_str(f, *dst),
+            dst_offset,
+            view_str(f, src)
+        ),
+        Intrinsic::Unary { op, src, dst } => {
+            format!("{op:?} {} = {}", view_str(f, dst), view_str(f, src))
+        }
+        Intrinsic::Binary { op, a, b, dst } => format!(
+            "{op:?} {} = {}, {}",
+            view_str(f, dst),
+            view_str(f, a),
+            view_str(f, b)
+        ),
+        Intrinsic::BinaryScalar { op, a, scalar, dst } => format!(
+            "{op:?}.s {} = {}, {scalar}",
+            view_str(f, dst),
+            view_str(f, a)
+        ),
+        Intrinsic::BinaryRowBcast { op, a, b, dst, rows, cols } => format!(
+            "{op:?}.rowb {} = {}, {} ({rows}x{cols})",
+            view_str(f, dst),
+            view_str(f, a),
+            view_str(f, b)
+        ),
+        Intrinsic::BinaryColBcast { op, a, b, dst, rows, cols } => format!(
+            "{op:?}.colb {} = {}, {} ({rows}x{cols})",
+            view_str(f, dst),
+            view_str(f, a),
+            view_str(f, b)
+        ),
+        Intrinsic::ReduceRows { op, src, acc, rows, cols, accumulate } => format!(
+            "reduce.{op:?}{} {} <- {} ({rows}x{cols})",
+            if *accumulate { ".acc" } else { "" },
+            view_str(f, acc),
+            view_str(f, src)
+        ),
+        Intrinsic::DequantAcc { acc, dst, rows, cols, .. } => format!(
+            "dequant_acc {} = {} ({rows}x{cols})",
+            view_str(f, dst),
+            view_str(f, acc)
+        ),
+        Intrinsic::QuantU8 { src, dst, .. } => {
+            format!("quant.u8 {} = {}", view_str(f, dst), view_str(f, src))
+        }
+        Intrinsic::DequantU8 { src, dst, .. } => {
+            format!("dequant.u8 {} = {}", view_str(f, dst), view_str(f, src))
+        }
+        Intrinsic::DequantI8 { src, dst, .. } => {
+            format!("dequant.i8 {} = {}", view_str(f, dst), view_str(f, src))
+        }
+        Intrinsic::CompAccumulate { b_tile, comp, nb, kb } => format!(
+            "comp_acc {} += colsums({}) (nb={nb} kb={kb})",
+            view_str(f, comp),
+            view_str(f, b_tile)
+        ),
+        Intrinsic::CastI32F32 { src, dst } => {
+            format!("cast.i32f32 {} = {}", view_str(f, dst), view_str(f, src))
+        }
+    }
+}
+
+fn print_stmts(f: &Func, stmts: &[Stmt], indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::For {
+                var,
+                extent,
+                parallel,
+                body,
+            } => {
+                let kw = if *parallel { "parallel" } else { "for" };
+                let _ = writeln!(out, "{pad}{kw} {var} in 0..{extent} {{");
+                print_stmts(f, body, indent + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::Op(i) => {
+                let _ = writeln!(out, "{pad}{}", intr_str(f, i));
+            }
+        }
+    }
+}
+
+/// Print one function.
+pub fn print_func(f: &Func) -> String {
+    let mut s = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|p| format!("%{}: {}[{}]", p.name, p.dtype, p.elems))
+        .collect();
+    let _ = writeln!(s, "func {}({}) {{", f.name, params.join(", "));
+    for l in &f.locals {
+        let _ = writeln!(s, "  local ${}: {}[{}]", l.name, l.dtype, l.elems);
+    }
+    print_stmts(f, &f.body, 1, &mut s);
+    let _ = writeln!(s, "}}");
+    s
+}
+
+/// Print a whole module.
+pub fn print_module(m: &Module) -> String {
+    let mut s = String::new();
+    for g in &m.globals {
+        let _ = writeln!(s, "global {}: {}[{}] {:?}", g.name, g.dtype, g.elems, g.kind);
+    }
+    for f in &m.funcs {
+        s.push('\n');
+        s.push_str(&print_func(f));
+    }
+    let _ = writeln!(s, "\nentry {{");
+    for c in &m.init_calls {
+        let _ = writeln!(s, "  init  call {} {:?}", m.funcs[c.func].name, c.args);
+    }
+    for c in &m.main_calls {
+        let _ = writeln!(s, "  call {} {:?}", m.funcs[c.func].name, c.args);
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ir::BufDecl;
+    use gc_microkernel::UnaryOp;
+    use gc_tensor::DataType;
+
+    #[test]
+    fn prints_loops_and_intrinsics() {
+        let mut f = Func {
+            name: "demo".into(),
+            params: vec![
+                BufDecl::new(DataType::F32, 8, "in"),
+                BufDecl::new(DataType::F32, 8, "out"),
+            ],
+            locals: vec![BufDecl::new(DataType::F32, 4, "tmp")],
+            var_count: 0,
+            body: vec![],
+        };
+        let v = f.fresh_var();
+        f.body.push(Stmt::parallel(
+            v,
+            2,
+            vec![Stmt::Op(Intrinsic::Unary {
+                op: UnaryOp::Relu,
+                src: View::new(BufId::Param(0), Expr::v(v).mul(Expr::c(4)), 4),
+                dst: View::new(BufId::Param(1), Expr::v(v).mul(Expr::c(4)), 4),
+            })],
+        ));
+        let text = print_func(&f);
+        assert!(text.contains("parallel v0 in 0..2"));
+        assert!(text.contains("Relu %out"));
+        assert!(text.contains("local $tmp"));
+    }
+}

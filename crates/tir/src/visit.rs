@@ -1,0 +1,442 @@
+//! Traversal helpers over Tensor IR.
+
+use crate::expr::Expr;
+use crate::ir::{BufId, Intrinsic, Stmt, View};
+
+/// Apply `f` to every expression inside an intrinsic (view offsets and
+/// strided-copy base offsets).
+pub fn map_intrinsic_exprs(i: Intrinsic, f: &impl Fn(&Expr) -> Expr) -> Intrinsic {
+    let mv = |v: View| View {
+        buf: v.buf,
+        offset: f(&v.offset),
+        len: v.len,
+    };
+    match i {
+        Intrinsic::BrgemmF32 {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+        } => Intrinsic::BrgemmF32 {
+            a: mv(a),
+            a_stride,
+            b: mv(b),
+            b_stride,
+            c: mv(c),
+            m,
+            n,
+            k,
+            batch,
+        },
+        Intrinsic::BrgemmU8I8 {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+        } => Intrinsic::BrgemmU8I8 {
+            a: mv(a),
+            a_stride,
+            b: mv(b),
+            b_stride,
+            c: mv(c),
+            m,
+            n,
+            k,
+            batch,
+        },
+        Intrinsic::FillF32 { dst, value } => Intrinsic::FillF32 { dst: mv(dst), value },
+        Intrinsic::ZeroI32 { dst } => Intrinsic::ZeroI32 { dst: mv(dst) },
+        Intrinsic::Pack2D {
+            src,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            rows,
+            cols,
+        } => Intrinsic::Pack2D {
+            src,
+            src_offset: f(&src_offset),
+            src_row_stride,
+            src_col_stride,
+            dst: mv(dst),
+            rows,
+            cols,
+        },
+        Intrinsic::Unpack2D {
+            src,
+            dst,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+        } => Intrinsic::Unpack2D {
+            src: mv(src),
+            dst,
+            dst_offset: f(&dst_offset),
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+        },
+        Intrinsic::Unary { op, src, dst } => Intrinsic::Unary {
+            op,
+            src: mv(src),
+            dst: mv(dst),
+        },
+        Intrinsic::Binary { op, a, b, dst } => Intrinsic::Binary {
+            op,
+            a: mv(a),
+            b: mv(b),
+            dst: mv(dst),
+        },
+        Intrinsic::BinaryScalar { op, a, scalar, dst } => Intrinsic::BinaryScalar {
+            op,
+            a: mv(a),
+            scalar,
+            dst: mv(dst),
+        },
+        Intrinsic::BinaryRowBcast {
+            op,
+            a,
+            b,
+            dst,
+            rows,
+            cols,
+        } => Intrinsic::BinaryRowBcast {
+            op,
+            a: mv(a),
+            b: mv(b),
+            dst: mv(dst),
+            rows,
+            cols,
+        },
+        Intrinsic::BinaryColBcast {
+            op,
+            a,
+            b,
+            dst,
+            rows,
+            cols,
+        } => Intrinsic::BinaryColBcast {
+            op,
+            a: mv(a),
+            b: mv(b),
+            dst: mv(dst),
+            rows,
+            cols,
+        },
+        Intrinsic::ReduceRows {
+            op,
+            src,
+            acc,
+            rows,
+            cols,
+            accumulate,
+        } => Intrinsic::ReduceRows {
+            op,
+            src: mv(src),
+            acc: mv(acc),
+            rows,
+            cols,
+            accumulate,
+        },
+        Intrinsic::DequantAcc {
+            acc,
+            comp,
+            a_zero,
+            scale,
+            bias,
+            dst,
+            rows,
+            cols,
+        } => Intrinsic::DequantAcc {
+            acc: mv(acc),
+            comp: mv(comp),
+            a_zero,
+            scale,
+            bias: bias.map(mv),
+            dst: mv(dst),
+            rows,
+            cols,
+        },
+        Intrinsic::QuantU8 {
+            src,
+            dst,
+            scale,
+            zero_point,
+        } => Intrinsic::QuantU8 {
+            src: mv(src),
+            dst: mv(dst),
+            scale,
+            zero_point,
+        },
+        Intrinsic::DequantU8 {
+            src,
+            dst,
+            scale,
+            zero_point,
+        } => Intrinsic::DequantU8 {
+            src: mv(src),
+            dst: mv(dst),
+            scale,
+            zero_point,
+        },
+        Intrinsic::DequantI8 { src, dst, scale } => Intrinsic::DequantI8 {
+            src: mv(src),
+            dst: mv(dst),
+            scale,
+        },
+        Intrinsic::CompAccumulate {
+            b_tile,
+            comp,
+            nb,
+            kb,
+        } => Intrinsic::CompAccumulate {
+            b_tile: mv(b_tile),
+            comp: mv(comp),
+            nb,
+            kb,
+        },
+        Intrinsic::CastI32F32 { src, dst } => Intrinsic::CastI32F32 {
+            src: mv(src),
+            dst: mv(dst),
+        },
+    }
+}
+
+/// An access to a buffer: the view plus whether it is written.
+#[derive(Debug, Clone)]
+pub struct Access {
+    /// Buffer accessed.
+    pub buf: BufId,
+    /// Element offset expression.
+    pub offset: Expr,
+    /// Window length.
+    pub len: usize,
+    /// True if the access writes.
+    pub write: bool,
+}
+
+fn acc(v: &View, write: bool) -> Access {
+    Access {
+        buf: v.buf,
+        offset: v.offset.clone(),
+        len: v.len,
+        write,
+    }
+}
+
+/// Enumerate the buffer accesses an intrinsic performs.
+pub fn intrinsic_accesses(i: &Intrinsic) -> Vec<Access> {
+    match i {
+        Intrinsic::BrgemmF32 {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+        }
+        | Intrinsic::BrgemmU8I8 {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+        } => {
+            // one access per tile: the batch tiles may be far apart in
+            // the blocked layouts, and a dense span would wildly
+            // overstate the traffic
+            let mut v = Vec::with_capacity(2 * batch + 1);
+            for i in 0..*batch {
+                v.push(Access {
+                    buf: a.buf,
+                    offset: a.offset.clone().add(Expr::from(i * a_stride)),
+                    len: m * k,
+                    write: false,
+                });
+                v.push(Access {
+                    buf: b.buf,
+                    offset: b.offset.clone().add(Expr::from(i * b_stride)),
+                    len: n * k,
+                    write: false,
+                });
+            }
+            v.push(acc(c, true));
+            v
+        }
+        Intrinsic::FillF32 { dst, .. } | Intrinsic::ZeroI32 { dst } => vec![acc(dst, true)],
+        Intrinsic::Pack2D {
+            src,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            rows,
+            cols,
+        } => vec![
+            Access {
+                buf: *src,
+                offset: src_offset.clone(),
+                len: (rows - 1) * src_row_stride + (cols - 1) * src_col_stride + 1,
+                write: false,
+            },
+            acc(dst, true),
+        ],
+        Intrinsic::Unpack2D {
+            src,
+            dst,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+        } => vec![
+            acc(src, false),
+            Access {
+                buf: *dst,
+                offset: dst_offset.clone(),
+                len: (rows - 1) * dst_row_stride + (cols - 1) * dst_col_stride + 1,
+                write: true,
+            },
+        ],
+        Intrinsic::Unary { src, dst, .. } => vec![acc(src, false), acc(dst, true)],
+        Intrinsic::Binary { a, b, dst, .. } => {
+            vec![acc(a, false), acc(b, false), acc(dst, true)]
+        }
+        Intrinsic::BinaryScalar { a, dst, .. } => vec![acc(a, false), acc(dst, true)],
+        Intrinsic::BinaryRowBcast { a, b, dst, .. }
+        | Intrinsic::BinaryColBcast { a, b, dst, .. } => {
+            vec![acc(a, false), acc(b, false), acc(dst, true)]
+        }
+        Intrinsic::ReduceRows { src, acc: a, .. } => vec![acc(src, false), self_acc(a)],
+        Intrinsic::DequantAcc {
+            acc: a,
+            comp,
+            bias,
+            dst,
+            ..
+        } => {
+            let mut v = vec![acc(a, false), acc(comp, false), acc(dst, true)];
+            if let Some(b) = bias {
+                v.push(acc(b, false));
+            }
+            v
+        }
+        Intrinsic::QuantU8 { src, dst, .. }
+        | Intrinsic::DequantU8 { src, dst, .. }
+        | Intrinsic::DequantI8 { src, dst, .. }
+        | Intrinsic::CastI32F32 { src, dst } => vec![acc(src, false), acc(dst, true)],
+        Intrinsic::CompAccumulate { b_tile, comp, .. } => {
+            vec![acc(b_tile, false), self_acc(comp)]
+        }
+    }
+}
+
+fn self_acc(v: &View) -> Access {
+    // read-modify-write accumulator
+    Access {
+        buf: v.buf,
+        offset: v.offset.clone(),
+        len: v.len,
+        write: true,
+    }
+}
+
+/// Visit every intrinsic in a statement tree.
+pub fn visit_intrinsics<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Intrinsic)) {
+    for s in stmts {
+        match s {
+            Stmt::For { body, .. } => visit_intrinsics(body, f),
+            Stmt::Op(i) => f(i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::VarId;
+    use gc_microkernel::UnaryOp;
+
+    #[test]
+    fn map_exprs_substitutes_offsets() {
+        let i = Intrinsic::Unary {
+            op: UnaryOp::Relu,
+            src: View::new(BufId::Param(0), Expr::v(VarId(1)), 4),
+            dst: View::new(BufId::Param(1), Expr::v(VarId(1)), 4),
+        };
+        let j = map_intrinsic_exprs(i, &|e| e.subst(VarId(1), &Expr::c(7)));
+        let Intrinsic::Unary { src, dst, .. } = j else {
+            panic!()
+        };
+        assert_eq!(src.offset, Expr::c(7));
+        assert_eq!(dst.offset, Expr::c(7));
+    }
+
+    #[test]
+    fn accesses_cover_brgemm_tiles() {
+        let i = Intrinsic::BrgemmF32 {
+            a: View::new(BufId::Param(0), 0usize, 8),
+            a_stride: 100,
+            b: View::new(BufId::Param(1), 0usize, 8),
+            b_stride: 200,
+            c: View::new(BufId::Param(2), 0usize, 4),
+            m: 2,
+            n: 2,
+            k: 4,
+            batch: 3,
+        };
+        let accs = intrinsic_accesses(&i);
+        // 3 A tiles + 3 B tiles + C
+        assert_eq!(accs.len(), 7);
+        assert_eq!(accs[0].len, 8);
+        assert_eq!(accs[2].offset.eval(&[]), 100); // second A tile
+        assert_eq!(accs[3].offset.eval(&[]), 200); // second B tile
+        assert!(accs[6].write);
+    }
+
+    #[test]
+    fn visit_counts_ops() {
+        let v = VarId(0);
+        let s = vec![Stmt::loop_(
+            v,
+            3,
+            vec![
+                Stmt::Op(Intrinsic::FillF32 {
+                    dst: View::new(BufId::Param(0), 0usize, 4),
+                    value: 0.0,
+                }),
+                Stmt::loop_(
+                    VarId(1),
+                    2,
+                    vec![Stmt::Op(Intrinsic::ZeroI32 {
+                        dst: View::new(BufId::Param(1), 0usize, 4),
+                    })],
+                ),
+            ],
+        )];
+        let mut count = 0;
+        visit_intrinsics(&s, &mut |_| count += 1);
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,73 @@
+//! DLRM-style MLP inference (the paper's MLP_1 workload) in both FP32
+//! and Int8, comparing the full compiler against the primitives-library
+//! baseline — a miniature of the paper's Figure 8 (left).
+//!
+//! Run with: `cargo run --release --example mlp_inference`
+
+use gc_baseline::{Baseline, BaselineOptions};
+use gc_bench::workloads::{self, random_inputs};
+use gc_core::{CompileOptions, Compiler};
+use gc_machine::MachineDescriptor;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineDescriptor::xeon_8358();
+    let batch = 256;
+    let layers = workloads::mlp1_layers();
+    println!(
+        "MLP_1: batch {batch}, layers {:?} on {}",
+        layers, machine.name
+    );
+
+    for (name, int8) in [("fp32", false), ("int8", true)] {
+        let build = || {
+            if int8 {
+                workloads::mlp_int8(batch, &layers, 3)
+            } else {
+                workloads::mlp_f32(batch, &layers, 3)
+            }
+        };
+        let inputs = random_inputs(&build(), 5);
+
+        // full compiler
+        let compiled = Compiler::new(CompileOptions::new(machine.clone())).compile(build())?;
+        let (_, _warm) = compiled.execute(&inputs)?; // init run
+        let (c_out, c_stats) = compiled.execute(&inputs)?;
+        let c_proj = compiled.project();
+
+        // primitives baseline
+        let baseline = Baseline::new(BaselineOptions::new(machine.clone())).build(build())?;
+        let (_, _warm) = baseline.execute(&inputs)?;
+        let (b_out, b_stats) = baseline.execute(&inputs)?;
+        let b_proj = baseline.project();
+
+        // both paths must agree
+        let n = c_out[0].desc().volume();
+        let mut worst = 0f64;
+        for i in 0..n {
+            worst = worst.max(
+                (c_out[0].storage().get_as_f64(i) - b_out[0].storage().get_as_f64(i)).abs(),
+            );
+        }
+
+        println!("--- {name} ---");
+        println!(
+            "  baseline : {:>2} primitives, {:>3} barriers, projected {:.4} ms, wall {:.2} ms",
+            baseline.primitive_count(),
+            b_stats.barriers,
+            machine.cycles_to_ms(b_proj.cycles),
+            b_stats.wall.as_secs_f64() * 1e3,
+        );
+        println!(
+            "  compiler : {:>2} partition,   {:>3} barriers, projected {:.4} ms, wall {:.2} ms",
+            1,
+            c_stats.barriers,
+            machine.cycles_to_ms(c_proj.cycles),
+            c_stats.wall.as_secs_f64() * 1e3,
+        );
+        println!(
+            "  projected speedup {:.2}x  (outputs agree to {worst:.2e})",
+            b_proj.cycles / c_proj.cycles
+        );
+    }
+    Ok(())
+}

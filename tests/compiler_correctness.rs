@@ -1,0 +1,262 @@
+//! End-to-end correctness: compiled executions vs the naive reference,
+//! across shapes, precisions, and optimization settings.
+
+use gc_bench::workloads::{
+    self, mha_configs, mlp1_layers, mlp_f32, mlp_int8, random_inputs, reference_eval, MhaConfig,
+};
+use gc_core::{CompileOptions, CompiledPartition, Compiler};
+use gc_machine::MachineDescriptor;
+use gc_tensor::{DataType, Tensor, TensorDesc};
+
+fn opts() -> CompileOptions {
+    let mut o = CompileOptions::new(MachineDescriptor::xeon_8358());
+    o.threads = Some(2);
+    o
+}
+
+fn compile_with(o: CompileOptions, g: gc_graph::Graph) -> CompiledPartition {
+    Compiler::new(o).compile(g).expect("compile")
+}
+
+fn assert_close(got: &Tensor, want: &Tensor, tol: f64, label: &str) {
+    assert_eq!(
+        got.desc().volume(),
+        want.desc().volume(),
+        "{label}: volume mismatch"
+    );
+    // compiled outputs come back flat; compare element streams
+    let n = want.desc().volume();
+    let mut worst = 0f64;
+    for i in 0..n {
+        let a = got.storage().get_as_f64(i);
+        let b = want.storage().get_as_f64(i);
+        worst = worst.max((a - b).abs());
+    }
+    assert!(worst <= tol, "{label}: max diff {worst} > {tol}");
+}
+
+#[test]
+fn single_matmul_f32_many_shapes() {
+    for &(m, n, k) in &[
+        (4usize, 4usize, 4usize),
+        (32, 512, 13),
+        (64, 256, 512),
+        (16, 48, 96),
+        (32, 1, 256),
+        (8, 7, 5),
+    ] {
+        let g = workloads::single_matmul(m, n, k, workloads::Precision::F32, 1);
+        let inputs = random_inputs(&g, 9);
+        let want = reference_eval(&g, &inputs);
+        let compiled = compile_with(opts(), g);
+        let (outs, _) = compiled.execute(&inputs).expect("exec");
+        assert_close(&outs[0], &want[0], 1e-3, &format!("matmul {m}x{n}x{k}"));
+    }
+}
+
+#[test]
+fn single_matmul_int8_matches_reference_pipeline() {
+    for &(m, n, k) in &[(32usize, 64usize, 16usize), (32, 512, 13), (64, 128, 256)] {
+        let g = workloads::single_matmul(m, n, k, workloads::Precision::Int8, 2);
+        let inputs = random_inputs(&g, 11);
+        // reference runs the *unconverted* graph (dequant -> f32 matmul
+        // -> quantize); the compiled path uses the int8 rewrite. They
+        // must agree to within one quantization step.
+        let want = reference_eval(&g, &inputs);
+        let compiled = compile_with(opts(), g);
+        let (outs, _) = compiled.execute(&inputs).expect("exec");
+        let n_el = want[0].desc().volume();
+        let mut worst = 0i64;
+        for i in 0..n_el {
+            let a = outs[0].storage().get_as_f64(i) as i64;
+            let b = want[0].storage().get_as_f64(i) as i64;
+            worst = worst.max((a - b).abs());
+        }
+        assert!(worst <= 1, "int8 {m}x{n}x{k}: worst quant diff {worst}");
+    }
+}
+
+#[test]
+fn mlp1_f32_all_settings_agree_with_reference() {
+    let g0 = mlp_f32(32, &mlp1_layers(), 3);
+    let inputs = random_inputs(&g0, 5);
+    let want = reference_eval(&g0, &inputs);
+    let machine = MachineDescriptor::xeon_8358();
+
+    let settings: Vec<(&str, CompileOptions)> = vec![
+        ("full", opts()),
+        ("no-coarse", {
+            let mut o = CompileOptions::without_coarse_fusion(machine.clone());
+            o.threads = Some(2);
+            o
+        }),
+        ("unfused", {
+            let mut o = CompileOptions::unfused(machine.clone());
+            o.threads = Some(2);
+            o
+        }),
+        ("no-layout-prop", {
+            let mut o = opts();
+            o.propagate_layouts = false;
+            o
+        }),
+        ("no-reuse-no-shrink", {
+            let mut o = opts();
+            o.reuse_buffers = false;
+            o.shrink_tensors = false;
+            o
+        }),
+    ];
+    for (name, o) in settings {
+        let g = mlp_f32(32, &mlp1_layers(), 3);
+        let compiled = compile_with(o, g);
+        let (outs, _) = compiled.execute(&inputs).expect("exec");
+        assert_close(&outs[0], &want[0], 1e-2, name);
+    }
+}
+
+#[test]
+fn mlp1_f32_larger_batches() {
+    for batch in [64usize, 128] {
+        let g = mlp_f32(batch, &mlp1_layers(), 4);
+        let inputs = random_inputs(&g, 6);
+        let want = reference_eval(&g, &inputs);
+        let compiled = compile_with(opts(), g);
+        let (outs, _) = compiled.execute(&inputs).expect("exec");
+        assert_close(&outs[0], &want[0], 1e-2, &format!("mlp1 b{batch}"));
+    }
+}
+
+#[test]
+fn mlp_int8_full_pipeline() {
+    let g0 = mlp_int8(32, &mlp1_layers(), 7);
+    let inputs = random_inputs(&g0, 8);
+    let want = reference_eval(&g0, &inputs);
+    let compiled = compile_with(opts(), mlp_int8(32, &mlp1_layers(), 7));
+    let (outs, _) = compiled.execute(&inputs).expect("exec");
+    // int8 chains accumulate rounding: allow a few quantization steps
+    let n = want[0].desc().volume();
+    let mut worst = 0i64;
+    for i in 0..n {
+        let a = outs[0].storage().get_as_f64(i) as i64;
+        let b = want[0].storage().get_as_f64(i) as i64;
+        worst = worst.max((a - b).abs());
+    }
+    assert!(worst <= 3, "int8 MLP worst diff {worst} quant steps");
+}
+
+fn tiny_mha() -> MhaConfig {
+    MhaConfig {
+        name: "tiny",
+        seq: 16,
+        hidden: 64,
+        heads: 4,
+    }
+}
+
+#[test]
+fn mha_f32_matches_reference() {
+    let (g0, _) = workloads::mha_f32(2, &tiny_mha());
+    let inputs = random_inputs(&g0, 13);
+    let want = reference_eval(&g0, &inputs);
+    let (g, _) = workloads::mha_f32(2, &tiny_mha());
+    let compiled = compile_with(opts(), g);
+    let (outs, _) = compiled.execute(&inputs).expect("exec");
+    assert_close(&outs[0], &want[0], 1e-3, "mha tiny");
+}
+
+#[test]
+fn mha_f32_real_config_small_batch() {
+    let cfg = mha_configs()[0]; // seq 128, hidden 768, heads 8
+    let (g0, _) = workloads::mha_f32(1, &cfg);
+    let inputs = random_inputs(&g0, 17);
+    let want = reference_eval(&g0, &inputs);
+    let (g, _) = workloads::mha_f32(1, &cfg);
+    let compiled = compile_with(opts(), g);
+    let (outs, _) = compiled.execute(&inputs).expect("exec");
+    assert_close(&outs[0], &want[0], 5e-2, "mha_1 b1");
+}
+
+#[test]
+fn mha_f32_no_coarse_fusion_agrees() {
+    let (g0, _) = workloads::mha_f32(2, &tiny_mha());
+    let inputs = random_inputs(&g0, 19);
+    let want = reference_eval(&g0, &inputs);
+    let mut o = CompileOptions::without_coarse_fusion(MachineDescriptor::xeon_8358());
+    o.threads = Some(2);
+    let (g, _) = workloads::mha_f32(2, &tiny_mha());
+    let compiled = compile_with(o, g);
+    let (outs, _) = compiled.execute(&inputs).expect("exec");
+    assert_close(&outs[0], &want[0], 1e-3, "mha no-coarse");
+}
+
+#[test]
+fn mha_int8_runs_and_is_close() {
+    let (g0, _) = workloads::mha_int8(2, &tiny_mha());
+    let inputs = random_inputs(&g0, 23);
+    let want = reference_eval(&g0, &inputs);
+    let (g, _) = workloads::mha_int8(2, &tiny_mha());
+    let compiled = compile_with(opts(), g);
+    let (outs, _) = compiled.execute(&inputs).expect("exec");
+    // attention outputs are weighted averages of dequantized int8 V
+    // values; everything is O(1), so absolute tolerance works
+    assert_close(&outs[0], &want[0], 0.15, "mha int8");
+}
+
+#[test]
+fn compiled_partition_is_reusable_and_init_runs_once() {
+    let g = mlp_f32(32, &mlp1_layers(), 31);
+    let inputs = random_inputs(&g, 37);
+    let want = reference_eval(&g, &inputs);
+    let compiled = compile_with(opts(), mlp_f32(32, &mlp1_layers(), 31));
+    for _ in 0..3 {
+        let (outs, _) = compiled.execute(&inputs).expect("exec");
+        assert_close(&outs[0], &want[0], 1e-2, "repeat exec");
+    }
+    assert_eq!(compiled.executable().init_runs(), 1);
+}
+
+#[test]
+fn report_reflects_fusion_decisions() {
+    let compiled = compile_with(opts(), mlp_f32(512, &mlp1_layers(), 41));
+    let r = compiled.report();
+    assert_eq!(r.partitions, 3, "3 fused matmuls");
+    assert!(r.fused_post_ops >= 2, "two relus fused");
+    assert_eq!(r.merged_groups, 1, "MLP chain merges into one group");
+
+    let mut o = CompileOptions::without_coarse_fusion(MachineDescriptor::xeon_8358());
+    o.threads = Some(1);
+    let nc = compile_with(o, mlp_f32(128, &mlp1_layers(), 41));
+    assert_eq!(nc.report().merged_groups, 0);
+}
+
+#[test]
+fn rectangular_and_degenerate_shapes() {
+    // n = 1 (DLRM final layer), k prime
+    for &(m, n, k) in &[(32usize, 1usize, 256usize), (64, 16, 479), (16, 31, 7)] {
+        let g = workloads::single_matmul(m, n, k, workloads::Precision::F32, 43);
+        let inputs = random_inputs(&g, 47);
+        let want = reference_eval(&g, &inputs);
+        let compiled = compile_with(opts(), g);
+        let (outs, _) = compiled.execute(&inputs).expect("exec");
+        assert_close(&outs[0], &want[0], 1e-3, &format!("edge {m}x{n}x{k}"));
+    }
+}
+
+#[test]
+fn matmul_with_bias_and_gelu_chain() {
+    use gc_graph::{BinaryKind, OpKind, UnaryKind};
+    let mut g = gc_graph::Graph::new();
+    let x = g.add_input(TensorDesc::new([32, 64], DataType::F32), "x");
+    let w = g.add_constant(Tensor::random(&[64, 48], DataType::F32, 51), "w");
+    let b = g.add_constant(Tensor::random(&[48], DataType::F32, 53), "b");
+    let mm = g.add_op(OpKind::MatMul, &[x, w]).unwrap();
+    let biased = g.add_op(OpKind::Binary(BinaryKind::Add), &[mm, b]).unwrap();
+    let act = g.add_op(OpKind::Unary(UnaryKind::Gelu), &[biased]).unwrap();
+    g.mark_output(act);
+    let inputs = random_inputs(&g, 55);
+    let want = reference_eval(&g, &inputs);
+    let compiled = compile_with(opts(), g);
+    let (outs, _) = compiled.execute(&inputs).expect("exec");
+    assert_close(&outs[0], &want[0], 1e-3, "bias+gelu");
+}

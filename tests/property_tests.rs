@@ -1,0 +1,235 @@
+//! Property-based tests on the core invariants:
+//!
+//! - compiled execution ≡ reference for random matmul(+post-op) shapes;
+//! - reorder round trips are identity for random layouts;
+//! - quantization algebra (compensated int8 == dequantized f32);
+//! - buffer reuse / tensor shrink never change results;
+//! - the parameter heuristic always returns valid tilings.
+
+use gc_bench::workloads::{self, random_inputs, reference_eval};
+use gc_core::{CompileOptions, Compiler};
+use gc_graph::{BinaryKind, Graph, OpKind, UnaryKind};
+use gc_lowering::{choose_params, Constraints, MatmulProblem};
+use gc_machine::MachineDescriptor;
+use gc_tensor::{reorder, DataType, Layout, QuantParams, Tensor, TensorDesc};
+use proptest::prelude::*;
+
+fn small_dim() -> impl Strategy<Value = usize> {
+    // dims that exercise odd tilings without slowing the suite down
+    prop_oneof![1usize..=8, Just(13), Just(16), Just(24), Just(31), Just(32)]
+}
+
+fn machine() -> MachineDescriptor {
+    MachineDescriptor::xeon_8358()
+}
+
+fn compile_opts() -> CompileOptions {
+    let mut o = CompileOptions::new(machine());
+    o.threads = Some(1);
+    o
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compiled_matmul_matches_reference(
+        m in small_dim(),
+        n in small_dim(),
+        k in small_dim(),
+        relu in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([m, k], DataType::F32), "x");
+        let w = g.add_constant(Tensor::random(&[k, n], DataType::F32, seed), "w");
+        let mut out = g.add_op(OpKind::MatMul, &[x, w]).unwrap();
+        if relu {
+            out = g.add_op(OpKind::Unary(UnaryKind::Relu), &[out]).unwrap();
+        }
+        g.mark_output(out);
+        let inputs = random_inputs(&g, seed + 1);
+        let want = reference_eval(&g, &inputs);
+        let compiled = Compiler::new(compile_opts()).compile(g).unwrap();
+        let (outs, _) = compiled.execute(&inputs).unwrap();
+        for i in 0..want[0].desc().volume() {
+            let a = outs[0].storage().get_as_f64(i);
+            let b = want[0].storage().get_as_f64(i);
+            prop_assert!((a - b).abs() < 1e-3, "elem {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn reorder_round_trip_is_identity(
+        rows_t in 1usize..=6,
+        cols_t in 1usize..=6,
+        rb in 1usize..=4,
+        cb in 1usize..=4,
+        weight_layout in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let shape = [rows_t * rb, cols_t * cb];
+        let t = Tensor::random(&shape, DataType::F32, seed);
+        let layout = if weight_layout {
+            Layout::blocked_b(2, rb, cb)
+        } else {
+            Layout::blocked_a(2, rb, cb)
+        };
+        // blocked_b blocks (col, row): its factors apply to (k=rows, n=cols)
+        let layout = if weight_layout {
+            Layout::blocked_b(2, rb, cb) // kb = rb divides rows? blocked_b(rank, kb, nb)
+        } else {
+            layout
+        };
+        let shape_ok = if weight_layout {
+            shape[0] % rb == 0 && shape[1] % cb == 0
+        } else {
+            true
+        };
+        prop_assume!(shape_ok);
+        let blocked = reorder::reorder(&t, layout).unwrap();
+        prop_assert!(blocked.allclose(&t, 0.0));
+        let back = reorder::reorder(&blocked, Layout::Plain).unwrap();
+        prop_assert_eq!(back.f32_slice().unwrap(), t.f32_slice().unwrap());
+    }
+
+    #[test]
+    fn int8_compensation_matches_f32_path(
+        m in 1usize..=12,
+        n in 1usize..=12,
+        k in 1usize..=24,
+        a_zero in 0i32..=16,
+        seed in 0u64..1000,
+    ) {
+        let a_q = QuantParams::new(0.05, a_zero);
+        let g = |()| {
+            let mut g = Graph::new();
+            let a = g.add_input(TensorDesc::new([m, k], DataType::U8), "a");
+            let b = g.add_constant(Tensor::random(&[k, n], DataType::I8, seed), "b");
+            let af = g.add_op(OpKind::Dequantize { params: a_q }, &[a]).unwrap();
+            let bf = g
+                .add_op(
+                    OpKind::Dequantize {
+                        params: QuantParams::symmetric(0.1),
+                    },
+                    &[b],
+                )
+                .unwrap();
+            let mm = g.add_op(OpKind::MatMul, &[af, bf]).unwrap();
+            g.mark_output(mm);
+            g
+        };
+        let g0 = g(());
+        let inputs = random_inputs(&g0, seed + 7);
+        let want = reference_eval(&g0, &inputs);
+        let compiled = Compiler::new(compile_opts()).compile(g(())).unwrap();
+        let (outs, _) = compiled.execute(&inputs).unwrap();
+        for i in 0..want[0].desc().volume() {
+            let a = outs[0].storage().get_as_f64(i);
+            let b = want[0].storage().get_as_f64(i);
+            prop_assert!((a - b).abs() < 1e-3, "elem {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn buffer_passes_never_change_results(
+        m in small_dim(),
+        n in small_dim(),
+        seed in 0u64..1000,
+    ) {
+        let build = || workloads::mlp_f32(m.max(2) * 4, &[n.max(2) * 4, 16, 8], seed);
+        let inputs = random_inputs(&build(), seed + 3);
+        let run = |reuse: bool, shrink: bool| {
+            let mut o = compile_opts();
+            o.reuse_buffers = reuse;
+            o.shrink_tensors = shrink;
+            let c = Compiler::new(o).compile(build()).unwrap();
+            let (outs, _) = c.execute(&inputs).unwrap();
+            outs[0].f32_slice().unwrap().to_vec()
+        };
+        let base = run(false, false);
+        prop_assert_eq!(run(true, false), base.clone());
+        prop_assert_eq!(run(false, true), base.clone());
+        prop_assert_eq!(run(true, true), base);
+    }
+
+    #[test]
+    fn heuristic_always_returns_valid_params(
+        m in 1usize..=512,
+        n in 1usize..=512,
+        k in 1usize..=512,
+        batch in 1usize..=8,
+        int8 in any::<bool>(),
+        full_n in any::<bool>(),
+    ) {
+        let prob = MatmulProblem::batched(batch, m, n, k, if int8 { 1 } else { 4 });
+        let c = Constraints {
+            full_n_per_task: full_n,
+            ..Constraints::default()
+        };
+        let p = choose_params(&machine(), &prob, &c);
+        prop_assert!(p.validate(&prob).is_ok(), "{p:?} invalid for {prob:?}");
+        if full_n {
+            prop_assert_eq!(p.npn, 1);
+        }
+    }
+
+    #[test]
+    fn softmax_fusion_matches_reference(
+        bh in 1usize..=4,
+        rows in 2usize..=12,
+        cols in 2usize..=12,
+        seed in 0u64..1000,
+    ) {
+        // batched matmul + softmax: the split-reduction post-op path
+        let build = || {
+            let mut g = Graph::new();
+            let a = g.add_input(TensorDesc::new([bh, rows, cols], DataType::F32), "a");
+            let b = g.add_input(TensorDesc::new([bh, cols, rows], DataType::F32), "b");
+            let mm = g.add_op(OpKind::MatMul, &[a, b]).unwrap();
+            let sm = g.add_op(OpKind::Softmax, &[mm]).unwrap();
+            g.mark_output(sm);
+            g
+        };
+        let g0 = build();
+        let inputs = random_inputs(&g0, seed);
+        let want = reference_eval(&g0, &inputs);
+        let compiled = Compiler::new(compile_opts()).compile(build()).unwrap();
+        let (outs, _) = compiled.execute(&inputs).unwrap();
+        for i in 0..want[0].desc().volume() {
+            let a = outs[0].storage().get_as_f64(i);
+            let b = want[0].storage().get_as_f64(i);
+            prop_assert!((a - b).abs() < 1e-4, "elem {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn scalar_binary_chain_matches(
+        m in small_dim(),
+        n in small_dim(),
+        scale in 0.25f32..4.0,
+        seed in 0u64..1000,
+    ) {
+        let build = || {
+            let mut g = Graph::new();
+            let x = g.add_input(TensorDesc::new([m, 8], DataType::F32), "x");
+            let w = g.add_constant(Tensor::random(&[8, n], DataType::F32, seed), "w");
+            let s = g.add_constant(Tensor::scalar_f32(scale), "s");
+            let mm = g.add_op(OpKind::MatMul, &[x, w]).unwrap();
+            let d = g.add_op(OpKind::Binary(BinaryKind::Div), &[mm, s]).unwrap();
+            let t = g.add_op(OpKind::Unary(UnaryKind::Tanh), &[d]).unwrap();
+            g.mark_output(t);
+            g
+        };
+        let g0 = build();
+        let inputs = random_inputs(&g0, seed + 11);
+        let want = reference_eval(&g0, &inputs);
+        let compiled = Compiler::new(compile_opts()).compile(build()).unwrap();
+        let (outs, _) = compiled.execute(&inputs).unwrap();
+        for i in 0..want[0].desc().volume() {
+            let a = outs[0].storage().get_as_f64(i);
+            let b = want[0].storage().get_as_f64(i);
+            prop_assert!((a - b).abs() < 1e-4, "elem {i}: {a} vs {b}");
+        }
+    }
+}
