@@ -12,7 +12,11 @@ fn bench_matmuls(c: &mut Criterion) {
     let machine = MachineDescriptor::xeon_8358();
     let mut group = c.benchmark_group("fig7_matmul");
     group.sample_size(10);
-    for &(m, n, k) in &[(128usize, 512usize, 13usize), (128, 256, 512), (128, 1024, 479)] {
+    for &(m, n, k) in &[
+        (128usize, 512usize, 13usize),
+        (128, 256, 512),
+        (128, 1024, 479),
+    ] {
         for precision in [Precision::F32, Precision::Int8] {
             let label = format!("{m}x{n}x{k}-{precision}");
             let g = workloads::single_matmul(m, n, k, precision, 1);

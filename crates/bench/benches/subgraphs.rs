@@ -53,7 +53,11 @@ fn bench_subgraphs(c: &mut Criterion) {
             }
         };
         let inputs = random_inputs(&build(), 3);
-        let label = if int8 { "MLP_1-b128-int8" } else { "MLP_1-b128-fp32" };
+        let label = if int8 {
+            "MLP_1-b128-int8"
+        } else {
+            "MLP_1-b128-fp32"
+        };
         for (name, opts) in settings(&machine) {
             let exe = match opts {
                 None => Exe::B(

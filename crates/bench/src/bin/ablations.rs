@@ -34,7 +34,10 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
-    if !matches!(what.as_str(), "anchors" | "layout" | "const" | "buffers" | "all") {
+    if !matches!(
+        what.as_str(),
+        "anchors" | "layout" | "const" | "buffers" | "all"
+    ) {
         eprintln!("usage: ablations [anchors|layout|const|buffers|all] [--threads N]");
         std::process::exit(2);
     }

@@ -29,10 +29,10 @@ fn main() {
         }
     }
     for precision in [Precision::F32, Precision::Int8] {
-        let run = match (what.as_str(), precision) {
-            ("all", _) | ("fp32", Precision::F32) | ("int8", Precision::Int8) => true,
-            _ => false,
-        };
+        let run = matches!(
+            (what.as_str(), precision),
+            ("all", _) | ("fp32", Precision::F32) | ("int8", Precision::Int8)
+        );
         if run {
             println!("== Figure 7 / individual matmul / {precision} ==");
             let rows = harness.fig7(precision);

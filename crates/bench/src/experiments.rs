@@ -174,7 +174,11 @@ impl Harness {
             let inputs = random_inputs(&graph, seed);
             exe.execute(&inputs); // warm the constant cache
             walls.clear();
-            let reps = if flops > self.wall_flop_cap / 4.0 { 1 } else { self.reps };
+            let reps = if flops > self.wall_flop_cap / 4.0 {
+                1
+            } else {
+                self.reps
+            };
             for _ in 0..reps {
                 let t0 = Instant::now();
                 barriers = exe.execute(&inputs);

@@ -111,7 +111,8 @@ pub fn mlp_f32(batch: usize, layers: &[usize], seed: u64) -> Graph {
         );
         let mm = g.add_op(OpKind::MatMul, &[cur, weight]).expect("matmul");
         cur = if i + 2 < layers.len() {
-            g.add_op(OpKind::Unary(UnaryKind::Relu), &[mm]).expect("relu")
+            g.add_op(OpKind::Unary(UnaryKind::Relu), &[mm])
+                .expect("relu")
         } else {
             mm
         };
@@ -123,8 +124,8 @@ pub fn mlp_f32(batch: usize, layers: &[usize], seed: u64) -> Graph {
 /// Quantization parameters used by the int8 workloads.
 pub fn default_qparams() -> (QuantParams, f32, QuantParams) {
     (
-        QuantParams::new(0.02, 8), // activations (asymmetric)
-        0.05,                      // weight scale (symmetric)
+        QuantParams::new(0.02, 8),  // activations (asymmetric)
+        0.05,                       // weight scale (symmetric)
         QuantParams::new(0.04, 12), // outputs
     )
 }
@@ -156,7 +157,8 @@ pub fn mlp_int8(batch: usize, layers: &[usize], seed: u64) -> Graph {
             .expect("dq w");
         let mm = g.add_op(OpKind::MatMul, &[a_f, w_f]).expect("matmul");
         let act = if i + 1 < n_layers {
-            g.add_op(OpKind::Unary(UnaryKind::Relu), &[mm]).expect("relu")
+            g.add_op(OpKind::Unary(UnaryKind::Relu), &[mm])
+                .expect("relu")
         } else {
             mm
         };
@@ -190,18 +192,9 @@ pub fn mha_f32(batch: usize, cfg: &MhaConfig) -> (Graph, usize) {
     let head_dim = cfg.hidden / cfg.heads;
     let bh = batch * cfg.heads;
     let mut g = Graph::new();
-    let q = g.add_input(
-        TensorDesc::new([bh, cfg.seq, head_dim], DataType::F32),
-        "q",
-    );
-    let k = g.add_input(
-        TensorDesc::new([bh, cfg.seq, head_dim], DataType::F32),
-        "k",
-    );
-    let v = g.add_input(
-        TensorDesc::new([bh, cfg.seq, head_dim], DataType::F32),
-        "v",
-    );
+    let q = g.add_input(TensorDesc::new([bh, cfg.seq, head_dim], DataType::F32), "q");
+    let k = g.add_input(TensorDesc::new([bh, cfg.seq, head_dim], DataType::F32), "k");
+    let v = g.add_input(TensorDesc::new([bh, cfg.seq, head_dim], DataType::F32), "v");
     let mask = g.add_input(TensorDesc::new([bh, 1, cfg.seq], DataType::F32), "mask");
     let scale = g.add_constant(Tensor::scalar_f32((head_dim as f32).sqrt()), "sqrt_d");
 
@@ -229,9 +222,18 @@ pub fn mha_int8(batch: usize, cfg: &MhaConfig) -> (Graph, usize) {
     let (a_q, w_s, _) = default_qparams();
     let p_q = QuantParams::new(1.0 / 255.0, 0); // probs in [0,1]
     let mut g = Graph::new();
-    let q = g.add_input(TensorDesc::new([bh, cfg.seq, head_dim], DataType::U8), "q_q");
-    let k = g.add_input(TensorDesc::new([bh, cfg.seq, head_dim], DataType::I8), "k_q");
-    let v = g.add_input(TensorDesc::new([bh, cfg.seq, head_dim], DataType::I8), "v_q");
+    let q = g.add_input(
+        TensorDesc::new([bh, cfg.seq, head_dim], DataType::U8),
+        "q_q",
+    );
+    let k = g.add_input(
+        TensorDesc::new([bh, cfg.seq, head_dim], DataType::I8),
+        "k_q",
+    );
+    let v = g.add_input(
+        TensorDesc::new([bh, cfg.seq, head_dim], DataType::I8),
+        "v_q",
+    );
     let mask = g.add_input(TensorDesc::new([bh, 1, cfg.seq], DataType::F32), "mask");
     let scale = g.add_constant(Tensor::scalar_f32((head_dim as f32).sqrt()), "sqrt_d");
 
@@ -478,12 +480,15 @@ mod tests {
 
     #[test]
     fn reference_eval_softmax_consistency() {
-        let (g, _) = mha_f32(1, &MhaConfig {
-            name: "t",
-            seq: 8,
-            hidden: 32,
-            heads: 4,
-        });
+        let (g, _) = mha_f32(
+            1,
+            &MhaConfig {
+                name: "t",
+                seq: 8,
+                hidden: 32,
+                heads: 4,
+            },
+        );
         let inputs = random_inputs(&g, 3);
         let outs = reference_eval(&g, &inputs);
         assert_eq!(outs.len(), 1);

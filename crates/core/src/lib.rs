@@ -135,7 +135,12 @@ impl Compiler {
             Some(n) => ThreadPool::new(n),
             None => ThreadPool::with_host_parallelism(),
         });
-        let exe = Executable::new(lowered.module, lowered.weight_seeds, pool, 1);
+        let mode = if self.options.interpret {
+            gc_tir::ExecMode::Interpret
+        } else {
+            gc_tir::ExecMode::Compiled
+        };
+        let exe = Executable::with_mode(lowered.module, lowered.weight_seeds, pool, 1, mode);
         Ok(CompiledPartition {
             exe,
             report,

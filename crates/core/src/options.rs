@@ -35,6 +35,10 @@ pub struct CompileOptions {
     pub library_params: bool,
     /// Worker threads for execution (None = host parallelism).
     pub threads: Option<usize>,
+    /// Run the main stage on the tree-walking interpreter instead of
+    /// compiled execution plans (`--interpret`; the reference path for
+    /// differential testing).
+    pub interpret: bool,
 }
 
 impl CompileOptions {
@@ -53,6 +57,7 @@ impl CompileOptions {
             forced_pack: None,
             library_params: false,
             threads: None,
+            interpret: false,
         }
     }
 

@@ -101,9 +101,11 @@ pub fn lower(
     // the unmerged lowering.
     if opts.coarse_fusion && lowered.merged_groups > 0 {
         let singletons = gc_graph::CoarseGroups {
-            groups: groups.groups.iter().flat_map(|g| {
-                g.iter().map(|&pi| vec![pi]).collect::<Vec<_>>()
-            }).collect(),
+            groups: groups
+                .groups
+                .iter()
+                .flat_map(|g| g.iter().map(|&pi| vec![pi]).collect::<Vec<_>>())
+                .collect(),
         };
         let split = lower_partitions(graph, parts, &singletons, &lower_opts)?;
         let merged_proj = gc_tir::sim::project(&lowered.module, &opts.machine, 1);

@@ -378,7 +378,10 @@ impl Graph {
         let mut s = String::new();
         use std::fmt::Write;
         for (i, t) in self.tensors.iter().enumerate() {
-            let marks = match (self.inputs.contains(&LtId(i)), self.outputs.contains(&LtId(i))) {
+            let marks = match (
+                self.inputs.contains(&LtId(i)),
+                self.outputs.contains(&LtId(i)),
+            ) {
                 (true, _) => " (input)",
                 (_, true) => " (output)",
                 _ => "",
@@ -394,7 +397,11 @@ impl Graph {
             let op = &self.ops[id.0];
             let ins: Vec<String> = op.inputs.iter().map(|i| i.to_string()).collect();
             let outs: Vec<String> = op.outputs.iter().map(|o| o.to_string()).collect();
-            let stage = if op.stage == Stage::Init { " [init]" } else { "" };
+            let stage = if op.stage == Stage::Init {
+                " [init]"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 s,
                 "{} = {}({}){stage}",

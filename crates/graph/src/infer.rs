@@ -47,15 +47,15 @@ pub fn infer_output(kind: &OpKind, inputs: &[&TensorDesc]) -> Result<TensorDesc>
             // right-aligned broadcast of b onto a
             let (sa, sb) = (a.shape(), b.shape());
             if sb.len() > sa.len() {
-                return Err(err(kind, format!("rhs rank {} > lhs rank {}", sb.len(), sa.len())));
+                return Err(err(
+                    kind,
+                    format!("rhs rank {} > lhs rank {}", sb.len(), sa.len()),
+                ));
             }
             let off = sa.len() - sb.len();
             for (i, &db) in sb.iter().enumerate() {
                 if db != sa[off + i] && db != 1 {
-                    return Err(err(
-                        kind,
-                        format!("cannot broadcast {sb:?} onto {sa:?}"),
-                    ));
+                    return Err(err(kind, format!("cannot broadcast {sb:?} onto {sa:?}")));
                 }
             }
             Ok(TensorDesc::new(sa, DataType::F32))

@@ -81,9 +81,7 @@ pub(crate) fn eval_op(kind: &OpKind, vals: &[Tensor]) -> Result<Option<Tensor>> 
                 U::Sigmoid => reference::sigmoid,
                 U::Tanh => reference::tanh,
                 U::Exp => reference::exp,
-                U::Square => |t: &Tensor| {
-                    reference::binary(reference::BinaryKind::Mul, t, t)
-                },
+                U::Square => |t: &Tensor| reference::binary(reference::BinaryKind::Mul, t, t),
                 U::Neg => |t: &Tensor| {
                     let v: Vec<f32> = t.f32_slice()?.iter().map(|&x| -x).collect();
                     Tensor::from_vec_f32(t.desc().shape(), v)
@@ -114,9 +112,7 @@ pub(crate) fn eval_op(kind: &OpKind, vals: &[Tensor]) -> Result<Option<Tensor>> 
         }
         OpKind::Transpose => Some(gc_tensor::reorder::transpose_last2(&vals[0])?),
         OpKind::Reorder { target } => Some(gc_tensor::reorder::reorder(&vals[0], target.clone())?),
-        OpKind::Quantize { dtype, params } => {
-            Some(reference::quantize(&vals[0], *dtype, *params)?)
-        }
+        OpKind::Quantize { dtype, params } => Some(reference::quantize(&vals[0], *dtype, *params)?),
         OpKind::Dequantize { params } => Some(reference::dequantize(&vals[0], *params)?),
         OpKind::TypeCast { to } => Some(cast(&vals[0], *to)?),
         _ => None,

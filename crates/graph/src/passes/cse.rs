@@ -89,7 +89,9 @@ mod tests {
         let b = g.add_op(OpKind::Unary(UnaryKind::Exp), &[x]).unwrap();
         let ra = g.add_op(OpKind::Unary(UnaryKind::Relu), &[a]).unwrap();
         let rb = g.add_op(OpKind::Unary(UnaryKind::Relu), &[b]).unwrap();
-        let c = g.add_op(OpKind::Binary(BinaryKind::Add), &[ra, rb]).unwrap();
+        let c = g
+            .add_op(OpKind::Binary(BinaryKind::Add), &[ra, rb])
+            .unwrap();
         g.mark_output(c);
         let pass = CommonSubexpressionElimination;
         assert!(pass.run(&mut g).unwrap());

@@ -46,7 +46,10 @@ impl Pass for Decompose {
                     changed = true;
                 }
                 OpKind::BiasAdd => {
-                    let add = g.add_op(OpKind::Binary(BinaryKind::Add), &[op.inputs[0], op.inputs[1]])?;
+                    let add = g.add_op(
+                        OpKind::Binary(BinaryKind::Add),
+                        &[op.inputs[0], op.inputs[1]],
+                    )?;
                     g.replace_uses(op.outputs[0], add);
                     g.kill_op(id);
                     changed = true;
@@ -91,10 +94,8 @@ impl Pass for Decompose {
                         .map(|(&b, (&m, &s))| b - m * s)
                         .collect();
                     let c = scale.len();
-                    let s_id =
-                        g.add_constant(Tensor::from_vec_f32(&[c], scale)?, "bn_scale");
-                    let t_id =
-                        g.add_constant(Tensor::from_vec_f32(&[c], shift)?, "bn_shift");
+                    let s_id = g.add_constant(Tensor::from_vec_f32(&[c], scale)?, "bn_scale");
+                    let t_id = g.add_constant(Tensor::from_vec_f32(&[c], shift)?, "bn_shift");
                     let mul = g.add_op(OpKind::Binary(BinaryKind::Mul), &[x, s_id])?;
                     let add = g.add_op(OpKind::Binary(BinaryKind::Add), &[mul, t_id])?;
                     g.replace_uses(op.outputs[0], add);
@@ -165,10 +166,22 @@ mod tests {
     fn batchnorm_folds_to_scale_shift() {
         let mut g = Graph::new();
         let x = g.add_input(TensorDesc::new([2, 3], DataType::F32), "x");
-        let gamma = g.add_constant(Tensor::from_vec_f32(&[3], vec![1.0, 2.0, 3.0]).unwrap(), "g");
-        let beta = g.add_constant(Tensor::from_vec_f32(&[3], vec![0.5, 0.0, -0.5]).unwrap(), "b");
-        let mean = g.add_constant(Tensor::from_vec_f32(&[3], vec![0.1, 0.2, 0.3]).unwrap(), "m");
-        let var = g.add_constant(Tensor::from_vec_f32(&[3], vec![1.0, 1.0, 4.0]).unwrap(), "v");
+        let gamma = g.add_constant(
+            Tensor::from_vec_f32(&[3], vec![1.0, 2.0, 3.0]).unwrap(),
+            "g",
+        );
+        let beta = g.add_constant(
+            Tensor::from_vec_f32(&[3], vec![0.5, 0.0, -0.5]).unwrap(),
+            "b",
+        );
+        let mean = g.add_constant(
+            Tensor::from_vec_f32(&[3], vec![0.1, 0.2, 0.3]).unwrap(),
+            "m",
+        );
+        let var = g.add_constant(
+            Tensor::from_vec_f32(&[3], vec![1.0, 1.0, 4.0]).unwrap(),
+            "v",
+        );
         let y = g
             .add_op(
                 OpKind::BatchNormInference { epsilon: 0.0 },
@@ -195,7 +208,10 @@ mod tests {
         let x = g.add_input(TensorDesc::new([2, 3], DataType::F32), "x");
         let v = g.add_input(TensorDesc::new([3], DataType::F32), "stats");
         let y = g
-            .add_op(OpKind::BatchNormInference { epsilon: 1e-5 }, &[x, v, v, v, v])
+            .add_op(
+                OpKind::BatchNormInference { epsilon: 1e-5 },
+                &[x, v, v, v, v],
+            )
             .unwrap();
         g.mark_output(y);
         assert!(Decompose.run(&mut g).is_err());

@@ -79,9 +79,7 @@ impl FusedOp {
 
     /// Whether this is a bare (unfused) single-op partition.
     pub fn is_standalone(&self) -> bool {
-        self.pre_ops.is_empty()
-            && self.post_ops.is_empty()
-            && self.tunable.is_some()
+        self.pre_ops.is_empty() && self.post_ops.is_empty() && self.tunable.is_some()
             || (self.tunable.is_none() && self.pre_ops.len() + self.post_ops.len() == 1)
     }
 
@@ -529,7 +527,9 @@ mod tests {
         let x = g.add_input(TensorDesc::new([16, 16], DataType::F32), "x");
         let mm = g.add_op(OpKind::MatMul, &[x, wr]).unwrap();
         g.mark_output(mm);
-        crate::passes::constant_weight::ConstantWeight.run(&mut g).unwrap();
+        crate::passes::constant_weight::ConstantWeight
+            .run(&mut g)
+            .unwrap();
         let parts = fuse(&g, &FusionOptions::default()).unwrap();
         assert_eq!(parts.init_parts.len(), 1);
         assert_eq!(parts.parts.len(), 1);
@@ -564,7 +564,9 @@ mod tests {
         let w = g.add_constant(Tensor::random(&[64, 32], DataType::F32, 1), "w");
         let mask = g.add_input(TensorDesc::new([32, 32], DataType::F32), "mask");
         let mm = g.add_op(OpKind::MatMul, &[x, w]).unwrap();
-        let add = g.add_op(OpKind::Binary(BinaryKind::Add), &[mm, mask]).unwrap();
+        let add = g
+            .add_op(OpKind::Binary(BinaryKind::Add), &[mm, mask])
+            .unwrap();
         g.mark_output(add);
         // budget too small: add not fused
         let opts = FusionOptions {

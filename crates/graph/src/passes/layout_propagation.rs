@@ -40,7 +40,10 @@ pub trait LayoutOracle {
 /// effect of handling ragged sizes like k=479 at reduced efficiency).
 pub fn choose_block(dim: usize, want: usize) -> usize {
     let want = want.min(dim).max(1);
-    (1..=want).rev().find(|b| dim % b == 0).unwrap_or(1)
+    (1..=want)
+        .rev()
+        .find(|b| dim.is_multiple_of(*b))
+        .unwrap_or(1)
 }
 
 /// Default oracle: canonical blocked layouts with 32/64-ish blocks.
@@ -124,7 +127,11 @@ impl Pass for LayoutPropagation<'_> {
             let op = g.op(id).clone();
             if matches!(
                 op.kind,
-                OpKind::Unary(_) | OpKind::Binary(_) | OpKind::Quantize { .. } | OpKind::Dequantize { .. } | OpKind::TypeCast { .. }
+                OpKind::Unary(_)
+                    | OpKind::Binary(_)
+                    | OpKind::Quantize { .. }
+                    | OpKind::Dequantize { .. }
+                    | OpKind::TypeCast { .. }
             ) {
                 let in_layout = g.desc(op.inputs[0]).layout().clone();
                 let out = op.outputs[0];

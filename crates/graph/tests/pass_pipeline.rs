@@ -10,7 +10,7 @@ use gc_graph::passes::cse::CommonSubexpressionElimination;
 use gc_graph::passes::dce::DeadCodeElimination;
 use gc_graph::passes::decompose::Decompose;
 use gc_graph::passes::low_precision::LowPrecision;
-use gc_graph::passes::{fusion, Pass, PassManager};
+use gc_graph::passes::{fusion, PassManager};
 use gc_graph::{FusionOptions, Graph, OpCategory, OpKind, Stage, UnaryKind};
 use gc_tensor::{DataType, QuantParams, Tensor, TensorDesc};
 
@@ -64,7 +64,9 @@ fn pipeline_rewrites_quantized_layer_to_int8() {
     g.validate().unwrap();
     let kinds: Vec<_> = g.live_ops().map(|i| g.op(i).kind.clone()).collect();
     assert!(
-        kinds.iter().any(|k| matches!(k, OpKind::QuantizedMatMul { .. })),
+        kinds
+            .iter()
+            .any(|k| matches!(k, OpKind::QuantizedMatMul { .. })),
         "matmul must convert: {kinds:?}"
     );
     assert!(
@@ -131,11 +133,18 @@ fn cse_and_fold_interact_across_iterations() {
     // two identical constant subexpressions: CSE merges, fold evaluates
     let mut g = Graph::new();
     let x = g.add_input(TensorDesc::new([4], DataType::F32), "x");
-    let c1 = g.add_constant(Tensor::from_vec_f32(&[4], vec![1., 2., 3., 4.]).unwrap(), "c");
+    let c1 = g.add_constant(
+        Tensor::from_vec_f32(&[4], vec![1., 2., 3., 4.]).unwrap(),
+        "c",
+    );
     let a = g.add_op(OpKind::Unary(UnaryKind::Exp), &[c1]).unwrap();
     let b = g.add_op(OpKind::Unary(UnaryKind::Exp), &[c1]).unwrap();
-    let s1 = g.add_op(OpKind::Binary(gc_graph::BinaryKind::Add), &[x, a]).unwrap();
-    let s2 = g.add_op(OpKind::Binary(gc_graph::BinaryKind::Add), &[s1, b]).unwrap();
+    let s1 = g
+        .add_op(OpKind::Binary(gc_graph::BinaryKind::Add), &[x, a])
+        .unwrap();
+    let s2 = g
+        .add_op(OpKind::Binary(gc_graph::BinaryKind::Add), &[s1, b])
+        .unwrap();
     g.mark_output(s2);
     standard_pipeline().run_to_fixpoint(&mut g, 8).unwrap();
     // the exp ops folded away; only the two adds remain
@@ -150,7 +159,12 @@ fn fusion_disabled_still_partitions_everything() {
     standard_pipeline().run_to_fixpoint(&mut g, 8).unwrap();
     let parts = fusion::fuse(&g, &FusionOptions::disabled()).unwrap();
     let total_ops: usize = parts.parts.iter().map(|p| p.ops().len()).sum();
-    assert_eq!(total_ops, g.live_ops().filter(|&i| g.op(i).stage == Stage::Main).count());
+    assert_eq!(
+        total_ops,
+        g.live_ops()
+            .filter(|&i| g.op(i).stage == Stage::Main)
+            .count()
+    );
     for p in &parts.parts {
         assert_eq!(p.ops().len(), 1);
     }

@@ -42,12 +42,12 @@ pub fn choose_params(
     let n_tile_candidates = tile_candidates(problem.n, &[64, 48, 32, 16, 8, 4, 2, 1]);
     let mut k_tile_candidates = tile_candidates(problem.k, &[256, 128, 64, 32, 16, 8, 4, 2, 1]);
     if let Some(f) = constraints.fixed_kb {
-        if problem.k % f == 0 && !k_tile_candidates.contains(&f) {
+        if problem.k.is_multiple_of(f) && !k_tile_candidates.contains(&f) {
             k_tile_candidates.push(f);
         }
     }
     if let Some(f) = constraints.fixed_mb {
-        if problem.m % f == 0 && !m_tile_candidates.contains(&f) {
+        if problem.m.is_multiple_of(f) && !m_tile_candidates.contains(&f) {
             m_tile_candidates.push(f);
         }
     }
@@ -104,7 +104,9 @@ pub fn choose_params(
             }
         }
     }
-    let p = best.expect("at least the all-ones decomposition is valid").1;
+    let p = best
+        .expect("at least the all-ones decomposition is valid")
+        .1;
     debug_assert!(p.validate(problem).is_ok());
     p
 }
@@ -115,10 +117,13 @@ fn tile_candidates(dim: usize, prefer: &[usize]) -> Vec<usize> {
     let mut out: Vec<usize> = prefer
         .iter()
         .copied()
-        .filter(|&b| b <= dim && dim % b == 0)
+        .filter(|&b| b <= dim && dim.is_multiple_of(b))
         .collect();
     if out.is_empty() {
-        out.push(crate::largest_divisor_at_most(dim, *prefer.first().unwrap_or(&64)));
+        out.push(crate::largest_divisor_at_most(
+            dim,
+            *prefer.first().unwrap_or(&64),
+        ));
     }
     if !out.contains(&dim) && dim <= 1024 {
         out.push(dim);
@@ -140,8 +145,7 @@ pub fn estimate_cycles(
     // per-task cost times the number of waves.
     let waves = tasks.div_ceil(machine.cores) as f64;
     let flops_per_task = problem.flops() / tasks as f64;
-    let compute =
-        waves * cost::compute_cycles(machine, flops_per_task, problem.elem_bytes, eff);
+    let compute = waves * cost::compute_cycles(machine, flops_per_task, problem.elem_bytes, eff);
     // memory traffic per task. The single-core kernel walks: for each of
     // its MSN m-tiles, the whole task B slice (re-read each sweep, from
     // whichever cache level holds it) and the m-tile's A panels.
@@ -165,6 +169,70 @@ pub fn estimate_cycles(
     // per-microkernel-call fixed overhead
     let calls = waves * (msn * nsn * p.k_chunks(problem.k).max(1)) as f64;
     compute.max(mem) + calls * 40.0 + cost::barrier_cycles(machine)
+}
+
+/// Parameter selection emulating a primitives *library*: a fixed menu
+/// of mature kernels (`MB`/`NB`/`KB` from a small set) rather than the
+/// compiler's free search. Used by the baseline.
+pub fn choose_params_library(
+    machine: &MachineDescriptor,
+    problem: &MatmulProblem,
+    constraints: &Constraints,
+) -> MatmulParams {
+    fn menu(dim: usize, menu: &[usize], fallback_cap: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = menu
+            .iter()
+            .copied()
+            .filter(|&b| b <= dim && dim.is_multiple_of(b))
+            .collect();
+        if out.is_empty() {
+            out.push(crate::largest_divisor_at_most(dim, fallback_cap));
+        }
+        out
+    }
+    let mbs = menu(problem.m, &[32, 16], 32);
+    let nbs = menu(problem.n, &[64, 32, 16], 64);
+    // the library's mature kernels handle long reduction tails, so the
+    // fallback accepts whatever divisor keeps one kernel per panel
+    let kbs = menu(problem.k, &[64, 32], 512);
+    let mut best: Option<(f64, MatmulParams)> = None;
+    for &mb in &mbs {
+        for &nb in &nbs {
+            for &kb in &kbs {
+                let k_tiles = problem.k / kb;
+                for bs in divisors(k_tiles) {
+                    if bs > 4 {
+                        continue;
+                    }
+                    for mpn in divisors(problem.m / mb) {
+                        for npn in divisors(problem.n / nb) {
+                            if constraints.full_n_per_task && npn != 1 {
+                                continue;
+                            }
+                            let tasks = problem.batch * mpn * npn;
+                            if tasks > 4 * machine.cores && tasks > problem.batch {
+                                continue;
+                            }
+                            let p = MatmulParams {
+                                mpn,
+                                npn,
+                                mb,
+                                nb,
+                                kb,
+                                bs,
+                            };
+                            let c = estimate_cycles(machine, problem, &p);
+                            if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
+                                best = Some((c, p));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    best.expect("library menu always yields a valid decomposition")
+        .1
 }
 
 #[cfg(test)]
@@ -292,71 +360,6 @@ mod tests {
             kb: 1,
             bs: 1,
         };
-        assert!(
-            estimate_cycles(&machine, &prob, &good) < estimate_cycles(&machine, &prob, &bad)
-        );
+        assert!(estimate_cycles(&machine, &prob, &good) < estimate_cycles(&machine, &prob, &bad));
     }
-}
-
-/// Parameter selection emulating a primitives *library*: a fixed menu
-/// of mature kernels (`MB`/`NB`/`KB` from a small set) rather than the
-/// compiler's free search. Used by the baseline.
-pub fn choose_params_library(
-    machine: &MachineDescriptor,
-    problem: &MatmulProblem,
-    constraints: &Constraints,
-) -> MatmulParams {
-    fn menu(dim: usize, menu: &[usize], fallback_cap: usize) -> Vec<usize> {
-        let mut out: Vec<usize> = menu
-            .iter()
-            .copied()
-            .filter(|&b| b <= dim && dim % b == 0)
-            .collect();
-        if out.is_empty() {
-            out.push(crate::largest_divisor_at_most(dim, fallback_cap));
-        }
-        out
-    }
-    let mbs = menu(problem.m, &[32, 16], 32);
-    let nbs = menu(problem.n, &[64, 32, 16], 64);
-    // the library's mature kernels handle long reduction tails, so the
-    // fallback accepts whatever divisor keeps one kernel per panel
-    let kbs = menu(problem.k, &[64, 32], 512);
-    let mut best: Option<(f64, MatmulParams)> = None;
-    for &mb in &mbs {
-        for &nb in &nbs {
-            for &kb in &kbs {
-                let k_tiles = problem.k / kb;
-                for bs in divisors(k_tiles) {
-                    if bs > 4 {
-                        continue;
-                    }
-                    for mpn in divisors(problem.m / mb) {
-                        for npn in divisors(problem.n / nb) {
-                            if constraints.full_n_per_task && npn != 1 {
-                                continue;
-                            }
-                            let tasks = problem.batch * mpn * npn;
-                            if tasks > 4 * machine.cores && tasks > problem.batch {
-                                continue;
-                            }
-                            let p = MatmulParams {
-                                mpn,
-                                npn,
-                                mb,
-                                nb,
-                                kb,
-                                bs,
-                            };
-                            let c = estimate_cycles(machine, problem, &p);
-                            if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
-                                best = Some((c, p));
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
-    best.expect("library menu always yields a valid decomposition").1
 }

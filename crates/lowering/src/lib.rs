@@ -34,7 +34,10 @@ pub use template::{lower_matmul, LoweredMatmul, MatmulSpec, PostOpSpec};
 
 /// Largest divisor of `dim` that is at most `cap` (at least 1).
 pub fn largest_divisor_at_most(dim: usize, cap: usize) -> usize {
-    (1..=cap.min(dim)).rev().find(|d| dim % d == 0).unwrap_or(1)
+    (1..=cap.min(dim))
+        .rev()
+        .find(|d| dim.is_multiple_of(*d))
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

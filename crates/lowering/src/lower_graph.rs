@@ -21,13 +21,15 @@ use crate::standalone::{binary_op, lower_reorder, lower_standalone, unary_op};
 use crate::template::{
     lower_matmul, AInput, BInput, Int8Spec, MatmulSpec, OutLayout, ParamRole, PostOpSpec,
 };
-use gc_graph::{
-    CoarseGroups, FusedOp, Graph, LtId, OpKind, Partitioning, Property, ReduceKind,
-};
+use gc_graph::{CoarseGroups, FusedOp, Graph, LtId, OpKind, Partitioning, Property, ReduceKind};
 use gc_machine::MachineDescriptor;
 use gc_tensor::{DataType, Layout, Tensor};
-use gc_tir::passes::{merge_parallel_loops, reuse_func_locals, reuse_module_scratch, shrink_locals};
-use gc_tir::{BufDecl, BufId, Call, Expr, Func, GlobalDecl, GlobalKind, Intrinsic, Module, Stmt, View};
+use gc_tir::passes::{
+    merge_parallel_loops, reuse_func_locals, reuse_module_scratch, shrink_locals,
+};
+use gc_tir::{
+    BufDecl, BufId, Call, Expr, Func, GlobalDecl, GlobalKind, Intrinsic, Module, Stmt, View,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -190,7 +192,11 @@ pub fn lower_partitions(
             if part.tunable.is_none() {
                 continue;
             }
-            let prev = if pos > 0 { plans.get(&group[pos - 1]) } else { None };
+            let prev = if pos > 0 {
+                plans.get(&group[pos - 1])
+            } else {
+                None
+            };
             let plan = b.plan_tunable(
                 parts,
                 pi,
@@ -224,10 +230,7 @@ pub fn lower_partitions(
                 .expect("A bind");
             if let Some(prod_op) = graph.producer(a_lt) {
                 if let Some(ppi) = parts.part_of(prod_op) {
-                    blocked_outputs.insert(
-                        ppi,
-                        (plan.spec.params.mb, plan.spec.params.kb),
-                    );
+                    blocked_outputs.insert(ppi, (plan.spec.params.mb, plan.spec.params.kb));
                     let _ = pi;
                 }
             }
@@ -649,8 +652,7 @@ impl Builder<'_> {
             machine,
             2.0 * (problem.batch * problem.m * problem.k * problem.elem_bytes) as f64,
         ) / machine.cores as f64;
-        let cost_plain =
-            crate::heuristic::estimate_cycles(machine, &problem, &p_plain) + pack_cost;
+        let cost_plain = crate::heuristic::estimate_cycles(machine, &problem, &p_plain) + pack_cost;
         let (a_input, params) = match chained_prev {
             Some(prev) if self.opts.propagate_layouts => {
                 let mut blocked = constraints;
@@ -658,8 +660,8 @@ impl Builder<'_> {
                 blocked.fixed_kb = Some(prev.spec.params.nb);
                 // pinned MB/KB may be infeasible together with a fixed
                 // group task count; fall back to plain if so
-                let feasible = problem.m % prev.spec.params.mb == 0
-                    && problem.k % prev.spec.params.nb == 0;
+                let feasible = problem.m.is_multiple_of(prev.spec.params.mb)
+                    && problem.k.is_multiple_of(prev.spec.params.nb);
                 if feasible {
                     let p_blocked = pick(&blocked);
                     let cost_blocked =
@@ -721,9 +723,7 @@ impl Builder<'_> {
     fn resolve_bind(&mut self, bind: Bind, spec: &MatmulSpec) -> Result<usize, LowerError> {
         match bind {
             Bind::Tensor(lt) => Ok(self.global_for(lt)),
-            Bind::PrepackedWeight(w) => {
-                self.prepacked_weight(w, spec.params.kb, spec.params.nb)
-            }
+            Bind::PrepackedWeight(w) => self.prepacked_weight(w, spec.params.kb, spec.params.nb),
             Bind::Comp(w) => self.compensation(w, spec.params.kb, spec.params.nb),
         }
     }
@@ -777,8 +777,7 @@ impl Builder<'_> {
 
         for &pi in group {
             let plan = &plans[&pi];
-            let lowered =
-                lower_matmul(&self.opts.machine, &plan.spec, &format!("fused_op_{pi}"));
+            let lowered = lower_matmul(&self.opts.machine, &plan.spec, &format!("fused_op_{pi}"));
             let f = lowered.func;
             let var_off = combined.var_count;
             combined.var_count += f.var_count;
@@ -994,19 +993,16 @@ fn group_decomposition(machine: &MachineDescriptor, batch: usize, m: usize) -> (
     let want_mpn = machine.cores.div_ceil(batch);
     // choose mb as large as possible while still allowing >= want_mpn
     // row-tasks (or as many as m allows)
-    let mut best = (
-        1usize,
-        batch * crate::largest_divisor_at_most(m, want_mpn),
-    );
+    let mut best = (1usize, batch * crate::largest_divisor_at_most(m, want_mpn));
     for mb in (1..=32).rev() {
-        if m % mb != 0 {
+        if !m.is_multiple_of(mb) {
             continue;
         }
         let m_tiles = m / mb;
         // mpn = largest divisor of m_tiles <= want_mpn
         let mpn = (1..=m_tiles.min(want_mpn))
             .rev()
-            .find(|d| m_tiles % d == 0)
+            .find(|d| m_tiles.is_multiple_of(*d))
             .unwrap_or(1);
         let tasks = batch * mpn;
         let better = tasks >= best.1 || (tasks == best.1 && mb > best.0);
@@ -1113,7 +1109,10 @@ pub(crate) fn map_intrinsic_bufs(i: Intrinsic, f: &impl Fn(BufId) -> BufId) -> I
             k,
             batch,
         },
-        I::FillF32 { dst, value } => I::FillF32 { dst: mv(dst), value },
+        I::FillF32 { dst, value } => I::FillF32 {
+            dst: mv(dst),
+            value,
+        },
         I::ZeroI32 { dst } => I::ZeroI32 { dst: mv(dst) },
         I::Pack2D {
             src,

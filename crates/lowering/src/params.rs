@@ -107,22 +107,22 @@ impl MatmulParams {
         if mb == 0 || nb == 0 || kb == 0 || bs == 0 || mpn == 0 || npn == 0 {
             return Err("zero parameter".to_string());
         }
-        if p.m % mb != 0 {
+        if !p.m.is_multiple_of(mb) {
             return Err(format!("mb {mb} does not divide m {}", p.m));
         }
-        if p.n % nb != 0 {
+        if !p.n.is_multiple_of(nb) {
             return Err(format!("nb {nb} does not divide n {}", p.n));
         }
-        if p.k % kb != 0 {
+        if !p.k.is_multiple_of(kb) {
             return Err(format!("kb {kb} does not divide k {}", p.k));
         }
-        if (p.m / mb) % mpn != 0 {
+        if !(p.m / mb).is_multiple_of(mpn) {
             return Err(format!("mpn {mpn} does not divide m-tiles {}", p.m / mb));
         }
-        if (p.n / nb) % npn != 0 {
+        if !(p.n / nb).is_multiple_of(npn) {
             return Err(format!("npn {npn} does not divide n-tiles {}", p.n / nb));
         }
-        if (p.k / kb) % bs != 0 {
+        if !(p.k / kb).is_multiple_of(bs) {
             return Err(format!("bs {bs} does not divide k-tiles {}", p.k / kb));
         }
         Ok(())
@@ -131,7 +131,7 @@ impl MatmulParams {
 
 /// All divisors of `n`, ascending.
 pub fn divisors(n: usize) -> Vec<usize> {
-    let mut d: Vec<usize> = (1..=n).filter(|x| n % x == 0).collect();
+    let mut d: Vec<usize> = (1..=n).filter(|x| n.is_multiple_of(*x)).collect();
     d.dedup();
     d
 }

@@ -95,26 +95,38 @@ pub fn lower_standalone(
     match kind {
         OpKind::Unary(u) => {
             let op = unary_op(*u);
-            chunked_elementwise(name, DataType::F32, DataType::F32, output.volume(), |s, d| {
-                Intrinsic::Unary { op, src: s, dst: d }
-            })
+            chunked_elementwise(
+                name,
+                DataType::F32,
+                DataType::F32,
+                output.volume(),
+                |s, d| Intrinsic::Unary { op, src: s, dst: d },
+            )
         }
         OpKind::TypeCast { to: DataType::F32 } if inputs[0].dtype() == DataType::I32 => {
-            chunked_elementwise(name, DataType::I32, DataType::F32, output.volume(), |s, d| {
-                Intrinsic::CastI32F32 { src: s, dst: d }
-            })
+            chunked_elementwise(
+                name,
+                DataType::I32,
+                DataType::F32,
+                output.volume(),
+                |s, d| Intrinsic::CastI32F32 { src: s, dst: d },
+            )
         }
         OpKind::Quantize { dtype, params } => {
             assert_eq!(*dtype, DataType::U8, "standalone quantize targets u8");
             let (scale, zp) = (params.scale, params.zero_point);
-            chunked_elementwise(name, DataType::F32, DataType::U8, output.volume(), |s, d| {
-                Intrinsic::QuantU8 {
+            chunked_elementwise(
+                name,
+                DataType::F32,
+                DataType::U8,
+                output.volume(),
+                |s, d| Intrinsic::QuantU8 {
                     src: s,
                     dst: d,
                     scale,
                     zero_point: zp,
-                }
-            })
+                },
+            )
         }
         OpKind::Dequantize { params } => {
             let (scale, zp) = (params.scale, params.zero_point);
@@ -177,7 +189,11 @@ pub fn lower_standalone(
                         Expr::v(v).mul(Expr::from(row_block * cols)),
                         row_block * cols,
                     ),
-                    acc: View::new(BufId::Param(1), Expr::v(v).mul(Expr::from(row_block)), row_block),
+                    acc: View::new(
+                        BufId::Param(1),
+                        Expr::v(v).mul(Expr::from(row_block)),
+                        row_block,
+                    ),
                     rows: row_block,
                     cols,
                     accumulate: false,
@@ -187,7 +203,11 @@ pub fn lower_standalone(
             if tail > 0 {
                 f.body.push(Stmt::Op(Intrinsic::ReduceRows {
                     op,
-                    src: View::new(BufId::Param(0), Expr::from(blocks * row_block * cols), tail * cols),
+                    src: View::new(
+                        BufId::Param(0),
+                        Expr::from(blocks * row_block * cols),
+                        tail * cols,
+                    ),
                     acc: View::new(BufId::Param(1), Expr::from(blocks * row_block), tail),
                     rows: tail,
                     cols,
@@ -276,17 +296,14 @@ fn lower_standalone_binary(
     if lhs_shape.len() >= 2
         && rhs.shape().last() == Some(&cols)
         && rhs.volume() < out_elems
-        && rhs.volume() % cols == 0
+        && rhs.volume().is_multiple_of(cols)
         && rhs.volume() / cols > 1
     {
         let vecs = rhs.volume() / cols;
         let m_rows = rows / vecs;
         if vecs * m_rows == rows {
-            let b_off = Expr::Div(
-                Box::new(Expr::v(v)),
-                Box::new(Expr::from(m_rows)),
-            )
-            .mul(Expr::from(cols));
+            let b_off =
+                Expr::Div(Box::new(Expr::v(v)), Box::new(Expr::from(m_rows))).mul(Expr::from(cols));
             f.body.push(Stmt::parallel(
                 v,
                 rows,
@@ -360,7 +377,12 @@ pub fn lower_reorder(input: &TensorDesc, target: &Layout, name: &str) -> Func {
             let body = if !b_is_weight {
                 let src_off = Expr::v(tvar)
                     .mul(Expr::from(rows_dim * cols_dim))
-                    .add(Expr::v(inner).clone().div_floor(c_tiles).mul(Expr::from(rb * cols_dim)))
+                    .add(
+                        Expr::v(inner)
+                            .clone()
+                            .div_floor(c_tiles)
+                            .mul(Expr::from(rb * cols_dim)),
+                    )
                     .add(Expr::v(inner).rem_of(c_tiles).mul(Expr::from(cb)));
                 let dst = View::new(
                     BufId::Param(1),
@@ -428,7 +450,11 @@ pub fn lower_reorder(input: &TensorDesc, target: &Layout, name: &str) -> Func {
             );
             let dst_off = Expr::v(tvar)
                 .mul(Expr::from(rows_dim * cols_dim))
-                .add(Expr::v(inner).div_floor(c_tiles).mul(Expr::from(rb * cols_dim)))
+                .add(
+                    Expr::v(inner)
+                        .div_floor(c_tiles)
+                        .mul(Expr::from(rb * cols_dim)),
+                )
                 .add(Expr::v(inner).rem_of(c_tiles).mul(Expr::from(cb)));
             f.body.push(Stmt::parallel(
                 tvar,
@@ -455,7 +481,12 @@ pub fn lower_reorder(input: &TensorDesc, target: &Layout, name: &str) -> Func {
 
 /// Extract (row_block, col_block, is_weight_layout) from a blocked
 /// layout over the last two axes.
-fn blocked_factors(layout: &Layout, rank: usize, _rows: usize, _cols: usize) -> (usize, usize, bool) {
+fn blocked_factors(
+    layout: &Layout,
+    rank: usize,
+    _rows: usize,
+    _cols: usize,
+) -> (usize, usize, bool) {
     let Layout::Blocked(blocks) = layout else {
         panic!("expected blocked layout")
     };
@@ -661,16 +692,15 @@ mod tests {
             Storage::F32(vec![0.; t.desc().volume()]),
         );
         let want = reorder::reorder(&t, layout.clone()).unwrap();
-        assert_eq!(blocked.as_slice::<f32>().unwrap(), want.f32_slice().unwrap());
+        assert_eq!(
+            blocked.as_slice::<f32>().unwrap(),
+            want.f32_slice().unwrap()
+        );
 
         // and back
         let bdesc = TensorDesc::with_layout([16usize, 24], DataType::F32, layout).unwrap();
         let f2 = lower_reorder(&bdesc, &Layout::Plain, "unpack");
-        let plain = run1(
-            f2,
-            vec![blocked],
-            Storage::F32(vec![0.; t.desc().volume()]),
-        );
+        let plain = run1(f2, vec![blocked], Storage::F32(vec![0.; t.desc().volume()]));
         assert_eq!(plain.as_slice::<f32>().unwrap(), t.f32_slice().unwrap());
     }
 
@@ -699,7 +729,10 @@ mod tests {
             Storage::F32(vec![0.; t.desc().volume()]),
         );
         let want = reorder::reorder(&t, layout).unwrap();
-        assert_eq!(blocked.as_slice::<f32>().unwrap(), want.f32_slice().unwrap());
+        assert_eq!(
+            blocked.as_slice::<f32>().unwrap(),
+            want.f32_slice().unwrap()
+        );
     }
 
     #[test]
@@ -764,7 +797,12 @@ mod tests {
             vec![Storage::F32(t.f32_slice().unwrap().to_vec())],
             Storage::F32(vec![0.; 10]),
         );
-        for (o, x) in out.as_slice::<f32>().unwrap().iter().zip(t.f32_slice().unwrap()) {
+        for (o, x) in out
+            .as_slice::<f32>()
+            .unwrap()
+            .iter()
+            .zip(t.f32_slice().unwrap())
+        {
             assert_eq!(*o, x * 2.5);
         }
     }

@@ -367,11 +367,7 @@ pub fn lower_matmul(machine: &MachineDescriptor, spec: &MatmulSpec, name: &str) 
     // scratch tile for quantize-then-unpack
     let needs_qtile = spec.out_dtype == DataType::U8 && spec.out == OutLayout::Plain;
     let qtile = if needs_qtile {
-        Some(func.add_local(BufDecl::new(
-            DataType::U8,
-            ctx.total_tasks * tile,
-            "qtile",
-        )))
+        Some(func.add_local(BufDecl::new(DataType::U8, ctx.total_tasks * tile, "qtile")))
     } else {
         None
     };
@@ -398,10 +394,7 @@ pub fn lower_matmul(machine: &MachineDescriptor, spec: &MatmulSpec, name: &str) 
 
     // anchor #2: pack the task's B slice (MHA in-loop rhs)
     if let Some(bp) = bprime {
-        let transposed = matches!(
-            spec.b_input,
-            BInput::PlainInLoop { transposed: true }
-        );
+        let transposed = matches!(spec.b_input, BInput::PlainInLoop { transposed: true });
         task_body.push(e.pack_b_per_task(param_of(ParamRole::B), bp, transposed));
     }
     // anchor #2 variant for A (PerTask pack)
@@ -439,10 +432,11 @@ pub fn lower_matmul(machine: &MachineDescriptor, spec: &MatmulSpec, name: &str) 
     // brgemm over nsi
     let a_view_stride = match (spec.a_input, pack_place) {
         (AInput::Blocked, _) => {
-            let off = e
-                .a_blocked_tile_base()
-                .mul(Expr::from(p.mb * p.kb));
-            (View::new(param_of(ParamRole::A), off, p.mb * p.kb), p.mb * p.kb)
+            let off = e.a_blocked_tile_base().mul(Expr::from(p.mb * p.kb));
+            (
+                View::new(param_of(ParamRole::A), off, p.mb * p.kb),
+                p.mb * p.kb,
+            )
         }
         (AInput::Plain, Some(PackPlacement::PerKChunk)) => (
             View::new(
@@ -811,7 +805,16 @@ fn emit_post_ops(
                 PostOpSpec::Quantize { scale, zero_point } => Some((*scale, *zero_point)),
                 _ => None,
             });
-            sweep.extend(emit_out_write(spec, ctx, e, param_of, cpf_tile(nsi2), quant, qtile, nsi2));
+            sweep.extend(emit_out_write(
+                spec,
+                ctx,
+                e,
+                param_of,
+                cpf_tile(nsi2),
+                quant,
+                qtile,
+                nsi2,
+            ));
         }
         if !sweep.is_empty() {
             stmts.push(Stmt::loop_(nsi2, ctx.nsn, sweep));
@@ -820,6 +823,7 @@ fn emit_post_ops(
     stmts
 }
 
+#[allow(clippy::too_many_arguments)]
 fn emit_out_write(
     spec: &MatmulSpec,
     ctx: &Ctx,
@@ -965,16 +969,12 @@ impl ExprBuilder<'_> {
 
     /// Global m-tile index of the current msi.
     fn mpsi(&self, msi: VarId) -> Expr {
-        self.mpi()
-            .mul(Expr::from(self.ctx.msn))
-            .add(Expr::v(msi))
+        self.mpi().mul(Expr::from(self.ctx.msn)).add(Expr::v(msi))
     }
 
     /// Global n-tile index for an nsi-like variable.
     fn npsi(&self, nv: VarId) -> Expr {
-        self.npi()
-            .mul(Expr::from(self.ctx.nsn))
-            .add(Expr::v(nv))
+        self.npi().mul(Expr::from(self.ctx.nsn)).add(Expr::v(nv))
     }
 
     /// Base index (in m-tile units) of cprime for the current (t, msi):

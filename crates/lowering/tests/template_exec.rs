@@ -157,8 +157,8 @@ fn f32_every_post_op_kind_chained() {
     // compare in storage order against the blocked want
     let n_el = m * n;
     let ws = want.f32_slice().unwrap();
-    for i in 0..n_el {
-        assert!((out[3].get_as_f64(i) - ws[i] as f64).abs() < 1e-4, "elem {i}");
+    for (i, &w) in ws.iter().enumerate().take(n_el) {
+        assert!((out[3].get_as_f64(i) - w as f64).abs() < 1e-4, "elem {i}");
     }
 }
 
@@ -178,8 +178,7 @@ fn f32_bias_slot() {
     let a = Tensor::random(&[m, k], DataType::F32, 6);
     let w = Tensor::random(&[k, n], DataType::F32, 7);
     let bias = Tensor::random(&[n], DataType::F32, 8);
-    let want =
-        reference::bias_add(&reference::matmul_f32(&a, &w).unwrap(), &bias).unwrap();
+    let want = reference::bias_add(&reference::matmul_f32(&a, &w).unwrap(), &bias).unwrap();
     let out = run(
         &spec,
         vec![
@@ -224,12 +223,8 @@ fn int8_epilogue_with_quantized_output() {
     let a_f = reference::dequantize(&a, gc_tensor::QuantParams::new(a_s, a_zero)).unwrap();
     let w_f = reference::dequantize(&w, gc_tensor::QuantParams::symmetric(b_s)).unwrap();
     let mm = reference::matmul_f32(&a_f, &w_f).unwrap();
-    let want = reference::quantize(
-        &mm,
-        DataType::U8,
-        gc_tensor::QuantParams::new(0.05, 9),
-    )
-    .unwrap();
+    let want =
+        reference::quantize(&mm, DataType::U8, gc_tensor::QuantParams::new(0.05, 9)).unwrap();
     let out = run(
         &spec,
         vec![
@@ -296,8 +291,7 @@ fn split_reduction_softmax_post_ops() {
     ];
     let a = Tensor::random(&[m, k], DataType::F32, 13);
     let w = Tensor::random(&[k, n], DataType::F32, 14);
-    let want =
-        reference::softmax_last_axis(&reference::matmul_f32(&a, &w).unwrap()).unwrap();
+    let want = reference::softmax_last_axis(&reference::matmul_f32(&a, &w).unwrap()).unwrap();
     let out = run(
         &spec,
         vec![

@@ -41,7 +41,7 @@ pub fn microkernel_efficiency(
     let mut eff = 1.0;
 
     // Register blocking along n.
-    if nb % lanes != 0 {
+    if !nb.is_multiple_of(lanes) {
         eff *= 0.6 + 0.4 * (nb % lanes) as f64 / lanes as f64 * 0.0;
     }
     let n_regs = nb.div_ceil(lanes);

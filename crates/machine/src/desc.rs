@@ -131,12 +131,18 @@ impl MachineDescriptor {
 
     /// L1 data cache size in bytes.
     pub fn l1_bytes(&self) -> usize {
-        self.caches.first().map(|c| c.size_bytes).unwrap_or(32 * 1024)
+        self.caches
+            .first()
+            .map(|c| c.size_bytes)
+            .unwrap_or(32 * 1024)
     }
 
     /// L2 cache size in bytes.
     pub fn l2_bytes(&self) -> usize {
-        self.caches.get(1).map(|c| c.size_bytes).unwrap_or(512 * 1024)
+        self.caches
+            .get(1)
+            .map(|c| c.size_bytes)
+            .unwrap_or(512 * 1024)
     }
 
     /// Last-level cache size in bytes (total if shared).

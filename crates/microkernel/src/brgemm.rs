@@ -76,39 +76,95 @@ pub fn brgemm_f32(
     }
 }
 
+/// Register-tile rows of the f32 microkernel.
+const MR: usize = 2;
+/// Register-tile columns (B panels) of the f32 microkernel.
+const NR: usize = 4;
+/// SIMD-friendly lane width of the k loop.
+const LANES: usize = 8;
+
 /// One A×B tile product added into C. A is `[m, k]` row-major, B is
 /// `[n, k]` panel-major.
+///
+/// C is walked in `MR x NR` register blocks so each loaded A chunk is
+/// reused across `NR` panels and each B chunk across `MR` rows —
+/// emulating what the hand-tuned AVX-512 microkernel achieves with
+/// register tiling. Ragged edges dispatch to narrower instantiations of
+/// the same const-generic kernel through a small table.
 #[inline]
 fn gemm_tile_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    // Dot-product formulation with 4-way unrolled accumulators so LLVM
-    // vectorizes the k loop. Panels are contiguous, emulating what the
-    // hand-tuned AVX-512 microkernel achieves with register tiling.
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (j, cj) in crow.iter_mut().enumerate() {
-            let brow = &b[j * k..(j + 1) * k];
-            *cj += dot_f32(arow, brow);
+    let mut i = 0;
+    while i < m {
+        let mr = MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let nr = NR.min(n - j);
+            F32_KERNELS[mr - 1][nr - 1](k, n, &a[i * k..], &b[j * k..], &mut c[i * n + j..]);
+            j += nr;
         }
+        i += mr;
     }
 }
 
+/// A microkernel: `MR_ x NR_` block of C at `c[0]` (row stride `n`),
+/// A rows at `a[0]` (row stride `k`), B panels at `b[0]` (panel stride
+/// `k`).
+type MicroFn = fn(k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]);
+
+/// Dispatch table over the ragged-edge block sizes; the hot full block
+/// is `F32_KERNELS[MR - 1][NR - 1]`.
+static F32_KERNELS: [[MicroFn; NR]; MR] = [
+    [
+        micro_f32::<1, 1>,
+        micro_f32::<1, 2>,
+        micro_f32::<1, 3>,
+        micro_f32::<1, 4>,
+    ],
+    [
+        micro_f32::<2, 1>,
+        micro_f32::<2, 2>,
+        micro_f32::<2, 3>,
+        micro_f32::<2, 4>,
+    ],
+];
+
+/// The generic register-tiled block kernel. Each of the `MR_ x NR_`
+/// outputs keeps an [`LANES`]-wide accumulator array so LLVM maps the k
+/// loop onto SIMD FMA lanes; the lane arrays are summed once at the end
+/// (the same reduction order for every block size, so results are
+/// bit-identical across dispatch decisions).
 #[inline]
-fn dot_f32(a: &[f32], b: &[f32]) -> f32 {
-    let chunks = a.len() / 8;
-    let mut acc = [0f32; 8];
-    for c in 0..chunks {
-        let a8 = &a[c * 8..c * 8 + 8];
-        let b8 = &b[c * 8..c * 8 + 8];
-        for l in 0..8 {
-            acc[l] += a8[l] * b8[l];
+fn micro_f32<const MR_: usize, const NR_: usize>(
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    let mut acc = [[[0f32; LANES]; NR_]; MR_];
+    let chunks = k / LANES;
+    for ch in 0..chunks {
+        let base = ch * LANES;
+        for jj in 0..NR_ {
+            let b8 = &b[jj * k + base..jj * k + base + LANES];
+            for ii in 0..MR_ {
+                let a8 = &a[ii * k + base..ii * k + base + LANES];
+                let lanes = &mut acc[ii][jj];
+                for l in 0..LANES {
+                    lanes[l] += a8[l] * b8[l];
+                }
+            }
         }
     }
-    let mut s = acc.iter().sum::<f32>();
-    for l in chunks * 8..a.len() {
-        s += a[l] * b[l];
+    for ii in 0..MR_ {
+        for jj in 0..NR_ {
+            let mut s = acc[ii][jj].iter().sum::<f32>();
+            for l in chunks * LANES..k {
+                s += a[ii * k + l] * b[jj * k + l];
+            }
+            c[ii * n + jj] += s;
+        }
     }
-    s
 }
 
 /// Int8 batch-reduce GEMM: u8 activations × i8 weights accumulated in
@@ -290,8 +346,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let shape = BrgemmShape::new(4, 7, 13);
         let bs = 2;
-        let a_buf: Vec<u8> = (0..bs * shape.a_len()).map(|_| rng.gen_range(0..32)).collect();
-        let b_buf: Vec<i8> = (0..bs * shape.b_len()).map(|_| rng.gen_range(-16..16)).collect();
+        let a_buf: Vec<u8> = (0..bs * shape.a_len())
+            .map(|_| rng.gen_range(0..32))
+            .collect();
+        let b_buf: Vec<i8> = (0..bs * shape.b_len())
+            .map(|_| rng.gen_range(-16..16))
+            .collect();
         let a_offs: Vec<usize> = (0..bs).map(|i| i * shape.a_len()).collect();
         let b_offs: Vec<usize> = (0..bs).map(|i| i * shape.b_len()).collect();
         let mut c1 = vec![0i32; shape.c_len()];

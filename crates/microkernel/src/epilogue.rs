@@ -106,7 +106,15 @@ mod tests {
         let comp = [1i32, 2];
         let mut out = [0f32; 4];
         dequant_acc(&acc, 2, 2, &comp, 3, 0.5, &mut out);
-        assert_eq!(out, [(10 - 3) as f32 * 0.5, (20 - 6) as f32 * 0.5, (30 - 3) as f32 * 0.5, (40 - 6) as f32 * 0.5]);
+        assert_eq!(
+            out,
+            [
+                (10 - 3) as f32 * 0.5,
+                (20 - 6) as f32 * 0.5,
+                (30 - 3) as f32 * 0.5,
+                (40 - 6) as f32 * 0.5
+            ]
+        );
     }
 
     #[test]

@@ -6,9 +6,8 @@
 //! first caller computes the processed weights, everyone else reuses
 //! them.
 
-use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A keyed once-cache: `get_or_init` computes a value on first use and
 /// returns the shared result thereafter.
@@ -37,29 +36,29 @@ impl<V> ConstantCache<V> {
     /// first use.
     pub fn get_or_init(&self, key: u64, init: impl FnOnce() -> V) -> Arc<V> {
         // Fast path.
-        if let Some(v) = self.map.lock().get(&key) {
+        if let Some(v) = self.map.lock().unwrap().get(&key) {
             return Arc::clone(v);
         }
         // Compute outside the map lock would allow duplicate inits;
         // partitions are few and inits heavy, so hold the lock.
-        let mut map = self.map.lock();
+        let mut map = self.map.lock().unwrap();
         if let Some(v) = map.get(&key) {
             return Arc::clone(v);
         }
         let v = Arc::new(init());
-        *self.computes.lock() += 1;
+        *self.computes.lock().unwrap() += 1;
         map.insert(key, Arc::clone(&v));
         v
     }
 
     /// How many initializations actually ran (for tests and stats).
     pub fn compute_count(&self) -> u64 {
-        *self.computes.lock()
+        *self.computes.lock().unwrap()
     }
 
     /// Drop everything (weights changed / tests).
     pub fn clear(&self) {
-        self.map.lock().clear();
+        self.map.lock().unwrap().clear();
     }
 }
 

@@ -6,22 +6,74 @@
 //! original system relies on. Every `parallel_for` ends with an implicit
 //! barrier — the synchronization the paper's coarse-grain fusion
 //! eliminates by merging loops.
+//!
+//! Scheduling hands out *contiguous index chunks* of a configurable
+//! grain, claimed from a shared atomic cursor. Workers are long-lived:
+//! a parallel region publishes one task and wakes them; nothing is
+//! spawned per call. The caller participates in the loop itself, so a
+//! pool of `t` threads keeps `t` cores busy (`t - 1` workers + caller)
+//! and nested `parallel_for` calls degrade to serial execution on the
+//! nested caller instead of deadlocking.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-type Job = Arc<dyn Fn(usize) + Send + Sync>;
+/// Job type accepted by [`ThreadPool::parallel_for_static`].
+pub type Job = Arc<dyn Fn(usize) + Send + Sync>;
 
-enum Message {
-    Run {
-        job: Job,
-        start: usize,
-        end: usize,
-        done: Sender<()>,
-    },
-    Shutdown,
+/// One published parallel region: a chunk-claiming cursor over `0..n`
+/// plus a completion counter.
+struct Task {
+    /// Chunk body, lifetime-erased. Only dereferenced for claims with
+    /// `start < n`, and the publishing caller blocks until `pending`
+    /// hits zero, so the pointee outlives every dereference.
+    job: *const (dyn Fn(usize, usize) + Sync),
+    n: usize,
+    grain: usize,
+    /// Next unclaimed index.
+    cursor: AtomicUsize,
+    /// Iterations not yet completed.
+    pending: AtomicUsize,
+}
+
+// SAFETY: `job` is only ever dereferenced while the publishing caller
+// keeps the closure alive (see `Task::job`); the raw pointer itself is
+// freely sendable.
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+impl Task {
+    /// Claim and run chunks until the cursor is exhausted. Returns the
+    /// number of chunks executed.
+    fn work(&self) -> u64 {
+        let mut chunks = 0u64;
+        loop {
+            let start = self.cursor.fetch_add(self.grain, Ordering::Relaxed);
+            if start >= self.n {
+                return chunks;
+            }
+            let end = (start + self.grain).min(self.n);
+            // SAFETY: start < n, so the caller is still blocked in
+            // `run_task` waiting for these iterations.
+            unsafe { (*self.job)(start, end) };
+            chunks += 1;
+            self.pending.fetch_sub(end - start, Ordering::Release);
+        }
+    }
+}
+
+#[derive(Default)]
+struct Slot {
+    /// Monotonic region counter; bumped when a new task is published.
+    epoch: u64,
+    task: Option<Arc<Task>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    wake: Condvar,
 }
 
 /// A fixed-size pool of worker threads.
@@ -38,31 +90,38 @@ enum Message {
 /// assert_eq!(sum.into_inner(), 4950);
 /// ```
 pub struct ThreadPool {
-    sender: Sender<Message>,
-    receiver: Receiver<Message>,
+    shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    threads: usize,
     barriers: AtomicU64,
+    chunks: AtomicU64,
 }
 
 impl ThreadPool {
-    /// Spawn a pool with `threads` workers (minimum 1).
+    /// Build a pool that keeps `threads` cores busy (minimum 1): the
+    /// caller of a parallel region counts as one, so `threads - 1`
+    /// workers are spawned.
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
-        let (sender, receiver) = unbounded::<Message>();
-        let workers = (0..threads)
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot::default()),
+            wake: Condvar::new(),
+        });
+        let workers = (1..threads)
             .map(|w| {
-                let rx = receiver.clone();
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("gc-worker-{w}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&shared))
                     .expect("failed to spawn worker thread")
             })
             .collect();
         ThreadPool {
-            sender,
-            receiver,
+            shared,
             workers,
+            threads,
             barriers: AtomicU64::new(0),
+            chunks: AtomicU64::new(0),
         }
     }
 
@@ -74,45 +133,95 @@ impl ThreadPool {
         ThreadPool::new(n)
     }
 
-    /// Number of worker threads.
+    /// Number of cores this pool keeps busy (workers + caller).
     pub fn threads(&self) -> usize {
-        self.workers.len()
+        self.threads
     }
 
-    /// Run `body(i)` for every `i in 0..n`, splitting the index space
-    /// into one contiguous chunk per worker. Blocks until all indices
+    /// Run `body(start, end)` over contiguous chunks of `0..n`, each at
+    /// most `grain` long. Blocks until all indices complete (implicit
+    /// barrier). Chunks are claimed dynamically, so uneven chunk costs
+    /// still balance.
+    ///
+    /// With one thread (or `n <= grain`) the body runs inline on the
+    /// caller with no allocation or synchronization beyond counters.
+    pub fn parallel_for_grained<F>(&self, n: usize, grain: usize, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let grain = grain.max(1);
+        self.barriers.fetch_add(1, Ordering::Relaxed);
+        if self.workers.is_empty() || n <= grain {
+            body(0, n);
+            self.chunks.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // SAFETY: erases the borrow lifetime of `body`. The pointer is
+        // only dereferenced for claims made before the cursor passes `n`,
+        // and this frame blocks below until every such claim completed.
+        let job: *const (dyn Fn(usize, usize) + Sync) =
+            unsafe { std::mem::transmute(&body as &(dyn Fn(usize, usize) + Sync)) };
+        let task = Arc::new(Task {
+            job,
+            n,
+            grain,
+            cursor: AtomicUsize::new(0),
+            pending: AtomicUsize::new(n),
+        });
+        {
+            let mut slot = self.shared.slot.lock().expect("pool poisoned");
+            slot.epoch += 1;
+            slot.task = Some(Arc::clone(&task));
+        }
+        self.shared.wake.notify_all();
+        // Participate, then wait out stragglers still in their last chunk.
+        task.work();
+        let mut spins = 0u32;
+        while task.pending.load(Ordering::Acquire) != 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // Retire the task so idle workers stop holding it alive.
+        {
+            let mut slot = self.shared.slot.lock().expect("pool poisoned");
+            if slot.task.as_ref().is_some_and(|t| Arc::ptr_eq(t, &task)) {
+                slot.task = None;
+            }
+        }
+        // Claims tile 0..n exactly, so the region dispatched ceil(n/grain)
+        // chunks regardless of which thread ran each one.
+        self.chunks
+            .fetch_add(n.div_ceil(grain) as u64, Ordering::Relaxed);
+    }
+
+    /// Run `body(i)` for every `i in 0..n` with an automatically chosen
+    /// grain (a few chunks per thread). Blocks until all indices
     /// complete (implicit barrier).
     pub fn parallel_for<F>(&self, n: usize, body: F)
     where
         F: Fn(usize) + Send + Sync,
     {
-        if n == 0 {
-            return;
-        }
-        self.barriers.fetch_add(1, Ordering::Relaxed);
-        // SAFETY-free approach: wrap the borrowed closure in an Arc with
-        // a 'static lifetime by scoping: we block until all chunks are
-        // done, so the borrow cannot outlive this call. To stay in safe
-        // Rust we instead clone the work through an Arc<dyn Fn> built
-        // from a scoped channel round-trip.
-        crossbeam::scope(|s| {
-            let chunks = self.workers.len().min(n);
-            let per = n.div_ceil(chunks);
-            for c in 0..chunks {
-                let start = c * per;
-                let end = ((c + 1) * per).min(n);
-                if start >= end {
-                    continue;
-                }
-                let body = &body;
-                s.spawn(move |_| {
-                    for i in start..end {
-                        body(i);
-                    }
-                });
+        let grain = self.default_grain(n);
+        self.parallel_for_grained(n, grain, |start, end| {
+            for i in start..end {
+                body(i);
             }
-        })
-        .expect("parallel_for worker panicked");
+        });
+    }
+
+    /// The grain `parallel_for` would pick for an `n`-iteration loop:
+    /// roughly four chunks per thread so dynamic claiming can balance
+    /// uneven iteration costs without shrinking chunks to single
+    /// indices.
+    pub fn default_grain(&self, n: usize) -> usize {
+        n.div_ceil(self.threads * 4).max(1)
     }
 
     /// Total `parallel_for` barriers executed so far — the
@@ -121,70 +230,49 @@ impl ThreadPool {
         self.barriers.load(Ordering::Relaxed)
     }
 
-    /// Submit an asynchronous chunked job over `0..n` using the
-    /// persistent workers and wait for completion.
+    /// Total contiguous chunks dispatched across all parallel regions.
+    pub fn chunk_count(&self) -> u64 {
+        self.chunks.load(Ordering::Relaxed)
+    }
+
+    /// Chunked job over `0..n` for `'static` closures behind an `Arc`.
     ///
-    /// Unlike [`ThreadPool::parallel_for`] this routes through the
-    /// long-lived worker threads (no per-call spawn), at the cost of
-    /// requiring a `'static` job.
+    /// Same scheduling as [`ThreadPool::parallel_for`]; kept for callers
+    /// that hold the job in shared ownership.
     pub fn parallel_for_static(&self, n: usize, job: Job) {
-        if n == 0 {
-            return;
-        }
-        self.barriers.fetch_add(1, Ordering::Relaxed);
-        let chunks = self.workers.len().min(n);
-        let per = n.div_ceil(chunks);
-        let (done_tx, done_rx) = unbounded();
-        let mut sent = 0;
-        for c in 0..chunks {
-            let start = c * per;
-            let end = ((c + 1) * per).min(n);
-            if start >= end {
-                continue;
-            }
-            self.sender
-                .send(Message::Run {
-                    job: Arc::clone(&job),
-                    start,
-                    end,
-                    done: done_tx.clone(),
-                })
-                .expect("worker channel closed");
-            sent += 1;
-        }
-        for _ in 0..sent {
-            done_rx.recv().expect("worker dropped completion");
-        }
+        self.parallel_for(n, move |i| job(i));
     }
 }
 
-fn worker_loop(rx: &Receiver<Message>) {
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            Message::Run {
-                job,
-                start,
-                end,
-                done,
-            } => {
-                for i in start..end {
-                    job(i);
+fn worker_loop(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let task = {
+            let mut slot = shared.slot.lock().expect("pool poisoned");
+            loop {
+                if slot.shutdown {
+                    return;
                 }
-                let _ = done.send(());
+                if slot.epoch != seen_epoch {
+                    seen_epoch = slot.epoch;
+                    if let Some(t) = slot.task.clone() {
+                        break t;
+                    }
+                }
+                slot = shared.wake.wait(slot).expect("pool poisoned");
             }
-            Message::Shutdown => break,
-        }
+        };
+        task.work();
     }
 }
 
 impl Drop for ThreadPool {
     fn drop(&mut self) {
-        for _ in &self.workers {
-            let _ = self.sender.send(Message::Shutdown);
+        {
+            let mut slot = self.shared.slot.lock().expect("pool poisoned");
+            slot.shutdown = true;
         }
-        // Drain our copy of the receiver so shutdown messages are not
-        // starved by queued jobs.
-        let _ = &self.receiver;
+        self.shared.wake.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -254,5 +342,63 @@ mod tests {
             sum.fetch_add(i + 1, Ordering::SeqCst);
         });
         assert_eq!(sum.into_inner(), 6);
+    }
+
+    #[test]
+    fn grained_chunks_are_contiguous_and_bounded() {
+        let pool = ThreadPool::new(4);
+        let seen = Mutex::new(Vec::new());
+        pool.parallel_for_grained(103, 10, |start, end| {
+            assert!(end - start <= 10);
+            seen.lock().unwrap().push((start, end));
+        });
+        let mut chunks = seen.into_inner().unwrap();
+        chunks.sort();
+        // Chunks tile 0..103 exactly.
+        let mut next = 0;
+        for (s, e) in chunks {
+            assert_eq!(s, next);
+            next = e;
+        }
+        assert_eq!(next, 103);
+    }
+
+    #[test]
+    fn grained_serial_when_fits_one_chunk() {
+        let pool = ThreadPool::new(4);
+        let before = pool.chunk_count();
+        let count = AtomicUsize::new(0);
+        pool.parallel_for_grained(7, 16, |start, end| {
+            assert_eq!((start, end), (0, 7));
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.into_inner(), 1);
+        assert_eq!(pool.chunk_count() - before, 1);
+    }
+
+    #[test]
+    fn reuses_workers_across_many_regions() {
+        let pool = ThreadPool::new(4);
+        for round in 0..200 {
+            let sum = AtomicUsize::new(0);
+            pool.parallel_for_grained(64, 8, |start, end| {
+                sum.fetch_add((start..end).sum::<usize>(), Ordering::Relaxed);
+            });
+            assert_eq!(sum.into_inner(), 2016, "round {round}");
+        }
+        assert_eq!(pool.barrier_count(), 200);
+    }
+
+    #[test]
+    fn nested_parallel_for_completes() {
+        let pool = Arc::new(ThreadPool::new(4));
+        let total = AtomicUsize::new(0);
+        let p2 = Arc::clone(&pool);
+        pool.parallel_for(4, |_| {
+            p2.parallel_for(8, |_| {
+                total.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(total.into_inner(), 32);
     }
 }

@@ -1,0 +1,297 @@
+//! Offline drop-in for the subset of the `rand` 0.8 API this workspace
+//! uses. The build container has no crates.io access, so the real crate
+//! cannot be fetched; this shim keeps the same call sites compiling
+//! (`StdRng::seed_from_u64`, `Rng::gen_range`, `Uniform`/`Distribution`)
+//! on top of a deterministic SplitMix64 generator.
+//!
+//! Determinism matters more than statistical quality here: every test
+//! and workload generator seeds explicitly and compares compiled output
+//! against a reference computed from the same tensors.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`] like the real crate does.
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Sample a value of `T` from the [`distributions::Standard`]
+    /// distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Alias: the shim has a single generator.
+    pub type SmallRng = StdRng;
+}
+
+/// Uniform distributions over primitive types.
+pub mod distributions {
+    use super::{Range, RangeInclusive, RngCore};
+
+    /// A distribution that can be sampled with any generator.
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Types with a native uniform-range sampler.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Uniform sample from `[lo, hi)`; `hi` must be greater than
+        /// `lo`.
+        fn sample_below<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        /// Uniform sample from `[lo, hi]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    }
+
+    macro_rules! impl_int_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_below<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo < hi, "empty sample range");
+                    let span = (hi as i128 - lo as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo <= hi, "empty sample range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_uniform!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+    macro_rules! impl_float_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_below<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    assert!(lo < hi, "empty sample range");
+                    // 53 bits of mantissa is plenty for both f32/f64.
+                    let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                    lo + (hi - lo) * unit
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    Self::sample_below(lo, hi, rng)
+                }
+            }
+        )*};
+    }
+
+    impl_float_uniform!(f32, f64);
+
+    /// Range arguments accepted by [`super::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draw one sample from the range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_below(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+
+    /// Uniform distribution over `[lo, hi)`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over `[lo, hi)`.
+        pub fn new(lo: T, hi: T) -> Self {
+            assert!(lo < hi, "Uniform::new requires lo < hi");
+            Uniform { lo, hi }
+        }
+
+        /// Uniform over `[lo, hi]`.
+        pub fn new_inclusive(lo: T, hi: T) -> UniformInclusive<T> {
+            UniformInclusive { lo, hi }
+        }
+    }
+
+    impl<T: SampleUniform> From<Range<T>> for Uniform<T> {
+        fn from(r: Range<T>) -> Self {
+            Uniform::new(r.start, r.end)
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_below(self.lo, self.hi, rng)
+        }
+    }
+
+    /// Inclusive-range uniform distribution.
+    #[derive(Debug, Clone, Copy)]
+    pub struct UniformInclusive<T> {
+        lo: T,
+        hi: T,
+    }
+
+    impl<T: SampleUniform> Distribution<T> for UniformInclusive<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::sample_inclusive(self.lo, self.hi, rng)
+        }
+    }
+
+    /// The `Standard` distribution for a few primitive types.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            f32::sample_below(0.0, 1.0, rng)
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            f64::sample_below(0.0, 1.0, rng)
+        }
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0..1_000_000)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| c.gen_range(0..1_000_000)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(-16i8..16);
+            assert!((-16..16).contains(&i));
+            let u = rng.gen_range(3usize..=9);
+            assert!((3..=9).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_sampling() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Uniform::new(0u8, 16);
+        for _ in 0..100 {
+            assert!(d.sample(&mut rng) < 16);
+        }
+        let f = Uniform::new(-1.0f32, 1.0);
+        for _ in 0..100 {
+            let v = f.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn covers_full_int_range_roughly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 16];
+        for _ in 0..400 {
+            seen[rng.gen_range(0usize..16)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

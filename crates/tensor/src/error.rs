@@ -64,7 +64,10 @@ impl fmt::Display for TensorError {
                 write!(f, "axis {axis} out of range for rank {rank}")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "length mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "length mismatch: expected {expected} elements, got {actual}"
+                )
             }
             TensorError::InvalidLayout(msg) => write!(f, "invalid layout: {msg}"),
         }

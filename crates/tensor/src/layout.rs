@@ -236,7 +236,10 @@ mod tests {
     fn non_divisible_block_errors() {
         let l = Layout::blocked_a(2, 4, 4);
         let err = l.storage_dims(&[6, 8]).unwrap_err();
-        assert!(matches!(err, TensorError::BlockNotDivisible { axis: 0, .. }));
+        assert!(matches!(
+            err,
+            TensorError::BlockNotDivisible { axis: 0, .. }
+        ));
     }
 
     #[test]

@@ -208,12 +208,13 @@ pub fn binary(kind: BinaryKind, a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let sa = a.desc().shape().to_vec();
     let sb = b.desc().shape().to_vec();
     // validate right-aligned broadcast of b onto a
-    let offset = sa.len().checked_sub(sb.len()).ok_or_else(|| {
-        TensorError::ShapeMismatch {
+    let offset = sa
+        .len()
+        .checked_sub(sb.len())
+        .ok_or_else(|| TensorError::ShapeMismatch {
             expected: sa.clone(),
             actual: sb.clone(),
-        }
-    })?;
+        })?;
     for (i, &db) in sb.iter().enumerate() {
         let da = sa[offset + i];
         if db != da && db != 1 {
@@ -356,7 +357,10 @@ pub fn quantize(t: &Tensor, dtype: DataType, p: QuantParams) -> Result<Tensor> {
 pub fn dequantize(t: &Tensor, p: QuantParams) -> Result<Tensor> {
     require_plain(t)?;
     let out: Vec<f32> = match t.storage() {
-        Storage::U8(v) => v.iter().map(|&q| crate::quant::dequantize_u8(q, p)).collect(),
+        Storage::U8(v) => v
+            .iter()
+            .map(|&q| crate::quant::dequantize_u8(q, p))
+            .collect(),
         Storage::I8(v) => v
             .iter()
             .map(|&q| crate::quant::dequantize_i8(q, p.scale))
@@ -425,7 +429,9 @@ mod tests {
         let c = matmul_f32(&a, &b).unwrap();
         assert_eq!(c.desc().shape(), &[3, 2, 5]);
         // check one element by hand
-        let want: f32 = (0..4).map(|k| a.at(&[2, 1, k]) as f32 * b.at(&[2, k, 3]) as f32).sum();
+        let want: f32 = (0..4)
+            .map(|k| a.at(&[2, 1, k]) as f32 * b.at(&[2, k, 3]) as f32)
+            .sum();
         assert!((c.at(&[2, 1, 3]) as f32 - want).abs() < 1e-5);
     }
 

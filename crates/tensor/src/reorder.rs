@@ -148,11 +148,7 @@ mod tests {
     #[test]
     fn reorder_b_layout_places_panels_contiguously() {
         // B[4, 4] with KB=2, NB=2 -> storage [2, 2, 2, 2] with inner (n, k)
-        let t = Tensor::from_vec_f32(
-            &[4, 4],
-            (0..16).map(|x| x as f32).collect(),
-        )
-        .unwrap();
+        let t = Tensor::from_vec_f32(&[4, 4], (0..16).map(|x| x as f32).collect()).unwrap();
         let b = reorder(&t, Layout::blocked_b(2, 2, 2)).unwrap();
         let d = b.f32_slice().unwrap();
         // first tile: k in 0..2, n in 0..2, stored n-major then k:

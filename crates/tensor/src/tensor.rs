@@ -100,6 +100,24 @@ impl Storage {
         })
     }
 
+    /// Copy `src` into this storage in place (no reallocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data types or lengths differ — callers are expected
+    /// to have validated both against their descriptors.
+    pub fn copy_from(&mut self, src: &Storage) {
+        match (self, src) {
+            (Storage::F32(d), Storage::F32(s)) => d.copy_from_slice(s),
+            (Storage::Bf16(d), Storage::Bf16(s)) => d.copy_from_slice(s),
+            (Storage::U8(d), Storage::U8(s)) => d.copy_from_slice(s),
+            (Storage::I8(d), Storage::I8(s)) => d.copy_from_slice(s),
+            (Storage::I32(d), Storage::I32(s)) => d.copy_from_slice(s),
+            (Storage::I64(d), Storage::I64(s)) => d.copy_from_slice(s),
+            (d, s) => panic!("copy_from dtype mismatch: {} <- {}", d.dtype(), s.dtype()),
+        }
+    }
+
     /// Read element `i` widened to `f64` (bf16 goes through f32).
     ///
     /// # Panics

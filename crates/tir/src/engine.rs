@@ -5,14 +5,37 @@
 //! stage ("these runtime constants only be executed once in the first
 //! execution"), a thread pool, and execution statistics.
 
+use crate::compile::compile_module;
 use crate::exec::{run_calls, ExecError};
 use crate::ir::{GlobalKind, Module};
+use crate::plan::{run_plan_call, Plan, PlanScratch, PlanStats};
 use crate::sim::{project, Projection};
 use gc_machine::MachineDescriptor;
 use gc_runtime::{ExecStats, ThreadPool};
 use gc_tensor::{Storage, Tensor, TensorDesc};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// How the main stage of an [`Executable`] runs its functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Flat execution plans compiled at construction; functions the
+    /// plan builder rejected fall back to the interpreter per call.
+    #[default]
+    Compiled,
+    /// Tree-walking interpreter for every call — the reference path
+    /// differential tests compare against (`--interpret`).
+    Interpret,
+}
+
+/// Mutable engine state guarded by one mutex: the persistent global
+/// buffers (allocated and init-processed once, then reused — inputs
+/// are copied into place per call instead of reassembling ~all
+/// globals) and the reusable plan-execution scratch.
+struct EngineState {
+    globals: Option<Vec<Storage>>,
+    scratch: PlanScratch,
+}
 
 /// A compiled, executable partition.
 pub struct Executable {
@@ -22,7 +45,9 @@ pub struct Executable {
     /// Number of user-visible API calls this module replaces (1 for a
     /// compiled partition, one per primitive for the baseline).
     dispatch_count: usize,
-    state: parking_lot::Mutex<Option<Vec<(usize, Storage)>>>,
+    plan: Plan,
+    mode: ExecMode,
+    state: std::sync::Mutex<EngineState>,
     init_runs: std::sync::atomic::AtomicU64,
 }
 
@@ -37,19 +62,45 @@ impl std::fmt::Debug for Executable {
 }
 
 impl Executable {
-    /// Wrap a lowered module.
+    /// Wrap a lowered module, compiling its execution plan.
     pub fn new(
         module: Module,
         weight_seeds: Vec<(usize, Tensor)>,
         pool: Arc<ThreadPool>,
         dispatch_count: usize,
     ) -> Self {
+        Self::with_mode(
+            module,
+            weight_seeds,
+            pool,
+            dispatch_count,
+            ExecMode::Compiled,
+        )
+    }
+
+    /// Wrap a lowered module with an explicit execution mode. The plan
+    /// is compiled either way (it is cheap and [`Self::plan_stats`]
+    /// stays meaningful); `mode` only selects the dispatch path.
+    pub fn with_mode(
+        module: Module,
+        weight_seeds: Vec<(usize, Tensor)>,
+        pool: Arc<ThreadPool>,
+        dispatch_count: usize,
+        mode: ExecMode,
+    ) -> Self {
+        let plan = compile_module(&module, pool.threads());
+        let scratch = PlanScratch::for_plan(&plan);
         Executable {
             module,
             weight_seeds,
             pool,
             dispatch_count,
-            state: parking_lot::Mutex::new(None),
+            plan,
+            mode,
+            state: std::sync::Mutex::new(EngineState {
+                globals: None,
+                scratch,
+            }),
             init_runs: std::sync::atomic::AtomicU64::new(0),
         }
     }
@@ -57,6 +108,16 @@ impl Executable {
     /// The underlying module (diagnostics, projection).
     pub fn module(&self) -> &Module {
         &self.module
+    }
+
+    /// The active execution mode.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// What the plan builder achieved for this module.
+    pub fn plan_stats(&self) -> PlanStats {
+        self.plan.stats()
     }
 
     /// Number of framework API calls this executable stands for.
@@ -96,21 +157,17 @@ impl Executable {
         let barriers0 = self.pool.barrier_count();
         let wall0 = Instant::now();
 
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().expect("executable poisoned");
+        let state = &mut *state;
 
-        // assemble globals
-        let mut globals: Vec<Storage> = Vec::with_capacity(self.module.globals.len());
-        for g in &self.module.globals {
-            globals.push(Storage::zeros(g.dtype, g.elems));
-        }
-        // inputs
+        // validate inputs against the compiled descriptors
         let mut n_inputs = 0usize;
-        for (gi, g) in self.module.globals.iter().enumerate() {
+        for g in &self.module.globals {
             if let GlobalKind::Input(i) = g.kind {
                 n_inputs = n_inputs.max(i + 1);
-                let t = inputs.get(i).ok_or_else(|| {
-                    ExecError(format!("missing input {i} ({})", g.name))
-                })?;
+                let t = inputs
+                    .get(i)
+                    .ok_or_else(|| ExecError(format!("missing input {i} ({})", g.name)))?;
                 if t.desc().dtype() != g.dtype || t.desc().volume() != g.elems {
                     return Err(ExecError(format!(
                         "input {i} ({}) expects {} x{}, got {} x{}",
@@ -121,7 +178,6 @@ impl Executable {
                         t.desc().volume()
                     )));
                 }
-                globals[gi] = t.storage().clone();
             }
         }
         if inputs.len() != n_inputs {
@@ -131,37 +187,57 @@ impl Executable {
             )));
         }
 
-        match state.as_ref() {
-            Some(cached) => {
-                for (gi, st) in cached {
-                    globals[*gi] = st.clone();
-                }
+        // Globals persist across calls: allocated and init-processed on
+        // the first execution, then only inputs are copied into place.
+        // Accumulating buffers are explicitly zeroed by the lowered code
+        // (FillF32 / ZeroI32 ahead of every k-loop), so stale scratch
+        // contents are never observed.
+        let globals = match &mut state.globals {
+            Some(globals) => {
+                install_inputs(&self.module, globals, inputs);
+                globals
             }
-            None => {
-                // first execution: seed weights, run init stage, cache
+            slot @ None => {
                 let init0 = Instant::now();
-                for (gi, t) in &self.weight_seeds {
-                    globals[*gi] = t.storage().clone();
-                }
-                run_calls(&self.module, &self.module.init_calls, &mut globals, &self.pool);
-                let cached: Vec<(usize, Storage)> = self
+                let mut globals: Vec<Storage> = self
                     .module
                     .globals
                     .iter()
-                    .enumerate()
-                    .filter(|(_, g)| {
-                        matches!(g.kind, GlobalKind::Weight | GlobalKind::Persistent)
-                    })
-                    .map(|(gi, _)| (gi, globals[gi].clone()))
+                    .map(|g| Storage::zeros(g.dtype, g.elems))
                     .collect();
-                *state = Some(cached);
+                for (gi, t) in &self.weight_seeds {
+                    globals[*gi] = t.storage().clone();
+                }
+                install_inputs(&self.module, &mut globals, inputs);
+                run_calls(
+                    &self.module,
+                    &self.module.init_calls,
+                    &mut globals,
+                    &self.pool,
+                );
                 self.init_runs
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 stats.init_wall = init0.elapsed();
+                slot.insert(globals)
+            }
+        };
+
+        // Main stage: compiled plans where available, interpreter
+        // otherwise (and for every call in `Interpret` mode).
+        for call in &self.module.main_calls {
+            if self.mode == ExecMode::Compiled && self.plan.func(call.func).is_some() {
+                run_plan_call(
+                    &self.plan,
+                    call.func,
+                    &call.args,
+                    globals,
+                    &self.pool,
+                    &mut state.scratch,
+                );
+            } else {
+                crate::exec::run_func(&self.module.funcs[call.func], call, globals, &self.pool);
             }
         }
-
-        run_calls(&self.module, &self.module.main_calls, &mut globals, &self.pool);
 
         // collect outputs
         let mut outs: Vec<(usize, Tensor)> = Vec::new();
@@ -207,6 +283,17 @@ impl Executable {
     /// Project one steady-state execution (init excluded) on `machine`.
     pub fn project(&self, machine: &MachineDescriptor) -> Projection {
         project(&self.module, machine, self.dispatch_count)
+    }
+}
+
+/// Copy the call's input tensors into their persistent global slots.
+/// Inputs were already validated against the descriptors, so the
+/// in-place `copy_from` cannot panic.
+fn install_inputs(module: &Module, globals: &mut [Storage], inputs: &[Tensor]) {
+    for (gi, g) in module.globals.iter().enumerate() {
+        if let GlobalKind::Input(i) = g.kind {
+            globals[gi].copy_from(inputs[i].storage());
+        }
     }
 }
 
@@ -317,7 +404,7 @@ mod tests {
         let (m, seeds) = demo_module();
         let exe = Executable::new(m, seeds, Arc::new(ThreadPool::new(1)), 1);
         let x = Tensor::from_vec_f32(&[8], vec![0.5; 8]).unwrap();
-        let (out1, s1) = exe.execute(&[x.clone()]).unwrap();
+        let (out1, s1) = exe.execute(std::slice::from_ref(&x)).unwrap();
         let (out2, s2) = exe.execute(&[x]).unwrap();
         assert_eq!(exe.init_runs(), 1);
         assert!(s1.init_wall > std::time::Duration::ZERO);

@@ -35,17 +35,23 @@ impl std::fmt::Display for ExecError {
 impl std::error::Error for ExecError {}
 
 #[derive(Clone, Copy)]
-struct RawBuf {
-    ptr: *mut u8,
+pub(crate) struct RawBuf {
+    pub(crate) ptr: *mut u8,
     elems: usize,
     dtype: DataType,
+}
+
+impl std::fmt::Debug for RawBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RawBuf({:?} x{} {})", self.ptr, self.elems, self.dtype)
+    }
 }
 
 unsafe impl Send for RawBuf {}
 unsafe impl Sync for RawBuf {}
 
 impl RawBuf {
-    fn of(storage: &mut Storage) -> RawBuf {
+    pub(crate) fn of(storage: &mut Storage) -> RawBuf {
         let dtype = storage.dtype();
         let elems = storage.len();
         let ptr = match storage {
@@ -74,7 +80,7 @@ impl RawBuf {
     /// # Safety
     /// Range must be in bounds and disjoint from other live slices.
     #[inline]
-    unsafe fn f32(&self, off: usize, len: usize) -> &mut [f32] {
+    pub(crate) unsafe fn f32<'a>(self, off: usize, len: usize) -> &'a mut [f32] {
         self.check(off, len, DataType::F32);
         std::slice::from_raw_parts_mut((self.ptr as *mut f32).add(off), len)
     }
@@ -82,7 +88,7 @@ impl RawBuf {
     /// # Safety
     /// Range must be in bounds and disjoint from other live slices.
     #[inline]
-    unsafe fn u8(&self, off: usize, len: usize) -> &mut [u8] {
+    pub(crate) unsafe fn u8<'a>(self, off: usize, len: usize) -> &'a mut [u8] {
         self.check(off, len, DataType::U8);
         std::slice::from_raw_parts_mut(self.ptr.add(off), len)
     }
@@ -90,7 +96,7 @@ impl RawBuf {
     /// # Safety
     /// Range must be in bounds and disjoint from other live slices.
     #[inline]
-    unsafe fn i8(&self, off: usize, len: usize) -> &mut [i8] {
+    pub(crate) unsafe fn i8<'a>(self, off: usize, len: usize) -> &'a mut [i8] {
         self.check(off, len, DataType::I8);
         std::slice::from_raw_parts_mut((self.ptr as *mut i8).add(off), len)
     }
@@ -98,7 +104,7 @@ impl RawBuf {
     /// # Safety
     /// Range must be in bounds and disjoint from other live slices.
     #[inline]
-    unsafe fn i32(&self, off: usize, len: usize) -> &mut [i32] {
+    pub(crate) unsafe fn i32<'a>(self, off: usize, len: usize) -> &'a mut [i32] {
         self.check(off, len, DataType::I32);
         std::slice::from_raw_parts_mut((self.ptr as *mut i32).add(off), len)
     }
@@ -183,7 +189,7 @@ pub fn run_calls(module: &Module, calls: &[Call], globals: &mut [Storage], pool:
     }
 }
 
-fn run_func(func: &Func, call: &Call, globals: &mut [Storage], pool: &ThreadPool) {
+pub(crate) fn run_func(func: &Func, call: &Call, globals: &mut [Storage], pool: &ThreadPool) {
     // Materialize raw param pointers (sequentially, one &mut at a time).
     // A global may be bound to several parameters (e.g. a residual graph
     // passing the same tensor as activation and post-op operand); those
@@ -265,7 +271,7 @@ fn set_var(vars: &mut Vec<i64>, var: VarId, val: i64) {
 }
 
 #[inline]
-fn assert_disjoint(a: (RawBuf, usize, usize), b: (RawBuf, usize, usize)) {
+pub(crate) fn assert_disjoint(a: (RawBuf, usize, usize), b: (RawBuf, usize, usize)) {
     debug_assert!(
         a.0.ptr != b.0.ptr || a.1 + a.2 <= b.1 || b.1 + b.2 <= a.1,
         "overlapping views in intrinsic"
@@ -436,12 +442,7 @@ fn exec_intrinsic(intr: &Intrinsic, frame: &Frame<'_>, vars: &[i64]) {
                 }
             }
         }
-        Intrinsic::BinaryScalar {
-            op,
-            a,
-            scalar,
-            dst,
-        } => {
+        Intrinsic::BinaryScalar { op, a, scalar, dst } => {
             let (ab, ao) = frame.resolve(a, vars);
             let (db, doff) = frame.resolve(dst, vars);
             if ab.ptr == db.ptr && ao == doff {
@@ -491,10 +492,9 @@ fn exec_intrinsic(intr: &Intrinsic, frame: &Frame<'_>, vars: &[i64]) {
             let (db, doff) = frame.resolve(dst, vars);
             unsafe {
                 let bsl = bb.f32(bo, *rows);
-                for r in 0..*rows {
+                for (r, &y) in bsl.iter().enumerate() {
                     let arow = ab.f32(ao + r * cols, *cols);
                     let drow = db.f32(doff + r * cols, *cols);
-                    let y = bsl[r];
                     match op {
                         gc_microkernel::BinaryOp::Div => {
                             let inv = 1.0 / y;
@@ -643,7 +643,7 @@ fn exec_intrinsic(intr: &Intrinsic, frame: &Frame<'_>, vars: &[i64]) {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn pack2d(
+pub(crate) fn pack2d(
     sb: RawBuf,
     so: usize,
     rs: usize,
@@ -661,8 +661,7 @@ fn pack2d(
                 let dsl = db.$get(doff, rows * cols);
                 if cs == 1 {
                     for r in 0..rows {
-                        dsl[r * cols..(r + 1) * cols]
-                            .copy_from_slice(&ssl[r * rs..r * rs + cols]);
+                        dsl[r * cols..(r + 1) * cols].copy_from_slice(&ssl[r * rs..r * rs + cols]);
                     }
                 } else {
                     for r in 0..rows {
@@ -684,7 +683,7 @@ fn pack2d(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn unpack2d(
+pub(crate) fn unpack2d(
     sb: RawBuf,
     so: usize,
     db: RawBuf,
@@ -702,8 +701,7 @@ fn unpack2d(
                 let dsl = db.$get(doff, need - doff);
                 if cs == 1 {
                     for r in 0..rows {
-                        dsl[r * rs..r * rs + cols]
-                            .copy_from_slice(&ssl[r * cols..(r + 1) * cols]);
+                        dsl[r * rs..r * rs + cols].copy_from_slice(&ssl[r * cols..(r + 1) * cols]);
                     }
                 } else {
                     for r in 0..rows {

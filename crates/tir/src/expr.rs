@@ -45,6 +45,7 @@ impl Expr {
     }
 
     /// `self + rhs`, folding constants.
+    #[allow(clippy::should_implement_trait)] // builder API with const-folding, not `std::ops::Add`
     pub fn add(self, rhs: Expr) -> Expr {
         match (&self, &rhs) {
             (Expr::Const(0), _) => rhs,
@@ -55,6 +56,7 @@ impl Expr {
     }
 
     /// `self * rhs`, folding constants.
+    #[allow(clippy::should_implement_trait)] // builder API with const-folding, not `std::ops::Mul`
     pub fn mul(self, rhs: Expr) -> Expr {
         match (&self, &rhs) {
             (Expr::Const(0), _) | (_, Expr::Const(0)) => Expr::Const(0),
@@ -113,14 +115,12 @@ impl Expr {
             }
             Expr::Add(a, b) => a.subst(var, with).add(b.subst(var, with)),
             Expr::Mul(a, b) => a.subst(var, with).mul(b.subst(var, with)),
-            Expr::Div(a, b) => Expr::Div(
-                Box::new(a.subst(var, with)),
-                Box::new(b.subst(var, with)),
-            ),
-            Expr::Rem(a, b) => Expr::Rem(
-                Box::new(a.subst(var, with)),
-                Box::new(b.subst(var, with)),
-            ),
+            Expr::Div(a, b) => {
+                Expr::Div(Box::new(a.subst(var, with)), Box::new(b.subst(var, with)))
+            }
+            Expr::Rem(a, b) => {
+                Expr::Rem(Box::new(a.subst(var, with)), Box::new(b.subst(var, with)))
+            }
         }
     }
 }

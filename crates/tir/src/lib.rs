@@ -19,17 +19,21 @@
 
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod engine;
 pub mod exec;
 pub mod expr;
 pub mod ir;
 pub mod passes;
+pub mod plan;
 pub mod printer;
 pub mod sim;
 pub mod visit;
 
-pub use engine::Executable;
+pub use compile::compile_module;
+pub use engine::{ExecMode, Executable};
 pub use expr::{Expr, VarId};
 pub use ir::{
     BufDecl, BufId, Call, Func, GlobalDecl, GlobalKind, Intrinsic, Module, ReduceOp, Stmt, View,
 };
+pub use plan::{Plan, PlanStats};

@@ -168,10 +168,7 @@ pub fn reuse_func_locals(func: &mut Func) -> ReuseStats {
     let merged = remap.len();
     if merged > 0 {
         let body = std::mem::take(&mut func.body);
-        func.body = body
-            .into_iter()
-            .map(|s| remap_stmt(s, &remap))
-            .collect();
+        func.body = body.into_iter().map(|s| remap_stmt(s, &remap)).collect();
         for (&l, _) in remap.iter() {
             func.locals[l].elems = 0;
             func.locals[l].dtype = DataType::U8; // zero-byte placeholder
@@ -218,10 +215,7 @@ fn remap_stmt(s: Stmt, remap: &HashMap<usize, usize>) -> Stmt {
     }
 }
 
-fn remap_intrinsic(
-    i: crate::ir::Intrinsic,
-    remap: &HashMap<usize, usize>,
-) -> crate::ir::Intrinsic {
+fn remap_intrinsic(i: crate::ir::Intrinsic, remap: &HashMap<usize, usize>) -> crate::ir::Intrinsic {
     // map BufIds through the remap table by round-tripping through the
     // expression mapper (which preserves structure) plus a manual buf fix
     use crate::ir::Intrinsic as I;
@@ -277,7 +271,10 @@ fn remap_intrinsic(
             k,
             batch,
         },
-        I::FillF32 { dst, value } => I::FillF32 { dst: mv(dst), value },
+        I::FillF32 { dst, value } => I::FillF32 {
+            dst: mv(dst),
+            value,
+        },
         I::ZeroI32 { dst } => I::ZeroI32 { dst: mv(dst) },
         I::Pack2D {
             src,

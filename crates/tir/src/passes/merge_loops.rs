@@ -94,7 +94,9 @@ fn rename_stmt(s: Stmt, from: crate::expr::VarId, with: &crate::expr::Expr) -> S
                 .map(|b| rename_stmt(b, from, with))
                 .collect(),
         },
-        Stmt::Op(i) => Stmt::Op(crate::visit::map_intrinsic_exprs(i, &|e| e.subst(from, with))),
+        Stmt::Op(i) => Stmt::Op(crate::visit::map_intrinsic_exprs(i, &|e| {
+            e.subst(from, with)
+        })),
     }
 }
 
@@ -138,7 +140,13 @@ mod tests {
             2,
         );
         let stats = merge_parallel_loops(&mut f);
-        assert_eq!(stats, MergeStats { before: 2, after: 1 });
+        assert_eq!(
+            stats,
+            MergeStats {
+                before: 2,
+                after: 1
+            }
+        );
         // single loop with both bodies, second renamed to v0
         let Stmt::For { body, .. } = &f.body[0] else {
             panic!()
@@ -191,6 +199,12 @@ mod tests {
             3,
         );
         let stats = merge_parallel_loops(&mut f);
-        assert_eq!(stats, MergeStats { before: 3, after: 1 });
+        assert_eq!(
+            stats,
+            MergeStats {
+                before: 3,
+                after: 1
+            }
+        );
     }
 }

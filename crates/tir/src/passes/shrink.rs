@@ -95,7 +95,7 @@ fn upper_bound(e: &Expr, max_of: &HashMap<VarId, i64>) -> Option<i64> {
         Expr::Div(a, b) => {
             let d = upper_bound(b, max_of)?;
             if d > 0 {
-                Some(upper_bound(a, max_of)? / 1) // conservative: skip division shrink
+                Some(upper_bound(a, max_of)?) // conservative: skip division shrink
             } else {
                 None
             }
@@ -267,7 +267,10 @@ fn drop_term_stmt(s: Stmt, local: usize, v: VarId) -> Stmt {
 }
 
 /// Map every view (but not raw buf references) of an intrinsic.
-fn map_views(i: crate::ir::Intrinsic, f: &impl Fn(crate::ir::View) -> crate::ir::View) -> crate::ir::Intrinsic {
+fn map_views(
+    i: crate::ir::Intrinsic,
+    f: &impl Fn(crate::ir::View) -> crate::ir::View,
+) -> crate::ir::Intrinsic {
     // Reuse map_intrinsic_exprs is expression-level; we need view-level.
     use crate::ir::Intrinsic as I;
     macro_rules! v {
@@ -318,7 +321,10 @@ fn map_views(i: crate::ir::Intrinsic, f: &impl Fn(crate::ir::View) -> crate::ir:
             k,
             batch,
         },
-        I::FillF32 { dst, value } => I::FillF32 { dst: v!(dst), value },
+        I::FillF32 { dst, value } => I::FillF32 {
+            dst: v!(dst),
+            value,
+        },
         I::ZeroI32 { dst } => I::ZeroI32 { dst: v!(dst) },
         I::Pack2D {
             src,
@@ -430,7 +436,7 @@ fn map_views(i: crate::ir::Intrinsic, f: &impl Fn(crate::ir::View) -> crate::ir:
             comp: v!(comp),
             a_zero,
             scale,
-            bias: bias.map(|b| f(b)),
+            bias: bias.map(f),
             dst: v!(dst),
             rows,
             cols,
@@ -521,12 +527,16 @@ mod tests {
                             op: UnaryOp::Relu,
                             src: View::new(
                                 BufId::Param(0),
-                                Expr::v(msi).mul(Expr::c(16)).add(Expr::v(inner).mul(Expr::c(8))),
+                                Expr::v(msi)
+                                    .mul(Expr::c(16))
+                                    .add(Expr::v(inner).mul(Expr::c(8))),
                                 8,
                             ),
                             dst: View::new(
                                 BufId::Local(0),
-                                Expr::v(msi).mul(Expr::c(16)).add(Expr::v(inner).mul(Expr::c(8))),
+                                Expr::v(msi)
+                                    .mul(Expr::c(16))
+                                    .add(Expr::v(inner).mul(Expr::c(8))),
                                 8,
                             ),
                         }),
@@ -534,12 +544,16 @@ mod tests {
                             op: UnaryOp::Identity,
                             src: View::new(
                                 BufId::Local(0),
-                                Expr::v(msi).mul(Expr::c(16)).add(Expr::v(inner).mul(Expr::c(8))),
+                                Expr::v(msi)
+                                    .mul(Expr::c(16))
+                                    .add(Expr::v(inner).mul(Expr::c(8))),
                                 8,
                             ),
                             dst: View::new(
                                 BufId::Param(0),
-                                Expr::v(msi).mul(Expr::c(16)).add(Expr::v(inner).mul(Expr::c(8))),
+                                Expr::v(msi)
+                                    .mul(Expr::c(16))
+                                    .add(Expr::v(inner).mul(Expr::c(8))),
                                 8,
                             ),
                         }),

@@ -1,0 +1,884 @@
+//! Flat execution plans: the compiled form of Tensor IR functions.
+//!
+//! The interpreter in [`crate::exec`] re-derives everything on every
+//! visit of every statement: view offsets re-walk [`crate::expr::Expr`]
+//! trees, brgemm calls rebuild their batch-offset tables, every slice is
+//! re-bounds-checked, and each parallel iteration clones the variable
+//! environment. A [`Plan`] performs that work once, at compile time —
+//! the reproduction's stand-in for the original system's LLVM `-O3`
+//! pipeline hoisting loop-invariant address arithmetic:
+//!
+//! - view offsets are strength-reduced to linear form
+//!   `base + Σ stride_v · var_v` (non-affine `div`/`rem` offsets fall
+//!   back to a tiny postfix program evaluated on a fixed stack);
+//! - brgemm batch-offset tables — loop-invariant by construction, since
+//!   tile strides are static — are computed once per op and shared by
+//!   every call;
+//! - buffer bounds are verified against loop extents at plan-build time
+//!   (interval analysis), so steady-state execution does no checking;
+//! - parallel loops dispatch contiguous index chunks to the pool, each
+//!   chunk copying one fixed-size variable scratch instead of cloning a
+//!   heap `Vec` per iteration.
+//!
+//! Functions the builder cannot prove safe (too many variables, offsets
+//! it cannot bound) stay on the interpreter — [`Plan::func`] returns
+//! `None` and the engine routes that call through [`crate::exec`].
+
+use crate::exec::{assert_disjoint, pack2d, unpack2d, RawBuf};
+use crate::ir::ReduceOp;
+use gc_microkernel::{brgemm, eltwise, epilogue, reduce, BinaryOp, UnaryOp};
+use gc_runtime::ThreadPool;
+use gc_tensor::{DataType, Storage};
+
+/// Maximum scalar variables a compiled function may use; the per-chunk
+/// variable scratch is a stack array of this size.
+pub const MAX_VARS: usize = 64;
+
+/// Maximum operand-stack depth of a postfix offset program.
+pub const MAX_PROG_STACK: usize = 8;
+
+/// One postfix instruction of a non-affine offset program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OffsetOp {
+    /// Push a constant.
+    PushC(i64),
+    /// Push a variable's current value.
+    PushV(u32),
+    /// Pop two, push their sum.
+    Add,
+    /// Pop two, push their product.
+    Mul,
+    /// Pop two, push the truncating quotient.
+    Div,
+    /// Pop two, push the remainder.
+    Rem,
+}
+
+/// A compiled view offset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOffset {
+    /// Loop-invariant offset.
+    Const(i64),
+    /// Affine offset `base + Σ terms[i].1 * vars[terms[i].0]`.
+    Linear {
+        /// Constant part.
+        base: i64,
+        /// `(variable, stride)` pairs.
+        terms: Box<[(u32, i64)]>,
+    },
+    /// Non-affine offset as a postfix program (div/rem by constants).
+    Program(Box<[OffsetOp]>),
+}
+
+impl PlanOffset {
+    /// Evaluate against the current variable values.
+    #[inline]
+    pub fn eval(&self, vars: &[i64; MAX_VARS]) -> usize {
+        match self {
+            PlanOffset::Const(c) => *c as usize,
+            PlanOffset::Linear { base, terms } => {
+                let mut s = *base;
+                for &(v, stride) in terms.iter() {
+                    s += vars[v as usize] * stride;
+                }
+                s as usize
+            }
+            PlanOffset::Program(ops) => {
+                let mut stack = [0i64; MAX_PROG_STACK];
+                let mut sp = 0usize;
+                for op in ops.iter() {
+                    match op {
+                        OffsetOp::PushC(c) => {
+                            stack[sp] = *c;
+                            sp += 1;
+                        }
+                        OffsetOp::PushV(v) => {
+                            stack[sp] = vars[*v as usize];
+                            sp += 1;
+                        }
+                        OffsetOp::Add => {
+                            sp -= 1;
+                            stack[sp - 1] += stack[sp];
+                        }
+                        OffsetOp::Mul => {
+                            sp -= 1;
+                            stack[sp - 1] *= stack[sp];
+                        }
+                        OffsetOp::Div => {
+                            sp -= 1;
+                            stack[sp - 1] /= stack[sp];
+                        }
+                        OffsetOp::Rem => {
+                            sp -= 1;
+                            stack[sp - 1] %= stack[sp];
+                        }
+                    }
+                }
+                stack[0] as usize
+            }
+        }
+    }
+
+    /// Whether the offset is loop-invariant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, PlanOffset::Const(_))
+    }
+}
+
+/// A compiled view: flat buffer slot + compiled offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PView {
+    /// Index into the call frame's flat buffer table (params then
+    /// locals).
+    pub buf: u32,
+    /// Compiled element offset.
+    pub offset: PlanOffset,
+    /// Window length in elements.
+    pub len: usize,
+}
+
+/// A compiled intrinsic: every view resolved to a [`PView`], every
+/// loop-invariant derived quantity precomputed.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field meanings mirror crate::ir::Intrinsic
+pub enum POp {
+    BrgemmF32 {
+        a: PView,
+        b: PView,
+        c: PView,
+        shape: brgemm::BrgemmShape,
+        /// Tile offsets relative to the A view base, one per batch
+        /// element — computed once at plan-build time.
+        a_rel: Box<[usize]>,
+        b_rel: Box<[usize]>,
+        /// Span of the A buffer touched by all tiles.
+        a_span: usize,
+        b_span: usize,
+    },
+    BrgemmU8I8 {
+        a: PView,
+        b: PView,
+        c: PView,
+        shape: brgemm::BrgemmShape,
+        a_rel: Box<[usize]>,
+        b_rel: Box<[usize]>,
+        a_span: usize,
+        b_span: usize,
+    },
+    FillF32 {
+        dst: PView,
+        value: f32,
+    },
+    ZeroI32 {
+        dst: PView,
+    },
+    Pack2D {
+        src_buf: u32,
+        src_offset: PlanOffset,
+        src_row_stride: usize,
+        src_col_stride: usize,
+        dst: PView,
+        rows: usize,
+        cols: usize,
+    },
+    Unpack2D {
+        src: PView,
+        dst_buf: u32,
+        dst_offset: PlanOffset,
+        dst_row_stride: usize,
+        dst_col_stride: usize,
+        rows: usize,
+        cols: usize,
+    },
+    Unary {
+        op: UnaryOp,
+        src: PView,
+        dst: PView,
+    },
+    Binary {
+        op: BinaryOp,
+        a: PView,
+        b: PView,
+        dst: PView,
+    },
+    BinaryScalar {
+        op: BinaryOp,
+        a: PView,
+        scalar: f32,
+        dst: PView,
+    },
+    BinaryRowBcast {
+        op: BinaryOp,
+        a: PView,
+        b: PView,
+        dst: PView,
+        rows: usize,
+        cols: usize,
+    },
+    BinaryColBcast {
+        op: BinaryOp,
+        a: PView,
+        b: PView,
+        dst: PView,
+        rows: usize,
+        cols: usize,
+    },
+    ReduceRows {
+        op: ReduceOp,
+        src: PView,
+        acc: PView,
+        rows: usize,
+        cols: usize,
+        accumulate: bool,
+    },
+    DequantAcc {
+        acc: PView,
+        comp: PView,
+        a_zero: i32,
+        scale: f32,
+        bias: Option<PView>,
+        dst: PView,
+        rows: usize,
+        cols: usize,
+    },
+    QuantU8 {
+        src: PView,
+        dst: PView,
+        scale: f32,
+        zero_point: i32,
+    },
+    DequantU8 {
+        src: PView,
+        dst: PView,
+        scale: f32,
+        zero_point: i32,
+    },
+    DequantI8 {
+        src: PView,
+        dst: PView,
+        scale: f32,
+    },
+    CompAccumulate {
+        b_tile: PView,
+        comp: PView,
+        nb: usize,
+        kb: usize,
+    },
+    CastI32F32 {
+        src: PView,
+        dst: PView,
+    },
+}
+
+/// One flat-plan instruction. Loop bodies are the instruction range
+/// `(header + 1)..body_end`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PInstr {
+    /// Serial counted loop.
+    For {
+        /// Loop variable (index into the variable scratch).
+        var: u32,
+        /// Static trip count.
+        extent: usize,
+        /// One past the last body instruction.
+        body_end: usize,
+    },
+    /// Parallel counted loop with a precomputed chunk grain.
+    ParFor {
+        /// Loop variable.
+        var: u32,
+        /// Static trip count.
+        extent: usize,
+        /// One past the last body instruction.
+        body_end: usize,
+        /// Contiguous iterations per dispatched chunk.
+        grain: usize,
+    },
+    /// A compiled intrinsic.
+    Op(POp),
+}
+
+/// A compiled function: flat instruction array plus frame layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanFunc {
+    pub(crate) instrs: Box<[PInstr]>,
+    pub(crate) n_params: usize,
+    /// Local temporaries: `(dtype, elems)` per local, in order.
+    pub(crate) locals: Box<[(DataType, usize)]>,
+}
+
+/// Counters describing what the plan builder achieved; used by tests to
+/// verify that hot-path work was actually hoisted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Functions compiled to plans.
+    pub compiled_funcs: usize,
+    /// Functions left on the interpreter.
+    pub interpreted_funcs: usize,
+    /// View bounds checks verified at build time (none remain at run
+    /// time).
+    pub hoisted_bounds: usize,
+    /// Offsets strength-reduced to `Const` or `Linear` form.
+    pub linear_offsets: usize,
+    /// Non-affine offsets compiled to postfix programs.
+    pub program_offsets: usize,
+    /// brgemm batch-offset tables precomputed.
+    pub brgemm_tables: usize,
+    /// Parallel loops demoted to serial because their total work is
+    /// below the dispatch-worthiness threshold.
+    pub serialized_loops: usize,
+}
+
+/// A compiled module: one optional [`PlanFunc`] per module function
+/// (`None` = interpreter fallback), plus build statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    pub(crate) funcs: Vec<Option<PlanFunc>>,
+    pub(crate) stats: PlanStats,
+}
+
+impl Plan {
+    /// The compiled form of function `idx`, if the builder succeeded.
+    pub fn func(&self, idx: usize) -> Option<&PlanFunc> {
+        self.funcs.get(idx).and_then(Option::as_ref)
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+}
+
+/// Reusable per-engine execution scratch: preallocated local storages
+/// and the flat buffer table. Steady-state plan execution allocates
+/// nothing — locals are zero-filled in place and the table is reused.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    /// Per module-function local storages (allocated once, re-zeroed per
+    /// call).
+    locals: Vec<Vec<Storage>>,
+    bufs: Vec<RawBuf>,
+}
+
+impl PlanScratch {
+    /// Preallocate locals for every compiled function of `plan`.
+    pub fn for_plan(plan: &Plan) -> PlanScratch {
+        let locals = plan
+            .funcs
+            .iter()
+            .map(|f| match f {
+                Some(pf) => pf
+                    .locals
+                    .iter()
+                    .map(|&(dt, elems)| Storage::zeros(dt, elems))
+                    .collect(),
+                None => Vec::new(),
+            })
+            .collect();
+        PlanScratch {
+            locals,
+            bufs: Vec::new(),
+        }
+    }
+}
+
+fn zero_storage(s: &mut Storage) {
+    match s {
+        Storage::F32(v) => v.fill(0.0),
+        Storage::Bf16(v) => v.fill(0),
+        Storage::U8(v) => v.fill(0),
+        Storage::I8(v) => v.fill(0),
+        Storage::I32(v) => v.fill(0),
+        Storage::I64(v) => v.fill(0),
+    }
+}
+
+/// Execute one compiled call: bind `args` (global indices) to the
+/// function's parameters, zero its locals, run the instruction stream.
+///
+/// # Panics
+///
+/// Panics if `func_idx` has no compiled plan (callers must check
+/// [`Plan::func`] and fall back to the interpreter).
+pub fn run_plan_call(
+    plan: &Plan,
+    func_idx: usize,
+    args: &[usize],
+    globals: &mut [Storage],
+    pool: &ThreadPool,
+    scratch: &mut PlanScratch,
+) {
+    let pf = plan.funcs[func_idx]
+        .as_ref()
+        .expect("run_plan_call on interpreter-fallback function");
+    scratch.bufs.clear();
+    for &a in args {
+        // Duplicate args share a Storage; RawBuf::of is a pure pointer
+        // materialization, so materializing twice yields identical bufs.
+        scratch.bufs.push(RawBuf::of(&mut globals[a]));
+    }
+    let locals = &mut scratch.locals[func_idx];
+    for s in locals.iter_mut() {
+        zero_storage(s);
+    }
+    for s in locals.iter_mut() {
+        scratch.bufs.push(RawBuf::of(s));
+    }
+    let ctx = Ctx {
+        bufs: &scratch.bufs,
+        pool,
+    };
+    let mut vars = [0i64; MAX_VARS];
+    run_range(&pf.instrs, 0, pf.instrs.len(), &ctx, &mut vars);
+}
+
+#[derive(Clone, Copy)]
+struct Ctx<'a> {
+    bufs: &'a [RawBuf],
+    pool: &'a ThreadPool,
+}
+
+impl Ctx<'_> {
+    #[inline]
+    fn resolve(&self, v: &PView, vars: &[i64; MAX_VARS]) -> (RawBuf, usize) {
+        (self.bufs[v.buf as usize], v.offset.eval(vars))
+    }
+}
+
+fn run_range(
+    instrs: &[PInstr],
+    mut pc: usize,
+    end: usize,
+    ctx: &Ctx<'_>,
+    vars: &mut [i64; MAX_VARS],
+) {
+    while pc < end {
+        match &instrs[pc] {
+            PInstr::For {
+                var,
+                extent,
+                body_end,
+            } => {
+                for i in 0..*extent {
+                    vars[*var as usize] = i as i64;
+                    run_range(instrs, pc + 1, *body_end, ctx, vars);
+                }
+                pc = *body_end;
+            }
+            PInstr::ParFor {
+                var,
+                extent,
+                body_end,
+                grain,
+            } => {
+                let extent = *extent;
+                if ctx.pool.threads() > 1 && extent > 1 {
+                    let var = *var as usize;
+                    let body_end = *body_end;
+                    // One stack copy of the variable scratch per chunk —
+                    // this replaces the interpreter's per-iteration
+                    // `Vec` clone.
+                    let proto: [i64; MAX_VARS] = *vars;
+                    ctx.pool
+                        .parallel_for_grained(extent, *grain, |start, stop| {
+                            let mut my_vars = proto;
+                            for i in start..stop {
+                                my_vars[var] = i as i64;
+                                run_range(instrs, pc + 1, body_end, ctx, &mut my_vars);
+                            }
+                        });
+                } else {
+                    for i in 0..extent {
+                        vars[*var as usize] = i as i64;
+                        run_range(instrs, pc + 1, *body_end, ctx, vars);
+                    }
+                }
+                pc = *body_end;
+            }
+            PInstr::Op(op) => {
+                exec_pop(op, ctx, vars);
+                pc += 1;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn exec_pop(op: &POp, ctx: &Ctx<'_>, vars: &[i64; MAX_VARS]) {
+    match op {
+        POp::BrgemmF32 {
+            a,
+            b,
+            c,
+            shape,
+            a_rel,
+            b_rel,
+            a_span,
+            b_span,
+        } => {
+            let (ab, ao) = ctx.resolve(a, vars);
+            let (bb, bo) = ctx.resolve(b, vars);
+            let (cb, co) = ctx.resolve(c, vars);
+            unsafe {
+                let asl = ab.f32(ao, *a_span);
+                let bsl = bb.f32(bo, *b_span);
+                let csl = cb.f32(co, shape.c_len());
+                brgemm::brgemm_f32(*shape, asl, a_rel, bsl, b_rel, csl);
+            }
+        }
+        POp::BrgemmU8I8 {
+            a,
+            b,
+            c,
+            shape,
+            a_rel,
+            b_rel,
+            a_span,
+            b_span,
+        } => {
+            let (ab, ao) = ctx.resolve(a, vars);
+            let (bb, bo) = ctx.resolve(b, vars);
+            let (cb, co) = ctx.resolve(c, vars);
+            unsafe {
+                let asl = ab.u8(ao, *a_span);
+                let bsl = bb.i8(bo, *b_span);
+                let csl = cb.i32(co, shape.c_len());
+                brgemm::brgemm_u8i8(*shape, asl, a_rel, bsl, b_rel, csl);
+            }
+        }
+        POp::FillF32 { dst, value } => {
+            let (db, off) = ctx.resolve(dst, vars);
+            unsafe { db.f32(off, dst.len) }.fill(*value);
+        }
+        POp::ZeroI32 { dst } => {
+            let (db, off) = ctx.resolve(dst, vars);
+            unsafe { db.i32(off, dst.len) }.fill(0);
+        }
+        POp::Pack2D {
+            src_buf,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            rows,
+            cols,
+        } => {
+            let sb = ctx.bufs[*src_buf as usize];
+            let so = src_offset.eval(vars);
+            let (db, doff) = ctx.resolve(dst, vars);
+            pack2d(
+                sb,
+                so,
+                *src_row_stride,
+                *src_col_stride,
+                db,
+                doff,
+                *rows,
+                *cols,
+            );
+        }
+        POp::Unpack2D {
+            src,
+            dst_buf,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+        } => {
+            let (sb, so) = ctx.resolve(src, vars);
+            let db = ctx.bufs[*dst_buf as usize];
+            let doff = dst_offset.eval(vars);
+            unpack2d(
+                sb,
+                so,
+                db,
+                doff,
+                *dst_row_stride,
+                *dst_col_stride,
+                *rows,
+                *cols,
+            );
+        }
+        POp::Unary { op, src, dst } => {
+            let (sb, so) = ctx.resolve(src, vars);
+            let (db, doff) = ctx.resolve(dst, vars);
+            if sb.ptr == db.ptr && so == doff {
+                let buf = unsafe { db.f32(doff, dst.len) };
+                eltwise::unary_inplace(*op, buf);
+            } else {
+                assert_disjoint((sb, so, src.len), (db, doff, dst.len));
+                unsafe {
+                    eltwise::unary(*op, sb.f32(so, src.len), db.f32(doff, dst.len));
+                }
+            }
+        }
+        POp::Binary { op, a, b, dst } => {
+            let (ab, ao) = ctx.resolve(a, vars);
+            let (bb, bo) = ctx.resolve(b, vars);
+            let (db, doff) = ctx.resolve(dst, vars);
+            assert_disjoint((bb, bo, b.len), (db, doff, dst.len));
+            if ab.ptr == db.ptr && ao == doff {
+                unsafe {
+                    let dsl = db.f32(doff, dst.len);
+                    let bsl = bb.f32(bo, b.len);
+                    for (d, &y) in dsl.iter_mut().zip(bsl.iter()) {
+                        *d = op.apply(*d, y);
+                    }
+                }
+            } else {
+                assert_disjoint((ab, ao, a.len), (db, doff, dst.len));
+                unsafe {
+                    eltwise::binary(
+                        *op,
+                        ab.f32(ao, a.len),
+                        bb.f32(bo, b.len),
+                        db.f32(doff, dst.len),
+                    );
+                }
+            }
+        }
+        POp::BinaryScalar { op, a, scalar, dst } => {
+            let (ab, ao) = ctx.resolve(a, vars);
+            let (db, doff) = ctx.resolve(dst, vars);
+            if ab.ptr == db.ptr && ao == doff {
+                let dsl = unsafe { db.f32(doff, dst.len) };
+                for d in dsl.iter_mut() {
+                    *d = op.apply(*d, *scalar);
+                }
+            } else {
+                assert_disjoint((ab, ao, a.len), (db, doff, dst.len));
+                unsafe {
+                    eltwise::binary_scalar(*op, ab.f32(ao, a.len), *scalar, db.f32(doff, dst.len));
+                }
+            }
+        }
+        POp::BinaryRowBcast {
+            op,
+            a,
+            b,
+            dst,
+            rows,
+            cols,
+        } => {
+            let (ab, ao) = ctx.resolve(a, vars);
+            let (bb, bo) = ctx.resolve(b, vars);
+            let (db, doff) = ctx.resolve(dst, vars);
+            unsafe {
+                let bsl = bb.f32(bo, *cols);
+                for r in 0..*rows {
+                    let arow = ab.f32(ao + r * cols, *cols);
+                    let drow = db.f32(doff + r * cols, *cols);
+                    for ((d, &x), &y) in drow.iter_mut().zip(arow.iter()).zip(bsl.iter()) {
+                        *d = op.apply(x, y);
+                    }
+                }
+            }
+        }
+        POp::BinaryColBcast {
+            op,
+            a,
+            b,
+            dst,
+            rows,
+            cols,
+        } => {
+            let (ab, ao) = ctx.resolve(a, vars);
+            let (bb, bo) = ctx.resolve(b, vars);
+            let (db, doff) = ctx.resolve(dst, vars);
+            unsafe {
+                let bsl = bb.f32(bo, *rows);
+                for (r, &y) in bsl.iter().enumerate() {
+                    let arow = ab.f32(ao + r * cols, *cols);
+                    let drow = db.f32(doff + r * cols, *cols);
+                    match op {
+                        BinaryOp::Div => {
+                            let inv = 1.0 / y;
+                            for (d, &x) in drow.iter_mut().zip(arow.iter()) {
+                                *d = x * inv;
+                            }
+                        }
+                        _ => {
+                            for (d, &x) in drow.iter_mut().zip(arow.iter()) {
+                                *d = op.apply(x, y);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        POp::ReduceRows {
+            op,
+            src,
+            acc,
+            rows,
+            cols,
+            accumulate,
+        } => {
+            let (sb, so) = ctx.resolve(src, vars);
+            let (accb, acco) = ctx.resolve(acc, vars);
+            unsafe {
+                let ssl = sb.f32(so, rows * cols);
+                let asl = accb.f32(acco, *rows);
+                match (op, accumulate) {
+                    (ReduceOp::Max, false) => reduce::reduce_rows_max(ssl, *rows, *cols, asl),
+                    (ReduceOp::Sum, false) => reduce::reduce_rows_sum(ssl, *rows, *cols, asl),
+                    (ReduceOp::Max, true) => {
+                        for (a, row) in asl.iter_mut().zip(ssl.chunks_exact(*cols)) {
+                            let m = reduce::reduce_max(row);
+                            if m > *a {
+                                *a = m;
+                            }
+                        }
+                    }
+                    (ReduceOp::Sum, true) => {
+                        for (a, row) in asl.iter_mut().zip(ssl.chunks_exact(*cols)) {
+                            *a += reduce::reduce_sum(row);
+                        }
+                    }
+                }
+            }
+        }
+        POp::DequantAcc {
+            acc,
+            comp,
+            a_zero,
+            scale,
+            bias,
+            dst,
+            rows,
+            cols,
+        } => {
+            let (accb, acco) = ctx.resolve(acc, vars);
+            let (compb, compo) = ctx.resolve(comp, vars);
+            let (db, doff) = ctx.resolve(dst, vars);
+            unsafe {
+                let asl = accb.i32(acco, rows * cols);
+                let csl = compb.i32(compo, *cols);
+                let dsl = db.f32(doff, rows * cols);
+                match bias {
+                    Some(bv) => {
+                        let (bb, bo) = ctx.resolve(bv, vars);
+                        let bsl = bb.f32(bo, *cols);
+                        epilogue::dequant_acc_bias(
+                            asl, *rows, *cols, csl, *a_zero, *scale, bsl, dsl,
+                        );
+                    }
+                    None => epilogue::dequant_acc(asl, *rows, *cols, csl, *a_zero, *scale, dsl),
+                }
+            }
+        }
+        POp::QuantU8 {
+            src,
+            dst,
+            scale,
+            zero_point,
+        } => {
+            let (sb, so) = ctx.resolve(src, vars);
+            let (db, doff) = ctx.resolve(dst, vars);
+            unsafe {
+                epilogue::requant_u8(
+                    sb.f32(so, src.len),
+                    1.0 / *scale,
+                    *zero_point,
+                    db.u8(doff, dst.len),
+                );
+            }
+        }
+        POp::DequantU8 {
+            src,
+            dst,
+            scale,
+            zero_point,
+        } => {
+            let (sb, so) = ctx.resolve(src, vars);
+            let (db, doff) = ctx.resolve(dst, vars);
+            unsafe {
+                let ssl = sb.u8(so, src.len);
+                let dsl = db.f32(doff, dst.len);
+                for (d, &q) in dsl.iter_mut().zip(ssl.iter()) {
+                    *d = *scale * (q as i32 - zero_point) as f32;
+                }
+            }
+        }
+        POp::DequantI8 { src, dst, scale } => {
+            let (sb, so) = ctx.resolve(src, vars);
+            let (db, doff) = ctx.resolve(dst, vars);
+            unsafe {
+                let ssl = sb.i8(so, src.len);
+                let dsl = db.f32(doff, dst.len);
+                for (d, &q) in dsl.iter_mut().zip(ssl.iter()) {
+                    *d = *scale * q as f32;
+                }
+            }
+        }
+        POp::CompAccumulate {
+            b_tile,
+            comp,
+            nb,
+            kb,
+        } => {
+            let (bb, bo) = ctx.resolve(b_tile, vars);
+            let (cb, co) = ctx.resolve(comp, vars);
+            unsafe {
+                let bsl = bb.i8(bo, nb * kb);
+                let csl = cb.i32(co, *nb);
+                for (c, panel) in csl.iter_mut().zip(bsl.chunks_exact(*kb)) {
+                    *c += panel.iter().map(|&x| x as i32).sum::<i32>();
+                }
+            }
+        }
+        POp::CastI32F32 { src, dst } => {
+            let (sb, so) = ctx.resolve(src, vars);
+            let (db, doff) = ctx.resolve(dst, vars);
+            unsafe {
+                epilogue::i32_to_f32(sb.i32(so, src.len), db.f32(doff, dst.len));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_offset_evals() {
+        let vars = [0i64; MAX_VARS];
+        assert_eq!(PlanOffset::Const(17).eval(&vars), 17);
+    }
+
+    #[test]
+    fn linear_offset_evals() {
+        let mut vars = [0i64; MAX_VARS];
+        vars[2] = 3;
+        vars[5] = 7;
+        let off = PlanOffset::Linear {
+            base: 10,
+            terms: vec![(2, 100), (5, 2)].into_boxed_slice(),
+        };
+        assert_eq!(off.eval(&vars), 10 + 300 + 14);
+    }
+
+    #[test]
+    fn program_offset_evals_div_rem() {
+        // (v0 / 3) * 8 + (v0 % 3)
+        let mut vars = [0i64; MAX_VARS];
+        vars[0] = 7;
+        let prog = PlanOffset::Program(
+            vec![
+                OffsetOp::PushV(0),
+                OffsetOp::PushC(3),
+                OffsetOp::Div,
+                OffsetOp::PushC(8),
+                OffsetOp::Mul,
+                OffsetOp::PushV(0),
+                OffsetOp::PushC(3),
+                OffsetOp::Rem,
+                OffsetOp::Add,
+            ]
+            .into_boxed_slice(),
+        );
+        assert_eq!(prog.eval(&vars), (7 / 3) * 8 + (7 % 3));
+    }
+}

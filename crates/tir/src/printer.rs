@@ -17,7 +17,14 @@ fn buf_str(f: &Func, b: BufId) -> String {
 fn intr_str(f: &Func, i: &Intrinsic) -> String {
     match i {
         Intrinsic::BrgemmF32 {
-            a, b, c, m, n, k, batch, ..
+            a,
+            b,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            ..
         } => format!(
             "brgemm.f32 {} += {} x {}  (m={m} n={n} k={k} bs={batch})",
             view_str(f, c),
@@ -25,7 +32,14 @@ fn intr_str(f: &Func, i: &Intrinsic) -> String {
             view_str(f, b)
         ),
         Intrinsic::BrgemmU8I8 {
-            a, b, c, m, n, k, batch, ..
+            a,
+            b,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            ..
         } => format!(
             "brgemm.u8i8 {} += {} x {}  (m={m} n={n} k={k} bs={batch})",
             view_str(f, c),
@@ -76,25 +90,52 @@ fn intr_str(f: &Func, i: &Intrinsic) -> String {
             view_str(f, dst),
             view_str(f, a)
         ),
-        Intrinsic::BinaryRowBcast { op, a, b, dst, rows, cols } => format!(
+        Intrinsic::BinaryRowBcast {
+            op,
+            a,
+            b,
+            dst,
+            rows,
+            cols,
+        } => format!(
             "{op:?}.rowb {} = {}, {} ({rows}x{cols})",
             view_str(f, dst),
             view_str(f, a),
             view_str(f, b)
         ),
-        Intrinsic::BinaryColBcast { op, a, b, dst, rows, cols } => format!(
+        Intrinsic::BinaryColBcast {
+            op,
+            a,
+            b,
+            dst,
+            rows,
+            cols,
+        } => format!(
             "{op:?}.colb {} = {}, {} ({rows}x{cols})",
             view_str(f, dst),
             view_str(f, a),
             view_str(f, b)
         ),
-        Intrinsic::ReduceRows { op, src, acc, rows, cols, accumulate } => format!(
+        Intrinsic::ReduceRows {
+            op,
+            src,
+            acc,
+            rows,
+            cols,
+            accumulate,
+        } => format!(
             "reduce.{op:?}{} {} <- {} ({rows}x{cols})",
             if *accumulate { ".acc" } else { "" },
             view_str(f, acc),
             view_str(f, src)
         ),
-        Intrinsic::DequantAcc { acc, dst, rows, cols, .. } => format!(
+        Intrinsic::DequantAcc {
+            acc,
+            dst,
+            rows,
+            cols,
+            ..
+        } => format!(
             "dequant_acc {} = {} ({rows}x{cols})",
             view_str(f, dst),
             view_str(f, acc)
@@ -108,7 +149,12 @@ fn intr_str(f: &Func, i: &Intrinsic) -> String {
         Intrinsic::DequantI8 { src, dst, .. } => {
             format!("dequant.i8 {} = {}", view_str(f, dst), view_str(f, src))
         }
-        Intrinsic::CompAccumulate { b_tile, comp, nb, kb } => format!(
+        Intrinsic::CompAccumulate {
+            b_tile,
+            comp,
+            nb,
+            kb,
+        } => format!(
             "comp_acc {} += colsums({}) (nb={nb} kb={kb})",
             view_str(f, comp),
             view_str(f, b_tile)
@@ -162,7 +208,11 @@ pub fn print_func(f: &Func) -> String {
 pub fn print_module(m: &Module) -> String {
     let mut s = String::new();
     for g in &m.globals {
-        let _ = writeln!(s, "global {}: {}[{}] {:?}", g.name, g.dtype, g.elems, g.kind);
+        let _ = writeln!(
+            s,
+            "global {}: {}[{}] {:?}",
+            g.name, g.dtype, g.elems, g.kind
+        );
     }
     for f in &m.funcs {
         s.push('\n');

@@ -220,12 +220,22 @@ fn sim_intrinsic(i: &Intrinsic, ctx: &mut SimCtx<'_>, vars: &[i64]) -> f64 {
         Intrinsic::DequantAcc { rows, cols, .. } => {
             2.0 * (rows * cols) as f64 / ctx.machine.f32_lanes() as f64
         }
-        Intrinsic::Pack2D { rows, cols, src_col_stride, .. } => {
+        Intrinsic::Pack2D {
+            rows,
+            cols,
+            src_col_stride,
+            ..
+        } => {
             // strided gathers don't vectorize as well
             let per = if *src_col_stride == 1 { 1.0 } else { 4.0 };
             per * (rows * cols) as f64 / ctx.machine.f32_lanes() as f64
         }
-        Intrinsic::Unpack2D { rows, cols, dst_col_stride, .. } => {
+        Intrinsic::Unpack2D {
+            rows,
+            cols,
+            dst_col_stride,
+            ..
+        } => {
             let per = if *dst_col_stride == 1 { 1.0 } else { 4.0 };
             per * (rows * cols) as f64 / ctx.machine.f32_lanes() as f64
         }

@@ -54,7 +54,10 @@ pub fn map_intrinsic_exprs(i: Intrinsic, f: &impl Fn(&Expr) -> Expr) -> Intrinsi
             k,
             batch,
         },
-        Intrinsic::FillF32 { dst, value } => Intrinsic::FillF32 { dst: mv(dst), value },
+        Intrinsic::FillF32 { dst, value } => Intrinsic::FillF32 {
+            dst: mv(dst),
+            value,
+        },
         Intrinsic::ZeroI32 { dst } => Intrinsic::ZeroI32 { dst: mv(dst) },
         Intrinsic::Pack2D {
             src,

@@ -44,9 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let n = c_out[0].desc().volume();
         let mut worst = 0f64;
         for i in 0..n {
-            worst = worst.max(
-                (c_out[0].storage().get_as_f64(i) - b_out[0].storage().get_as_f64(i)).abs(),
-            );
+            worst = worst
+                .max((c_out[0].storage().get_as_f64(i) - b_out[0].storage().get_as_f64(i)).abs());
         }
 
         println!("--- {name} ---");

@@ -4,8 +4,8 @@
 //! This package hosts the runnable examples (`examples/`) and the
 //! cross-crate integration tests (`tests/`).
 
-pub use gc_core as compiler;
 pub use gc_baseline as baseline;
+pub use gc_core as compiler;
 pub use gc_graph as graph;
 pub use gc_machine as machine;
 pub use gc_tensor as tensor;

@@ -191,7 +191,9 @@ fn shared_weight_prepacked_once() {
     let w = g.add_constant(Tensor::random(&[16, 16], DataType::F32, 13), "w");
     let y1 = g.add_op(OpKind::MatMul, &[x1, w]).unwrap();
     let y2 = g.add_op(OpKind::MatMul, &[x2, w]).unwrap();
-    let s = g.add_op(OpKind::Binary(BinaryKind::Add), &[y1, y2]).unwrap();
+    let s = g
+        .add_op(OpKind::Binary(BinaryKind::Add), &[y1, y2])
+        .unwrap();
     g.mark_output(s);
     let inputs = random_inputs(&g, 14);
     let want = reference_eval(&g, &inputs);
@@ -223,12 +225,12 @@ fn multi_output_graph() {
 
 #[test]
 fn thread_count_does_not_change_results() {
-    let build = || {
-        gc_bench::workloads::mlp_f32(64, &gc_bench::workloads::mlp1_layers(), 17)
-    };
+    let build = || gc_bench::workloads::mlp_f32(64, &gc_bench::workloads::mlp1_layers(), 17);
     let inputs = random_inputs(&build(), 18);
     let run = |threads: usize| {
-        let c = Compiler::new(opts(threads)).compile(build()).expect("compile");
+        let c = Compiler::new(opts(threads))
+            .compile(build())
+            .expect("compile");
         let (outs, _) = c.execute(&inputs).expect("exec");
         outs[0].f32_slice().unwrap().to_vec()
     };
@@ -258,9 +260,13 @@ fn residual_connection_same_tensor_twice() {
     let row = g.add_input(TensorDesc::new([8], DataType::F32), "row");
     let w = g.add_constant(Tensor::random(&[8, 8], DataType::F32, 20), "w");
     let mm = g.add_op(OpKind::MatMul, &[x, w]).unwrap();
-    let s = g.add_op(OpKind::Binary(BinaryKind::Add), &[mm, row]).unwrap();
+    let s = g
+        .add_op(OpKind::Binary(BinaryKind::Add), &[mm, row])
+        .unwrap();
     // also divide by the SAME row vector, so `row` binds to two params
-    let d = g.add_op(OpKind::Binary(BinaryKind::Div), &[s, row]).unwrap();
+    let d = g
+        .add_op(OpKind::Binary(BinaryKind::Div), &[s, row])
+        .unwrap();
     g.mark_output(d);
     let mut inputs = random_inputs(&g, 21);
     // avoid division near zero
