@@ -1,0 +1,152 @@
+//! Serving throughput: dynamic batching vs per-request dispatch.
+//!
+//! A closed-loop harness: N client threads each fire `requests`
+//! single-row MLP_2 inferences (the latency regime — at batch 1 every
+//! request re-streams ~8.8 MB of weights, which coalescing amortizes)
+//! against one served model,
+//! first with coalescing disabled (`max_batch = 1`), then with the
+//! dynamic batcher on. Prints requests/sec for both and the speedup.
+//!
+//! Flags: `--clients N` (default 16), `--requests N` per client
+//! (default 200), `--threads N` engine pool width (default 2),
+//! `--stats` to dump the full per-model counter snapshot.
+
+use gc_bench::workloads;
+use gc_core::CompileOptions;
+use gc_machine::MachineDescriptor;
+use gc_serve::{Model, PlanCache, ServeConfig, StatsSnapshot};
+use gc_tensor::{DataType, Tensor};
+use gc_tir::InitCache;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+struct RunResult {
+    elapsed: Duration,
+    requests: u64,
+    stats: StatsSnapshot,
+}
+
+fn serve_config(threads: usize, max_batch: usize, max_delay: Duration) -> ServeConfig {
+    ServeConfig {
+        compile: CompileOptions {
+            threads: Some(threads),
+            ..CompileOptions::new(MachineDescriptor::xeon_8358())
+        },
+        max_batch,
+        max_delay,
+        queue_cap: 1024,
+        // Both configurations pay the same queue + dispatcher hop, so
+        // the measured difference is pure coalescing, not path length.
+        fast_path: false,
+        // Private caches so the two configurations don't share plans.
+        plan_cache: Some(Arc::new(PlanCache::new())),
+        init_cache: Some(Arc::new(InitCache::new())),
+        ..ServeConfig::default()
+    }
+}
+
+fn run(cfg: ServeConfig, clients: usize, per_client: usize) -> RunResult {
+    let model = Arc::new(
+        Model::load(workloads::mlp_f32(1, &workloads::mlp2_layers(), 7), cfg).expect("load model"),
+    );
+    // Warm every bucket the run can hit before timing starts.
+    let warm = Tensor::random(&[1, 479], DataType::F32, 1);
+    model.session().infer(&[warm]).expect("warm-up");
+
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let model = Arc::clone(&model);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let session = model.session();
+            let x = Tensor::random(&[1, 479], DataType::F32, 100 + c as u64);
+            barrier.wait();
+            for _ in 0..per_client {
+                loop {
+                    match session.infer(std::slice::from_ref(&x)) {
+                        Ok(_) => break,
+                        Err(gc_serve::ServeError::Busy { .. }) => std::thread::yield_now(),
+                        Err(e) => panic!("infer: {e}"),
+                    }
+                }
+            }
+        }));
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed();
+    RunResult {
+        elapsed,
+        requests: (clients * per_client) as u64,
+        stats: model.stats(),
+    }
+}
+
+fn main() {
+    let mut clients = 16usize;
+    let mut per_client = 200usize;
+    let mut threads = 2usize;
+    let mut dump_stats = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{a} needs a number"))
+        };
+        match a.as_str() {
+            "--clients" => clients = num(&mut args),
+            "--requests" => per_client = num(&mut args),
+            "--threads" => threads = num(&mut args),
+            "--stats" => dump_stats = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    println!("serve_bench: MLP_2 f32, 1-row requests (latency regime)");
+    println!("{clients} clients x {per_client} requests, engine pool = {threads} threads");
+    println!();
+
+    let per_request = run(
+        serve_config(threads, 1, Duration::ZERO),
+        clients,
+        per_client,
+    );
+    let batched = run(
+        serve_config(threads, 32, Duration::from_micros(300)),
+        clients,
+        per_client,
+    );
+
+    let rps = |r: &RunResult| r.requests as f64 / r.elapsed.as_secs_f64();
+    let fmt = |label: &str, r: &RunResult| {
+        println!(
+            "{label:<22} {:>10.0} req/s   coalesce {:>5}   p50 {:>6}   p99 {:>6}",
+            rps(r),
+            r.stats
+                .coalesce_ratio()
+                .map_or("n/a".into(), |v| format!("{v:.2}")),
+            r.stats.p50_us.map_or("n/a".into(), |v| format!("{v}us")),
+            r.stats.p99_us.map_or("n/a".into(), |v| format!("{v}us")),
+        );
+    };
+    fmt("per-request dispatch", &per_request);
+    fmt("dynamic batching", &batched);
+    println!();
+    println!(
+        "batching speedup: {:.2}x requests/sec",
+        rps(&batched) / rps(&per_request)
+    );
+
+    if dump_stats {
+        println!();
+        println!("--- per-request dispatch stats ---");
+        print!("{}", per_request.stats);
+        println!("--- dynamic batching stats ---");
+        print!("{}", batched.stats);
+    }
+}

@@ -122,32 +122,78 @@ impl Compiler {
     ///
     /// Returns an error if the graph is invalid or uses an unsupported
     /// pattern.
-    pub fn compile(&self, mut graph: Graph) -> Result<CompiledPartition, CoreError> {
+    pub fn compile(&self, graph: Graph) -> Result<CompiledPartition, CoreError> {
+        let pool = Arc::new(match self.options.threads {
+            Some(n) => ThreadPool::new(n),
+            None => ThreadPool::with_host_parallelism(),
+        });
+        let arts = self.compile_artifacts(graph, pool)?;
+        Ok(CompiledPartition {
+            exe: arts.exe,
+            report: arts.report,
+            machine: self.options.machine.clone(),
+            input_descs: arts.input_descs,
+            output_descs: arts.output_descs,
+        })
+    }
+
+    /// The reusable compile-to-executable entry point: run the full
+    /// pipeline on `graph` and return the raw [`Executable`] plus the
+    /// compile report and post-optimization input/output descriptors.
+    ///
+    /// Unlike [`Compiler::compile`], the caller supplies the thread
+    /// pool, so serving runtimes can share one pool (and thus one set
+    /// of workers) across many compiled models.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is invalid or uses an unsupported
+    /// pattern.
+    pub fn compile_artifacts(
+        &self,
+        mut graph: Graph,
+        pool: Arc<ThreadPool>,
+    ) -> Result<CompiledArtifacts, CoreError> {
         pipeline::optimize_graph(&mut graph, &self.options)?;
         let input_descs: Vec<gc_tensor::TensorDesc> = graph
             .inputs()
             .iter()
             .map(|&i| graph.desc(i).clone())
             .collect();
+        let output_descs: Vec<gc_tensor::TensorDesc> = graph
+            .outputs()
+            .iter()
+            .map(|&o| graph.desc(o).clone())
+            .collect();
         let (parts, groups) = pipeline::partition_graph(&graph, &self.options)?;
         let (lowered, report) = pipeline::lower(&graph, &parts, &groups, &self.options)?;
-        let pool = Arc::new(match self.options.threads {
-            Some(n) => ThreadPool::new(n),
-            None => ThreadPool::with_host_parallelism(),
-        });
         let mode = if self.options.interpret {
             gc_tir::ExecMode::Interpret
         } else {
             gc_tir::ExecMode::Compiled
         };
         let exe = Executable::with_mode(lowered.module, lowered.weight_seeds, pool, 1, mode);
-        Ok(CompiledPartition {
+        Ok(CompiledArtifacts {
             exe,
             report,
-            machine: self.options.machine.clone(),
             input_descs,
+            output_descs,
         })
     }
+}
+
+/// The raw products of one compilation, for callers (serving runtimes,
+/// caches) that manage execution themselves.
+#[derive(Debug)]
+pub struct CompiledArtifacts {
+    /// The executable partition.
+    pub exe: Executable,
+    /// What the compiler did.
+    pub report: CompileReport,
+    /// Post-optimization input descriptors (graph-input order).
+    pub input_descs: Vec<gc_tensor::TensorDesc>,
+    /// Post-optimization output descriptors (graph-output order).
+    pub output_descs: Vec<gc_tensor::TensorDesc>,
 }
 
 /// A compiled DNN computation partition.
@@ -157,6 +203,7 @@ pub struct CompiledPartition {
     report: CompileReport,
     machine: MachineDescriptor,
     input_descs: Vec<gc_tensor::TensorDesc>,
+    output_descs: Vec<gc_tensor::TensorDesc>,
 }
 
 impl CompiledPartition {
@@ -185,6 +232,13 @@ impl CompiledPartition {
     /// Expected input descriptors (graph-input order).
     pub fn input_descs(&self) -> &[gc_tensor::TensorDesc] {
         &self.input_descs
+    }
+
+    /// Output descriptors (graph-output order; outputs from
+    /// [`CompiledPartition::execute`] come back flattened to rank 1
+    /// with these volumes).
+    pub fn output_descs(&self) -> &[gc_tensor::TensorDesc] {
+        &self.output_descs
     }
 
     /// Project one steady-state execution on the compile-target machine.

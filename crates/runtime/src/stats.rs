@@ -3,6 +3,10 @@
 use std::time::Duration;
 
 /// Statistics for one compiled-partition execution.
+///
+/// The last two fields are filled in by serving layers (`gc-serve`)
+/// that sit between the caller and the engine: the engine itself
+/// leaves them at their defaults for a direct `execute` call.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecStats {
     /// Wall-clock time of the whole execution.
@@ -16,16 +20,24 @@ pub struct ExecStats {
     pub func_calls: u64,
     /// Peak temporary-arena bytes.
     pub peak_temp_bytes: usize,
+    /// Time the request spent queued before its batch started executing
+    /// (zero for direct, unqueued execution).
+    pub queue_wait: Duration,
+    /// Rows of the coalesced batch this request was executed in
+    /// (zero when the call did not go through a batching layer).
+    pub batch_rows: u64,
 }
 
 impl ExecStats {
-    /// Merge another run's stats into an aggregate (sums; peak maxes).
+    /// Merge another run's stats into an aggregate (sums; peaks max).
     pub fn accumulate(&mut self, other: &ExecStats) {
         self.wall += other.wall;
         self.init_wall += other.init_wall;
         self.barriers += other.barriers;
         self.func_calls += other.func_calls;
         self.peak_temp_bytes = self.peak_temp_bytes.max(other.peak_temp_bytes);
+        self.queue_wait += other.queue_wait;
+        self.batch_rows = self.batch_rows.max(other.batch_rows);
     }
 }
 
@@ -41,6 +53,8 @@ mod tests {
             barriers: 3,
             func_calls: 2,
             peak_temp_bytes: 100,
+            queue_wait: Duration::from_millis(1),
+            batch_rows: 4,
         };
         let b = ExecStats {
             wall: Duration::from_millis(5),
@@ -48,11 +62,15 @@ mod tests {
             barriers: 1,
             func_calls: 4,
             peak_temp_bytes: 50,
+            queue_wait: Duration::from_millis(2),
+            batch_rows: 2,
         };
         a.accumulate(&b);
         assert_eq!(a.wall, Duration::from_millis(7));
         assert_eq!(a.barriers, 4);
         assert_eq!(a.func_calls, 6);
         assert_eq!(a.peak_temp_bytes, 100);
+        assert_eq!(a.queue_wait, Duration::from_millis(3));
+        assert_eq!(a.batch_rows, 4);
     }
 }

@@ -1,0 +1,248 @@
+//! Process-wide compiled-plan cache and shared execution resources.
+//!
+//! The cache key is the full identity of a compiled artifact:
+//! canonical graph fingerprint (weights included — they are baked into
+//! the executable), shape bucket, a fingerprint of the compile options
+//! (which covers dtype legalization and interpret-vs-compiled mode),
+//! and the thread count (plan decisions depend on the pool width).
+//! Loading the same model twice — or the same model in two processes'
+//! worth of sessions — compiles once and shares one
+//! [`Arc<Executable>`]; distinct buckets of one model share one
+//! *folded-constant set* through the engine's [`InitCache`] keyed by
+//! the graph fingerprint alone.
+
+use crate::ServeError;
+use gc_runtime::ThreadPool;
+use gc_tensor::TensorDesc;
+use gc_tir::{Executable, InitCache};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Identity of one compiled plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Canonical graph fingerprint ([`crate::graph_fingerprint`]).
+    pub graph: u64,
+    /// Shape bucket, in batching units.
+    pub units: u64,
+    /// Fingerprint of the [`gc_core::CompileOptions`] in effect.
+    pub opts: u64,
+    /// Worker threads the embedded pool runs.
+    pub threads: u64,
+}
+
+impl PlanKey {
+    /// Collapse to one `u64` (the engine-level [`InitCache`] key space).
+    pub fn digest(&self) -> u64 {
+        crate::hash::combine(&[self.graph, self.units, self.opts, self.threads])
+    }
+}
+
+/// One cached compilation product.
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// The shared executable.
+    pub exe: Arc<Executable>,
+    /// Post-optimization input descriptors (graph-input order).
+    pub input_descs: Vec<TensorDesc>,
+    /// Post-optimization output descriptors (graph-output order).
+    pub output_descs: Vec<TensorDesc>,
+}
+
+/// A keyed cache of compiled plans with hit/miss accounting.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<PlanKey, Arc<CachedPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Return the plan for `key`, compiling it with `compile` on first
+    /// use. The map lock is held across `compile` so concurrent loads
+    /// of the same model compile exactly once (compiles are heavy and
+    /// rare; lookups after warm-up return in nanoseconds).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `compile`'s error; failures are not cached.
+    pub fn get_or_compile(
+        &self,
+        key: PlanKey,
+        compile: impl FnOnce() -> Result<CachedPlan, ServeError>,
+    ) -> Result<Arc<CachedPlan>, ServeError> {
+        let mut map = self.map.lock().unwrap();
+        if let Some(p) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(p));
+        }
+        let plan = Arc::new(compile()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        map.insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= compilations) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Plans currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached plan (tests / model reload).
+    pub fn clear(&self) {
+        self.map.lock().unwrap().clear();
+    }
+}
+
+/// The process-wide plan cache [`crate::Model::load`] uses by default.
+pub fn plan_cache() -> Arc<PlanCache> {
+    static CACHE: OnceLock<Arc<PlanCache>> = OnceLock::new();
+    Arc::clone(CACHE.get_or_init(|| Arc::new(PlanCache::new())))
+}
+
+/// The process-wide folded-constant cache. Keyed by graph fingerprint,
+/// so every session — and every shape bucket — of one model folds its
+/// weights exactly once.
+pub fn init_cache() -> Arc<InitCache> {
+    static CACHE: OnceLock<Arc<InitCache>> = OnceLock::new();
+    Arc::clone(CACHE.get_or_init(|| Arc::new(InitCache::new())))
+}
+
+/// A process-wide pool registry: one [`ThreadPool`] per worker count,
+/// shared by every model compiled at that width. `0` means host
+/// parallelism.
+pub fn shared_pool(threads: usize) -> Arc<ThreadPool> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = pools.lock().unwrap();
+    Arc::clone(map.entry(threads).or_insert_with(|| {
+        Arc::new(if threads == 0 {
+            ThreadPool::with_host_parallelism()
+        } else {
+            ThreadPool::new(threads)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_plan() -> CachedPlan {
+        use gc_core::{CompileOptions, Compiler};
+        use gc_graph::{Graph, OpKind};
+        use gc_tensor::{DataType, Tensor};
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([2, 4], DataType::F32), "x");
+        let w = g.add_constant(Tensor::random(&[4, 2], DataType::F32, 3), "w");
+        let y = g.add_op(OpKind::MatMul, &[x, w]).unwrap();
+        g.mark_output(y);
+        let opts = CompileOptions {
+            threads: Some(1),
+            ..CompileOptions::default()
+        };
+        let arts = Compiler::new(opts)
+            .compile_artifacts(g, shared_pool(1))
+            .unwrap();
+        CachedPlan {
+            exe: Arc::new(arts.exe),
+            input_descs: arts.input_descs,
+            output_descs: arts.output_descs,
+        }
+    }
+
+    #[test]
+    fn hit_returns_pointer_equal_plan() {
+        let cache = PlanCache::new();
+        let key = PlanKey {
+            graph: 1,
+            units: 4,
+            opts: 2,
+            threads: 1,
+        };
+        let a = cache.get_or_compile(key, || Ok(dummy_plan())).unwrap();
+        let b = cache
+            .get_or_compile(key, || panic!("must not recompile"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a.exe, &b.exe));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+    }
+
+    #[test]
+    fn different_bucket_misses() {
+        let cache = PlanCache::new();
+        let k4 = PlanKey {
+            graph: 1,
+            units: 4,
+            opts: 2,
+            threads: 1,
+        };
+        let k8 = PlanKey { units: 8, ..k4 };
+        let a = cache.get_or_compile(k4, || Ok(dummy_plan())).unwrap();
+        let b = cache.get_or_compile(k8, || Ok(dummy_plan())).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (0, 2, 2));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = PlanCache::new();
+        let key = PlanKey {
+            graph: 9,
+            units: 1,
+            opts: 0,
+            threads: 1,
+        };
+        let e = cache.get_or_compile(key, || Err(ServeError::Compile("boom".into())));
+        assert!(e.is_err());
+        assert_eq!(cache.len(), 0);
+        let ok = cache.get_or_compile(key, || Ok(dummy_plan()));
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn shared_pool_is_shared_per_width() {
+        let a = shared_pool(2);
+        let b = shared_pool(2);
+        let c = shared_pool(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(a.threads(), 2);
+        assert_eq!(c.threads(), 3);
+    }
+
+    #[test]
+    fn plan_key_digest_is_injective_over_fields() {
+        let k = PlanKey {
+            graph: 1,
+            units: 2,
+            opts: 3,
+            threads: 4,
+        };
+        assert_ne!(k.digest(), PlanKey { graph: 2, ..k }.digest());
+        assert_ne!(k.digest(), PlanKey { units: 3, ..k }.digest());
+        assert_ne!(k.digest(), PlanKey { opts: 4, ..k }.digest());
+        assert_ne!(k.digest(), PlanKey { threads: 5, ..k }.digest());
+    }
+}

@@ -1,0 +1,183 @@
+//! Rewriting a model graph to a different batch size.
+//!
+//! A loaded model is a *template* graph built at some batch size; the
+//! serving runtime compiles one executable per shape bucket by
+//! rebuilding the template with every variable input's leading
+//! dimension scaled to the bucket's row count, then re-running shape
+//! inference op by op. Constants (weights) are shared untouched, so a
+//! model's buckets all reference the same weight tensors.
+
+use crate::ServeError;
+use gc_graph::{Graph, LtId, Property};
+use gc_tensor::TensorDesc;
+use std::collections::HashMap;
+
+/// Validate that `g` can serve as a batch template with `units` rows:
+/// at least one variable input, no runtime-constant inputs, and every
+/// input's leading dimension divisible by `units`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidModel`] describing the first violation.
+pub fn validate_template(g: &Graph, units: usize) -> Result<(), ServeError> {
+    if units == 0 {
+        return Err(ServeError::InvalidModel(
+            "template_units must be > 0".into(),
+        ));
+    }
+    if g.inputs().is_empty() {
+        return Err(ServeError::InvalidModel(
+            "model graph has no inputs; nothing to batch".into(),
+        ));
+    }
+    for &i in g.inputs() {
+        let t = g.tensor(i);
+        if t.property == Property::Constant {
+            return Err(ServeError::InvalidModel(format!(
+                "input {} ({}) is a runtime constant; serving runtime \
+                 constants is not supported yet",
+                i, t.name
+            )));
+        }
+        let shape = t.desc.shape();
+        if shape.is_empty() {
+            return Err(ServeError::InvalidModel(format!(
+                "input {} ({}) is rank-0; batching needs a leading batch dim",
+                i, t.name
+            )));
+        }
+        if !shape[0].is_multiple_of(units) {
+            return Err(ServeError::InvalidModel(format!(
+                "input {} ({}) leading dim {} is not divisible by \
+                 template_units {}",
+                i, t.name, shape[0], units
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Rebuild `g` with every variable input's leading dimension scaled
+/// from `template_units` units to `new_units` units, re-inferring all
+/// op output shapes. Constants keep their shapes and values.
+///
+/// # Errors
+///
+/// Returns an error if the template is invalid (see
+/// [`validate_template`]) or shape inference rejects the scaled shapes.
+pub fn rebatch(g: &Graph, template_units: usize, new_units: usize) -> Result<Graph, ServeError> {
+    validate_template(g, template_units)?;
+    if new_units == 0 {
+        return Err(ServeError::InvalidModel("cannot rebatch to 0 units".into()));
+    }
+    let mut out = Graph::new();
+    let mut map: HashMap<LtId, LtId> = HashMap::new();
+    for &i in g.inputs() {
+        let t = g.tensor(i);
+        let mut shape = t.desc.shape().to_vec();
+        shape[0] = shape[0] / template_units * new_units;
+        let ni = out.add_input(TensorDesc::new(shape, t.desc.dtype()), &t.name);
+        map.insert(i, ni);
+    }
+    let order = g
+        .topo_order()
+        .map_err(|e| ServeError::InvalidModel(format!("graph: {e}")))?;
+    for id in order {
+        let op = g.op(id);
+        let mut ins = Vec::with_capacity(op.inputs.len());
+        for &inp in &op.inputs {
+            let mapped = match map.get(&inp) {
+                Some(&m) => m,
+                None => {
+                    let t = g.tensor(inp);
+                    let v = g.const_value(inp).ok_or_else(|| {
+                        ServeError::InvalidModel(format!(
+                            "tensor {} ({}) has no producer and no constant value",
+                            inp, t.name
+                        ))
+                    })?;
+                    let c = out.add_constant(v.clone(), &t.name);
+                    map.insert(inp, c);
+                    c
+                }
+            };
+            ins.push(mapped);
+        }
+        let new_out = out
+            .add_op(op.kind.clone(), &ins)
+            .map_err(|e| ServeError::InvalidModel(format!("rebatch {}: {e}", op.kind)))?;
+        map.insert(op.outputs[0], new_out);
+    }
+    for &o in g.outputs() {
+        let mapped = *map.get(&o).ok_or_else(|| {
+            ServeError::InvalidModel(format!("output {o} is neither produced nor an input"))
+        })?;
+        out.mark_output(mapped);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_graph::{OpKind, UnaryKind};
+    use gc_tensor::{DataType, Tensor};
+
+    fn mlp(batch: usize) -> Graph {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([batch, 8], DataType::F32), "x");
+        let w = g.add_constant(Tensor::random(&[8, 4], DataType::F32, 7), "w");
+        let y = g.add_op(OpKind::MatMul, &[x, w]).unwrap();
+        let z = g.add_op(OpKind::Unary(UnaryKind::Relu), &[y]).unwrap();
+        g.mark_output(z);
+        g
+    }
+
+    #[test]
+    fn scales_input_and_output() {
+        let g = mlp(4);
+        let r = rebatch(&g, 4, 16).unwrap();
+        assert_eq!(r.desc(r.inputs()[0]).shape(), &[16, 8]);
+        assert_eq!(r.desc(r.outputs()[0]).shape(), &[16, 4]);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn constants_are_preserved() {
+        let g = mlp(4);
+        let r = rebatch(&g, 4, 8).unwrap();
+        let w_orig = g.const_value(gc_graph::LtId(1)).unwrap();
+        // rebatched graph: t0 = input x, t1 = first-use constant w
+        let w_new = r.const_value(gc_graph::LtId(1)).unwrap();
+        assert_eq!(w_orig.f32_slice().unwrap(), w_new.f32_slice().unwrap());
+    }
+
+    #[test]
+    fn fingerprints_differ_per_bucket_but_agree_per_size() {
+        let g = mlp(4);
+        let a = crate::hash::graph_fingerprint(&rebatch(&g, 4, 8).unwrap()).unwrap();
+        let b = crate::hash::graph_fingerprint(&rebatch(&g, 4, 16).unwrap()).unwrap();
+        let a2 = crate::hash::graph_fingerprint(&rebatch(&g, 4, 8).unwrap()).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn rejects_runtime_constant_inputs() {
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([4, 8], DataType::F32), "x");
+        let w = g.add_runtime_constant(TensorDesc::new([8, 4], DataType::F32), "w");
+        let y = g.add_op(OpKind::MatMul, &[x, w]).unwrap();
+        g.mark_output(y);
+        assert!(matches!(
+            rebatch(&g, 4, 8),
+            Err(ServeError::InvalidModel(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_indivisible_units() {
+        let g = mlp(4);
+        assert!(rebatch(&g, 3, 6).is_err());
+    }
+}

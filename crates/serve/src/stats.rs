@@ -1,0 +1,285 @@
+//! Serving observability: per-model counters, per-bucket breakdowns,
+//! and a power-of-two latency histogram for p50/p99.
+//!
+//! Everything is updated with relaxed atomics on the request path (the
+//! histogram takes a short mutex only when a request completes) and
+//! read via [`ModelStats::snapshot`], which is what
+//! [`crate::Model::stats`] and the bench binary's `--stats` dump show.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Histogram over power-of-two microsecond buckets: bucket `i` covers
+/// `[2^i, 2^(i+1))` µs, bucket 0 covers `[0, 2)` µs. 40 buckets reach
+/// ~12.7 days — effectively unbounded for a request latency.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; 40],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: [0; 40],
+            total: 0,
+        }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - us.leading_zeros() as usize)
+            .saturating_sub(1)
+            .min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile in µs: the upper edge of the bucket holding
+    /// the `q`-th sample (q in [0, 1]). `None` when empty.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(1u64 << (i + 1));
+            }
+        }
+        Some(1u64 << self.counts.len())
+    }
+}
+
+#[derive(Debug, Default)]
+struct BucketCounters {
+    batches: AtomicU64,
+    requests: AtomicU64,
+    rows: AtomicU64,
+    padded_rows: AtomicU64,
+}
+
+/// Live counters for one served model.
+#[derive(Debug, Default)]
+pub struct ModelStats {
+    requests: AtomicU64,
+    fast_path: AtomicU64,
+    batches: AtomicU64,
+    busy_rejections: AtomicU64,
+    queue_depth: AtomicU64,
+    buckets: Mutex<HashMap<u64, BucketCounters>>,
+    latency: Mutex<LatencyHistogram>,
+}
+
+impl ModelStats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        ModelStats::default()
+    }
+
+    /// A request bypassed the queue; its execution is still counted by
+    /// [`ModelStats::record_batch`] (as a batch of one).
+    pub(crate) fn record_fast_path(&self, latency: Duration) {
+        self.fast_path.fetch_add(1, Ordering::Relaxed);
+        self.latency.lock().unwrap().record(latency);
+    }
+
+    /// One engine execution of `requests` coalesced requests. Every
+    /// completed request passes through here exactly once.
+    pub(crate) fn record_batch(&self, units: u64, requests: u64, rows: u64, padded: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.requests.fetch_add(requests, Ordering::Relaxed);
+        let map = &mut *self.buckets.lock().unwrap();
+        let b = map.entry(units).or_default();
+        b.batches.fetch_add(1, Ordering::Relaxed);
+        b.requests.fetch_add(requests, Ordering::Relaxed);
+        b.rows.fetch_add(rows, Ordering::Relaxed);
+        b.padded_rows.fetch_add(padded, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_request_latency(&self, latency: Duration) {
+        self.latency.lock().unwrap().record(latency);
+    }
+
+    pub(crate) fn record_busy(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn enqueued(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn dequeued(&self, n: u64) {
+        self.queue_depth.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough point-in-time copy of every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let hist = self.latency.lock().unwrap().clone();
+        let mut buckets: Vec<BucketSnapshot> = self
+            .buckets
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&units, c)| BucketSnapshot {
+                units,
+                batches: c.batches.load(Ordering::Relaxed),
+                requests: c.requests.load(Ordering::Relaxed),
+                rows: c.rows.load(Ordering::Relaxed),
+                padded_rows: c.padded_rows.load(Ordering::Relaxed),
+            })
+            .collect();
+        buckets.sort_by_key(|b| b.units);
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            fast_path: self.fast_path.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            p50_us: hist.quantile_us(0.50),
+            p99_us: hist.quantile_us(0.99),
+            buckets,
+        }
+    }
+}
+
+/// Counters for one shape bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketSnapshot {
+    /// Bucket size in batching units.
+    pub units: u64,
+    /// Batches executed at this bucket.
+    pub batches: u64,
+    /// Requests coalesced into those batches.
+    pub requests: u64,
+    /// Real (request) units executed.
+    pub rows: u64,
+    /// Zero-padding units executed.
+    pub padded_rows: u64,
+}
+
+/// Point-in-time model statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests completed (fast-path + batched).
+    pub requests: u64,
+    /// Requests served synchronously on an idle model.
+    pub fast_path: u64,
+    /// Engine executions (coalesced batches, including fast-path
+    /// batches of one).
+    pub batches: u64,
+    /// Requests rejected with [`crate::ServeError::Busy`].
+    pub busy_rejections: u64,
+    /// Requests queued right now.
+    pub queue_depth: u64,
+    /// Median request latency (µs, bucket upper edge); `None` if no
+    /// samples yet.
+    pub p50_us: Option<u64>,
+    /// 99th-percentile request latency (µs, bucket upper edge).
+    pub p99_us: Option<u64>,
+    /// Per-bucket breakdown, smallest bucket first.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+impl StatsSnapshot {
+    /// Mean requests per engine execution (1.0 = no coalescing);
+    /// `None` before the first execution.
+    pub fn coalesce_ratio(&self) -> Option<f64> {
+        (self.batches > 0).then(|| self.requests as f64 / self.batches as f64)
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests={} fast_path={} batches={} coalesce={} busy={} queued={}",
+            self.requests,
+            self.fast_path,
+            self.batches,
+            self.coalesce_ratio()
+                .map_or("n/a".into(), |r| format!("{r:.2}")),
+            self.busy_rejections,
+            self.queue_depth,
+        )?;
+        writeln!(
+            f,
+            "latency p50={} p99={}",
+            self.p50_us.map_or("n/a".into(), |v| format!("{v}us")),
+            self.p99_us.map_or("n/a".into(), |v| format!("{v}us")),
+        )?;
+        for b in &self.buckets {
+            writeln!(
+                f,
+                "bucket[{:>4} units] batches={} requests={} rows={} padded={}",
+                b.units, b.batches, b.requests, b.rows, b.padded_rows
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10)); // bucket [8,16)
+        }
+        h.record(Duration::from_millis(100)); // far tail
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.quantile_us(0.5), Some(16));
+        assert!(h.quantile_us(0.999).unwrap() >= 100_000);
+        assert_eq!(LatencyHistogram::new().quantile_us(0.5), None);
+    }
+
+    #[test]
+    fn zero_latency_lands_in_first_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.quantile_us(1.0), Some(2));
+    }
+
+    #[test]
+    fn snapshot_aggregates() {
+        let s = ModelStats::new();
+        s.record_fast_path(Duration::from_micros(5));
+        s.record_batch(1, 1, 1, 0); // the fast-path execution
+        s.record_batch(8, 3, 6, 2);
+        s.record_request_latency(Duration::from_micros(40));
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 4);
+        assert_eq!(snap.fast_path, 1);
+        assert_eq!(snap.batches, 2);
+        assert_eq!(snap.coalesce_ratio(), Some(2.0));
+        assert_eq!(snap.buckets.len(), 2);
+        assert_eq!(snap.buckets[1].padded_rows, 2);
+        assert!(snap.p50_us.is_some());
+        assert!(format!("{snap}").contains("bucket[   8 units]"));
+    }
+
+    #[test]
+    fn coalesce_ratio_none_before_batches() {
+        assert_eq!(ModelStats::new().snapshot().coalesce_ratio(), None);
+    }
+}

@@ -4,6 +4,18 @@
 //! weight globals, the cached persistent state produced by the init
 //! stage ("these runtime constants only be executed once in the first
 //! execution"), a thread pool, and execution statistics.
+//!
+//! # Concurrency
+//!
+//! [`Executable::execute`] is safe to call from many threads at once
+//! (`Executable` is `Send + Sync`, statically asserted below). The
+//! engine keeps a checkout pool of execution states — each holding its
+//! own copy of the global buffers and plan scratch — so concurrent
+//! calls never share mutable memory; the one-time init stage runs
+//! under a [`std::sync::OnceLock`], and every state is cloned from the
+//! initialized template. Results are bit-identical to serial runs: a
+//! plan's parallel chunks each compute a deterministic, disjoint
+//! region regardless of which worker claims them.
 
 use crate::compile::compile_module;
 use crate::exec::{run_calls, ExecError};
@@ -11,10 +23,46 @@ use crate::ir::{GlobalKind, Module};
 use crate::plan::{run_plan_call, Plan, PlanScratch, PlanStats};
 use crate::sim::{project, Projection};
 use gc_machine::MachineDescriptor;
-use gc_runtime::{ExecStats, ThreadPool};
+use gc_runtime::{ConstantCache, ExecStats, ThreadPool};
 use gc_tensor::{Storage, Tensor, TensorDesc};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Process-wide engine counters (serving observability). Monotonic;
+/// tests must assert on deltas, not absolute values, because the test
+/// harness runs in parallel.
+static TOTAL_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_PLAN_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_INTERP_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_INIT_RUNS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_EXEC_STATES: AtomicU64 = AtomicU64::new(0);
+
+/// A snapshot of the process-wide engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineTotals {
+    /// Completed [`Executable::execute`] calls.
+    pub executions: u64,
+    /// Main-stage calls dispatched through compiled plans.
+    pub plan_dispatches: u64,
+    /// Main-stage calls dispatched through the interpreter.
+    pub interp_dispatches: u64,
+    /// Init stages actually computed (constant-cache hits excluded).
+    pub init_runs: u64,
+    /// Execution states materialized (peak concurrency × executables).
+    pub exec_states: u64,
+}
+
+/// Read the process-wide engine counters.
+pub fn engine_totals() -> EngineTotals {
+    EngineTotals {
+        executions: TOTAL_EXECUTIONS.load(Ordering::Relaxed),
+        plan_dispatches: TOTAL_PLAN_DISPATCHES.load(Ordering::Relaxed),
+        interp_dispatches: TOTAL_INTERP_DISPATCHES.load(Ordering::Relaxed),
+        init_runs: TOTAL_INIT_RUNS.load(Ordering::Relaxed),
+        exec_states: TOTAL_EXEC_STATES.load(Ordering::Relaxed),
+    }
+}
 
 /// How the main stage of an [`Executable`] runs its functions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -28,14 +76,28 @@ pub enum ExecMode {
     Interpret,
 }
 
-/// Mutable engine state guarded by one mutex: the persistent global
-/// buffers (allocated and init-processed once, then reused — inputs
-/// are copied into place per call instead of reassembling ~all
-/// globals) and the reusable plan-execution scratch.
-struct EngineState {
-    globals: Option<Vec<Storage>>,
+/// The init-stage product shared by every execution state: the global
+/// buffers after weight seeding and one-time constant preprocessing.
+/// `init_wall` is reported once, by the caller that ran (or fetched)
+/// the init stage.
+struct InitTemplate {
+    globals: Arc<Vec<Storage>>,
+}
+
+/// One checked-out execution context: a private copy of the globals
+/// (inputs are copied into place per call; outputs and scratch are
+/// overwritten) plus the reusable plan-execution scratch. States are
+/// pooled, so steady-state execution allocates nothing.
+struct ExecState {
+    globals: Vec<Storage>,
     scratch: PlanScratch,
 }
+
+/// A shared, persistent-globals cache for init-stage results, keyed by
+/// the caller (e.g. a model's graph hash + shape bucket). Lets distinct
+/// `Executable`s of the same logical model reuse one folded-constant
+/// computation.
+pub type InitCache = ConstantCache<Vec<Storage>>;
 
 /// A compiled, executable partition.
 pub struct Executable {
@@ -47,9 +109,19 @@ pub struct Executable {
     dispatch_count: usize,
     plan: Plan,
     mode: ExecMode,
-    state: std::sync::Mutex<EngineState>,
-    init_runs: std::sync::atomic::AtomicU64,
+    /// Optional cross-executable init cache (see [`InitCache`]).
+    init_cache: Option<(Arc<InitCache>, u64)>,
+    template: OnceLock<InitTemplate>,
+    /// Idle execution states; `execute` pops one (or clones a fresh one
+    /// from the template) and pushes it back when done.
+    states: Mutex<Vec<ExecState>>,
+    init_runs: AtomicU64,
 }
+
+// `Executable` must stay shareable across serving threads; this fails
+// to compile if a field ever loses `Send + Sync`.
+const fn _assert_send_sync<T: Send + Sync>() {}
+const _: () = _assert_send_sync::<Executable>();
 
 impl std::fmt::Debug for Executable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -89,7 +161,6 @@ impl Executable {
         mode: ExecMode,
     ) -> Self {
         let plan = compile_module(&module, pool.threads());
-        let scratch = PlanScratch::for_plan(&plan);
         Executable {
             module,
             weight_seeds,
@@ -97,12 +168,21 @@ impl Executable {
             dispatch_count,
             plan,
             mode,
-            state: std::sync::Mutex::new(EngineState {
-                globals: None,
-                scratch,
-            }),
-            init_runs: std::sync::atomic::AtomicU64::new(0),
+            init_cache: None,
+            template: OnceLock::new(),
+            states: Mutex::new(Vec::new()),
+            init_runs: AtomicU64::new(0),
         }
+    }
+
+    /// Route the one-time init stage through a shared [`InitCache`]
+    /// under `key`: if another executable with the same key already
+    /// folded its constants, this one reuses the processed globals
+    /// instead of recomputing them. Must be set before the first
+    /// execution.
+    pub fn with_init_cache(mut self, cache: Arc<InitCache>, key: u64) -> Self {
+        self.init_cache = Some((cache, key));
+        self
     }
 
     /// The underlying module (diagnostics, projection).
@@ -125,9 +205,16 @@ impl Executable {
         self.dispatch_count
     }
 
-    /// How many times the init stage actually ran (should stay 1).
+    /// How many times the init stage actually ran (stays 1 without an
+    /// [`InitCache`]; 0 when a shared cache already held the result).
     pub fn init_runs(&self) -> u64 {
-        self.init_runs.load(std::sync::atomic::Ordering::Relaxed)
+        self.init_runs.load(Ordering::Relaxed)
+    }
+
+    /// Idle pooled execution states (diagnostics; equals the peak
+    /// number of concurrent `execute` calls observed so far).
+    pub fn pooled_states(&self) -> usize {
+        self.states.lock().expect("state pool poisoned").len()
     }
 
     /// Expected input descriptors, in order.
@@ -145,8 +232,36 @@ impl Executable {
         ins.into_iter().map(|(_, e, d)| (e, d)).collect()
     }
 
+    /// Run the init stage from scratch: allocate globals, seed weights,
+    /// install the first call's inputs (runtime constants arrive with
+    /// them), and execute the init calls.
+    fn build_init_globals(&self, inputs: &[Tensor]) -> Vec<Storage> {
+        let mut globals: Vec<Storage> = self
+            .module
+            .globals
+            .iter()
+            .map(|g| Storage::zeros(g.dtype, g.elems))
+            .collect();
+        for (gi, t) in &self.weight_seeds {
+            globals[*gi] = t.storage().clone();
+        }
+        install_inputs(&self.module, &mut globals, inputs);
+        run_calls(
+            &self.module,
+            &self.module.init_calls,
+            &mut globals,
+            &self.pool,
+        );
+        self.init_runs.fetch_add(1, Ordering::Relaxed);
+        TOTAL_INIT_RUNS.fetch_add(1, Ordering::Relaxed);
+        globals
+    }
+
     /// Execute on `inputs` (one tensor per graph input, in order).
     /// Returns the outputs in graph-output order plus statistics.
+    ///
+    /// Safe to call concurrently from multiple threads; see the module
+    /// docs for the memory model.
     ///
     /// # Errors
     ///
@@ -154,11 +269,7 @@ impl Executable {
     /// descriptors.
     pub fn execute(&self, inputs: &[Tensor]) -> Result<(Vec<Tensor>, ExecStats), ExecError> {
         let mut stats = ExecStats::default();
-        let barriers0 = self.pool.barrier_count();
         let wall0 = Instant::now();
-
-        let mut state = self.state.lock().expect("executable poisoned");
-        let state = &mut *state;
 
         // validate inputs against the compiled descriptors
         let mut n_inputs = 0usize;
@@ -187,40 +298,39 @@ impl Executable {
             )));
         }
 
-        // Globals persist across calls: allocated and init-processed on
-        // the first execution, then only inputs are copied into place.
+        // One-time init: the first caller computes (or fetches from the
+        // shared init cache) the seeded + preprocessed globals template;
+        // concurrent callers block in `get_or_init` until it is ready.
+        let mut init_wall = Duration::ZERO;
+        let template = self.template.get_or_init(|| {
+            let init0 = Instant::now();
+            let globals = match &self.init_cache {
+                Some((cache, key)) => cache.get_or_init(*key, || self.build_init_globals(inputs)),
+                None => Arc::new(self.build_init_globals(inputs)),
+            };
+            init_wall = init0.elapsed();
+            InitTemplate { globals }
+        });
+        stats.init_wall = init_wall;
+
+        // Check out a private execution state (clone the template when
+        // none is idle — happens once per concurrency level).
         // Accumulating buffers are explicitly zeroed by the lowered code
         // (FillF32 / ZeroI32 ahead of every k-loop), so stale scratch
-        // contents are never observed.
-        let globals = match &mut state.globals {
-            Some(globals) => {
-                install_inputs(&self.module, globals, inputs);
-                globals
+        // contents from a previous call are never observed.
+        let mut state = {
+            let mut pool = self.states.lock().expect("state pool poisoned");
+            pool.pop()
+        }
+        .unwrap_or_else(|| {
+            TOTAL_EXEC_STATES.fetch_add(1, Ordering::Relaxed);
+            ExecState {
+                globals: (*template.globals).clone(),
+                scratch: PlanScratch::for_plan(&self.plan),
             }
-            slot @ None => {
-                let init0 = Instant::now();
-                let mut globals: Vec<Storage> = self
-                    .module
-                    .globals
-                    .iter()
-                    .map(|g| Storage::zeros(g.dtype, g.elems))
-                    .collect();
-                for (gi, t) in &self.weight_seeds {
-                    globals[*gi] = t.storage().clone();
-                }
-                install_inputs(&self.module, &mut globals, inputs);
-                run_calls(
-                    &self.module,
-                    &self.module.init_calls,
-                    &mut globals,
-                    &self.pool,
-                );
-                self.init_runs
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                stats.init_wall = init0.elapsed();
-                slot.insert(globals)
-            }
-        };
+        });
+        let globals = &mut state.globals;
+        install_inputs(&self.module, globals, inputs);
 
         // Main stage: compiled plans where available, interpreter
         // otherwise (and for every call in `Interpret` mode).
@@ -234,8 +344,10 @@ impl Executable {
                     &self.pool,
                     &mut state.scratch,
                 );
+                TOTAL_PLAN_DISPATCHES.fetch_add(1, Ordering::Relaxed);
             } else {
                 crate::exec::run_func(&self.module.funcs[call.func], call, globals, &self.pool);
+                TOTAL_INTERP_DISPATCHES.fetch_add(1, Ordering::Relaxed);
             }
         }
 
@@ -251,11 +363,14 @@ impl Executable {
         }
         outs.sort_by_key(|(i, _)| *i);
 
+        // Return the state to the idle pool for the next call.
+        self.states.lock().expect("state pool poisoned").push(state);
+        TOTAL_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+
         stats.wall = wall0.elapsed();
         // Barriers are counted structurally (every executed parallel
         // region ends in one), so the number is meaningful even when
         // the host pool degenerates to a single thread.
-        let _ = barriers0;
         stats.barriers = self
             .module
             .main_calls
@@ -444,5 +559,73 @@ mod tests {
         let (m, seeds) = demo_module();
         let exe = Executable::new(m, seeds, Arc::new(ThreadPool::new(1)), 1);
         assert_eq!(exe.input_descs(), vec![(8, DataType::F32)]);
+    }
+
+    #[test]
+    fn concurrent_execute_bitmatches_serial() {
+        let (m, seeds) = demo_module();
+        let exe = Arc::new(Executable::new(m, seeds, Arc::new(ThreadPool::new(2)), 1));
+        let reference: Arc<Vec<Vec<f32>>> = Arc::new(
+            (0..4)
+                .map(|t| {
+                    let x = Tensor::from_vec_f32(&[8], vec![t as f32; 8]).unwrap();
+                    let (out, _) = exe.execute(&[x]).unwrap();
+                    out[0].f32_slice().unwrap().to_vec()
+                })
+                .collect(),
+        );
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let exe = Arc::clone(&exe);
+                let reference = Arc::clone(&reference);
+                std::thread::spawn(move || {
+                    let x = Tensor::from_vec_f32(&[8], vec![t as f32; 8]).unwrap();
+                    for _ in 0..50 {
+                        let (out, _) = exe.execute(std::slice::from_ref(&x)).unwrap();
+                        assert_eq!(out[0].f32_slice().unwrap(), reference[t].as_slice());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(exe.init_runs(), 1);
+        assert!(exe.pooled_states() >= 1);
+    }
+
+    #[test]
+    fn shared_init_cache_folds_constants_once() {
+        let cache: Arc<InitCache> = Arc::new(InitCache::new());
+        let (m1, seeds1) = demo_module();
+        let (m2, seeds2) = demo_module();
+        let exe1 = Executable::new(m1, seeds1, Arc::new(ThreadPool::new(1)), 1)
+            .with_init_cache(Arc::clone(&cache), 99);
+        let exe2 = Executable::new(m2, seeds2, Arc::new(ThreadPool::new(1)), 1)
+            .with_init_cache(Arc::clone(&cache), 99);
+        let x = Tensor::from_vec_f32(&[8], vec![0.5; 8]).unwrap();
+        let (o1, _) = exe1.execute(std::slice::from_ref(&x)).unwrap();
+        let (o2, _) = exe2.execute(std::slice::from_ref(&x)).unwrap();
+        assert_eq!(o1[0].f32_slice().unwrap(), o2[0].f32_slice().unwrap());
+        // exactly one init computation across both executables
+        assert_eq!(cache.compute_count(), 1);
+        assert_eq!(exe1.init_runs() + exe2.init_runs(), 1);
+    }
+
+    #[test]
+    fn engine_totals_monotonic() {
+        let before = engine_totals();
+        let (m, seeds) = demo_module();
+        let exe = Executable::new(m, seeds, Arc::new(ThreadPool::new(1)), 1);
+        let x = Tensor::from_vec_f32(&[8], vec![0.5; 8]).unwrap();
+        exe.execute(&[x]).unwrap();
+        let after = engine_totals();
+        assert!(after.executions > before.executions);
+        assert!(after.init_runs > before.init_runs);
+        assert!(after.exec_states > before.exec_states);
+        assert!(
+            after.plan_dispatches + after.interp_dispatches
+                > before.plan_dispatches + before.interp_dispatches
+        );
     }
 }

@@ -31,7 +31,7 @@ pub mod sim;
 pub mod visit;
 
 pub use compile::compile_module;
-pub use engine::{ExecMode, Executable};
+pub use engine::{engine_totals, EngineTotals, ExecMode, Executable, InitCache};
 pub use expr::{Expr, VarId};
 pub use ir::{
     BufDecl, BufId, Call, Func, GlobalDecl, GlobalKind, Intrinsic, Module, ReduceOp, Stmt, View,
