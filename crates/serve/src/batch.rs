@@ -3,10 +3,10 @@
 //! Coalescing concatenates each input across requests along dim 0 and
 //! zero-pads to the bucket's row count; scattering slices each
 //! request's rows back out of the batched output. Both are plain
-//! element copies — soundness (padded rows never influence real rows)
-//! comes from every supported op being row-independent along dim 0,
-//! which the lowering pipeline guarantees for the op set gc-serve
-//! accepts.
+//! element copies — soundness (padded rows never influence real rows,
+//! and every output row belongs to exactly one request) is enforced at
+//! load time by [`crate::rebatch::check_row_independence`], which
+//! rejects templates whose ops are not row-independent along dim 0.
 
 use crate::ServeError;
 use gc_tensor::{Storage, Tensor, TensorDesc};

@@ -7,9 +7,12 @@
 //! and the thread count (plan decisions depend on the pool width).
 //! Loading the same model twice — or the same model in two processes'
 //! worth of sessions — compiles once and shares one
-//! [`Arc<Executable>`]; distinct buckets of one model share one
-//! *folded-constant set* through the engine's [`InitCache`] keyed by
-//! the graph fingerprint alone.
+//! [`Arc<Executable>`]. Folded constants are shared at the same
+//! granularity: the engine's [`InitCache`] is keyed by the full plan
+//! identity (graph, bucket, options, threads), so every session of one
+//! (model, bucket) folds weights once, while distinct buckets fold
+//! separately — their global buffers are bucket-shaped, so sharing
+//! across buckets would be incorrect.
 
 use crate::ServeError;
 use gc_runtime::ThreadPool;
@@ -50,10 +53,18 @@ pub struct CachedPlan {
     pub output_descs: Vec<TensorDesc>,
 }
 
+/// One per-key cell: the compiled plan once ready, plus a lock that
+/// serializes compile attempts for this key only.
+#[derive(Debug, Default)]
+struct PlanEntry {
+    plan: OnceLock<Arc<CachedPlan>>,
+    compiling: Mutex<()>,
+}
+
 /// A keyed cache of compiled plans with hit/miss accounting.
 #[derive(Debug, Default)]
 pub struct PlanCache {
-    map: Mutex<HashMap<PlanKey, Arc<CachedPlan>>>,
+    map: Mutex<HashMap<PlanKey, Arc<PlanEntry>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -65,26 +76,41 @@ impl PlanCache {
     }
 
     /// Return the plan for `key`, compiling it with `compile` on first
-    /// use. The map lock is held across `compile` so concurrent loads
-    /// of the same model compile exactly once (compiles are heavy and
-    /// rare; lookups after warm-up return in nanoseconds).
+    /// use. The map lock is only held for the entry lookup; `compile`
+    /// runs under a per-key lock, so concurrent loads of the *same*
+    /// model compile exactly once while lookups and compiles of every
+    /// other key proceed unstalled (this runs on the request path — a
+    /// first-touch of a new bucket must not freeze other models'
+    /// traffic for the duration of a compile).
     ///
     /// # Errors
     ///
-    /// Propagates `compile`'s error; failures are not cached.
+    /// Propagates `compile`'s error; failures are not cached — the
+    /// next caller of the same key retries.
     pub fn get_or_compile(
         &self,
         key: PlanKey,
         compile: impl FnOnce() -> Result<CachedPlan, ServeError>,
     ) -> Result<Arc<CachedPlan>, ServeError> {
-        let mut map = self.map.lock().unwrap();
-        if let Some(p) = map.get(&key) {
+        let entry = Arc::clone(self.map.lock().unwrap().entry(key).or_default());
+        if let Some(p) = entry.plan.get() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(p));
+        }
+        // Serialize compiles of this key only; recover from a previous
+        // compiler panic (poison) by retrying.
+        let _compiling = entry
+            .compiling
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(p) = entry.plan.get() {
+            // Someone else finished while we waited for the key lock.
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(p));
         }
         let plan = Arc::new(compile()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        map.insert(key, Arc::clone(&plan));
+        let _ = entry.plan.set(Arc::clone(&plan));
         Ok(plan)
     }
 
@@ -98,9 +124,14 @@ impl PlanCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Plans currently cached.
+    /// Plans currently cached (keys whose compile has completed).
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.map
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|e| e.plan.get().is_some())
+            .count()
     }
 
     /// Whether the cache is empty.
@@ -120,9 +151,11 @@ pub fn plan_cache() -> Arc<PlanCache> {
     Arc::clone(CACHE.get_or_init(|| Arc::new(PlanCache::new())))
 }
 
-/// The process-wide folded-constant cache. Keyed by graph fingerprint,
-/// so every session — and every shape bucket — of one model folds its
-/// weights exactly once.
+/// The process-wide folded-constant cache. Keyed by the [`PlanKey`]
+/// digest — graph, bucket, options, threads — so every session of one
+/// (model, bucket) folds its weights exactly once, even across
+/// distinct `Executable` instances. Distinct buckets fold separately:
+/// the folded global set is bucket-shaped.
 pub fn init_cache() -> Arc<InitCache> {
     static CACHE: OnceLock<Arc<InitCache>> = OnceLock::new();
     Arc::clone(CACHE.get_or_init(|| Arc::new(InitCache::new())))
@@ -219,6 +252,68 @@ mod tests {
         assert_eq!(cache.len(), 0);
         let ok = cache.get_or_compile(key, || Ok(dummy_plan()));
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn same_key_compiles_once_under_contention() {
+        use std::sync::atomic::AtomicUsize;
+        let cache = Arc::new(PlanCache::new());
+        let key = PlanKey {
+            graph: 5,
+            units: 4,
+            opts: 0,
+            threads: 1,
+        };
+        let compiles = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let compiles = Arc::clone(&compiles);
+                std::thread::spawn(move || {
+                    cache
+                        .get_or_compile(key, || {
+                            compiles.fetch_add(1, Ordering::SeqCst);
+                            Ok(dummy_plan())
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        let plans: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(compiles.load(Ordering::SeqCst), 1);
+        for p in &plans[1..] {
+            assert!(Arc::ptr_eq(&plans[0], p));
+        }
+    }
+
+    #[test]
+    fn compiles_do_not_serialize_across_keys() {
+        // Key A's compile blocks until key B's get_or_compile has
+        // completed; under a cache-wide compile lock this deadlocks.
+        use std::sync::mpsc;
+        let cache = Arc::new(PlanCache::new());
+        let ka = PlanKey {
+            graph: 6,
+            units: 4,
+            opts: 0,
+            threads: 1,
+        };
+        let kb = PlanKey { graph: 7, ..ka };
+        let (entered_tx, entered_rx) = mpsc::channel();
+        let (done_tx, done_rx) = mpsc::channel();
+        let c2 = Arc::clone(&cache);
+        let h = std::thread::spawn(move || {
+            c2.get_or_compile(ka, || {
+                entered_tx.send(()).unwrap();
+                done_rx.recv().unwrap();
+                Ok(dummy_plan())
+            })
+        });
+        entered_rx.recv().unwrap();
+        cache.get_or_compile(kb, || Ok(dummy_plan())).unwrap();
+        done_tx.send(()).unwrap();
+        h.join().unwrap().unwrap();
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -116,6 +116,53 @@ struct Pending {
     enqueued_at: Instant,
 }
 
+/// Fails every guarded slot on drop unless disarmed: if batch execution
+/// unwinds (a panic inside the executor), the waiters blocked in
+/// [`Slot::take`] get an error instead of hanging forever.
+struct FanoutGuard {
+    slots: Vec<Arc<Slot>>,
+    armed: bool,
+}
+
+impl Drop for FanoutGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            for s in &self.slots {
+                s.put(Err(ServeError::Exec(
+                    "batch execution panicked; request abandoned".into(),
+                )));
+            }
+        }
+    }
+}
+
+/// Runs when the dispatcher thread exits — normally or by panic: closes
+/// the queue (later requests fail with [`ServeError::Closed`]) and
+/// fails every still-queued request so no caller blocks on a dead
+/// dispatcher.
+struct DispatcherExitGuard(Arc<ModelInner>);
+
+impl Drop for DispatcherExitGuard {
+    fn drop(&mut self) {
+        let stranded = {
+            // The dispatcher never panics while holding the queue lock
+            // (batches run with it released), but recover from poison
+            // anyway rather than stranding waiters.
+            let mut q = self
+                .0
+                .queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            q.closed = true;
+            std::mem::take(&mut q.pending)
+        };
+        self.0.cv.notify_all();
+        for p in stranded {
+            p.slot.put(Err(ServeError::Closed));
+        }
+    }
+}
+
 struct QueueState {
     pending: VecDeque<Pending>,
     closed: bool,
@@ -236,7 +283,10 @@ impl Model {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("gc-serve-dispatch".into())
-                .spawn(move || dispatcher_loop(&inner))
+                .spawn(move || {
+                    let exit = DispatcherExitGuard(inner);
+                    dispatcher_loop(&exit.0);
+                })
                 .expect("spawn dispatcher")
         };
         Ok(Model {
@@ -529,9 +579,14 @@ fn execute_bucket(
 }
 
 /// Run one drained batch and fan results (or the shared error) out to
-/// every waiter.
+/// every waiter. Panic-safe: if the executor unwinds, every waiter is
+/// failed on the way out instead of blocking forever.
 fn run_batch(inner: &ModelInner, batch: Vec<Pending>) {
     let started = Instant::now();
+    let mut guard = FanoutGuard {
+        slots: batch.iter().map(|p| Arc::clone(&p.slot)).collect(),
+        armed: true,
+    };
     let reqs: Vec<Request> = batch
         .iter()
         .map(|p| Request {
@@ -552,6 +607,7 @@ fn run_batch(inner: &ModelInner, batch: Vec<Pending>) {
             }
         }
     }
+    guard.armed = false;
 }
 
 fn dispatcher_loop(inner: &ModelInner) {
@@ -796,6 +852,49 @@ mod tests {
         let snap = model.stats();
         assert_eq!(snap.fast_path, 0); // went through the dispatcher
         assert_eq!(snap.requests, 1);
+    }
+
+    #[test]
+    fn panicked_batch_fails_waiters_instead_of_hanging() {
+        let slot = Slot::new();
+        let s2 = Arc::clone(&slot);
+        let h = std::thread::spawn(move || {
+            let _guard = FanoutGuard {
+                slots: vec![s2],
+                armed: true,
+            };
+            panic!("executor blew up");
+        });
+        assert!(h.join().is_err());
+        assert!(matches!(slot.take(), Err(ServeError::Exec(_))));
+    }
+
+    #[test]
+    fn dispatcher_exit_fails_stranded_requests() {
+        // Simulate a dispatcher death with a request still queued: the
+        // exit guard must close the model and fail the waiter.
+        let mut cfg = config_with_private_caches(1);
+        cfg.template_units = Some(1);
+        let model = Model::load(mlp_graph(1, 21), cfg).unwrap();
+        model.shutdown();
+        let slot = Slot::new();
+        {
+            let mut q = model.inner.queue.lock().unwrap();
+            q.pending.push_back(Pending {
+                req: Request {
+                    inputs: vec![Tensor::random(&[1, 16], DataType::F32, 1)],
+                    units: 1,
+                },
+                slot: Arc::clone(&slot),
+                enqueued_at: Instant::now(),
+            });
+        }
+        drop(DispatcherExitGuard(Arc::clone(&model.inner)));
+        assert!(matches!(slot.take(), Err(ServeError::Closed)));
+        assert!(model.inner.queue.lock().unwrap().pending.is_empty());
+        let s = model.session();
+        let x = Tensor::random(&[1, 16], DataType::F32, 2);
+        assert!(matches!(s.infer(&[x]), Err(ServeError::Closed)));
     }
 
     #[test]

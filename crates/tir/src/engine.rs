@@ -13,7 +13,9 @@
 //! own copy of the global buffers and plan scratch — so concurrent
 //! calls never share mutable memory; the one-time init stage runs
 //! under a [`std::sync::OnceLock`], and every state is cloned from the
-//! initialized template. Results are bit-identical to serial runs: a
+//! initialized template. The idle pool is capped at the thread pool's
+//! worker count so a concurrency burst does not pin
+//! weights-times-concurrency of memory forever. Results are bit-identical to serial runs: a
 //! plan's parallel chunks each compute a deterministic, disjoint
 //! region regardless of which worker claims them.
 
@@ -113,8 +115,16 @@ pub struct Executable {
     init_cache: Option<(Arc<InitCache>, u64)>,
     template: OnceLock<InitTemplate>,
     /// Idle execution states; `execute` pops one (or clones a fresh one
-    /// from the template) and pushes it back when done.
+    /// from the template) and pushes it back when done. Bounded by
+    /// `max_idle_states`: each state carries a full copy of the global
+    /// buffers (weights included), so retaining one per peak-concurrent
+    /// caller would pin roughly weights × concurrency of memory for the
+    /// process lifetime. Excess states are dropped on return; callers
+    /// beyond the pool width pay a template clone instead — they are
+    /// serialized on the thread pool anyway.
     states: Mutex<Vec<ExecState>>,
+    /// Idle-pool bound: the embedded pool's worker count.
+    max_idle_states: usize,
     init_runs: AtomicU64,
 }
 
@@ -161,6 +171,7 @@ impl Executable {
         mode: ExecMode,
     ) -> Self {
         let plan = compile_module(&module, pool.threads());
+        let max_idle_states = pool.threads().max(1);
         Executable {
             module,
             weight_seeds,
@@ -171,6 +182,7 @@ impl Executable {
             init_cache: None,
             template: OnceLock::new(),
             states: Mutex::new(Vec::new()),
+            max_idle_states,
             init_runs: AtomicU64::new(0),
         }
     }
@@ -211,8 +223,9 @@ impl Executable {
         self.init_runs.load(Ordering::Relaxed)
     }
 
-    /// Idle pooled execution states (diagnostics; equals the peak
-    /// number of concurrent `execute` calls observed so far).
+    /// Idle pooled execution states (diagnostics; the peak number of
+    /// concurrent `execute` calls observed so far, capped at the pool's
+    /// worker count).
     pub fn pooled_states(&self) -> usize {
         self.states.lock().expect("state pool poisoned").len()
     }
@@ -363,8 +376,15 @@ impl Executable {
         }
         outs.sort_by_key(|(i, _)| *i);
 
-        // Return the state to the idle pool for the next call.
-        self.states.lock().expect("state pool poisoned").push(state);
+        // Return the state to the idle pool for the next call; beyond
+        // the cap, drop it — a retained state pins a full copy of the
+        // globals (weights included) for the process lifetime.
+        {
+            let mut idle = self.states.lock().expect("state pool poisoned");
+            if idle.len() < self.max_idle_states {
+                idle.push(state);
+            }
+        }
         TOTAL_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
 
         stats.wall = wall0.elapsed();
@@ -592,6 +612,29 @@ mod tests {
         }
         assert_eq!(exe.init_runs(), 1);
         assert!(exe.pooled_states() >= 1);
+    }
+
+    #[test]
+    fn idle_state_pool_is_bounded() {
+        let (m, seeds) = demo_module();
+        let exe = Arc::new(Executable::new(m, seeds, Arc::new(ThreadPool::new(1)), 1));
+        let handles: Vec<_> = (0..6)
+            .map(|t| {
+                let exe = Arc::clone(&exe);
+                std::thread::spawn(move || {
+                    let x = Tensor::from_vec_f32(&[8], vec![t as f32; 8]).unwrap();
+                    exe.execute(&[x]).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Worker count is 1, so at most one idle state is retained no
+        // matter how many callers ran concurrently.
+        assert!(exe.pooled_states() <= 1);
+        let x = Tensor::from_vec_f32(&[8], vec![0.5; 8]).unwrap();
+        exe.execute(&[x]).unwrap();
     }
 
     #[test]
