@@ -172,7 +172,12 @@ impl Compiler {
         } else {
             gc_tir::ExecMode::Compiled
         };
-        let exe = Executable::with_mode(lowered.module, lowered.weight_seeds, pool, 1, mode);
+        let exe = Executable::with_mode(lowered.module, lowered.weight_seeds, pool, 1, mode)
+            .with_exec_options(if self.options.checked {
+                gc_tir::ExecOptions::checked()
+            } else {
+                gc_tir::ExecOptions::default()
+            });
         Ok(CompiledArtifacts {
             exe,
             report,

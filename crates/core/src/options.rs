@@ -25,6 +25,9 @@ pub struct CompileOptions {
     pub shrink_tensors: bool,
     /// Memory-buffer reuse at the Tensor IR level.
     pub reuse_buffers: bool,
+    /// Function-local buffer merging at the Tensor IR level (the
+    /// within-function half of memory-buffer reuse).
+    pub reuse_locals: bool,
     /// Force a post-op anchor (ablation; None = cost model).
     pub forced_post_anchor: Option<PostOpAnchor>,
     /// Force the activation pack placement (ablation; None = cost
@@ -39,6 +42,15 @@ pub struct CompileOptions {
     /// compiled execution plans (`--interpret`; the reference path for
     /// differential testing).
     pub interpret: bool,
+    /// Run the Tensor IR validator after every lowering-time
+    /// optimization pass; a failed check aborts compilation with an
+    /// error naming the guilty pass. Cheap (microseconds per function),
+    /// on by default.
+    pub validate: bool,
+    /// Checked execution: assert at runtime that every evaluated plan
+    /// offset lands in-bounds (debug mode; costs address-arithmetic
+    /// work per intrinsic, off by default).
+    pub checked: bool,
 }
 
 impl CompileOptions {
@@ -53,11 +65,14 @@ impl CompileOptions {
             propagate_layouts: true,
             shrink_tensors: true,
             reuse_buffers: true,
+            reuse_locals: true,
             forced_post_anchor: None,
             forced_pack: None,
             library_params: false,
             threads: None,
             interpret: false,
+            validate: true,
+            checked: false,
         }
     }
 
@@ -95,6 +110,7 @@ mod tests {
     fn presets() {
         let o = CompileOptions::default();
         assert!(o.coarse_fusion && o.fusion.enabled);
+        assert!(o.validate && !o.checked && o.reuse_locals);
         let m = CompileOptions::without_coarse_fusion(MachineDescriptor::xeon_8358());
         assert!(!m.coarse_fusion && m.fusion.enabled);
         let u = CompileOptions::unfused(MachineDescriptor::xeon_8358());

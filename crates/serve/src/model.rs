@@ -74,6 +74,19 @@ impl Default for ServeConfig {
     }
 }
 
+impl ServeConfig {
+    /// Debug knob: serve through checked execution, asserting at
+    /// runtime that every plan offset the compiled code evaluates
+    /// lands in-bounds. Slower; use to pin down a suspected
+    /// miscompile in production shapes. Checked and unchecked
+    /// configurations get distinct plan-cache entries, so flipping
+    /// this never reuses a plan compiled under the other setting.
+    pub fn checked(mut self) -> Self {
+        self.compile.checked = true;
+        self
+    }
+}
+
 struct Request {
     inputs: Vec<Tensor>,
     units: usize,
@@ -700,6 +713,23 @@ mod tests {
         let snap = model.stats();
         assert_eq!(snap.requests, 1);
         assert_eq!(snap.fast_path, 1);
+    }
+
+    #[test]
+    fn checked_serving_bitmatches_and_gets_own_plan_cache_entry() {
+        let cfg = config_with_private_caches(1);
+        let checked_cfg = cfg.clone().checked();
+        assert_ne!(
+            options_fingerprint(&cfg.compile),
+            options_fingerprint(&checked_cfg.compile),
+            "checked mode must key its own plan-cache entries"
+        );
+        let plain = Model::load(mlp_graph(4, 1), cfg).unwrap();
+        let checked = Model::load(mlp_graph(4, 1), checked_cfg).unwrap();
+        let x = Tensor::random(&[4, 16], DataType::F32, 9);
+        let a = plain.session().infer(std::slice::from_ref(&x)).unwrap();
+        let b = checked.session().infer(&[x]).unwrap();
+        assert_eq!(a[0].f32_slice().unwrap(), b[0].f32_slice().unwrap());
     }
 
     #[test]

@@ -106,10 +106,8 @@ pub fn check_row_independence(g: &Graph) -> Result<(), ServeError> {
         let out_batched = match &op.kind {
             OpKind::MatMul | OpKind::QuantizedMatMul { .. } => {
                 if b(1) && rank(1) == 2 {
-                    return mix(
-                        "its RHS derives from the batch dimension, so the \
-                         contraction would mix rows across requests",
-                    );
+                    return mix("its RHS derives from the batch dimension, so the \
+                         contraction would mix rows across requests");
                 }
                 b(0) || b(1)
             }
@@ -119,10 +117,8 @@ pub fn check_row_independence(g: &Graph) -> Result<(), ServeError> {
             | OpKind::TypeCast { .. } => b(0),
             OpKind::Binary(_) => {
                 if b(1) && rank(1) < rank(0) {
-                    return mix(
-                        "its broadcast operand derives from the batch \
-                         dimension but right-aligns it onto a trailing axis",
-                    );
+                    return mix("its broadcast operand derives from the batch \
+                         dimension but right-aligns it onto a trailing axis");
                 }
                 b(0) || b(1)
             }
@@ -146,19 +142,15 @@ pub fn check_row_independence(g: &Graph) -> Result<(), ServeError> {
             }
             OpKind::Reorder { target } => {
                 if b(0) && target.block_of(0).is_some() {
-                    return mix(
-                        "its target layout blocks the batch dimension, \
-                         interleaving rows in storage",
-                    );
+                    return mix("its target layout blocks the batch dimension, \
+                         interleaving rows in storage");
                 }
                 b(0)
             }
             OpKind::BatchNormInference { .. } => {
                 if (1..op.inputs.len()).any(b) {
-                    return mix(
-                        "its normalization statistics derive from the batch \
-                         dimension",
-                    );
+                    return mix("its normalization statistics derive from the batch \
+                         dimension");
                 }
                 b(0)
             }

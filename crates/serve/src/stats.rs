@@ -50,8 +50,14 @@ impl LatencyHistogram {
         self.total
     }
 
-    /// Approximate quantile in µs: the upper edge of the bucket holding
-    /// the `q`-th sample (q in [0, 1]). `None` when empty.
+    /// Approximate quantile in µs: the *lower* edge of the bucket
+    /// holding the `q`-th sample (q in [0, 1]), i.e. a value every
+    /// sample in the bucket is `>=`. Bucket 0 reports 0. `None` when
+    /// empty.
+    ///
+    /// Reporting the lower edge keeps the estimate conservative: the
+    /// upper edge would inflate quantiles by up to 2× (a model whose
+    /// every request finishes in under 1 µs would report p50 = 2 µs).
     pub fn quantile_us(&self, q: f64) -> Option<u64> {
         if self.total == 0 {
             return None;
@@ -61,10 +67,10 @@ impl LatencyHistogram {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Some(1u64 << (i + 1));
+                return Some(if i == 0 { 0 } else { 1u64 << i });
             }
         }
-        Some(1u64 << self.counts.len())
+        Some(1u64 << (self.counts.len() - 1))
     }
 }
 
@@ -77,9 +83,12 @@ struct BucketCounters {
 }
 
 /// Live counters for one served model.
+///
+/// The completed-request count is not stored as a separate counter: it
+/// is the latency histogram's sample total, so a [`StatsSnapshot`] can
+/// never show a request count that disagrees with its own quantiles.
 #[derive(Debug, Default)]
 pub struct ModelStats {
-    requests: AtomicU64,
     fast_path: AtomicU64,
     batches: AtomicU64,
     busy_rejections: AtomicU64,
@@ -102,10 +111,11 @@ impl ModelStats {
     }
 
     /// One engine execution of `requests` coalesced requests. Every
-    /// completed request passes through here exactly once.
+    /// completed request passes through here exactly once; its latency
+    /// is recorded separately ([`ModelStats::record_fast_path`] or
+    /// [`ModelStats::record_request_latency`]) when its waiter wakes.
     pub(crate) fn record_batch(&self, units: u64, requests: u64, rows: u64, padded: u64) {
         self.batches.fetch_add(1, Ordering::Relaxed);
-        self.requests.fetch_add(requests, Ordering::Relaxed);
         let map = &mut *self.buckets.lock().unwrap();
         let b = map.entry(units).or_default();
         b.batches.fetch_add(1, Ordering::Relaxed);
@@ -131,6 +141,13 @@ impl ModelStats {
     }
 
     /// Consistent-enough point-in-time copy of every counter.
+    ///
+    /// The completed-request count is derived from the latency
+    /// histogram total (every completed request records exactly one
+    /// latency sample), so `requests` always agrees with the quantiles
+    /// taken from the same locked histogram. Reading the separate
+    /// relaxed atomic instead could disagree with the histogram by
+    /// however many requests completed between the two reads.
     pub fn snapshot(&self) -> StatsSnapshot {
         let hist = self.latency.lock().unwrap().clone();
         let mut buckets: Vec<BucketSnapshot> = self
@@ -148,7 +165,7 @@ impl ModelStats {
             .collect();
         buckets.sort_by_key(|b| b.units);
         StatsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
+            requests: hist.total(),
             fast_path: self.fast_path.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
@@ -178,7 +195,9 @@ pub struct BucketSnapshot {
 /// Point-in-time model statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
-    /// Requests completed (fast-path + batched).
+    /// Requests completed (fast-path + batched). Derived from the
+    /// latency histogram total, so it always agrees with `p50_us` /
+    /// `p99_us` from the same snapshot.
     pub requests: u64,
     /// Requests served synchronously on an idle model.
     pub fast_path: u64,
@@ -189,10 +208,10 @@ pub struct StatsSnapshot {
     pub busy_rejections: u64,
     /// Requests queued right now.
     pub queue_depth: u64,
-    /// Median request latency (µs, bucket upper edge); `None` if no
+    /// Median request latency (µs, bucket lower edge); `None` if no
     /// samples yet.
     pub p50_us: Option<u64>,
-    /// 99th-percentile request latency (µs, bucket upper edge).
+    /// 99th-percentile request latency (µs, bucket lower edge).
     pub p99_us: Option<u64>,
     /// Per-bucket breakdown, smallest bucket first.
     pub buckets: Vec<BucketSnapshot>,
@@ -246,10 +265,10 @@ mod tests {
         for _ in 0..99 {
             h.record(Duration::from_micros(10)); // bucket [8,16)
         }
-        h.record(Duration::from_millis(100)); // far tail
+        h.record(Duration::from_millis(100)); // far tail: bucket [65536,131072)
         assert_eq!(h.total(), 100);
-        assert_eq!(h.quantile_us(0.5), Some(16));
-        assert!(h.quantile_us(0.999).unwrap() >= 100_000);
+        assert_eq!(h.quantile_us(0.5), Some(8));
+        assert_eq!(h.quantile_us(0.999), Some(65_536));
         assert_eq!(LatencyHistogram::new().quantile_us(0.5), None);
     }
 
@@ -257,7 +276,20 @@ mod tests {
     fn zero_latency_lands_in_first_bucket() {
         let mut h = LatencyHistogram::new();
         h.record(Duration::ZERO);
-        assert_eq!(h.quantile_us(1.0), Some(2));
+        // lower edge of bucket [0, 2): sub-µs requests report 0, not 2
+        assert_eq!(h.quantile_us(1.0), Some(0));
+    }
+
+    #[test]
+    fn quantile_never_exceeds_any_sample_bucket() {
+        // the reported quantile must be <= the true latency for every
+        // sample at or above that rank (lower-edge conservatism)
+        let mut h = LatencyHistogram::new();
+        for us in [0u64, 1, 3, 9, 100, 5000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert!(h.quantile_us(0.5).unwrap() <= 9);
+        assert!(h.quantile_us(1.0).unwrap() <= 5000);
     }
 
     #[test]
@@ -266,7 +298,9 @@ mod tests {
         s.record_fast_path(Duration::from_micros(5));
         s.record_batch(1, 1, 1, 0); // the fast-path execution
         s.record_batch(8, 3, 6, 2);
-        s.record_request_latency(Duration::from_micros(40));
+        for _ in 0..3 {
+            s.record_request_latency(Duration::from_micros(40));
+        }
         let snap = s.snapshot();
         assert_eq!(snap.requests, 4);
         assert_eq!(snap.fast_path, 1);
@@ -276,6 +310,31 @@ mod tests {
         assert_eq!(snap.buckets[1].padded_rows, 2);
         assert!(snap.p50_us.is_some());
         assert!(format!("{snap}").contains("bucket[   8 units]"));
+    }
+
+    #[test]
+    fn snapshot_request_count_matches_latency_samples() {
+        // Regression: `requests` used to be a separate relaxed atomic
+        // bumped by record_batch, read at a different instant than the
+        // mutexed histogram — a snapshot could claim N completed
+        // requests while its quantiles were computed over fewer (or
+        // more) samples. The count is now the histogram total itself.
+        let s = ModelStats::new();
+        // batch recorded but waiters not yet woken: no latency samples
+        s.record_batch(4, 3, 3, 1);
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 0);
+        assert_eq!(snap.p50_us, None);
+        // waiters wake one by one; requests tracks samples exactly
+        s.record_request_latency(Duration::from_micros(7));
+        s.record_request_latency(Duration::from_micros(7));
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 2);
+        assert!(snap.p50_us.is_some());
+        s.record_request_latency(Duration::from_micros(7));
+        assert_eq!(s.snapshot().requests, 3);
+        // per-bucket request attribution is unaffected
+        assert_eq!(s.snapshot().buckets[0].requests, 3);
     }
 
     #[test]

@@ -302,6 +302,20 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> ProptestConfig {
         ProptestConfig { cases }
     }
+
+    /// Cases to actually run: the configured count, capped by the
+    /// `PROPTEST_CASES` environment variable when it is set. Lets CI
+    /// bound the cost of every property suite with one knob without
+    /// editing per-test configs.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => match v.trim().parse::<u32>() {
+                Ok(cap) => self.cases.min(cap.max(1)),
+                Err(_) => self.cases,
+            },
+            Err(_) => self.cases,
+        }
+    }
 }
 
 impl Default for ProptestConfig {
@@ -409,10 +423,11 @@ macro_rules! __proptest_items {
         $(#[$meta])*
         fn $name() {
             let cfg: $crate::ProptestConfig = $cfg;
+            let cases = cfg.effective_cases();
             let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
             let mut ran = 0u32;
             let mut attempts = 0u32;
-            while ran < cfg.cases && attempts < cfg.cases * 16 {
+            while ran < cases && attempts < cases * 16 {
                 attempts += 1;
                 $(let $arg = $crate::Strategy::sample(&{ $strategy }, &mut rng);)+
                 let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {

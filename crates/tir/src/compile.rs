@@ -549,6 +549,13 @@ impl<'f> FuncBuilder<'f> {
     }
 }
 
+/// Run the plan builder purely for its checks (dtype agreement, operand
+/// arity, hoisted bounds), discarding the plan. The validator promotes
+/// the fatal rejects to errors.
+pub(crate) fn probe_func(f: &Func) -> Result<(), Reject> {
+    FuncBuilder::new(f, 1).build().map(|_| ())
+}
+
 /// Per-op fixed cost in units — covers offset evaluation and the call
 /// into the microkernel, so loops of many tiny ops still register.
 const OP_OVERHEAD_UNITS: u64 = 64;
@@ -698,7 +705,7 @@ fn emit_program(e: &Expr, ops: &mut Vec<OffsetOp>) -> Result<usize, Reject> {
 /// or `None` when it cannot be bounded (division by a possibly-
 /// nonpositive value, remainder of a possibly-negative numerator,
 /// arithmetic overflow).
-fn interval(e: &Expr, var_iv: &[(i64, i64)]) -> Option<(i64, i64)> {
+pub(crate) fn interval(e: &Expr, var_iv: &[(i64, i64)]) -> Option<(i64, i64)> {
     match e {
         Expr::Const(c) => Some((*c, *c)),
         Expr::Var(VarId(v)) => Some(var_iv.get(*v).copied().unwrap_or((0, 0))),

@@ -22,7 +22,7 @@
 use crate::compile::compile_module;
 use crate::exec::{run_calls, ExecError};
 use crate::ir::{GlobalKind, Module};
-use crate::plan::{run_plan_call, Plan, PlanScratch, PlanStats};
+use crate::plan::{run_plan_call_opts, ExecOptions, Plan, PlanScratch, PlanStats};
 use crate::sim::{project, Projection};
 use gc_machine::MachineDescriptor;
 use gc_runtime::{ConstantCache, ExecStats, ThreadPool};
@@ -111,6 +111,7 @@ pub struct Executable {
     dispatch_count: usize,
     plan: Plan,
     mode: ExecMode,
+    exec_options: ExecOptions,
     /// Optional cross-executable init cache (see [`InitCache`]).
     init_cache: Option<(Arc<InitCache>, u64)>,
     template: OnceLock<InitTemplate>,
@@ -179,6 +180,7 @@ impl Executable {
             dispatch_count,
             plan,
             mode,
+            exec_options: ExecOptions::default(),
             init_cache: None,
             template: OnceLock::new(),
             states: Mutex::new(Vec::new()),
@@ -202,9 +204,22 @@ impl Executable {
         &self.module
     }
 
+    /// Set the plan-execution options (e.g. [`ExecOptions::checked`]
+    /// for bounds-asserting debug runs). Applies to every subsequent
+    /// `execute` call.
+    pub fn with_exec_options(mut self, opts: ExecOptions) -> Self {
+        self.exec_options = opts;
+        self
+    }
+
     /// The active execution mode.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// The active plan-execution options.
+    pub fn exec_options(&self) -> ExecOptions {
+        self.exec_options
     }
 
     /// What the plan builder achieved for this module.
@@ -349,13 +364,14 @@ impl Executable {
         // otherwise (and for every call in `Interpret` mode).
         for call in &self.module.main_calls {
             if self.mode == ExecMode::Compiled && self.plan.func(call.func).is_some() {
-                run_plan_call(
+                run_plan_call_opts(
                     &self.plan,
                     call.func,
                     &call.args,
                     globals,
                     &self.pool,
                     &mut state.scratch,
+                    self.exec_options,
                 );
                 TOTAL_PLAN_DISPATCHES.fetch_add(1, Ordering::Relaxed);
             } else {
@@ -653,6 +669,20 @@ mod tests {
         // exactly one init computation across both executables
         assert_eq!(cache.compute_count(), 1);
         assert_eq!(exe1.init_runs() + exe2.init_runs(), 1);
+    }
+
+    #[test]
+    fn checked_execution_bitmatches_default() {
+        let (m, seeds) = demo_module();
+        let plain = Executable::new(m, seeds, Arc::new(ThreadPool::new(1)), 1);
+        let (m2, seeds2) = demo_module();
+        let checked = Executable::new(m2, seeds2, Arc::new(ThreadPool::new(1)), 1)
+            .with_exec_options(ExecOptions::checked());
+        assert!(checked.exec_options().checked);
+        let x = Tensor::from_vec_f32(&[8], vec![0.5; 8]).unwrap();
+        let (a, _) = plain.execute(std::slice::from_ref(&x)).unwrap();
+        let (b, _) = checked.execute(&[x]).unwrap();
+        assert_eq!(a[0].f32_slice().unwrap(), b[0].f32_slice().unwrap());
     }
 
     #[test]

@@ -65,6 +65,20 @@ impl RawBuf {
         RawBuf { ptr, elems, dtype }
     }
 
+    /// Buffer capacity in elements (checked execution compares evaluated
+    /// offsets against this).
+    #[inline]
+    pub(crate) fn elems(&self) -> usize {
+        self.elems
+    }
+
+    /// Element type of the underlying storage.
+    #[inline]
+    #[allow(dead_code)]
+    pub(crate) fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
     #[inline]
     fn check(&self, off: usize, len: usize, dtype: DataType) {
         debug_assert_eq!(self.dtype, dtype, "intrinsic dtype mismatch");

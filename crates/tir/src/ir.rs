@@ -476,12 +476,30 @@ impl Module {
         self.funcs.len() - 1
     }
 
-    /// Basic structural validation: call arities and buffer indices.
+    /// Basic structural validation: call arities, buffer indices, and
+    /// unique input/output slot assignments. Deeper semantic checks
+    /// (def-before-use, in-bounds accesses, reuse live ranges) live in
+    /// [`crate::passes::validate`].
     ///
     /// # Errors
     ///
     /// Returns a message describing the first violation.
     pub fn validate(&self) -> Result<(), String> {
+        let mut inputs = std::collections::HashMap::new();
+        let mut outputs = std::collections::HashMap::new();
+        for (gi, g) in self.globals.iter().enumerate() {
+            let dup = match g.kind {
+                GlobalKind::Input(slot) => inputs.insert(slot, gi),
+                GlobalKind::Output(slot) => outputs.insert(slot, gi),
+                _ => None,
+            };
+            if let Some(prev) = dup {
+                return Err(format!(
+                    "globals {} and {} both claim {:?}",
+                    self.globals[prev].name, g.name, g.kind
+                ));
+            }
+        }
         for (ci, call) in self.init_calls.iter().chain(&self.main_calls).enumerate() {
             let f = self
                 .funcs

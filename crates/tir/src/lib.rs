@@ -36,4 +36,5 @@ pub use expr::{Expr, VarId};
 pub use ir::{
     BufDecl, BufId, Call, Func, GlobalDecl, GlobalKind, Intrinsic, Module, ReduceOp, Stmt, View,
 };
-pub use plan::{Plan, PlanStats};
+pub use passes::validate::{validate_module, ValidateError};
+pub use plan::{ExecOptions, Plan, PlanStats};

@@ -3,7 +3,11 @@
 pub mod buffer_reuse;
 pub mod merge_loops;
 pub mod shrink;
+pub mod validate;
 
 pub use buffer_reuse::{reuse_func_locals, reuse_module_scratch, ReuseStats};
 pub use merge_loops::{merge_parallel_loops, MergeStats};
 pub use shrink::{shrink_locals, ShrinkStats};
+pub use validate::{
+    check_func_reuse, check_module_reuse, validate_func, validate_module, ValidateError,
+};

@@ -37,6 +37,27 @@ pub const MAX_VARS: usize = 64;
 /// Maximum operand-stack depth of a postfix offset program.
 pub const MAX_PROG_STACK: usize = 8;
 
+/// Options controlling how a compiled plan is executed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Verify, at every intrinsic, that each evaluated offset is
+    /// non-negative and that the span the kernel will touch fits the
+    /// buffer — the dynamic counterpart of the bounds the plan builder
+    /// proved statically. A violation panics with the buffer slot and
+    /// the offending offset instead of silently reading garbage.
+    ///
+    /// Costs one predictable branch per view resolution when off (the
+    /// default); roughly doubles address-arithmetic work when on.
+    pub checked: bool,
+}
+
+impl ExecOptions {
+    /// Options with runtime bounds checking enabled.
+    pub fn checked() -> ExecOptions {
+        ExecOptions { checked: true }
+    }
+}
+
 /// One postfix instruction of a non-affine offset program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OffsetOp {
@@ -70,52 +91,85 @@ pub enum PlanOffset {
     Program(Box<[OffsetOp]>),
 }
 
+#[inline]
+fn eval_program(ops: &[OffsetOp], vars: &[i64; MAX_VARS]) -> i64 {
+    let mut stack = [0i64; MAX_PROG_STACK];
+    let mut sp = 0usize;
+    for op in ops {
+        match op {
+            OffsetOp::PushC(c) => {
+                stack[sp] = *c;
+                sp += 1;
+            }
+            OffsetOp::PushV(v) => {
+                stack[sp] = vars[*v as usize];
+                sp += 1;
+            }
+            OffsetOp::Add => {
+                sp -= 1;
+                stack[sp - 1] += stack[sp];
+            }
+            OffsetOp::Mul => {
+                sp -= 1;
+                stack[sp - 1] *= stack[sp];
+            }
+            OffsetOp::Div => {
+                sp -= 1;
+                stack[sp - 1] /= stack[sp];
+            }
+            OffsetOp::Rem => {
+                sp -= 1;
+                stack[sp - 1] %= stack[sp];
+            }
+        }
+    }
+    stack[0]
+}
+
 impl PlanOffset {
     /// Evaluate against the current variable values.
+    ///
+    /// The plan builder proves every offset's interval lower bound is
+    /// `>= 0` before emitting it, so the `usize` conversions cannot
+    /// wrap for a well-formed plan; the debug assertions catch a
+    /// miscompiled plan before it turns into a silent wild read.
     #[inline]
     pub fn eval(&self, vars: &[i64; MAX_VARS]) -> usize {
         match self {
-            PlanOffset::Const(c) => *c as usize,
+            PlanOffset::Const(c) => {
+                debug_assert!(*c >= 0, "const plan offset is negative: {c}");
+                *c as usize
+            }
             PlanOffset::Linear { base, terms } => {
                 let mut s = *base;
                 for &(v, stride) in terms.iter() {
                     s += vars[v as usize] * stride;
                 }
+                debug_assert!(s >= 0, "linear plan offset evaluated negative: {s}");
                 s as usize
             }
             PlanOffset::Program(ops) => {
-                let mut stack = [0i64; MAX_PROG_STACK];
-                let mut sp = 0usize;
-                for op in ops.iter() {
-                    match op {
-                        OffsetOp::PushC(c) => {
-                            stack[sp] = *c;
-                            sp += 1;
-                        }
-                        OffsetOp::PushV(v) => {
-                            stack[sp] = vars[*v as usize];
-                            sp += 1;
-                        }
-                        OffsetOp::Add => {
-                            sp -= 1;
-                            stack[sp - 1] += stack[sp];
-                        }
-                        OffsetOp::Mul => {
-                            sp -= 1;
-                            stack[sp - 1] *= stack[sp];
-                        }
-                        OffsetOp::Div => {
-                            sp -= 1;
-                            stack[sp - 1] /= stack[sp];
-                        }
-                        OffsetOp::Rem => {
-                            sp -= 1;
-                            stack[sp - 1] %= stack[sp];
-                        }
-                    }
-                }
-                stack[0] as usize
+                let s = eval_program(ops, vars);
+                debug_assert!(s >= 0, "program plan offset evaluated negative: {s}");
+                s as usize
             }
+        }
+    }
+
+    /// Evaluate without converting to `usize`: checked execution wants
+    /// to see a negative offset as itself, not wrapped to a huge index.
+    #[inline]
+    pub fn eval_signed(&self, vars: &[i64; MAX_VARS]) -> i64 {
+        match self {
+            PlanOffset::Const(c) => *c,
+            PlanOffset::Linear { base, terms } => {
+                let mut s = *base;
+                for &(v, stride) in terms.iter() {
+                    s += vars[v as usize] * stride;
+                }
+                s
+            }
+            PlanOffset::Program(ops) => eval_program(ops, vars),
         }
     }
 
@@ -408,6 +462,27 @@ pub fn run_plan_call(
     pool: &ThreadPool,
     scratch: &mut PlanScratch,
 ) {
+    run_plan_call_opts(
+        plan,
+        func_idx,
+        args,
+        globals,
+        pool,
+        scratch,
+        ExecOptions::default(),
+    );
+}
+
+/// [`run_plan_call`] with explicit [`ExecOptions`] (checked mode).
+pub fn run_plan_call_opts(
+    plan: &Plan,
+    func_idx: usize,
+    args: &[usize],
+    globals: &mut [Storage],
+    pool: &ThreadPool,
+    scratch: &mut PlanScratch,
+    opts: ExecOptions,
+) {
     let pf = plan.funcs[func_idx]
         .as_ref()
         .expect("run_plan_call on interpreter-fallback function");
@@ -427,6 +502,7 @@ pub fn run_plan_call(
     let ctx = Ctx {
         bufs: &scratch.bufs,
         pool,
+        checked: opts.checked,
     };
     let mut vars = [0i64; MAX_VARS];
     run_range(&pf.instrs, 0, pf.instrs.len(), &ctx, &mut vars);
@@ -436,13 +512,72 @@ pub fn run_plan_call(
 struct Ctx<'a> {
     bufs: &'a [RawBuf],
     pool: &'a ThreadPool,
+    checked: bool,
 }
 
 impl Ctx<'_> {
+    /// Resolve a view whose kernel touches exactly `v.len` elements.
     #[inline]
     fn resolve(&self, v: &PView, vars: &[i64; MAX_VARS]) -> (RawBuf, usize) {
-        (self.bufs[v.buf as usize], v.offset.eval(vars))
+        self.resolve_span(v, v.len, vars)
     }
+
+    /// Resolve a view whose kernel touches `span` elements from the
+    /// offset (brgemm tile tables, broadcast/reduce row blocks).
+    #[inline]
+    fn resolve_span(&self, v: &PView, span: usize, vars: &[i64; MAX_VARS]) -> (RawBuf, usize) {
+        let buf = self.bufs[v.buf as usize];
+        if self.checked {
+            let off = check_offset(&v.offset, v.buf, span, buf, vars);
+            return (buf, off);
+        }
+        (buf, v.offset.eval(vars))
+    }
+
+    /// Resolve a raw (buffer, offset) pair — the strided side of
+    /// pack/unpack — whose kernel touches `span` elements.
+    #[inline]
+    fn resolve_raw(
+        &self,
+        buf_idx: u32,
+        offset: &PlanOffset,
+        span: usize,
+        vars: &[i64; MAX_VARS],
+    ) -> (RawBuf, usize) {
+        let buf = self.bufs[buf_idx as usize];
+        if self.checked {
+            let off = check_offset(offset, buf_idx, span, buf, vars);
+            return (buf, off);
+        }
+        (buf, offset.eval(vars))
+    }
+}
+
+/// Checked-mode offset resolution: panic (rather than wrap or read out
+/// of bounds) when an evaluated offset escapes its buffer.
+#[cold]
+fn check_offset(
+    offset: &PlanOffset,
+    buf_idx: u32,
+    span: usize,
+    buf: RawBuf,
+    vars: &[i64; MAX_VARS],
+) -> usize {
+    let s = offset.eval_signed(vars);
+    assert!(
+        s >= 0,
+        "checked exec: offset of buffer slot {buf_idx} evaluated negative ({s})"
+    );
+    let off = s as usize;
+    let end = off
+        .checked_add(span)
+        .unwrap_or_else(|| panic!("checked exec: offset {off} + span {span} overflows"));
+    assert!(
+        end <= buf.elems(),
+        "checked exec: access [{off}, {end}) escapes buffer slot {buf_idx} ({} elems)",
+        buf.elems()
+    );
+    off
 }
 
 fn run_range(
@@ -516,9 +651,9 @@ fn exec_pop(op: &POp, ctx: &Ctx<'_>, vars: &[i64; MAX_VARS]) {
             a_span,
             b_span,
         } => {
-            let (ab, ao) = ctx.resolve(a, vars);
-            let (bb, bo) = ctx.resolve(b, vars);
-            let (cb, co) = ctx.resolve(c, vars);
+            let (ab, ao) = ctx.resolve_span(a, *a_span, vars);
+            let (bb, bo) = ctx.resolve_span(b, *b_span, vars);
+            let (cb, co) = ctx.resolve_span(c, shape.c_len(), vars);
             unsafe {
                 let asl = ab.f32(ao, *a_span);
                 let bsl = bb.f32(bo, *b_span);
@@ -536,9 +671,9 @@ fn exec_pop(op: &POp, ctx: &Ctx<'_>, vars: &[i64; MAX_VARS]) {
             a_span,
             b_span,
         } => {
-            let (ab, ao) = ctx.resolve(a, vars);
-            let (bb, bo) = ctx.resolve(b, vars);
-            let (cb, co) = ctx.resolve(c, vars);
+            let (ab, ao) = ctx.resolve_span(a, *a_span, vars);
+            let (bb, bo) = ctx.resolve_span(b, *b_span, vars);
+            let (cb, co) = ctx.resolve_span(c, shape.c_len(), vars);
             unsafe {
                 let asl = ab.u8(ao, *a_span);
                 let bsl = bb.i8(bo, *b_span);
@@ -563,9 +698,9 @@ fn exec_pop(op: &POp, ctx: &Ctx<'_>, vars: &[i64; MAX_VARS]) {
             rows,
             cols,
         } => {
-            let sb = ctx.bufs[*src_buf as usize];
-            let so = src_offset.eval(vars);
-            let (db, doff) = ctx.resolve(dst, vars);
+            let src_span = (rows - 1) * src_row_stride + (cols - 1) * src_col_stride + 1;
+            let (sb, so) = ctx.resolve_raw(*src_buf, src_offset, src_span, vars);
+            let (db, doff) = ctx.resolve_span(dst, rows * cols, vars);
             pack2d(
                 sb,
                 so,
@@ -586,9 +721,9 @@ fn exec_pop(op: &POp, ctx: &Ctx<'_>, vars: &[i64; MAX_VARS]) {
             rows,
             cols,
         } => {
-            let (sb, so) = ctx.resolve(src, vars);
-            let db = ctx.bufs[*dst_buf as usize];
-            let doff = dst_offset.eval(vars);
+            let (sb, so) = ctx.resolve_span(src, rows * cols, vars);
+            let dst_span = (rows - 1) * dst_row_stride + (cols - 1) * dst_col_stride + 1;
+            let (db, doff) = ctx.resolve_raw(*dst_buf, dst_offset, dst_span, vars);
             unpack2d(
                 sb,
                 so,
@@ -661,9 +796,9 @@ fn exec_pop(op: &POp, ctx: &Ctx<'_>, vars: &[i64; MAX_VARS]) {
             rows,
             cols,
         } => {
-            let (ab, ao) = ctx.resolve(a, vars);
-            let (bb, bo) = ctx.resolve(b, vars);
-            let (db, doff) = ctx.resolve(dst, vars);
+            let (ab, ao) = ctx.resolve_span(a, rows * cols, vars);
+            let (bb, bo) = ctx.resolve_span(b, *cols, vars);
+            let (db, doff) = ctx.resolve_span(dst, rows * cols, vars);
             unsafe {
                 let bsl = bb.f32(bo, *cols);
                 for r in 0..*rows {
@@ -683,9 +818,9 @@ fn exec_pop(op: &POp, ctx: &Ctx<'_>, vars: &[i64; MAX_VARS]) {
             rows,
             cols,
         } => {
-            let (ab, ao) = ctx.resolve(a, vars);
-            let (bb, bo) = ctx.resolve(b, vars);
-            let (db, doff) = ctx.resolve(dst, vars);
+            let (ab, ao) = ctx.resolve_span(a, rows * cols, vars);
+            let (bb, bo) = ctx.resolve_span(b, *rows, vars);
+            let (db, doff) = ctx.resolve_span(dst, rows * cols, vars);
             unsafe {
                 let bsl = bb.f32(bo, *rows);
                 for (r, &y) in bsl.iter().enumerate() {
@@ -715,8 +850,8 @@ fn exec_pop(op: &POp, ctx: &Ctx<'_>, vars: &[i64; MAX_VARS]) {
             cols,
             accumulate,
         } => {
-            let (sb, so) = ctx.resolve(src, vars);
-            let (accb, acco) = ctx.resolve(acc, vars);
+            let (sb, so) = ctx.resolve_span(src, rows * cols, vars);
+            let (accb, acco) = ctx.resolve_span(acc, *rows, vars);
             unsafe {
                 let ssl = sb.f32(so, rows * cols);
                 let asl = accb.f32(acco, *rows);
@@ -749,16 +884,16 @@ fn exec_pop(op: &POp, ctx: &Ctx<'_>, vars: &[i64; MAX_VARS]) {
             rows,
             cols,
         } => {
-            let (accb, acco) = ctx.resolve(acc, vars);
-            let (compb, compo) = ctx.resolve(comp, vars);
-            let (db, doff) = ctx.resolve(dst, vars);
+            let (accb, acco) = ctx.resolve_span(acc, rows * cols, vars);
+            let (compb, compo) = ctx.resolve_span(comp, *cols, vars);
+            let (db, doff) = ctx.resolve_span(dst, rows * cols, vars);
             unsafe {
                 let asl = accb.i32(acco, rows * cols);
                 let csl = compb.i32(compo, *cols);
                 let dsl = db.f32(doff, rows * cols);
                 match bias {
                     Some(bv) => {
-                        let (bb, bo) = ctx.resolve(bv, vars);
+                        let (bb, bo) = ctx.resolve_span(bv, *cols, vars);
                         let bsl = bb.f32(bo, *cols);
                         epilogue::dequant_acc_bias(
                             asl, *rows, *cols, csl, *a_zero, *scale, bsl, dsl,
@@ -818,8 +953,8 @@ fn exec_pop(op: &POp, ctx: &Ctx<'_>, vars: &[i64; MAX_VARS]) {
             nb,
             kb,
         } => {
-            let (bb, bo) = ctx.resolve(b_tile, vars);
-            let (cb, co) = ctx.resolve(comp, vars);
+            let (bb, bo) = ctx.resolve_span(b_tile, nb * kb, vars);
+            let (cb, co) = ctx.resolve_span(comp, *nb, vars);
             unsafe {
                 let bsl = bb.i8(bo, nb * kb);
                 let csl = cb.i32(co, *nb);

@@ -4,7 +4,10 @@
 //! - reorder round trips are identity for random layouts;
 //! - quantization algebra (compensated int8 == dequantized f32);
 //! - buffer reuse / tensor shrink never change results;
-//! - the parameter heuristic always returns valid tilings.
+//! - the parameter heuristic always returns valid tilings;
+//! - plan-time offset interval bounds contain every offset checked
+//!   execution actually evaluates, over random loop nests with Div/Rem
+//!   index arithmetic.
 
 use gc_bench::workloads::{self, random_inputs, reference_eval};
 use gc_core::{CompileOptions, Compiler};
@@ -200,6 +203,148 @@ proptest! {
             let a = outs[0].storage().get_as_f64(i);
             let b = want[0].storage().get_as_f64(i);
             prop_assert!((a - b).abs() < 1e-4, "elem {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn plan_offsets_stay_within_compile_time_bounds(
+        e0 in 1usize..=4,
+        e1 in 1usize..=4,
+        e2 in 1usize..=4,
+        depth in 1usize..=3,
+        parallel in any::<bool>(),
+        seed in 0u64..1_000_000,
+    ) {
+        // Random loop nest over a random index expression with Div/Rem
+        // corners, executed three ways: validator (static), interpreter
+        // (reference), and the compiled plan under checked execution.
+        // If the plan builder's interval analysis under-approximated an
+        // offset range, the checked executor panics naming the access;
+        // if it mis-lowered the arithmetic, the bitwise compare fails.
+        use gc_runtime::ThreadPool;
+        use gc_tensor::Storage;
+        use gc_tir::plan::{run_plan_call_opts, PlanScratch};
+        use gc_tir::{
+            compile_module, validate_module, BufDecl, BufId, Call, Expr, ExecOptions, Func,
+            GlobalDecl, GlobalKind, Intrinsic, Module, Stmt, VarId, View,
+        };
+
+        const CAP: usize = 64;
+
+        fn lcg(rng: &mut u64) -> u64 {
+            *rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *rng >> 33
+        }
+
+        /// A random non-negative index expression over `vars` loop
+        /// variables: Add/Mul of subexpressions, Div/Rem by positive
+        /// constants — exactly the corners the interval analysis must
+        /// bound conservatively.
+        fn gen_expr(rng: &mut u64, vars: usize, depth: usize) -> Expr {
+            if depth == 0 || lcg(rng).is_multiple_of(4) {
+                return if vars > 0 && lcg(rng).is_multiple_of(2) {
+                    Expr::v(VarId(lcg(rng) as usize % vars))
+                } else {
+                    Expr::c((lcg(rng) % 7) as i64)
+                };
+            }
+            let a = gen_expr(rng, vars, depth - 1);
+            match lcg(rng) % 4 {
+                0 => a.add(gen_expr(rng, vars, depth - 1)),
+                1 => a.mul(gen_expr(rng, vars, depth - 1)),
+                2 => Expr::Div(Box::new(a), Box::new(Expr::c((lcg(rng) % 4 + 1) as i64))),
+                _ => Expr::Rem(Box::new(a), Box::new(Expr::c((lcg(rng) % 4 + 1) as i64))),
+            }
+        }
+
+        let extents = [e0, e1, e2][..depth].to_vec();
+        let mut rng = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        let n_vars = extents.len();
+        let cap_rem = |e: Expr| Expr::Rem(Box::new(e), Box::new(Expr::c(CAP as i64)));
+        let src_off = cap_rem(gen_expr(&mut rng, n_vars, 3));
+        let dst_off = cap_rem(gen_expr(&mut rng, n_vars, 3));
+        let mut body = vec![Stmt::Op(Intrinsic::Unary {
+            op: gc_microkernel::UnaryOp::Relu,
+            src: View::new(BufId::Param(0), src_off, 1),
+            dst: View::new(BufId::Param(1), dst_off, 1),
+        })];
+        for (i, &e) in extents.iter().enumerate().rev() {
+            body = vec![Stmt::For {
+                var: VarId(i),
+                extent: e,
+                parallel: parallel && i == 0,
+                body,
+            }];
+        }
+        let func = Func {
+            name: "random_nest".into(),
+            params: vec![
+                BufDecl::new(DataType::F32, CAP, "in"),
+                BufDecl::new(DataType::F32, CAP, "out"),
+            ],
+            locals: vec![],
+            var_count: n_vars,
+            body,
+        };
+
+        let mut m = Module::new();
+        let g_in = m.add_global(GlobalDecl {
+            dtype: DataType::F32,
+            elems: CAP,
+            kind: GlobalKind::Input(0),
+            name: "x".into(),
+        });
+        let g_out = m.add_global(GlobalDecl {
+            dtype: DataType::F32,
+            elems: CAP,
+            kind: GlobalKind::Output(0),
+            name: "y".into(),
+        });
+        let f = m.add_func(func);
+        m.main_calls.push(Call { func: f, args: vec![g_in, g_out] });
+
+        // the validator must accept every generated program
+        prop_assert!(
+            validate_module(&m).is_ok(),
+            "validator rejected a well-formed random nest: {:?}",
+            validate_module(&m)
+        );
+
+        let plan = compile_module(&m, 1);
+        prop_assert!(
+            plan.func(f).is_some(),
+            "plan builder rejected a bounded random nest (seed {seed})"
+        );
+
+        let pool = ThreadPool::new(1);
+        let x: Vec<f32> = (0..CAP).map(|i| i as f32 - 31.5).collect();
+        let mut interp_globals = vec![Storage::F32(x.clone()), Storage::F32(vec![0.0; CAP])];
+        gc_tir::exec::run_calls(&m, &m.main_calls, &mut interp_globals, &pool);
+
+        let mut plan_globals = vec![Storage::F32(x), Storage::F32(vec![0.0; CAP])];
+        let mut scratch = PlanScratch::for_plan(&plan);
+        run_plan_call_opts(
+            &plan,
+            f,
+            &m.main_calls[0].args,
+            &mut plan_globals,
+            &pool,
+            &mut scratch,
+            ExecOptions::checked(),
+        );
+
+        match (&interp_globals[g_out], &plan_globals[g_out]) {
+            (Storage::F32(a), Storage::F32(b)) => {
+                for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                    prop_assert!(
+                        x.to_bits() == y.to_bits(),
+                        "out[{i}]: interp {x} vs checked plan {y} (seed {seed})"
+                    );
+                }
+            }
+            _ => prop_assert!(false, "output storage dtype changed"),
         }
     }
 
