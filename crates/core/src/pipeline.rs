@@ -95,6 +95,8 @@ pub fn lower(
         forced_post_anchor: opts.forced_post_anchor,
         forced_pack: opts.forced_pack,
         library_params: opts.library_params,
+        k_slice: opts.k_slice,
+        force_coarse_merge: false,
     };
     let mut lowered = lower_partitions(graph, parts, groups, &lower_opts)?;
     // Coarse-grain fusion is validated against the performance

@@ -190,6 +190,7 @@ mod tests {
             nb: 32,
             kb: 64,
             bs: 2,
+            kpn: 1,
         };
         let prob = MatmulProblem::new(512, 256, 512, 4);
         (machine, p, prob)
@@ -248,6 +249,7 @@ mod tests {
             nb: 32,
             kb: 64,
             bs: 2,
+            kpn: 1,
         };
         let prob = MatmulProblem::new(128, 512, 8192, 4);
         assert_eq!(choose_a_pack(&machine, &p, &prob), PackPlacement::PerKChunk);

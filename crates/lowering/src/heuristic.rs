@@ -28,6 +28,10 @@ pub struct Constraints {
     /// parallel loop, so every member must decompose into the same
     /// number of tasks).
     pub fixed_tasks: Option<usize>,
+    /// Permit `KPN > 1` (k-slicing): when `batch * MPN * NPN` underfills
+    /// the thread pool, split the reduction across extra workers with
+    /// per-slice partial accumulators and a second reduction phase.
+    pub allow_k_slice: bool,
 }
 
 /// Pick template parameters for `problem` on `machine`.
@@ -86,17 +90,33 @@ pub fn choose_params(
                             } else if tasks > 4 * machine.cores && tasks > problem.batch {
                                 continue;
                             }
-                            let p = MatmulParams {
-                                mpn,
-                                npn,
-                                mb,
-                                nb,
-                                kb,
-                                bs,
-                            };
-                            let c = estimate_cycles(machine, problem, &p);
-                            if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
-                                best = Some((c, p));
+                            let k_chunks = k_tiles / bs;
+                            for kpn in divisors(k_chunks) {
+                                if kpn > 1 {
+                                    // k-slicing only pays when the plain
+                                    // decomposition underfills the pool,
+                                    // and only up to a modest fan-out.
+                                    if !constraints.allow_k_slice
+                                        || tasks >= machine.cores
+                                        || tasks * kpn > 4 * machine.cores
+                                        || kpn > 16
+                                    {
+                                        continue;
+                                    }
+                                }
+                                let p = MatmulParams {
+                                    mpn,
+                                    npn,
+                                    mb,
+                                    nb,
+                                    kb,
+                                    bs,
+                                    kpn,
+                                };
+                                let c = estimate_cycles(machine, problem, &p);
+                                if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
+                                    best = Some((c, p));
+                                }
                             }
                         }
                     }
@@ -139,7 +159,9 @@ pub fn estimate_cycles(
     problem: &MatmulProblem,
     p: &MatmulParams,
 ) -> f64 {
-    let tasks = problem.batch * p.tasks();
+    // k-slicing widens the accumulation phase to `tasks * kpn` workers,
+    // each sweeping a 1/kpn-deep slab of the reduction.
+    let tasks = problem.batch * p.tasks() * p.kpn;
     let eff = cost::microkernel_efficiency(machine, p.mb, p.nb, p.kb, p.bs, problem.elem_bytes);
     // Tasks beyond the core count just queue: the wall-clock is the
     // per-task cost times the number of waves.
@@ -151,8 +173,9 @@ pub fn estimate_cycles(
     // whichever cache level holds it) and the m-tile's A panels.
     let msn = p.msn(problem.m).max(1);
     let nsn = p.nsn(problem.n).max(1);
-    let a_bytes = (msn * p.mb * problem.k * problem.elem_bytes) as f64;
-    let b_slice = (nsn * p.nb * problem.k * problem.elem_bytes) as f64;
+    let k_slice = problem.k / p.kpn;
+    let a_bytes = (msn * p.mb * k_slice * problem.elem_bytes) as f64;
+    let b_slice = (nsn * p.nb * k_slice * problem.elem_bytes) as f64;
     let c_bytes = (msn * p.mb * nsn * p.nb * 4) as f64;
     // bandwidth tier by residency: a slice that stays in L2 / the LLC
     // slice moves at cache bandwidth, not DRAM bandwidth
@@ -167,8 +190,18 @@ pub fn estimate_cycles(
     };
     let mem = waves * (tier(a_bytes) + msn as f64 * tier(b_slice) + tier(c_bytes));
     // per-microkernel-call fixed overhead
-    let calls = waves * (msn * nsn * p.k_chunks(problem.k).max(1)) as f64;
-    compute.max(mem) + calls * 40.0 + cost::barrier_cycles(machine)
+    let calls = waves * (msn * nsn * p.k_chunks_slice(problem.k).max(1)) as f64;
+    let mut cycles = compute.max(mem) + calls * 40.0 + cost::barrier_cycles(machine);
+    if p.kpn > 1 {
+        // second parallel phase: each (m, n) task folds its kpn partial
+        // accumulators and runs the epilogue — dominated by re-reading
+        // the kpn partial slabs, plus one more barrier.
+        let red_tasks = problem.batch * p.tasks();
+        let red_waves = red_tasks.div_ceil(machine.cores) as f64;
+        let red_bytes = (p.kpn * msn * p.mb * nsn * p.nb * 4) as f64;
+        cycles += red_waves * tier(red_bytes) + cost::barrier_cycles(machine);
+    }
+    cycles
 }
 
 /// Parameter selection emulating a primitives *library*: a fixed menu
@@ -213,6 +246,7 @@ pub fn choose_params_library(
                             if tasks > 4 * machine.cores && tasks > problem.batch {
                                 continue;
                             }
+                            // the library menu has no k-sliced kernels
                             let p = MatmulParams {
                                 mpn,
                                 npn,
@@ -220,6 +254,7 @@ pub fn choose_params_library(
                                 nb,
                                 kb,
                                 bs,
+                                kpn: 1,
                             };
                             let c = estimate_cycles(machine, problem, &p);
                             if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
@@ -340,6 +375,91 @@ mod tests {
         pi.validate(&prob_i).unwrap();
     }
 
+    /// Small-batch MLP_1 layers under coarse-fusion constraints: a
+    /// shared row-only decomposition of 16 rows yields at most 4-16
+    /// M x N tasks on a 32-core machine — the underfilled pool of the
+    /// paper's Figure 8 — so with `allow_k_slice` the search must split
+    /// the reduction (`kpn > 1`) to widen the accumulation phase, and
+    /// without it must stay at `kpn = 1`.
+    #[test]
+    fn mlp1_full_n_constraints_select_k_slicing() {
+        let machine = xeon();
+        // the shallow int8 layer (16x128x256, eb = 1) stays unsliced:
+        // VNNI quarters the compute share, so splitting k = 256 no
+        // longer covers the extra barrier — that boundary is the point
+        // of the cost model, not a gap in it
+        for &(m, n, k, eb) in &[
+            (16usize, 256usize, 512usize, 4usize),
+            (16, 256, 512, 1),
+            (16, 128, 256, 4),
+        ] {
+            {
+                let prob = MatmulProblem::new(m, n, k, eb);
+                let sliced = choose_params(
+                    &machine,
+                    &prob,
+                    &Constraints {
+                        full_n_per_task: true,
+                        allow_k_slice: true,
+                        ..Constraints::default()
+                    },
+                );
+                sliced.validate(&prob).unwrap();
+                assert!(
+                    sliced.kpn > 1,
+                    "{m}x{n}x{k} eb{eb} full-N must k-slice, got {sliced:?}"
+                );
+                assert!(
+                    prob.batch * sliced.tasks() < machine.cores,
+                    "k-slicing is only chosen when M x N tasks underfill the pool"
+                );
+                let plain = choose_params(
+                    &machine,
+                    &prob,
+                    &Constraints {
+                        full_n_per_task: true,
+                        ..Constraints::default()
+                    },
+                );
+                assert_eq!(plain.kpn, 1);
+            }
+        }
+    }
+
+    /// Free (unconstrained) search on the default 32-core machine fills
+    /// the pool by shattering N for MLP_1-sized shapes, so it must not
+    /// pay the k-slicing barrier there; on a 128-core pool a deep-K
+    /// narrow-M x N problem cannot be filled any other way and must
+    /// slice.
+    #[test]
+    fn free_search_slices_only_on_underfilled_pools() {
+        let machine = xeon();
+        let prob = MatmulProblem::new(16, 256, 512, 4);
+        let p = choose_params(
+            &machine,
+            &prob,
+            &Constraints {
+                allow_k_slice: true,
+                ..Constraints::default()
+            },
+        );
+        assert_eq!(p.kpn, 1, "N-shattering fills 32 cores: {p:?}");
+
+        let mut wide = xeon();
+        wide.cores = 128;
+        let deep = MatmulProblem::new(16, 64, 8192, 4);
+        let p = choose_params(
+            &wide,
+            &deep,
+            &Constraints {
+                allow_k_slice: true,
+                ..Constraints::default()
+            },
+        );
+        p.validate(&deep).unwrap();
+        assert!(p.kpn > 1, "16x64x8192 @128 cores must k-slice, got {p:?}");
+    }
+
     #[test]
     fn cost_orders_sane_vs_pathological() {
         let machine = xeon();
@@ -351,6 +471,7 @@ mod tests {
             nb: 32,
             kb: 64,
             bs: 2,
+            kpn: 1,
         };
         let bad = MatmulParams {
             mpn: 1,
@@ -359,6 +480,7 @@ mod tests {
             nb: 1,
             kb: 1,
             bs: 1,
+            kpn: 1,
         };
         assert!(estimate_cycles(&machine, &prob, &good) < estimate_cycles(&machine, &prob, &bad));
     }

@@ -80,6 +80,17 @@ pub struct LowerOptions {
     /// Choose template parameters from the primitives library's fixed
     /// kernel menu instead of the compiler heuristic (baseline mode).
     pub library_params: bool,
+    /// Allow the k-slicing template variant: when a matmul's
+    /// `M_blocks × N_blocks` decomposition underfills the thread pool,
+    /// the heuristic may split the reduction across `KPN` extra workers
+    /// (per-slice partial accumulators, parallel reduction + fused
+    /// epilogue). Off = always the plain single-phase template.
+    pub k_slice: bool,
+    /// Skip the analytic merge-profitability gate and merge every
+    /// multi-member coarse group unconditionally (ablation: measures
+    /// what the merged path would cost where the cost model prefers
+    /// split schedules).
+    pub force_coarse_merge: bool,
 }
 
 impl LowerOptions {
@@ -96,6 +107,8 @@ impl LowerOptions {
             forced_post_anchor: None,
             forced_pack: None,
             library_params: false,
+            k_slice: true,
+            force_coarse_merge: false,
         }
     }
 }
@@ -183,7 +196,10 @@ pub fn lower_partitions(
     let groups = {
         let mut out: Vec<Vec<usize>> = Vec::new();
         for group in &groups.groups {
-            if group.len() > 1 && !group_profitable(&opts.machine, graph, parts, group) {
+            if group.len() > 1
+                && !opts.force_coarse_merge
+                && !group_profitable(&opts.machine, graph, parts, group, opts.k_slice)
+            {
                 out.extend(group.iter().map(|&pi| vec![pi]));
             } else {
                 out.push(group.clone());
@@ -655,14 +671,35 @@ impl Builder<'_> {
         }
         let has_reduce = !reduce_outputs.is_empty();
 
+        // --- rhs arrival (decided early: k-slicing requires a blocked
+        // constant weight, so the constraint depends on it)
+        let b_is_const = graph.tensor(b_src).property == Property::Constant;
+        let b_input = if b_is_const && graph.const_value(b_src).is_some() {
+            BInput::BlockedWeight
+        } else {
+            BInput::PlainInLoop {
+                transposed: b_transposed,
+            }
+        };
+
         // --- constraints (grouping + layout negotiation)
         let mut constraints = Constraints {
             full_n_per_task: has_reduce || grouped,
+            // the k-sliced template's phase-2 epilogue handles every
+            // post-op except row reductions, and only the blocked-weight
+            // rhs path is lowered. Grouped members may k-slice too: the
+            // two-phase loops keep their implicit barrier inside the
+            // merged function (the paper's barrier between layers), and
+            // this is exactly the case where a shared row-only
+            // decomposition underfills the pool.
+            allow_k_slice: self.opts.k_slice
+                && !has_reduce
+                && matches!(b_input, BInput::BlockedWeight),
             ..Constraints::default()
         };
         if grouped {
             if group_mb.is_none() {
-                let (mb, tasks) = group_decomposition(machine, batch, m);
+                let (mb, tasks) = group_decomposition(machine, batch, m, self.opts.k_slice);
                 *group_mb = Some(mb);
                 *group_tasks = Some(tasks);
             }
@@ -725,16 +762,6 @@ impl Builder<'_> {
                 }
             }
             _ => (AInput::Plain, p_plain),
-        };
-
-        // --- rhs arrival
-        let b_is_const = graph.tensor(b_src).property == Property::Constant;
-        let b_input = if b_is_const && graph.const_value(b_src).is_some() {
-            BInput::BlockedWeight
-        } else {
-            BInput::PlainInLoop {
-                transposed: b_transposed,
-            }
         };
 
         let spec = MatmulSpec {
@@ -937,7 +964,10 @@ impl Builder<'_> {
 
 /// Extract the matmul problem of a tunable partition (for group
 /// profitability analysis; mirrors `plan_tunable`'s size derivation).
-fn part_problem(graph: &Graph, part: &FusedOp) -> Option<(MatmulProblem, bool)> {
+/// Returns `(problem, has_reduce, b_blocked)` where `b_blocked` says the
+/// rhs is a constant weight that will arrive pre-packed (the k-sliced
+/// template requires it).
+fn part_problem(graph: &Graph, part: &FusedOp) -> Option<(MatmulProblem, bool, bool)> {
     let t_op = graph.op(part.tunable?);
     let mut a_src = t_op.inputs[0];
     for &pre in &part.pre_ops {
@@ -963,17 +993,28 @@ fn part_problem(graph: &Graph, part: &FusedOp) -> Option<(MatmulProblem, bool)> 
         .post_ops
         .iter()
         .any(|&o| matches!(graph.op(o).kind, OpKind::Reduce(_)));
-    Some((MatmulProblem::batched(batch, m, n, k, elem), has_reduce))
+    let b_src = t_op.inputs[1];
+    let b_blocked =
+        graph.tensor(b_src).property == Property::Constant && graph.const_value(b_src).is_some();
+    Some((
+        MatmulProblem::batched(batch, m, n, k, elem),
+        has_reduce,
+        b_blocked,
+    ))
 }
 
 /// Decide whether merging a coarse group is profitable: the shared
 /// row-only decomposition can force poor tilings (e.g. MB = 1 for tiny
-/// batches without k-slicing), in which case the group is split.
+/// batches), in which case the group is split. With k-slicing enabled
+/// the grouped estimate may recover the lost parallelism by splitting
+/// the reduction instead, so small-batch groups are judged by the cost
+/// model rather than rejected outright.
 fn group_profitable(
     machine: &MachineDescriptor,
     graph: &Graph,
     parts: &Partitioning,
     group: &[usize],
+    k_slice: bool,
 ) -> bool {
     let mut probs = Vec::new();
     for &pi in group {
@@ -983,23 +1024,21 @@ fn group_profitable(
         }
     }
     let (batch, m) = (probs[0].0.batch, probs[0].0.m);
-    let (mb_g, tasks_g) = group_decomposition(machine, batch, m);
-    // degenerate shared decompositions (MB < 4) are never merged — the
-    // paper handles those with k-slicing template variants instead
-    if mb_g < 4 {
-        return false;
-    }
+    let (mb_g, tasks_g) = group_decomposition(machine, batch, m, k_slice);
     let mut merged = 0.0;
     let mut free = 0.0;
-    for (prob, has_reduce) in &probs {
+    for (prob, has_reduce, b_blocked) in &probs {
+        let allow_k_slice = k_slice && !has_reduce && *b_blocked;
         let gc = Constraints {
             full_n_per_task: true,
             fixed_mb: Some(mb_g),
             fixed_tasks: Some(tasks_g),
+            allow_k_slice,
             ..Constraints::default()
         };
         let fc = Constraints {
             full_n_per_task: *has_reduce,
+            allow_k_slice,
             ..Constraints::default()
         };
         let pg = choose_params(machine, prob, &gc);
@@ -1016,17 +1055,17 @@ fn group_profitable(
     // slice hot instead of round-tripping it through memory
     let barrier_savings = (group.len() - 1) as f64 * gc_machine::cost::barrier_cycles(machine);
     let mut locality_savings = 0.0;
-    for (prob, _) in probs.iter().take(probs.len() - 1) {
+    for (prob, _, _) in probs.iter().take(probs.len() - 1) {
         let bytes = (prob.batch * prob.m * prob.n * 4) as f64;
         locality_savings +=
             2.0 * gc_machine::cost::stream_cycles(machine, bytes) / machine.cores as f64;
     }
     // The analytic model cannot see the merged loop's inter-op cache
     // locality (each core's activation slice stays hot between members),
-    // so the comparison carries a tolerance in favour of merging; only
-    // clearly-degenerate shared decompositions (e.g. MB = 1 row-slicing
-    // of tiny batches, which the paper handles with k-slicing templates
-    // we do not implement) fall back to unmerged lowering.
+    // so the comparison carries a tolerance in favour of merging. With
+    // k-slicing the free estimate can exploit reduction-splitting that a
+    // shared row-only decomposition cannot, so degenerate groups (e.g.
+    // MB = 1 row-slicing of tiny batches) now lose on cost and split.
     if std::env::var("GC_DEBUG_GROUPS").is_ok() {
         eprintln!(
             "[coarse] group of {}: merged {:.0} vs free {:.0} (+barrier {:.0} +locality {:.0})",
@@ -1042,16 +1081,32 @@ fn group_profitable(
 
 /// Pick the shared (MB, task-count) decomposition for a coarse group:
 /// row-only parallelism sized to the machine.
-fn group_decomposition(machine: &MachineDescriptor, batch: usize, m: usize) -> (usize, usize) {
+///
+/// Without k-slicing, manufacturing enough row-tasks for the pool is the
+/// only lever, so small-batch groups degenerate to `MB = 1`. With
+/// `k_slice` the template can widen the accumulation phase by `KPN`
+/// instead, so the decomposition keeps a sane tile (`MB >= 4`) and
+/// accepts fewer row-tasks — the per-member parameter search fills the
+/// remaining cores by splitting each member's reduction.
+fn group_decomposition(
+    machine: &MachineDescriptor,
+    batch: usize,
+    m: usize,
+    k_slice: bool,
+) -> (usize, usize) {
     if batch >= machine.cores {
         // batch parallelism suffices; keep comfortable tiles
         return (crate::largest_divisor_at_most(m, 32), batch);
     }
     let want_mpn = machine.cores.div_ceil(batch);
+    let mb_floor = if k_slice && m.is_multiple_of(4) { 4 } else { 1 };
     // choose mb as large as possible while still allowing >= want_mpn
     // row-tasks (or as many as m allows)
-    let mut best = (1usize, batch * crate::largest_divisor_at_most(m, want_mpn));
-    for mb in (1..=32).rev() {
+    let mut best = (
+        mb_floor,
+        batch * crate::largest_divisor_at_most(m / mb_floor, want_mpn),
+    );
+    for mb in (mb_floor..=32).rev() {
         if !m.is_multiple_of(mb) {
             continue;
         }
@@ -1325,6 +1380,14 @@ pub(crate) fn map_intrinsic_bufs(i: Intrinsic, f: &impl Fn(BufId) -> BufId) -> I
             kb,
         },
         I::CastI32F32 { src, dst } => I::CastI32F32 {
+            src: mv(src),
+            dst: mv(dst),
+        },
+        I::AddF32 { src, dst } => I::AddF32 {
+            src: mv(src),
+            dst: mv(dst),
+        },
+        I::AddI32 { src, dst } => I::AddI32 {
             src: mv(src),
             dst: mv(dst),
         },

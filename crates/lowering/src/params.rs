@@ -21,6 +21,11 @@ pub struct MatmulParams {
     pub kb: usize,
     /// Batch-reduce batch size (k tiles per microkernel call).
     pub bs: usize,
+    /// Parallel decomposition along k (k-slicing). 1 means the plain
+    /// template; `kpn > 1` splits the reduction across `kpn` workers
+    /// per `(m, n)` task, each producing a partial accumulator that a
+    /// second parallel phase reduces and feeds into the epilogue.
+    pub kpn: usize,
 }
 
 /// A matmul problem to lower: `batch` independent `[m, k] x [k, n]`
@@ -90,8 +95,23 @@ impl MatmulParams {
     }
 
     /// Parallel tasks per matrix (`MPN * NPN`).
+    ///
+    /// k-slicing does not change this count: `kpn` widens the
+    /// *accumulation* phase to `tasks * kpn` workers, but the output
+    /// decomposition (and thus the epilogue/reduction phase) still has
+    /// one task per `(m, n)` block.
     pub fn tasks(&self) -> usize {
         self.mpn * self.npn
+    }
+
+    /// k-tiles per k-slice (`KSN / KPN`).
+    pub fn k_tiles_slice(&self, k: usize) -> usize {
+        self.ksn(k) / self.kpn
+    }
+
+    /// Microkernel invocations in one k-slice's sweep.
+    pub fn k_chunks_slice(&self, k: usize) -> usize {
+        self.k_chunks(k) / self.kpn
     }
 
     /// Check the parameters exactly tile the problem.
@@ -103,8 +123,9 @@ impl MatmulParams {
             nb,
             kb,
             bs,
+            kpn,
         } = *self;
-        if mb == 0 || nb == 0 || kb == 0 || bs == 0 || mpn == 0 || npn == 0 {
+        if mb == 0 || nb == 0 || kb == 0 || bs == 0 || mpn == 0 || npn == 0 || kpn == 0 {
             return Err("zero parameter".to_string());
         }
         if !p.m.is_multiple_of(mb) {
@@ -124,6 +145,14 @@ impl MatmulParams {
         }
         if !(p.k / kb).is_multiple_of(bs) {
             return Err(format!("bs {bs} does not divide k-tiles {}", p.k / kb));
+        }
+        // Each k-slice must hold a whole number of brgemm chunks so the
+        // sliced sweep is `k_chunks / kpn` full-width microkernel calls.
+        if !(p.k / kb).is_multiple_of(bs * kpn) {
+            return Err(format!(
+                "kpn {kpn} does not evenly slice k-chunks {}",
+                (p.k / kb) / bs
+            ));
         }
         Ok(())
     }
@@ -149,6 +178,7 @@ mod tests {
             nb: 32,
             kb: 64,
             bs: 2,
+            kpn: 1,
         };
         // M=512: 16 m-tiles, 4 per kernel; N=256: 8 n-tiles, 4 per kernel
         assert_eq!(p.msn(512), 4);
@@ -167,6 +197,7 @@ mod tests {
             nb: 32,
             kb: 64,
             bs: 2,
+            kpn: 1,
         };
         let prob = MatmulProblem::new(512, 256, 256, 4);
         p.validate(&prob).unwrap();

@@ -208,6 +208,37 @@ pub fn copy(src: &[f32], dst: &mut [f32]) {
     dst.copy_from_slice(src);
 }
 
+/// Accumulate one f32 partial buffer into another: `dst[i] += src[i]`.
+///
+/// The reduction step of the k-slicing template: each k-slice's partial
+/// accumulator is folded into the task's final accumulator with this
+/// kernel.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn acc_add_f32(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// Accumulate one i32 partial buffer into another: `dst[i] += src[i]`.
+///
+/// The u8×i8 variant of the k-slicing reduction; integer addition is
+/// associative, so sliced and unsliced int8 matmuls agree bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn acc_add_i32(src: &[i32], dst: &mut [i32]) {
+    assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +317,23 @@ mod tests {
         let mut acc = [5i32, 6];
         zero_i32(&mut acc);
         assert_eq!(acc, [0, 0]);
+    }
+
+    #[test]
+    fn acc_add_kernels() {
+        let mut d = [1.0f32, 2.0, 3.0];
+        acc_add_f32(&[0.5, -2.0, 1.0], &mut d);
+        assert_eq!(d, [1.5, 0.0, 4.0]);
+        let mut di = [10i32, -4, 7];
+        acc_add_i32(&[1, 4, -7], &mut di);
+        assert_eq!(di, [11, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn acc_add_length_mismatch_panics() {
+        let mut d = [0f32; 2];
+        acc_add_f32(&[1.0, 2.0, 3.0], &mut d);
     }
 
     #[test]

@@ -733,6 +733,18 @@ mod tests {
     }
 
     #[test]
+    fn k_slice_knob_keys_its_own_plan_cache_entry() {
+        let cfg = config_with_private_caches(1);
+        let mut unsliced_cfg = cfg.clone();
+        unsliced_cfg.compile.k_slice = false;
+        assert_ne!(
+            options_fingerprint(&cfg.compile),
+            options_fingerprint(&unsliced_cfg.compile),
+            "toggling k_slice must never alias cached plans"
+        );
+    }
+
+    #[test]
     fn two_models_same_graph_share_executables_and_folds() {
         let mut cfg = config_with_private_caches(1);
         cfg.template_units = Some(1);

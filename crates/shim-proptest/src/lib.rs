@@ -39,7 +39,7 @@ pub mod collection {
         VecStrategy { elem, len }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         len: std::ops::Range<usize>,

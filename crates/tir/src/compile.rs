@@ -545,6 +545,24 @@ impl<'f> FuncBuilder<'f> {
                     dst: self.compile_view(dst, F32)?,
                 }
             }
+            Intrinsic::AddF32 { src, dst } => {
+                if src.len != dst.len {
+                    return Err(Reject::LenMismatch);
+                }
+                POp::AddF32 {
+                    src: self.compile_view(src, F32)?,
+                    dst: self.compile_view(dst, F32)?,
+                }
+            }
+            Intrinsic::AddI32 { src, dst } => {
+                if src.len != dst.len {
+                    return Err(Reject::LenMismatch);
+                }
+                POp::AddI32 {
+                    src: self.compile_view(src, I32)?,
+                    dst: self.compile_view(dst, I32)?,
+                }
+            }
         })
     }
 }
@@ -576,7 +594,10 @@ fn pop_units(op: &POp) -> u64 {
         | POp::BinaryColBcast { rows, cols, .. }
         | POp::ReduceRows { rows, cols, .. }
         | POp::DequantAcc { rows, cols, .. } => (rows * cols) as u64,
-        POp::QuantU8 { src, .. } | POp::CastI32F32 { src, .. } => src.len as u64,
+        POp::QuantU8 { src, .. }
+        | POp::CastI32F32 { src, .. }
+        | POp::AddF32 { src, .. }
+        | POp::AddI32 { src, .. } => src.len as u64,
         POp::DequantU8 { src, .. } | POp::DequantI8 { src, .. } => src.len as u64,
         POp::CompAccumulate { nb, kb, .. } => (nb * kb) as u64,
     };

@@ -653,6 +653,22 @@ fn exec_intrinsic(intr: &Intrinsic, frame: &Frame<'_>, vars: &[i64]) {
                 epilogue::i32_to_f32(sb.i32(so, src.len), db.f32(doff, dst.len));
             }
         }
+        Intrinsic::AddF32 { src, dst } => {
+            let (sb, so) = frame.resolve(src, vars);
+            let (db, doff) = frame.resolve(dst, vars);
+            assert_disjoint((sb, so, src.len), (db, doff, dst.len));
+            unsafe {
+                eltwise::acc_add_f32(sb.f32(so, src.len), db.f32(doff, dst.len));
+            }
+        }
+        Intrinsic::AddI32 { src, dst } => {
+            let (sb, so) = frame.resolve(src, vars);
+            let (db, doff) = frame.resolve(dst, vars);
+            assert_disjoint((sb, so, src.len), (db, doff, dst.len));
+            unsafe {
+                eltwise::acc_add_i32(sb.i32(so, src.len), db.i32(doff, dst.len));
+            }
+        }
     }
 }
 

@@ -302,6 +302,24 @@ pub enum Intrinsic {
         /// Destination (f32).
         dst: View,
     },
+    /// `dst[i] += src[i]` over f32 views (equal lengths). The reduction
+    /// step of the k-slicing template: folds one k-slice's partial
+    /// accumulator into the task's final accumulator.
+    AddF32 {
+        /// Partial accumulator to fold in.
+        src: View,
+        /// Running accumulator (read-modify-write).
+        dst: View,
+    },
+    /// `dst[i] += src[i]` over i32 views (equal lengths). The u8×i8
+    /// variant of the k-slicing reduction; exact, so sliced and unsliced
+    /// int8 plans agree bit-for-bit.
+    AddI32 {
+        /// Partial accumulator to fold in.
+        src: View,
+        /// Running accumulator (read-modify-write).
+        dst: View,
+    },
 }
 
 /// One Tensor IR statement.

@@ -433,6 +433,14 @@ fn remap_intrinsic(i: crate::ir::Intrinsic, remap: &HashMap<usize, usize>) -> cr
             src: mv(src),
             dst: mv(dst),
         },
+        I::AddF32 { src, dst } => I::AddF32 {
+            src: mv(src),
+            dst: mv(dst),
+        },
+        I::AddI32 { src, dst } => I::AddI32 {
+            src: mv(src),
+            dst: mv(dst),
+        },
     }
 }
 

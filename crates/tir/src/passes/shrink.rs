@@ -483,6 +483,14 @@ fn map_views(
             src: v!(src),
             dst: v!(dst),
         },
+        I::AddF32 { src, dst } => I::AddF32 {
+            src: v!(src),
+            dst: v!(dst),
+        },
+        I::AddI32 { src, dst } => I::AddI32 {
+            src: v!(src),
+            dst: v!(dst),
+        },
     }
 }
 

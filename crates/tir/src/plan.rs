@@ -322,6 +322,14 @@ pub enum POp {
         src: PView,
         dst: PView,
     },
+    AddF32 {
+        src: PView,
+        dst: PView,
+    },
+    AddI32 {
+        src: PView,
+        dst: PView,
+    },
 }
 
 /// One flat-plan instruction. Loop bodies are the instruction range
@@ -968,6 +976,22 @@ fn exec_pop(op: &POp, ctx: &Ctx<'_>, vars: &[i64; MAX_VARS]) {
             let (db, doff) = ctx.resolve(dst, vars);
             unsafe {
                 epilogue::i32_to_f32(sb.i32(so, src.len), db.f32(doff, dst.len));
+            }
+        }
+        POp::AddF32 { src, dst } => {
+            let (sb, so) = ctx.resolve(src, vars);
+            let (db, doff) = ctx.resolve(dst, vars);
+            assert_disjoint((sb, so, src.len), (db, doff, dst.len));
+            unsafe {
+                eltwise::acc_add_f32(sb.f32(so, src.len), db.f32(doff, dst.len));
+            }
+        }
+        POp::AddI32 { src, dst } => {
+            let (sb, so) = ctx.resolve(src, vars);
+            let (db, doff) = ctx.resolve(dst, vars);
+            assert_disjoint((sb, so, src.len), (db, doff, dst.len));
+            unsafe {
+                eltwise::acc_add_i32(sb.i32(so, src.len), db.i32(doff, dst.len));
             }
         }
     }

@@ -162,6 +162,12 @@ fn intr_str(f: &Func, i: &Intrinsic) -> String {
         Intrinsic::CastI32F32 { src, dst } => {
             format!("cast.i32f32 {} = {}", view_str(f, dst), view_str(f, src))
         }
+        Intrinsic::AddF32 { src, dst } => {
+            format!("add.f32.acc {} += {}", view_str(f, dst), view_str(f, src))
+        }
+        Intrinsic::AddI32 { src, dst } => {
+            format!("add.i32.acc {} += {}", view_str(f, dst), view_str(f, src))
+        }
     }
 }
 

@@ -210,6 +210,8 @@ fn sim_intrinsic(i: &Intrinsic, ctx: &mut SimCtx<'_>, vars: &[i64]) -> f64 {
         | Intrinsic::DequantU8 { dst, .. }
         | Intrinsic::DequantI8 { dst, .. }
         | Intrinsic::CastI32F32 { dst, .. }
+        | Intrinsic::AddF32 { dst, .. }
+        | Intrinsic::AddI32 { dst, .. }
         | Intrinsic::FillF32 { dst, .. }
         | Intrinsic::ZeroI32 { dst } => dst.len as f64 / ctx.machine.f32_lanes() as f64,
         Intrinsic::BinaryRowBcast { rows, cols, .. }

@@ -216,6 +216,14 @@ pub fn map_intrinsic_exprs(i: Intrinsic, f: &impl Fn(&Expr) -> Expr) -> Intrinsi
             src: mv(src),
             dst: mv(dst),
         },
+        Intrinsic::AddF32 { src, dst } => Intrinsic::AddF32 {
+            src: mv(src),
+            dst: mv(dst),
+        },
+        Intrinsic::AddI32 { src, dst } => Intrinsic::AddI32 {
+            src: mv(src),
+            dst: mv(dst),
+        },
     }
 }
 
@@ -351,6 +359,9 @@ pub fn intrinsic_accesses(i: &Intrinsic) -> Vec<Access> {
         | Intrinsic::CastI32F32 { src, dst } => vec![acc(src, false), acc(dst, true)],
         Intrinsic::CompAccumulate { b_tile, comp, .. } => {
             vec![acc(b_tile, false), self_acc(comp)]
+        }
+        Intrinsic::AddF32 { src, dst } | Intrinsic::AddI32 { src, dst } => {
+            vec![acc(src, false), self_acc(dst)]
         }
     }
 }
