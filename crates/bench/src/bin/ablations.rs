@@ -11,9 +11,13 @@
 //!   the knob on/off where the tunable-config search selects it (deep-K
 //!   small-M×N on a wide pool), and the merged coarse-fusion path of
 //!   small-batch MLP_1 with and without k-slicing (bypassing the merge
-//!   gate, which on cost grounds prefers the split schedules).
+//!   gate, which on cost grounds prefers the split schedules);
+//! - `ragged`   — pack-time padding + edge-tile kernels on Table 1's
+//!   irregular shapes (MLP_2's prime k=479 first layer and friends):
+//!   projected cycles with ragged blocking on vs the divisor-only
+//!   degenerate blocking (`KB ∈ {1, k}` when k is prime).
 //!
-//! Usage: `ablations [anchors|layout|const|buffers|kslice|all] [--threads N]`
+//! Usage: `ablations [anchors|layout|const|buffers|kslice|ragged|all] [--threads N]`
 
 use gc_bench::workloads::{self, mha_configs, random_inputs};
 use gc_core::{CompileOptions, Compiler};
@@ -41,9 +45,11 @@ fn main() {
         .unwrap_or_else(|| "all".to_string());
     if !matches!(
         what.as_str(),
-        "anchors" | "layout" | "const" | "buffers" | "kslice" | "all"
+        "anchors" | "layout" | "const" | "buffers" | "kslice" | "ragged" | "all"
     ) {
-        eprintln!("usage: ablations [anchors|layout|const|buffers|kslice|all] [--threads N]");
+        eprintln!(
+            "usage: ablations [anchors|layout|const|buffers|kslice|ragged|all] [--threads N]"
+        );
         std::process::exit(2);
     }
     let threads = args
@@ -191,6 +197,74 @@ fn main() {
                 p(&merged_groups, true),
                 p(&merged_groups, false),
                 p(&split_groups, true),
+            );
+        }
+        println!();
+    }
+
+    if what == "ragged" || what == "all" {
+        println!("== ablation: ragged blocking (pack-time padding + edge tiles, projected ms) ==");
+        // Table 1's irregular workload is MLP_2: its feature chain
+        // 479 -> 1024 -> 1024 -> 512 -> 256 -> 1 opens on a prime
+        // reduction dim (479), where divisor-only blocking degenerates
+        // to KB ∈ {1, 479}, and closes on an n=1 head.
+        for b in [32usize, 128, 256, 512] {
+            for prec in [workloads::Precision::F32, workloads::Precision::Int8] {
+                let ms_for = |ragged: bool| {
+                    let mut o = opts(threads);
+                    o.ragged = ragged;
+                    let g = match prec {
+                        workloads::Precision::F32 => {
+                            workloads::mlp_f32(b, &workloads::mlp2_layers(), 1)
+                        }
+                        workloads::Precision::Int8 => {
+                            workloads::mlp_int8(b, &workloads::mlp2_layers(), 1)
+                        }
+                    };
+                    project_ms(o, g)
+                };
+                let (on, off) = (ms_for(true), ms_for(false));
+                println!(
+                    "MLP_2 b{b:<4} {prec:?}  ragged {on:.4} | divisor-only {off:.4} | speedup {:.2}x",
+                    off / on
+                );
+            }
+        }
+        // Isolated irregular single matmuls: the m/n remainders against
+        // power-of-two tiles are where divisor-only truly degenerates
+        // (nb=1 register tiles). The 1.00x rows are the projection gate
+        // at work: padding k to the lane grid buys compute efficiency
+        // but streams ~7% more bytes, so on memory-bound layers (and
+        // under VNNI's 4-element dot groups, which shrug off prime k)
+        // the compiler falls back to the exact divisor-only plan.
+        let shapes = [
+            ("255x255x255 fp32", 255, 255, 255, workloads::Precision::F32),
+            ("257x512x512 fp32", 257, 512, 512, workloads::Precision::F32),
+            (
+                "256x1024x479 fp32",
+                256,
+                1024,
+                479,
+                workloads::Precision::F32,
+            ),
+            (
+                "256x1024x479 int8",
+                256,
+                1024,
+                479,
+                workloads::Precision::Int8,
+            ),
+        ];
+        for (name, m, n, k, prec) in shapes {
+            let ms_for = |ragged: bool| {
+                let mut o = opts(threads);
+                o.ragged = ragged;
+                project_ms(o, workloads::single_matmul(m, n, k, prec, 1))
+            };
+            let (on, off) = (ms_for(true), ms_for(false));
+            println!(
+                "{name:<20} ragged {on:.4} | divisor-only {off:.4} | speedup {:.2}x",
+                off / on
             );
         }
     }

@@ -56,6 +56,11 @@ pub struct CompileOptions {
     /// offset lands in-bounds (debug mode; costs address-arithmetic
     /// work per intrinsic, off by default).
     pub checked: bool,
+    /// Allow ragged (non-divisor) tile sizes for blocked-weight
+    /// matmuls: edge tiles are zero-padded at pack time or clamped by
+    /// tail kernels. Off = divisor-only blocking (ablation: prime dims
+    /// degenerate to `KB ∈ {1, K}`).
+    pub ragged: bool,
 }
 
 impl CompileOptions {
@@ -79,6 +84,7 @@ impl CompileOptions {
             interpret: false,
             validate: true,
             checked: false,
+            ragged: true,
         }
     }
 

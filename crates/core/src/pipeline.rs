@@ -84,45 +84,70 @@ pub fn lower(
     groups: &CoarseGroups,
     opts: &CompileOptions,
 ) -> Result<(Lowered, CompileReport), CoreError> {
-    let lower_opts = LowerOptions {
-        machine: opts.machine.clone(),
-        merge_coarse_groups: opts.coarse_fusion,
-        propagate_layouts: opts.propagate_layouts,
-        shrink_tensors: opts.shrink_tensors,
-        reuse_buffers: opts.reuse_buffers,
-        reuse_locals: opts.reuse_locals,
-        validate: opts.validate,
-        forced_post_anchor: opts.forced_post_anchor,
-        forced_pack: opts.forced_pack,
-        library_params: opts.library_params,
-        k_slice: opts.k_slice,
-        force_coarse_merge: false,
-    };
-    let mut lowered = lower_partitions(graph, parts, groups, &lower_opts)?;
-    // Coarse-grain fusion is validated against the performance
-    // projector: if merging the loops projects slower than leaving the
-    // fused ops separate (the analytic model is only a shortlist), keep
-    // the unmerged lowering.
-    if opts.coarse_fusion && lowered.merged_groups > 0 {
-        let singletons = gc_graph::CoarseGroups {
-            groups: groups
-                .groups
-                .iter()
-                .flat_map(|g| g.iter().map(|&pi| vec![pi]).collect::<Vec<_>>())
-                .collect(),
+    // One coarse-gated lowering under a given ragged setting: lower,
+    // then validate coarse-grain fusion against the performance
+    // projector — if merging the loops projects slower than leaving
+    // the fused ops separate (the analytic model is only a shortlist),
+    // keep the unmerged lowering.
+    let lower_once = |ragged: bool| -> Result<Lowered, CoreError> {
+        let lower_opts = LowerOptions {
+            machine: opts.machine.clone(),
+            merge_coarse_groups: opts.coarse_fusion,
+            propagate_layouts: opts.propagate_layouts,
+            shrink_tensors: opts.shrink_tensors,
+            reuse_buffers: opts.reuse_buffers,
+            reuse_locals: opts.reuse_locals,
+            validate: opts.validate,
+            forced_post_anchor: opts.forced_post_anchor,
+            forced_pack: opts.forced_pack,
+            library_params: opts.library_params,
+            k_slice: opts.k_slice,
+            force_coarse_merge: false,
+            ragged,
         };
-        let split = lower_partitions(graph, parts, &singletons, &lower_opts)?;
-        let merged_proj = gc_tir::sim::project(&lowered.module, &opts.machine, 1);
-        let split_proj = gc_tir::sim::project(&split.module, &opts.machine, 1);
-        if std::env::var("GC_DEBUG_COARSE").is_ok() {
+        let mut lowered = lower_partitions(graph, parts, groups, &lower_opts)?;
+        if opts.coarse_fusion && lowered.merged_groups > 0 {
+            let singletons = gc_graph::CoarseGroups {
+                groups: groups
+                    .groups
+                    .iter()
+                    .flat_map(|g| g.iter().map(|&pi| vec![pi]).collect::<Vec<_>>())
+                    .collect(),
+            };
+            let split = lower_partitions(graph, parts, &singletons, &lower_opts)?;
+            let merged_proj = gc_tir::sim::project(&lowered.module, &opts.machine, 1);
+            let split_proj = gc_tir::sim::project(&split.module, &opts.machine, 1);
+            if std::env::var("GC_DEBUG_COARSE").is_ok() {
+                eprintln!(
+                    "[coarse] merged: total {:.0} comp {:.0} mem {:.0} sync {:.0} | split: total {:.0} comp {:.0} mem {:.0} sync {:.0}",
+                    merged_proj.cycles, merged_proj.compute_cycles, merged_proj.memory_cycles, merged_proj.sync_cycles,
+                    split_proj.cycles, split_proj.compute_cycles, split_proj.memory_cycles, split_proj.sync_cycles,
+                );
+            }
+            if split_proj.cycles < merged_proj.cycles {
+                lowered = split;
+            }
+        }
+        Ok(lowered)
+    };
+    let mut lowered = lower_once(opts.ragged)?;
+    // Ragged blocking is gated the same way as coarse fusion: the
+    // heuristic's analytic model favors dense microkernel tiles, but
+    // pack-time padding streams extra bytes — on memory-bound shapes
+    // the exact divisor-only plan can win. Re-lower with ragged off
+    // and keep whichever the projector prefers.
+    if opts.ragged && lowered.ragged_partitions > 0 {
+        let exact = lower_once(false)?;
+        let ragged_proj = gc_tir::sim::project(&lowered.module, &opts.machine, 1);
+        let exact_proj = gc_tir::sim::project(&exact.module, &opts.machine, 1);
+        if std::env::var("GC_DEBUG_RAGGED").is_ok() {
             eprintln!(
-                "[coarse] merged: total {:.0} comp {:.0} mem {:.0} sync {:.0} | split: total {:.0} comp {:.0} mem {:.0} sync {:.0}",
-                merged_proj.cycles, merged_proj.compute_cycles, merged_proj.memory_cycles, merged_proj.sync_cycles,
-                split_proj.cycles, split_proj.compute_cycles, split_proj.memory_cycles, split_proj.sync_cycles,
+                "[ragged] padded/edge: total {:.0} | divisor-only: total {:.0}",
+                ragged_proj.cycles, exact_proj.cycles,
             );
         }
-        if split_proj.cycles < merged_proj.cycles {
-            lowered = split;
+        if exact_proj.cycles < ragged_proj.cycles {
+            lowered = exact;
         }
     }
     let report = CompileReport {

@@ -180,6 +180,7 @@ pub fn choose_post_anchor(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::EdgePolicy;
 
     fn setup() -> (MachineDescriptor, MatmulParams, MatmulProblem) {
         let machine = MachineDescriptor::xeon_8358();
@@ -191,6 +192,7 @@ mod tests {
             kb: 64,
             bs: 2,
             kpn: 1,
+            edge: EdgePolicy::Pad,
         };
         let prob = MatmulProblem::new(512, 256, 512, 4);
         (machine, p, prob)
@@ -250,6 +252,7 @@ mod tests {
             kb: 64,
             bs: 2,
             kpn: 1,
+            edge: EdgePolicy::Pad,
         };
         let prob = MatmulProblem::new(128, 512, 8192, 4);
         assert_eq!(choose_a_pack(&machine, &p, &prob), PackPlacement::PerKChunk);

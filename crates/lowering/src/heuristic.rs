@@ -8,7 +8,7 @@
 //! which considers multi-core load balancing and single-core kernel
 //! efficiency."
 
-use crate::params::{divisors, MatmulParams, MatmulProblem};
+use crate::params::{divisors, EdgePolicy, MatmulParams, MatmulProblem};
 use gc_machine::{cost, MachineDescriptor};
 
 /// Constraints the surrounding graph imposes on the decomposition.
@@ -32,6 +32,19 @@ pub struct Constraints {
     /// the thread pool, split the reduction across extra workers with
     /// per-slice partial accumulators and a second reduction phase.
     pub allow_k_slice: bool,
+    /// Permit `MB` that does not divide m: the edge row of tiles is
+    /// zero-padded at pack time or clamped by tail kernels, per the
+    /// chosen [`EdgePolicy`]. Only safe when the lowering context can
+    /// emit clamped packs/stores (plain A input, plain output).
+    pub allow_ragged_m: bool,
+    /// Permit `NB` that does not divide n (pad-and-go only: the
+    /// prepacked weight and the int8 compensation are padded to whole
+    /// `NB` panels; the clamped output store drops the pad columns).
+    pub allow_ragged_n: bool,
+    /// Permit `KB` that does not divide k (pad-and-go only: both the
+    /// packed A tiles and the prepacked weight zero-fill the k tail, so
+    /// the padded products contribute zero to the accumulator).
+    pub allow_ragged_k: bool,
 }
 
 /// Pick template parameters for `problem` on `machine`.
@@ -42,9 +55,21 @@ pub fn choose_params(
     problem: &MatmulProblem,
     constraints: &Constraints,
 ) -> MatmulParams {
-    let mut m_tile_candidates = tile_candidates(problem.m, &[64, 48, 32, 16, 8, 4, 2, 1]);
-    let n_tile_candidates = tile_candidates(problem.n, &[64, 48, 32, 16, 8, 4, 2, 1]);
-    let mut k_tile_candidates = tile_candidates(problem.k, &[256, 128, 64, 32, 16, 8, 4, 2, 1]);
+    let mut m_tile_candidates = tile_candidates(
+        problem.m,
+        &[64, 48, 32, 16, 8, 4, 2, 1],
+        constraints.allow_ragged_m,
+    );
+    let n_tile_candidates = tile_candidates(
+        problem.n,
+        &[64, 48, 32, 16, 8, 4, 2, 1],
+        constraints.allow_ragged_n,
+    );
+    let mut k_tile_candidates = tile_candidates(
+        problem.k,
+        &[256, 128, 64, 32, 16, 8, 4, 2, 1],
+        constraints.allow_ragged_k,
+    );
     if let Some(f) = constraints.fixed_kb {
         if problem.k.is_multiple_of(f) && !k_tile_candidates.contains(&f) {
             k_tile_candidates.push(f);
@@ -63,16 +88,19 @@ pub fn choose_params(
                 continue;
             }
         }
-        let m_tiles = problem.m / mb;
+        let m_tiles = problem.m.div_ceil(mb);
+        let ragged_m = !problem.m.is_multiple_of(mb);
         for &nb in &n_tile_candidates {
-            let n_tiles = problem.n / nb;
+            let n_tiles = problem.n.div_ceil(nb);
+            let ragged_n = !problem.n.is_multiple_of(nb);
             for &kb in &k_tile_candidates {
                 if let Some(f) = constraints.fixed_kb {
                     if kb != f {
                         continue;
                     }
                 }
-                let k_tiles = problem.k / kb;
+                let k_tiles = problem.k.div_ceil(kb);
+                let ragged_k = !problem.k.is_multiple_of(kb);
                 for bs in divisors(k_tiles) {
                     if bs > 8 {
                         continue;
@@ -96,7 +124,12 @@ pub fn choose_params(
                                     // k-slicing only pays when the plain
                                     // decomposition underfills the pool,
                                     // and only up to a modest fan-out.
+                                    // The sliced template also has no
+                                    // edge-tile support.
                                     if !constraints.allow_k_slice
+                                        || ragged_m
+                                        || ragged_n
+                                        || ragged_k
                                         || tasks >= machine.cores
                                         || tasks * kpn > 4 * machine.cores
                                         || kpn > 16
@@ -104,18 +137,31 @@ pub fn choose_params(
                                         continue;
                                     }
                                 }
-                                let p = MatmulParams {
-                                    mpn,
-                                    npn,
-                                    mb,
-                                    nb,
-                                    kb,
-                                    bs,
-                                    kpn,
+                                // A ragged m is a real policy choice:
+                                // price pad-and-go against tail kernels
+                                // and keep the cheaper. K/N raggedness
+                                // is always pad-and-go (pack-time cost
+                                // only), so no policy fork there.
+                                let edges: &[EdgePolicy] = if ragged_m {
+                                    &[EdgePolicy::Pad, EdgePolicy::Tail]
+                                } else {
+                                    &[EdgePolicy::Pad]
                                 };
-                                let c = estimate_cycles(machine, problem, &p);
-                                if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
-                                    best = Some((c, p));
+                                for &edge in edges {
+                                    let p = MatmulParams {
+                                        mpn,
+                                        npn,
+                                        mb,
+                                        nb,
+                                        kb,
+                                        bs,
+                                        kpn,
+                                        edge,
+                                    };
+                                    let c = estimate_cycles(machine, problem, &p);
+                                    if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
+                                        best = Some((c, p));
+                                    }
                                 }
                             }
                         }
@@ -131,13 +177,20 @@ pub fn choose_params(
     p
 }
 
-/// Divisors of `dim` restricted to a preferred candidate list (plus 1 as
-/// a fallback and `dim` itself for prime dims like k=479).
-fn tile_candidates(dim: usize, prefer: &[usize]) -> Vec<usize> {
+/// Block-size candidates for one dimension.
+///
+/// Without `ragged`, only divisors of `dim` from the preferred list
+/// qualify (plus 1 as a fallback and `dim` itself for prime dims like
+/// k=479 — the degenerate blocking this PR's ragged mode exists to
+/// avoid). With `ragged`, every preferred size no larger than `dim`
+/// qualifies: the near-target non-divisors (e.g. `kb = 64` for k=479)
+/// cost a little pack-time padding but keep the microkernel on its
+/// tuned tile shape.
+fn tile_candidates(dim: usize, prefer: &[usize], ragged: bool) -> Vec<usize> {
     let mut out: Vec<usize> = prefer
         .iter()
         .copied()
-        .filter(|&b| b <= dim && dim.is_multiple_of(b))
+        .filter(|&b| b <= dim && (ragged || dim.is_multiple_of(b)))
         .collect();
     if out.is_empty() {
         out.push(crate::largest_divisor_at_most(
@@ -154,6 +207,12 @@ fn tile_candidates(dim: usize, prefer: &[usize]) -> Vec<usize> {
 
 /// Cost model for one instantiation: compute / balance + memory traffic
 /// + per-kernel overheads.
+///
+/// Ragged dimensions are priced physically: pad-and-go sweeps (and
+/// streams) the padded extents, wasting `pad/dim` of the work on dead
+/// rows/columns; the tail policy sweeps only the logical m rows but
+/// pays [`cost::tail_call_cycles`] on every brgemm call and runs the
+/// edge row of tiles on a narrower, less efficient register tile.
 pub fn estimate_cycles(
     machine: &MachineDescriptor,
     problem: &MatmulProblem,
@@ -162,18 +221,41 @@ pub fn estimate_cycles(
     // k-slicing widens the accumulation phase to `tasks * kpn` workers,
     // each sweeping a 1/kpn-deep slab of the reduction.
     let tasks = problem.batch * p.tasks() * p.kpn;
-    let eff = cost::microkernel_efficiency(machine, p.mb, p.nb, p.kb, p.bs, problem.elem_bytes);
+    let m_pad = p.m_tiles(problem.m) * p.mb;
+    let n_pad = p.n_tiles(problem.n) * p.nb;
+    let k_pad = p.ksn(problem.k) * p.kb;
+    let use_tail = p.edge == EdgePolicy::Tail && p.ragged_m(problem.m);
+    // Rows of C the microkernels actually sweep, and the blended
+    // efficiency: under the tail policy the edge tile row runs a
+    // partial-height register tile, so its rows move slower — weight
+    // the efficiencies by row counts (time adds harmonically).
+    let (rows, eff) = {
+        let eff_full =
+            cost::microkernel_efficiency(machine, p.mb, p.nb, p.kb, p.bs, problem.elem_bytes);
+        if use_tail {
+            let rem = problem.m % p.mb;
+            let eff_edge =
+                cost::microkernel_efficiency(machine, rem, p.nb, p.kb, p.bs, problem.elem_bytes);
+            let full_rows = (problem.m - rem) as f64;
+            let blended = problem.m as f64 / (full_rows / eff_full + rem as f64 / eff_edge);
+            (problem.m, blended)
+        } else {
+            (m_pad, eff_full)
+        }
+    };
     // Tasks beyond the core count just queue: the wall-clock is the
     // per-task cost times the number of waves.
     let waves = tasks.div_ceil(machine.cores) as f64;
-    let flops_per_task = problem.flops() / tasks as f64;
+    let flops = 2.0 * (problem.batch * rows * n_pad * k_pad) as f64;
+    let flops_per_task = flops / tasks as f64;
     let compute = waves * cost::compute_cycles(machine, flops_per_task, problem.elem_bytes, eff);
     // memory traffic per task. The single-core kernel walks: for each of
     // its MSN m-tiles, the whole task B slice (re-read each sweep, from
-    // whichever cache level holds it) and the m-tile's A panels.
+    // whichever cache level holds it) and the m-tile's A panels. Packed
+    // buffers hold the padded extents, so traffic is padded too.
     let msn = p.msn(problem.m).max(1);
     let nsn = p.nsn(problem.n).max(1);
-    let k_slice = problem.k / p.kpn;
+    let k_slice = k_pad / p.kpn;
     let a_bytes = (msn * p.mb * k_slice * problem.elem_bytes) as f64;
     let b_slice = (nsn * p.nb * k_slice * problem.elem_bytes) as f64;
     let c_bytes = (msn * p.mb * nsn * p.nb * 4) as f64;
@@ -188,10 +270,27 @@ pub fn estimate_cycles(
             cost::stream_cycles(machine, bytes)
         }
     };
-    let mem = waves * (tier(a_bytes) + msn as f64 * tier(b_slice) + tier(c_bytes));
-    // per-microkernel-call fixed overhead
+    // Splitting the reduction into several k-chunks accumulates into C
+    // with beta=1: every chunk past the first re-reads and re-writes
+    // the task's C tile. With the whole accumulator state in flight the
+    // traffic rarely stays L1-resident, so this is what makes a deep
+    // single chunk (even one slightly over L1) beat many shallow ones.
+    let chunks = p.k_chunks_slice(problem.k).max(1) as f64;
+    let mem = waves
+        * (tier(a_bytes)
+            + msn as f64 * tier(b_slice)
+            + tier(c_bytes)
+            + (chunks - 1.0) * 2.0 * tier(c_bytes));
+    // per-microkernel-call fixed overhead; clamped (tail) calls pay the
+    // extra clamp/dispatch cost on every call — the template has no
+    // branches, so interior tiles also route through the tail entry.
     let calls = waves * (msn * nsn * p.k_chunks_slice(problem.k).max(1)) as f64;
-    let mut cycles = compute.max(mem) + calls * 40.0 + cost::barrier_cycles(machine);
+    let per_call = if use_tail {
+        40.0 + cost::tail_call_cycles(machine)
+    } else {
+        40.0
+    };
+    let mut cycles = compute.max(mem) + calls * per_call + cost::barrier_cycles(machine);
     if p.kpn > 1 {
         // second parallel phase: each (m, n) task folds its kpn partial
         // accumulators and runs the epilogue — dominated by re-reading
@@ -247,6 +346,8 @@ pub fn choose_params_library(
                                 continue;
                             }
                             // the library menu has no k-sliced kernels
+                            // and no edge-tile kernels (divisor-only
+                            // blocking, like a fixed primitive set)
                             let p = MatmulParams {
                                 mpn,
                                 npn,
@@ -255,6 +356,7 @@ pub fn choose_params_library(
                                 kb,
                                 bs,
                                 kpn: 1,
+                                edge: EdgePolicy::Pad,
                             };
                             let c = estimate_cycles(machine, problem, &p);
                             if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
@@ -355,13 +457,95 @@ mod tests {
     }
 
     #[test]
-    fn prime_k_gets_degenerate_blocking() {
+    fn prime_k_degenerate_without_ragged_near_target_with() {
         let machine = xeon();
-        let prob = MatmulProblem::new(256, 1024, 479, 1);
+        let ragged_c = Constraints {
+            allow_ragged_m: true,
+            allow_ragged_n: true,
+            allow_ragged_k: true,
+            ..Constraints::default()
+        };
+        // f32: a prime k = 479 forces kb = 1 (no reduction depth) or
+        // kb = 479 (a 61 KB working set that blows L1) on the
+        // divisor-only search.
+        let prob = MatmulProblem::new(256, 1024, 479, 4);
         let p = choose_params(&machine, &prob, &Constraints::default());
-        // 479 is prime: kb must be 1 or 479
         assert!(p.kb == 1 || p.kb == 479, "{p:?}");
         p.validate(&prob).unwrap();
+        // With ragged k allowed, the search takes a near-target block
+        // with a zero-padded remainder tile instead of the degenerate
+        // extremes: e.g. 479 = 7*64 + 31 wastes 6.9% of the k sweep
+        // but keeps the microkernel's working set cache-resident.
+        let ragged = choose_params(&machine, &prob, &ragged_c);
+        ragged.validate(&prob).unwrap();
+        assert!(
+            ragged.kb != 1 && ragged.kb != 479,
+            "ragged search must escape degenerate prime blocking, got {ragged:?}"
+        );
+        assert!(
+            (16..=256).contains(&ragged.kb),
+            "near-target kb expected, got {ragged:?}"
+        );
+        assert!(
+            estimate_cycles(&machine, &prob, &ragged) < estimate_cycles(&machine, &prob, &p),
+            "padded blocking must beat degenerate blocking in the model"
+        );
+        // int8 halves the working set, so kb = 479 fits L1 and stays
+        // legitimately competitive — the ragged search considers a
+        // superset of candidates, so it can never do worse.
+        let prob_i8 = MatmulProblem::new(256, 1024, 479, 1);
+        let p_i8 = choose_params(&machine, &prob_i8, &Constraints::default());
+        let ragged_i8 = choose_params(&machine, &prob_i8, &ragged_c);
+        ragged_i8.validate(&prob_i8).unwrap();
+        assert!(
+            estimate_cycles(&machine, &prob_i8, &ragged_i8)
+                <= estimate_cycles(&machine, &prob_i8, &p_i8)
+        );
+    }
+
+    /// The pad-vs-tail decision must flip with the edge-tile size: a
+    /// nearly-full edge tile (m = 255, rem 31 of mb = 32 — 0.4% padded
+    /// rows) is cheapest padded, while a nearly-empty one (m = 257,
+    /// rem 1 — 10.8% padded rows) is cheapest with tail kernels. These
+    /// pins hold the selection boundary in place: if the cost model's
+    /// tail overhead or padded-FLOP pricing drifts, one of them trips.
+    #[test]
+    fn pad_vs_tail_flips_on_edge_tile_fill() {
+        let machine = xeon();
+        let c = Constraints {
+            allow_ragged_m: true,
+            fixed_mb: Some(32),
+            ..Constraints::default()
+        };
+        let nearly_full = MatmulProblem::new(255, 512, 512, 4);
+        let p_full = choose_params(&machine, &nearly_full, &c);
+        p_full.validate(&nearly_full).unwrap();
+        assert!(p_full.ragged_m(nearly_full.m));
+        assert_eq!(
+            p_full.edge,
+            EdgePolicy::Pad,
+            "rem 31/32 edge should pad, got {p_full:?}"
+        );
+        let nearly_empty = MatmulProblem::new(257, 512, 512, 4);
+        let p_empty = choose_params(&machine, &nearly_empty, &c);
+        p_empty.validate(&nearly_empty).unwrap();
+        assert!(p_empty.ragged_m(nearly_empty.m));
+        assert_eq!(
+            p_empty.edge,
+            EdgePolicy::Tail,
+            "rem 1/32 edge should use tail kernels, got {p_empty:?}"
+        );
+    }
+
+    #[test]
+    fn ragged_flags_off_keeps_divisor_blocking() {
+        let machine = xeon();
+        let prob = MatmulProblem::new(500, 512, 512, 4);
+        let p = choose_params(&machine, &prob, &Constraints::default());
+        assert!(
+            prob.m.is_multiple_of(p.mb),
+            "without allow_ragged_m the blocking must stay exact, got {p:?}"
+        );
     }
 
     #[test]
@@ -472,6 +656,7 @@ mod tests {
             kb: 64,
             bs: 2,
             kpn: 1,
+            edge: EdgePolicy::Pad,
         };
         let bad = MatmulParams {
             mpn: 1,
@@ -481,6 +666,7 @@ mod tests {
             kb: 1,
             bs: 1,
             kpn: 1,
+            edge: EdgePolicy::Pad,
         };
         assert!(estimate_cycles(&machine, &prob, &good) < estimate_cycles(&machine, &prob, &bad));
     }

@@ -91,6 +91,13 @@ pub struct LowerOptions {
     /// what the merged path would cost where the cost model prefers
     /// split schedules).
     pub force_coarse_merge: bool,
+    /// Allow ragged (non-divisor) tile sizes for blocked-weight matmuls:
+    /// edge tiles are zero-padded at pack time (K/N, and M under
+    /// [`crate::EdgePolicy::Pad`]) or clamped by tail kernels (M under
+    /// [`crate::EdgePolicy::Tail`]). Off = the heuristic only considers
+    /// exact divisors of each dimension (ablation: degenerate blocking
+    /// on prime dims).
+    pub ragged: bool,
 }
 
 impl LowerOptions {
@@ -109,6 +116,7 @@ impl LowerOptions {
             library_params: false,
             k_slice: true,
             force_coarse_merge: false,
+            ragged: true,
         }
     }
 }
@@ -124,6 +132,11 @@ pub struct Lowered {
     pub weight_seeds: Vec<(usize, Tensor)>,
     /// Number of merged coarse groups (diagnostics).
     pub merged_groups: usize,
+    /// Number of tunable partitions whose chosen params tile some axis
+    /// raggedly (pack-time padding / edge tiles in play). Lets the
+    /// pipeline's projection gate know a divisor-only re-lowering could
+    /// produce a different plan worth comparing.
+    pub ragged_partitions: usize,
 }
 
 struct Builder<'g> {
@@ -270,6 +283,14 @@ pub fn lower_partitions(
         }
     }
 
+    let ragged_partitions = plans
+        .values()
+        .filter(|p| {
+            let (prob, par) = (&p.spec.problem, &p.spec.params);
+            par.ragged_m(prob.m) || par.ragged_n(prob.n) || par.ragged_k(prob.k)
+        })
+        .count();
+
     // -- lower main partitions group by group
     let mut merged_groups = 0usize;
     for group in &groups.groups {
@@ -346,6 +367,7 @@ pub fn lower_partitions(
         module: b.module,
         weight_seeds: b.weight_seeds,
         merged_groups,
+        ragged_partitions,
     })
 }
 
@@ -416,9 +438,15 @@ impl Builder<'_> {
         let plain_g = self.global_for(w);
         let layout = Layout::blocked_b(desc.rank(), kb, nb);
         let func = lower_reorder(&desc, &layout, &format!("prepack_w{}", w.0));
+        // pack-time padding: the blocked buffer holds whole [KB, NB]
+        // tiles even when the blocks do not divide K/N (pad is zero)
+        let shape = desc.shape();
+        let (k, n) = (shape[shape.len() - 2], shape[shape.len() - 1]);
+        let wbatch = desc.volume() / (k * n);
+        let padded = wbatch * k.div_ceil(kb) * kb * n.div_ceil(nb) * nb;
         let persistent = self.module.add_global(GlobalDecl {
             dtype: desc.dtype(),
-            elems: desc.volume(),
+            elems: padded,
             kind: GlobalKind::Persistent,
             name: format!("{}_blocked", self.graph.tensor(w).name),
         });
@@ -441,9 +469,13 @@ impl Builder<'_> {
         let desc = self.desc(w);
         let shape = desc.shape();
         let (k, n) = (shape[shape.len() - 2], shape[shape.len() - 1]);
+        // sized to the padded weight: one i32 per packed column; pad
+        // columns hold zero-weight sums, i.e. zero
+        let (k_tiles, n_tiles) = (k.div_ceil(kb), n.div_ceil(nb));
+        let n_pad = n_tiles * nb;
         let comp_g = self.module.add_global(GlobalDecl {
             dtype: DataType::I32,
-            elems: n,
+            elems: n_pad,
             kind: GlobalKind::Persistent,
             name: format!("{}_comp", self.graph.tensor(w).name),
         });
@@ -451,8 +483,8 @@ impl Builder<'_> {
         let mut f = Func {
             name: format!("comp_w{}", w.0),
             params: vec![
-                BufDecl::new(DataType::I8, k * n, "wb"),
-                BufDecl::new(DataType::I32, n, "comp"),
+                BufDecl::new(DataType::I8, k_tiles * kb * n_pad, "wb"),
+                BufDecl::new(DataType::I32, n_pad, "comp"),
             ],
             locals: vec![],
             var_count: 0,
@@ -460,9 +492,8 @@ impl Builder<'_> {
         };
         let kt = f.fresh_var();
         let nt = f.fresh_var();
-        let (k_tiles, n_tiles) = (k / kb, n / nb);
         f.body.push(Stmt::Op(Intrinsic::ZeroI32 {
-            dst: View::new(BufId::Param(1), 0usize, n),
+            dst: View::new(BufId::Param(1), 0usize, n_pad),
         }));
         f.body.push(Stmt::loop_(
             kt,
@@ -697,6 +728,21 @@ impl Builder<'_> {
                 && matches!(b_input, BInput::BlockedWeight),
             ..Constraints::default()
         };
+        // Edge-tile (ragged) eligibility: only the prepacked blocked-
+        // weight path has pad-to-tile storage, and only operand shapes
+        // that never read past the logical edge survive a pad. Grouped
+        // members share fixed decompositions, so they stay exact.
+        let has_full = post_ops
+            .iter()
+            .any(|p| matches!(p, PostOpSpec::BinaryFull { .. }));
+        let has_rowvec = post_ops
+            .iter()
+            .any(|p| matches!(p, PostOpSpec::BinaryRowVec { .. }));
+        let ragged_ok =
+            self.opts.ragged && matches!(b_input, BInput::BlockedWeight) && !has_reduce && !grouped;
+        constraints.allow_ragged_m = ragged_ok && !has_full;
+        constraints.allow_ragged_n = ragged_ok && !has_full && !has_rowvec;
+        constraints.allow_ragged_k = ragged_ok;
         if grouped {
             if group_mb.is_none() {
                 let (mb, tasks) = group_decomposition(machine, batch, m, self.opts.k_slice);
@@ -744,6 +790,11 @@ impl Builder<'_> {
                 let mut blocked = constraints;
                 blocked.fixed_mb = Some(prev.spec.params.mb);
                 blocked.fixed_kb = Some(prev.spec.params.nb);
+                // the blocked-A chain reads the producer's exact tiles;
+                // no clamped packs exist on that path
+                blocked.allow_ragged_m = false;
+                blocked.allow_ragged_n = false;
+                blocked.allow_ragged_k = false;
                 // pinned MB/KB may be infeasible together with a fixed
                 // group task count; fall back to plain if so
                 let feasible = problem.m.is_multiple_of(prev.spec.params.mb)
@@ -1259,6 +1310,94 @@ pub(crate) fn map_intrinsic_bufs(i: Intrinsic, f: &impl Fn(BufId) -> BufId) -> I
             dst_col_stride,
             rows,
             cols,
+        },
+        I::Pack2DPad {
+            src,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        } => I::Pack2DPad {
+            src: f(src),
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst: mv(dst),
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        },
+        I::Unpack2DClamp {
+            src,
+            dst,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        } => I::Unpack2DClamp {
+            src: mv(src),
+            dst: f(dst),
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        },
+        I::BrgemmF32Tail {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        } => I::BrgemmF32Tail {
+            a: mv(a),
+            a_stride,
+            b: mv(b),
+            b_stride,
+            c: mv(c),
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        },
+        I::BrgemmU8I8Tail {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        } => I::BrgemmU8I8Tail {
+            a: mv(a),
+            a_stride,
+            b: mv(b),
+            b_stride,
+            c: mv(c),
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
         },
         I::Unary { op, src, dst } => I::Unary {
             op,

@@ -6,6 +6,28 @@
 //! iterations whose innermost body calls a batch-reduce GEMM microkernel
 //! over `[MB, NB, KB]` tiles with batch size `BS`.
 
+/// How the template handles a ragged m edge (`m % MB != 0`).
+///
+/// K and N raggedness always use pad-and-go: the prepacked weight is
+/// zero-padded to whole `[KB, NB]` tiles at pack time (a one-off
+/// constant-fold cost), so the steady-state loops never see a partial
+/// B tile. The m axis is the runtime-activation axis, so both policies
+/// are real choices and the heuristic prices them against each other.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EdgePolicy {
+    /// Zero-pad the packed A edge tile to full `MB` rows and run only
+    /// full-size microkernels; the clamped output store discards the
+    /// pad rows. Wastes `MB - m % MB` rows of compute on the edge row
+    /// of tiles but keeps every brgemm call on the hot path.
+    #[default]
+    Pad,
+    /// Emit clamped (tail) brgemm calls that compute only the valid
+    /// rows. No wasted FLOPs, but every call pays a small clamp /
+    /// dispatch overhead (the template has no branches, so interior
+    /// tiles also route through the clamped entry point).
+    Tail,
+}
+
 /// Instantiation parameters of the matmul template.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MatmulParams {
@@ -26,6 +48,9 @@ pub struct MatmulParams {
     /// per `(m, n)` task, each producing a partial accumulator that a
     /// second parallel phase reduces and feeds into the epilogue.
     pub kpn: usize,
+    /// Edge policy for a ragged m (`m % mb != 0`); irrelevant (and
+    /// conventionally [`EdgePolicy::Pad`]) when mb divides m.
+    pub edge: EdgePolicy,
 }
 
 /// A matmul problem to lower: `batch` independent `[m, k] x [k, n]`
@@ -74,19 +99,47 @@ impl MatmulProblem {
 }
 
 impl MatmulParams {
+    /// m-tiles total, counting a partial edge tile as whole (the pack
+    /// stage pads it to full `MB` rows).
+    pub fn m_tiles(&self, m: usize) -> usize {
+        m.div_ceil(self.mb)
+    }
+
+    /// n-tiles total, counting a partial edge tile as whole.
+    pub fn n_tiles(&self, n: usize) -> usize {
+        n.div_ceil(self.nb)
+    }
+
+    /// True iff `mb` does not divide m (a padded or tail edge tile row
+    /// exists).
+    pub fn ragged_m(&self, m: usize) -> bool {
+        !m.is_multiple_of(self.mb)
+    }
+
+    /// True iff `nb` does not divide n.
+    pub fn ragged_n(&self, n: usize) -> bool {
+        !n.is_multiple_of(self.nb)
+    }
+
+    /// True iff `kb` does not divide k.
+    pub fn ragged_k(&self, k: usize) -> bool {
+        !k.is_multiple_of(self.kb)
+    }
+
     /// m-tiles per single-core kernel (`MSN`).
     pub fn msn(&self, m: usize) -> usize {
-        m / self.mb / self.mpn
+        self.m_tiles(m) / self.mpn
     }
 
     /// n-tiles per single-core kernel (`NSN`).
     pub fn nsn(&self, n: usize) -> usize {
-        n / self.nb / self.npn
+        self.n_tiles(n) / self.npn
     }
 
-    /// k-tiles total (`KSN`).
+    /// k-tiles total (`KSN`), counting a partial (zero-padded) edge
+    /// tile as whole.
     pub fn ksn(&self, k: usize) -> usize {
-        k / self.kb
+        k.div_ceil(self.kb)
     }
 
     /// Microkernel invocations in one k-sweep (`KSN / BS`).
@@ -114,7 +167,15 @@ impl MatmulParams {
         self.k_chunks(k) / self.kpn
     }
 
-    /// Check the parameters exactly tile the problem.
+    /// Check the parameters tile the problem.
+    ///
+    /// Tiling is *ceil-based*: a dimension that is not a multiple of
+    /// its block still validates — the edge tile is zero-padded at pack
+    /// time (or, for m under [`EdgePolicy::Tail`], clamped at run
+    /// time) — but the resulting whole-tile counts must divide evenly
+    /// across the parallel decomposition. K-slicing (`kpn > 1`) keeps
+    /// the strict rules: the sliced template splits the reduction by
+    /// exact arithmetic on all three axes and has no edge-tile support.
     pub fn validate(&self, p: &MatmulProblem) -> Result<(), String> {
         let MatmulParams {
             mpn,
@@ -124,34 +185,40 @@ impl MatmulParams {
             kb,
             bs,
             kpn,
+            edge: _,
         } = *self;
         if mb == 0 || nb == 0 || kb == 0 || bs == 0 || mpn == 0 || npn == 0 || kpn == 0 {
             return Err("zero parameter".to_string());
         }
-        if !p.m.is_multiple_of(mb) {
-            return Err(format!("mb {mb} does not divide m {}", p.m));
+        if kpn > 1 {
+            if !p.m.is_multiple_of(mb) {
+                return Err(format!("k-sliced: mb {mb} does not divide m {}", p.m));
+            }
+            if !p.n.is_multiple_of(nb) {
+                return Err(format!("k-sliced: nb {nb} does not divide n {}", p.n));
+            }
+            if !p.k.is_multiple_of(kb) {
+                return Err(format!("k-sliced: kb {kb} does not divide k {}", p.k));
+            }
         }
-        if !p.n.is_multiple_of(nb) {
-            return Err(format!("nb {nb} does not divide n {}", p.n));
+        let m_tiles = p.m.div_ceil(mb);
+        let n_tiles = p.n.div_ceil(nb);
+        let k_tiles = p.k.div_ceil(kb);
+        if !m_tiles.is_multiple_of(mpn) {
+            return Err(format!("mpn {mpn} does not divide m-tiles {m_tiles}"));
         }
-        if !p.k.is_multiple_of(kb) {
-            return Err(format!("kb {kb} does not divide k {}", p.k));
+        if !n_tiles.is_multiple_of(npn) {
+            return Err(format!("npn {npn} does not divide n-tiles {n_tiles}"));
         }
-        if !(p.m / mb).is_multiple_of(mpn) {
-            return Err(format!("mpn {mpn} does not divide m-tiles {}", p.m / mb));
-        }
-        if !(p.n / nb).is_multiple_of(npn) {
-            return Err(format!("npn {npn} does not divide n-tiles {}", p.n / nb));
-        }
-        if !(p.k / kb).is_multiple_of(bs) {
-            return Err(format!("bs {bs} does not divide k-tiles {}", p.k / kb));
+        if !k_tiles.is_multiple_of(bs) {
+            return Err(format!("bs {bs} does not divide k-tiles {k_tiles}"));
         }
         // Each k-slice must hold a whole number of brgemm chunks so the
         // sliced sweep is `k_chunks / kpn` full-width microkernel calls.
-        if !(p.k / kb).is_multiple_of(bs * kpn) {
+        if !k_tiles.is_multiple_of(bs * kpn) {
             return Err(format!(
                 "kpn {kpn} does not evenly slice k-chunks {}",
-                (p.k / kb) / bs
+                k_tiles / bs
             ));
         }
         Ok(())
@@ -179,6 +246,7 @@ mod tests {
             kb: 64,
             bs: 2,
             kpn: 1,
+            edge: EdgePolicy::Pad,
         };
         // M=512: 16 m-tiles, 4 per kernel; N=256: 8 n-tiles, 4 per kernel
         assert_eq!(p.msn(512), 4);
@@ -189,7 +257,7 @@ mod tests {
     }
 
     #[test]
-    fn validate_catches_non_divisible() {
+    fn validate_is_ceil_based() {
         let p = MatmulParams {
             mpn: 4,
             npn: 1,
@@ -198,11 +266,40 @@ mod tests {
             kb: 64,
             bs: 2,
             kpn: 1,
+            edge: EdgePolicy::Pad,
         };
         let prob = MatmulProblem::new(512, 256, 256, 4);
         p.validate(&prob).unwrap();
-        let bad = MatmulProblem::new(500, 256, 256, 4);
+        // m = 500 is ragged (500 = 15*32 + 20) but its 16 whole-or-
+        // padded tiles still split 4 ways — valid under ceil tiling.
+        let ragged = MatmulProblem::new(500, 256, 256, 4);
+        p.validate(&ragged).unwrap();
+        assert!(p.ragged_m(500) && !p.ragged_n(256) && !p.ragged_k(256));
+        assert_eq!(p.m_tiles(500), 16);
+        // m = 420 gives ceil(420/32) = 14 tiles, not divisible by 4.
+        let bad = MatmulProblem::new(420, 256, 256, 4);
         assert!(p.validate(&bad).is_err());
+    }
+
+    #[test]
+    fn validate_k_sliced_requires_exact_tiling() {
+        let p = MatmulParams {
+            mpn: 2,
+            npn: 1,
+            mb: 32,
+            nb: 32,
+            kb: 64,
+            bs: 1,
+            kpn: 2,
+            edge: EdgePolicy::Pad,
+        };
+        p.validate(&MatmulProblem::new(128, 256, 256, 4)).unwrap();
+        // Ragged m validates at kpn = 1 but must be rejected once the
+        // reduction is k-sliced (the sliced template has no edge tiles).
+        let ragged = MatmulProblem::new(100, 256, 256, 4);
+        assert!(p.validate(&ragged).is_err());
+        let unsliced = MatmulParams { kpn: 1, ..p };
+        unsliced.validate(&ragged).unwrap();
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use gc_graph::{BinaryKind, OpKind, ReduceKind, UnaryKind};
 use gc_microkernel::{BinaryOp, UnaryOp};
 use gc_tensor::{DataType, Layout, TensorDesc};
-use gc_tir::{BufDecl, BufId, Expr, Func, Intrinsic, ReduceOp, Stmt, View};
+use gc_tir::{AxisClamp, BufDecl, BufId, Expr, Func, Intrinsic, ReduceOp, Stmt, View};
 
 /// Map graph unary kinds to microkernel ops.
 pub fn unary_op(k: UnaryKind) -> UnaryOp {
@@ -343,6 +343,13 @@ fn lower_standalone_binary(
 }
 
 /// Lower a reorder between plain and the canonical blocked layouts.
+///
+/// The plain → blocked-weight direction supports *ragged* shapes: when
+/// `KB` or `NB` does not divide the weight's K or N, the edge tiles are
+/// zero-padded (pack-time padding), the output buffer holds the padded
+/// `ceil(K/KB)*KB x ceil(N/NB)*NB` extent, and the steady-state matmul
+/// loops only ever see whole tiles. All other directions require exact
+/// divisibility.
 pub fn lower_reorder(input: &TensorDesc, target: &Layout, name: &str) -> Func {
     let shape = input.shape();
     let rank = shape.len();
@@ -352,12 +359,23 @@ pub fn lower_reorder(input: &TensorDesc, target: &Layout, name: &str) -> Func {
     let batch: usize = shape[..rank - 2].iter().product();
     let elems = input.volume();
     let dtype = input.dtype();
+    let out_elems = match (input.layout(), target) {
+        (Layout::Plain, Layout::Blocked(_)) => {
+            let (rb, cb, b_is_weight) = blocked_factors(target, rank, rows_dim, cols_dim);
+            if b_is_weight {
+                batch * rows_dim.div_ceil(rb) * rb * cols_dim.div_ceil(cb) * cb
+            } else {
+                elems
+            }
+        }
+        _ => elems,
+    };
 
     let mut f = Func {
         name: name.to_string(),
         params: vec![
             BufDecl::new(dtype, elems, "in"),
-            BufDecl::new(dtype, elems, "out"),
+            BufDecl::new(dtype, out_elems, "out"),
         ],
         locals: vec![],
         var_count: 0,
@@ -369,8 +387,13 @@ pub fn lower_reorder(input: &TensorDesc, target: &Layout, name: &str) -> Func {
     match (input.layout(), target) {
         (Layout::Plain, Layout::Blocked(_)) => {
             let (rb, cb, b_is_weight) = blocked_factors(target, rank, rows_dim, cols_dim);
-            let r_tiles = rows_dim / rb;
-            let c_tiles = cols_dim / cb;
+            let ragged =
+                b_is_weight && (!rows_dim.is_multiple_of(rb) || !cols_dim.is_multiple_of(cb));
+            let (r_tiles, c_tiles) = if b_is_weight {
+                (rows_dim.div_ceil(rb), cols_dim.div_ceil(cb))
+            } else {
+                (rows_dim / rb, cols_dim / cb)
+            };
             // For blocked_a: dst tile (rt, ct) holds rows-major [rb, cb]
             // For blocked_b (weight): dst tile (rt, ct) holds [cb_n][rb_k]
             // panels; here rows_dim=K, cols_dim=N, tile [NB, KB].
@@ -406,10 +429,6 @@ pub fn lower_reorder(input: &TensorDesc, target: &Layout, name: &str) -> Func {
                 // inner indexes (kt * n_tiles + nt)
                 let kt = Expr::v(inner).div_floor(c_tiles);
                 let nt = Expr::v(inner).rem_of(c_tiles);
-                let src_off = Expr::v(tvar)
-                    .mul(Expr::from(rows_dim * cols_dim))
-                    .add(kt.mul(Expr::from(rb * cols_dim)))
-                    .add(nt.mul(Expr::from(cb)));
                 let dst = View::new(
                     BufId::Param(1),
                     Expr::v(tvar)
@@ -418,15 +437,37 @@ pub fn lower_reorder(input: &TensorDesc, target: &Layout, name: &str) -> Func {
                         .mul(Expr::from(rb * cb)),
                     rb * cb,
                 );
-                Intrinsic::Pack2D {
-                    src: BufId::Param(0),
-                    src_offset: src_off,
-                    // dst[r=n][c=k] = src[(kt*KB + c)*N + nt*NB + r]
-                    src_row_stride: 1,
-                    src_col_stride: cols_dim,
-                    dst,
-                    rows: cb,
-                    cols: rb,
+                if ragged {
+                    // pack-time padding: edge tiles zero-fill the
+                    // out-of-range region so the matmul's steady-state
+                    // loops only see whole [NB, KB] tiles
+                    Intrinsic::Pack2DPad {
+                        src: BufId::Param(0),
+                        src_offset: Expr::v(tvar).mul(Expr::from(rows_dim * cols_dim)),
+                        // dst[r=n][c=k] = src[(kt*KB + c)*N + nt*NB + r]
+                        src_row_stride: 1,
+                        src_col_stride: cols_dim,
+                        dst,
+                        rows: cb,
+                        cols: rb,
+                        row_clamp: AxisClamp::new(nt.mul(Expr::from(cb)), cols_dim),
+                        col_clamp: AxisClamp::new(kt.mul(Expr::from(rb)), rows_dim),
+                    }
+                } else {
+                    let src_off = Expr::v(tvar)
+                        .mul(Expr::from(rows_dim * cols_dim))
+                        .add(kt.mul(Expr::from(rb * cols_dim)))
+                        .add(nt.mul(Expr::from(cb)));
+                    Intrinsic::Pack2D {
+                        src: BufId::Param(0),
+                        src_offset: src_off,
+                        // dst[r=n][c=k] = src[(kt*KB + c)*N + nt*NB + r]
+                        src_row_stride: 1,
+                        src_col_stride: cols_dim,
+                        dst,
+                        rows: cb,
+                        cols: rb,
+                    }
                 }
             };
             f.body.push(Stmt::parallel(

@@ -23,11 +23,11 @@
 //! ```
 
 use crate::anchors::{choose_a_pack, PackPlacement, PostOpAnchor};
-use crate::params::{MatmulParams, MatmulProblem};
+use crate::params::{EdgePolicy, MatmulParams, MatmulProblem};
 use gc_machine::MachineDescriptor;
 use gc_microkernel::{BinaryOp, UnaryOp};
 use gc_tensor::DataType;
-use gc_tir::{BufDecl, BufId, Expr, Func, Intrinsic, ReduceOp, Stmt, VarId, View};
+use gc_tir::{AxisClamp, BufDecl, BufId, Expr, Func, Intrinsic, ReduceOp, Stmt, VarId, View};
 
 /// Int8 epilogue attributes (from the low-precision conversion).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -189,6 +189,40 @@ struct Ctx {
     tasks_per_mat: usize,
     total_tasks: usize,
     int8: Option<Int8Spec>,
+    // edge-tile state: which axes have a partial (padded or clamped)
+    // edge tile. Tile counts above are ceil-based, so when a flag is
+    // set the corresponding `*_tiles * block` exceeds the logical size.
+    ragged_m: bool,
+    ragged_n: bool,
+    ragged_k: bool,
+}
+
+impl Ctx {
+    fn new(prob: &MatmulProblem, p: MatmulParams, int8: Option<Int8Spec>) -> Self {
+        Ctx {
+            m: prob.m,
+            n: prob.n,
+            k: prob.k,
+            batch: prob.batch,
+            p,
+            msn: p.msn(prob.m),
+            nsn: p.nsn(prob.n),
+            kch: p.k_chunks(prob.k),
+            m_tiles: p.m_tiles(prob.m),
+            n_tiles: p.n_tiles(prob.n),
+            k_tiles: p.ksn(prob.k),
+            tasks_per_mat: p.tasks(),
+            total_tasks: prob.batch * p.tasks(),
+            int8,
+            ragged_m: p.ragged_m(prob.m),
+            ragged_n: p.ragged_n(prob.n),
+            ragged_k: p.ragged_k(prob.k),
+        }
+    }
+
+    fn ragged(&self) -> bool {
+        self.ragged_m || self.ragged_n || self.ragged_k
+    }
 }
 
 /// Lower one [`MatmulSpec`] into a Tensor IR function.
@@ -215,22 +249,54 @@ pub fn lower_matmul(machine: &MachineDescriptor, spec: &MatmulSpec, name: &str) 
 
     let p = spec.params;
     let prob = spec.problem;
-    let ctx = Ctx {
-        m: prob.m,
-        n: prob.n,
-        k: prob.k,
-        batch: prob.batch,
-        p,
-        msn: p.msn(prob.m),
-        nsn: p.nsn(prob.n),
-        kch: p.k_chunks(prob.k),
-        m_tiles: prob.m / p.mb,
-        n_tiles: prob.n / p.nb,
-        k_tiles: prob.k / p.kb,
-        tasks_per_mat: p.tasks(),
-        total_tasks: prob.batch * p.tasks(),
-        int8: spec.int8,
-    };
+    let ctx = Ctx::new(&prob, p, spec.int8);
+    if ctx.ragged() {
+        // Edge tiles exist only on the padded-blocked-weight fast path:
+        // B must already be zero-padded to whole [KB, NB] tiles (the
+        // pack-time padding done by the weight prepack), A is packed
+        // through the zero-filling Pack2DPad, and the plain output is
+        // written through the clamped unpack. Every other combination
+        // still requires exact divisibility.
+        assert!(
+            matches!(spec.b_input, BInput::BlockedWeight),
+            "ragged shapes require a prepacked (pad-to-tile) blocked weight"
+        );
+        assert!(
+            matches!(spec.a_input, AInput::Plain),
+            "ragged shapes require a plain activation input"
+        );
+        assert!(
+            !has_reduce,
+            "ragged shapes do not support reduction post-ops"
+        );
+    }
+    if ctx.ragged_m || ctx.ragged_n {
+        // A ragged k only pads the reduction (zero products); ragged m/n
+        // additionally put pad rows/columns in C, which only the plain
+        // clamped output store can discard.
+        assert_eq!(
+            spec.out,
+            OutLayout::Plain,
+            "ragged m/n edges require a plain output layout"
+        );
+        assert!(
+            !spec
+                .post_ops
+                .iter()
+                .any(|q| matches!(q, PostOpSpec::BinaryFull { .. })),
+            "full-tensor binary post-ops cannot read past the logical edge"
+        );
+    }
+    if ctx.ragged_n {
+        assert!(
+            !spec.bias
+                && !spec
+                    .post_ops
+                    .iter()
+                    .any(|q| matches!(q, PostOpSpec::BinaryRowVec { .. })),
+            "row-vector operands are sized [N] and cannot cover a padded n edge"
+        );
+    }
 
     let acc_dtype = if spec.int8.is_some() {
         DataType::I32
@@ -448,8 +514,10 @@ pub fn lower_matmul(machine: &MachineDescriptor, spec: &MatmulSpec, name: &str) 
             .mul(Expr::from(tile)),
         tile,
     );
-    let brgemm = if spec.int8.is_some() {
-        Intrinsic::BrgemmU8I8 {
+    let use_tail = ctx.ragged_m && p.edge == EdgePolicy::Tail;
+    let m_clamp = || AxisClamp::new(e.mpsi(msi).mul(Expr::from(p.mb)), ctx.m);
+    let brgemm = match (spec.int8.is_some(), use_tail) {
+        (true, false) => Intrinsic::BrgemmU8I8 {
             a: a_view_stride.0.clone(),
             a_stride: a_view_stride.1,
             b: b_view,
@@ -459,9 +527,20 @@ pub fn lower_matmul(machine: &MachineDescriptor, spec: &MatmulSpec, name: &str) 
             n: p.nb,
             k: p.kb,
             batch: p.bs,
-        }
-    } else {
-        Intrinsic::BrgemmF32 {
+        },
+        (true, true) => Intrinsic::BrgemmU8I8Tail {
+            a: a_view_stride.0.clone(),
+            a_stride: a_view_stride.1,
+            b: b_view,
+            b_stride,
+            c: c_tile_view,
+            m: p.mb,
+            n: p.nb,
+            k: p.kb,
+            batch: p.bs,
+            m_clamp: m_clamp(),
+        },
+        (false, false) => Intrinsic::BrgemmF32 {
             a: a_view_stride.0,
             a_stride: a_view_stride.1,
             b: b_view,
@@ -471,7 +550,19 @@ pub fn lower_matmul(machine: &MachineDescriptor, spec: &MatmulSpec, name: &str) 
             n: p.nb,
             k: p.kb,
             batch: p.bs,
-        }
+        },
+        (false, true) => Intrinsic::BrgemmF32Tail {
+            a: a_view_stride.0,
+            a_stride: a_view_stride.1,
+            b: b_view,
+            b_stride,
+            c: c_tile_view,
+            m: p.mb,
+            n: p.nb,
+            k: p.kb,
+            batch: p.bs,
+            m_clamp: m_clamp(),
+        },
     };
     kchunk_body.push(Stmt::loop_(nsi, ctx.nsn, vec![Stmt::Op(brgemm)]));
     msi_body.push(Stmt::loop_(kchunk, ctx.kch, kchunk_body));
@@ -520,13 +611,17 @@ fn build_params(spec: &MatmulSpec, ctx: &Ctx) -> (Vec<BufDecl>, Vec<ParamRole>) 
     params.push(BufDecl::new(in_dtype, ctx.batch * ctx.m * ctx.k, "A"));
     roles.push(ParamRole::A);
     let b_elems = match spec.b_input {
-        BInput::BlockedWeight => ctx.k * ctx.n,
+        // Prepacked blocked weight is padded to whole [KB, NB] tiles at
+        // pack time; for exactly-tiled shapes this is just k * n.
+        BInput::BlockedWeight => ctx.k_tiles * ctx.p.kb * ctx.n_tiles * ctx.p.nb,
         BInput::PlainInLoop { .. } => ctx.batch * ctx.k * ctx.n,
     };
     params.push(BufDecl::new(w_dtype, b_elems, "B"));
     roles.push(ParamRole::B);
     if spec.int8.is_some() {
-        params.push(BufDecl::new(DataType::I32, ctx.n, "comp"));
+        // Compensation follows the padded weight: one i32 per packed
+        // column, zero in the pad region.
+        params.push(BufDecl::new(DataType::I32, ctx.n_tiles * ctx.p.nb, "comp"));
         roles.push(ParamRole::Comp);
     }
     if spec.bias {
@@ -618,22 +713,11 @@ fn lower_matmul_ksliced(
 
     let p = spec.params;
     let prob = spec.problem;
-    let ctx = Ctx {
-        m: prob.m,
-        n: prob.n,
-        k: prob.k,
-        batch: prob.batch,
-        p,
-        msn: p.msn(prob.m),
-        nsn: p.nsn(prob.n),
-        kch: p.k_chunks(prob.k),
-        m_tiles: prob.m / p.mb,
-        n_tiles: prob.n / p.nb,
-        k_tiles: prob.k / p.kb,
-        tasks_per_mat: p.tasks(),
-        total_tasks: prob.batch * p.tasks(),
-        int8: spec.int8,
-    };
+    let ctx = Ctx::new(&prob, p, spec.int8);
+    assert!(
+        !ctx.ragged(),
+        "k-slicing requires exact tiling (enforced by validate)"
+    );
     let kpn = p.kpn;
     let k_tiles_slice = p.k_tiles_slice(prob.k);
     let kch_slice = p.k_chunks_slice(prob.k);
@@ -1315,20 +1399,7 @@ fn emit_out_write(
             }));
         }
         (OutLayout::Plain, None) => {
-            let off = e
-                .batch_idx()
-                .mul(Expr::from(ctx.m * ctx.n))
-                .add(e.mpsi(e.msi).mul(Expr::from(p.mb * ctx.n)))
-                .add(e.npsi(nsi2).mul(Expr::from(p.nb)));
-            stmts.push(Stmt::Op(Intrinsic::Unpack2D {
-                src: src_tile,
-                dst: out,
-                dst_offset: off,
-                dst_row_stride: ctx.n,
-                dst_col_stride: 1,
-                rows: p.mb,
-                cols: p.nb,
-            }));
+            stmts.push(Stmt::Op(unpack_out_tile(ctx, e, src_tile, out, nsi2)));
         }
         (OutLayout::Plain, Some((s, z))) => {
             let qt = qtile.expect("qtile allocated for plain u8 output");
@@ -1339,23 +1410,50 @@ fn emit_out_write(
                 scale: s,
                 zero_point: z,
             }));
-            let off = e
-                .batch_idx()
-                .mul(Expr::from(ctx.m * ctx.n))
-                .add(e.mpsi(e.msi).mul(Expr::from(p.mb * ctx.n)))
-                .add(e.npsi(nsi2).mul(Expr::from(p.nb)));
-            stmts.push(Stmt::Op(Intrinsic::Unpack2D {
-                src: qview,
-                dst: out,
-                dst_offset: off,
-                dst_row_stride: ctx.n,
-                dst_col_stride: 1,
-                rows: p.mb,
-                cols: p.nb,
-            }));
+            stmts.push(Stmt::Op(unpack_out_tile(ctx, e, qview, out, nsi2)));
         }
     }
     stmts
+}
+
+/// The plain-layout output store for the current tile: the exact
+/// [`Intrinsic::Unpack2D`] when the shape tiles evenly, the clamped
+/// [`Intrinsic::Unpack2DClamp`] (which skips pad rows/columns) when the
+/// m or n edge is ragged.
+fn unpack_out_tile(
+    ctx: &Ctx,
+    e: &ExprBuilder<'_>,
+    src: View,
+    out: BufId,
+    nsi2: VarId,
+) -> Intrinsic {
+    let p = ctx.p;
+    let batch_off = e.batch_idx().mul(Expr::from(ctx.m * ctx.n));
+    if ctx.ragged_m || ctx.ragged_n {
+        Intrinsic::Unpack2DClamp {
+            src,
+            dst: out,
+            dst_offset: batch_off,
+            dst_row_stride: ctx.n,
+            dst_col_stride: 1,
+            rows: p.mb,
+            cols: p.nb,
+            row_clamp: AxisClamp::new(e.mpsi(e.msi).mul(Expr::from(p.mb)), ctx.m),
+            col_clamp: AxisClamp::new(e.npsi(nsi2).mul(Expr::from(p.nb)), ctx.n),
+        }
+    } else {
+        Intrinsic::Unpack2D {
+            src,
+            dst: out,
+            dst_offset: batch_off
+                .add(e.mpsi(e.msi).mul(Expr::from(p.mb * ctx.n)))
+                .add(e.npsi(nsi2).mul(Expr::from(p.nb))),
+            dst_row_stride: ctx.n,
+            dst_col_stride: 1,
+            rows: p.mb,
+            cols: p.nb,
+        }
+    }
 }
 
 /// Index-expression helpers shared by the emission code.
@@ -1446,19 +1544,49 @@ impl ExprBuilder<'_> {
             .add(Expr::v(self.kchunk).mul(Expr::from(self.ctx.p.bs)))
     }
 
+    /// The A-pack intrinsic for tile (row_base, col_base) of the plain
+    /// `[M, K]` operand: the exact [`Intrinsic::Pack2D`] when the shape
+    /// tiles evenly, the zero-filling [`Intrinsic::Pack2DPad`] when the
+    /// m or k edge is ragged. Clamp bases carry the tile origin in axis
+    /// units; the batch term stays in the flat offset.
+    fn pack_a_tile(&self, a: BufId, dst: View, row_base: Expr, col_base: Expr) -> Intrinsic {
+        let p = self.ctx.p;
+        let batch_off = self.batch_idx().mul(Expr::from(self.ctx.m * self.ctx.k));
+        if self.ctx.ragged_m || self.ctx.ragged_k {
+            Intrinsic::Pack2DPad {
+                src: a,
+                src_offset: batch_off,
+                src_row_stride: self.ctx.k,
+                src_col_stride: 1,
+                dst,
+                rows: p.mb,
+                cols: p.kb,
+                row_clamp: AxisClamp::new(row_base, self.ctx.m),
+                col_clamp: AxisClamp::new(col_base, self.ctx.k),
+            }
+        } else {
+            Intrinsic::Pack2D {
+                src: a,
+                src_offset: batch_off
+                    .add(row_base.mul(Expr::from(self.ctx.k)))
+                    .add(col_base),
+                src_row_stride: self.ctx.k,
+                src_col_stride: 1,
+                dst,
+                rows: p.mb,
+                cols: p.kb,
+            }
+        }
+    }
+
     /// Pack one BS-chunk of plain A into aprime (anchor #4).
     fn pack_a_per_chunk(&self, a: BufId, aprime: BufId, bsi: VarId) -> Stmt {
         let p = self.ctx.p;
-        let src_off = self
-            .batch_idx()
-            .mul(Expr::from(self.ctx.m * self.ctx.k))
-            .add(self.mpsi(self.msi).mul(Expr::from(p.mb * self.ctx.k)))
-            .add(
-                Expr::v(self.kchunk)
-                    .mul(Expr::from(p.bs))
-                    .add(Expr::v(bsi))
-                    .mul(Expr::from(p.kb)),
-            );
+        let row_base = self.mpsi(self.msi).mul(Expr::from(p.mb));
+        let col_base = Expr::v(self.kchunk)
+            .mul(Expr::from(p.bs))
+            .add(Expr::v(bsi))
+            .mul(Expr::from(p.kb));
         let dst = View::new(
             aprime,
             Expr::v(self.t)
@@ -1470,26 +1598,15 @@ impl ExprBuilder<'_> {
         Stmt::loop_(
             bsi,
             p.bs,
-            vec![Stmt::Op(Intrinsic::Pack2D {
-                src: a,
-                src_offset: src_off,
-                src_row_stride: self.ctx.k,
-                src_col_stride: 1,
-                dst,
-                rows: p.mb,
-                cols: p.kb,
-            })],
+            vec![Stmt::Op(self.pack_a_tile(a, dst, row_base, col_base))],
         )
     }
 
     /// Pack the task's whole A slice at task start (anchor #2).
     fn pack_a_per_task(&self, a: BufId, aprime: BufId, msi: VarId, kt: VarId, _bsi: VarId) -> Stmt {
         let p = self.ctx.p;
-        let src_off = self
-            .batch_idx()
-            .mul(Expr::from(self.ctx.m * self.ctx.k))
-            .add(self.mpsi(msi).mul(Expr::from(p.mb * self.ctx.k)))
-            .add(Expr::v(kt).mul(Expr::from(p.kb)));
+        let row_base = self.mpsi(msi).mul(Expr::from(p.mb));
+        let col_base = Expr::v(kt).mul(Expr::from(p.kb));
         let dst = View::new(
             aprime,
             Expr::v(self.t)
@@ -1505,15 +1622,7 @@ impl ExprBuilder<'_> {
             vec![Stmt::loop_(
                 kt,
                 self.ctx.k_tiles,
-                vec![Stmt::Op(Intrinsic::Pack2D {
-                    src: a,
-                    src_offset: src_off,
-                    src_row_stride: self.ctx.k,
-                    src_col_stride: 1,
-                    dst,
-                    rows: p.mb,
-                    cols: p.kb,
-                })],
+                vec![Stmt::Op(self.pack_a_tile(a, dst, row_base, col_base))],
             )],
         )
     }

@@ -7,7 +7,7 @@
 
 use gc_lowering::anchors::{PackPlacement, PostOpAnchor};
 use gc_lowering::template::{AInput, BInput, Int8Spec, OutLayout, ParamRole, PostOpSpec};
-use gc_lowering::{lower_matmul, MatmulParams, MatmulProblem, MatmulSpec};
+use gc_lowering::{lower_matmul, EdgePolicy, MatmulParams, MatmulProblem, MatmulSpec};
 use gc_machine::MachineDescriptor;
 use gc_microkernel::{BinaryOp, UnaryOp};
 use gc_runtime::ThreadPool;
@@ -83,6 +83,7 @@ fn f32_plain_in_plain_out() {
         kb: 16,
         bs: 2,
         kpn: 1,
+        edge: EdgePolicy::Pad,
     };
     let prob = MatmulProblem::new(m, n, k, 4);
     let spec = default_spec(prob, p);
@@ -112,6 +113,7 @@ fn f32_every_post_op_kind_chained() {
         kb: 8,
         bs: 1,
         kpn: 1,
+        edge: EdgePolicy::Pad,
     };
     let prob = MatmulProblem::new(m, n, k, 4);
     let mut spec = default_spec(prob, p);
@@ -175,6 +177,7 @@ fn f32_bias_slot() {
         kb: 8,
         bs: 1,
         kpn: 1,
+        edge: EdgePolicy::Pad,
     };
     let mut spec = default_spec(MatmulProblem::new(m, n, k, 4), p);
     spec.bias = true;
@@ -205,6 +208,7 @@ fn int8_epilogue_with_quantized_output() {
         kb: 8,
         bs: 2,
         kpn: 1,
+        edge: EdgePolicy::Pad,
     };
     let prob = MatmulProblem::new(m, n, k, 1);
     let mut spec = default_spec(prob, p);
@@ -256,6 +260,7 @@ fn batched_in_loop_rhs_with_transpose() {
         kb: 8,
         bs: 1,
         kpn: 1,
+        edge: EdgePolicy::Pad,
     };
     let prob = MatmulProblem::batched(bh, s, s, d, 4);
     let mut spec = default_spec(prob, p);
@@ -286,6 +291,7 @@ fn split_reduction_softmax_post_ops() {
         kb: 8,
         bs: 1,
         kpn: 1,
+        edge: EdgePolicy::Pad,
     };
     let mut spec = default_spec(MatmulProblem::new(m, n, k, 4), p);
     spec.post_ops = vec![
@@ -320,6 +326,7 @@ fn both_post_anchors_agree() {
         kb: 8,
         bs: 2,
         kpn: 1,
+        edge: EdgePolicy::Pad,
     };
     let a = Tensor::random(&[m, k], DataType::F32, 15);
     let w = Tensor::random(&[k, n], DataType::F32, 16);
@@ -352,6 +359,7 @@ fn both_pack_placements_agree() {
         kb: 8,
         bs: 2,
         kpn: 1,
+        edge: EdgePolicy::Pad,
     };
     let a = Tensor::random(&[m, k], DataType::F32, 17);
     let w = Tensor::random(&[k, n], DataType::F32, 18);
@@ -387,6 +395,7 @@ fn blocked_a_input_matches_plain() {
         kb: 8,
         bs: 1,
         kpn: 1,
+        edge: EdgePolicy::Pad,
     };
     let a = Tensor::random(&[m, k], DataType::F32, 19);
     let w = Tensor::random(&[k, n], DataType::F32, 20);
@@ -425,6 +434,7 @@ fn k_sliced_matches_unsliced_f32() {
             kb: 8,
             bs: 1,
             kpn,
+            edge: EdgePolicy::Pad,
         };
         let spec = default_spec(MatmulProblem::new(m, n, k, 4), p);
         let out = run(
@@ -465,6 +475,7 @@ fn k_sliced_epilogue_chain() {
         kb: 8,
         bs: 2,
         kpn: 4, // k_chunks = 4, one brgemm call per slice
+        edge: EdgePolicy::Pad,
     };
     let mut spec = default_spec(MatmulProblem::new(m, n, k, 4), p);
     spec.post_ops = vec![
@@ -511,6 +522,7 @@ fn k_sliced_batched() {
         kb: 8,
         bs: 2,
         kpn: 2, // k_chunks = 8, 4 per slice
+        edge: EdgePolicy::Pad,
     };
     let spec = default_spec(MatmulProblem::batched(b, m, n, k, 4), p);
     let a = Tensor::random(&[b, m, k], DataType::F32, 29);
@@ -560,7 +572,8 @@ fn k_sliced_int8_bit_exact() {
             nb: 8,
             kb: 8,
             bs: 2,
-            kpn, // k_chunks = 8
+            kpn,
+            edge: EdgePolicy::Pad,
         };
         let mut spec = default_spec(MatmulProblem::new(m, n, k, 1), p);
         spec.int8 = Some(Int8Spec {
@@ -600,6 +613,7 @@ fn full_shape_binary_operand() {
         kb: 8,
         bs: 1,
         kpn: 1,
+        edge: EdgePolicy::Pad,
     };
     let mut spec = default_spec(MatmulProblem::new(m, n, k, 4), p);
     spec.post_ops = vec![PostOpSpec::BinaryFull { op: BinaryOp::Add }];

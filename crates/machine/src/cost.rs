@@ -70,6 +70,20 @@ pub fn microkernel_efficiency(
         eff *= 0.7 + 0.3 * kdepth as f64 / 32.0;
     }
 
+    // SIMD remainder of the k loop: the microkernel walks k in groups
+    // (vector lanes for f32, 4-element dot groups for VNNI int8) and
+    // finishes the `kb % group` remainder scalar, once per register
+    // block — a kb off the lane grid (e.g. a prime 479) pays this on
+    // every block pass, which is exactly what pack-time padding to a
+    // lane-multiple kb avoids.
+    let group = if elem_bytes == 1 { 4 } else { lanes };
+    let rem = kb % group;
+    if rem > 0 && kdepth > 0 {
+        let vector_iters = (kb / group * bs) as f64;
+        let ideal = kdepth as f64 / group as f64;
+        eff *= ideal / (vector_iters + (rem * bs) as f64);
+    }
+
     eff.clamp(0.05, 1.0)
 }
 
@@ -120,12 +134,56 @@ pub fn matmul_cycles(
         + barrier_cycles(machine)
 }
 
+/// Extent of a dimension after pack-time padding to whole `block`
+/// tiles: the pad-and-go edge policy computes (and packs, and streams)
+/// this many elements along the axis, of which `dim` are live.
+pub fn padded_extent(dim: usize, block: usize) -> usize {
+    dim.div_ceil(block.max(1)) * block.max(1)
+}
+
+/// Extra cycles a clamped (tail) brgemm call pays over a full-tile
+/// call: evaluating the row clamp against the loop indices and
+/// dispatching a partial-height register tile instead of the hot
+/// full-size kernel. Charged on *every* call of a tail-policy loop
+/// nest, not just the edge tiles — the template has no conditionals, so
+/// interior tiles also go through the clamped entry point.
+pub fn tail_call_cycles(machine: &MachineDescriptor) -> f64 {
+    // A clamp evaluation (~2 ALU ops), an indirect kernel dispatch, and
+    // the front-end bubble of re-entering the interior of the kernel
+    // instead of its hot full-tile entry. The bubble is a fixed number
+    // of issue slots, so machines with wider FMA throughput waste more
+    // potential FLOPs per stalled cycle — pricing it as a few hundred
+    // flops' worth of cycles models exactly that.
+    16.0 + 512.0 / machine.f32_flops_per_cycle
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn xeon() -> MachineDescriptor {
         MachineDescriptor::xeon_8358()
+    }
+
+    #[test]
+    fn padded_extent_rounds_up_to_tiles() {
+        assert_eq!(padded_extent(479, 64), 512);
+        assert_eq!(padded_extent(512, 64), 512);
+        assert_eq!(padded_extent(1, 32), 32);
+        assert_eq!(padded_extent(0, 32), 0);
+        assert_eq!(padded_extent(7, 0), 7, "degenerate block treated as 1");
+    }
+
+    #[test]
+    fn tail_overhead_small_next_to_tile_compute() {
+        // A full 32x32x64 f32 tile is ~4k cycles of compute at high
+        // efficiency; the per-call tail overhead must stay well under
+        // 1% of that so the Tail policy wins whenever the padded-FLOP
+        // waste is more than a few percent.
+        let m = xeon();
+        let tile = compute_cycles(&m, 2.0 * 32.0 * 32.0 * 64.0, 4, 0.9);
+        assert!(tail_call_cycles(&m) < tile * 0.05);
+        assert!(tail_call_cycles(&m) > 0.0);
     }
 
     #[test]
@@ -173,6 +231,20 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn efficiency_penalizes_off_lane_k_depth() {
+        // prime kb = 479 leaves a 7-lane scalar tail every block pass;
+        // the padded kb = 64 runs pure vector code.
+        let m = xeon();
+        let on_grid = microkernel_efficiency(&m, 8, 16, 64, 1, 4);
+        let off_grid = microkernel_efficiency(&m, 8, 16, 479, 1, 4);
+        assert!(off_grid < on_grid * 0.95, "{off_grid} vs {on_grid}");
+        // int8 dot groups are 4 wide, so the same 479 tail costs ~2%.
+        let off_i8 = microkernel_efficiency(&m, 8, 16, 479, 1, 1);
+        let on_i8 = microkernel_efficiency(&m, 8, 16, 64, 1, 1);
+        assert!(off_i8 > on_i8 * 0.9, "{off_i8} vs {on_i8}");
     }
 
     #[test]

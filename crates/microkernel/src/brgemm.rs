@@ -92,7 +92,7 @@ const LANES: usize = 8;
 /// register tiling. Ragged edges dispatch to narrower instantiations of
 /// the same const-generic kernel through a small table.
 #[inline]
-fn gemm_tile_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+pub(crate) fn gemm_tile_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
     let mut i = 0;
     while i < m {
         let mr = MR.min(m - i);
@@ -192,7 +192,7 @@ pub fn brgemm_u8i8(
 }
 
 #[inline]
-fn gemm_tile_u8i8(m: usize, n: usize, k: usize, a: &[u8], b: &[i8], c: &mut [i32]) {
+pub(crate) fn gemm_tile_u8i8(m: usize, n: usize, k: usize, a: &[u8], b: &[i8], c: &mut [i32]) {
     for i in 0..m {
         let arow = &a[i * k..(i + 1) * k];
         let crow = &mut c[i * n..(i + 1) * n];

@@ -13,7 +13,9 @@
 //! - [`reduce`] — reduction kernels, including the running accumulators
 //!   used by split (two-anchor) reduction post-ops;
 //! - [`epilogue`] — the int8 dequantize/compensate/requantize epilogue
-//!   from the paper's low-precision equation.
+//!   from the paper's low-precision equation;
+//! - [`tail`] — edge-tile variants for ragged shapes: clamped-height
+//!   brgemm tails, masked pack/store helpers, and tail epilogues.
 //!
 //! In the original system these are JIT-generated AVX-512/AMX code; here
 //! they are tight Rust loops written to autovectorize. The interface —
@@ -39,6 +41,7 @@ pub mod brgemm;
 pub mod eltwise;
 pub mod epilogue;
 pub mod reduce;
+pub mod tail;
 
 pub use brgemm::{brgemm_f32, brgemm_u8i8, BrgemmShape};
 pub use eltwise::{BinaryOp, UnaryOp};

@@ -1,0 +1,289 @@
+//! Edge-tile ("tail") microkernel variants for ragged shapes.
+//!
+//! When a matmul dimension is not a multiple of its tile size, the last
+//! row/column of tiles is *partial*: only `m % MB` rows (or `n % NB`
+//! columns) hold live data. The template has two ways to run those
+//! tiles, and this module supplies the kernels for both:
+//!
+//! - **Pad-and-go** — the pack stage zero-fills the tile up to full
+//!   size ([`pack_pad_2d`]) and the steady-state full-tile brgemm runs
+//!   unchanged; the output store clips the dead rows/columns back off
+//!   ([`store_clamped_2d`]).
+//! - **Tail kernels** — the brgemm itself is clamped to the valid row
+//!   count ([`brgemm_f32_m_tail`], [`brgemm_u8i8_m_tail`]), computing
+//!   no wasted FLOPs but paying a per-call dispatch cost for the
+//!   narrower register tile.
+//!
+//! All kernels here are *masked-store* shaped: they never write outside
+//! the valid window of the destination, so a caller can alias the
+//! padded region with neighbouring data (the plan executor relies on
+//! this when the output buffer has exactly the logical extent).
+
+use crate::brgemm::{gemm_tile_f32, gemm_tile_u8i8, BrgemmShape};
+use crate::eltwise::UnaryOp;
+
+/// f32 batch-reduce GEMM over a partial-height C tile.
+///
+/// Semantics match [`crate::brgemm::brgemm_f32`] restricted to the
+/// first `m_valid` rows: `C[0:m_valid, 0:NB] += Σ_b A_b × B_b`. The A
+/// tiles keep their full `[MB, KB]` footprint in memory (only the
+/// valid rows are read); `c` is the valid prefix, `m_valid * n`
+/// elements with row stride `n`. A `m_valid` of zero is a no-op.
+///
+/// # Panics
+///
+/// Panics if `m_valid > shape.m`, the offset arrays differ in length,
+/// any tile overruns its buffer, or `c` is not `m_valid * n` elements.
+pub fn brgemm_f32_m_tail(
+    shape: BrgemmShape,
+    m_valid: usize,
+    a_buf: &[f32],
+    a_offs: &[usize],
+    b_buf: &[f32],
+    b_offs: &[usize],
+    c: &mut [f32],
+) {
+    let BrgemmShape { m, n, k } = shape;
+    assert!(m_valid <= m, "m_valid {m_valid} exceeds tile height {m}");
+    assert_eq!(a_offs.len(), b_offs.len(), "batch sizes must match");
+    assert_eq!(c.len(), m_valid * n, "C tile must be m_valid*n");
+    if m_valid == 0 {
+        return;
+    }
+    for (&ao, &bo) in a_offs.iter().zip(b_offs) {
+        let a = &a_buf[ao..ao + m * k];
+        let b = &b_buf[bo..bo + n * k];
+        gemm_tile_f32(m_valid, n, k, &a[..m_valid * k], b, c);
+    }
+}
+
+/// Int8 batch-reduce GEMM over a partial-height C tile; see
+/// [`brgemm_f32_m_tail`] for the clamping contract.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`brgemm_f32_m_tail`].
+pub fn brgemm_u8i8_m_tail(
+    shape: BrgemmShape,
+    m_valid: usize,
+    a_buf: &[u8],
+    a_offs: &[usize],
+    b_buf: &[i8],
+    b_offs: &[usize],
+    c: &mut [i32],
+) {
+    let BrgemmShape { m, n, k } = shape;
+    assert!(m_valid <= m, "m_valid {m_valid} exceeds tile height {m}");
+    assert_eq!(a_offs.len(), b_offs.len(), "batch sizes must match");
+    assert_eq!(c.len(), m_valid * n, "C tile must be m_valid*n");
+    if m_valid == 0 {
+        return;
+    }
+    for (&ao, &bo) in a_offs.iter().zip(b_offs) {
+        let a = &a_buf[ao..ao + m * k];
+        let b = &b_buf[bo..bo + n * k];
+        gemm_tile_u8i8(m_valid, n, k, &a[..m_valid * k], b, c);
+    }
+}
+
+/// Pack a `rows_valid × cols_valid` window of a strided source into a
+/// dense `rows × cols` tile, zero-filling the padded remainder.
+///
+/// `src` addresses element `(r, c)` of the window at
+/// `r * src_row_stride + c * src_col_stride`. The destination tile is
+/// written in full — valid data in the top-left window, `zero`
+/// elsewhere — so downstream full-tile kernels see no garbage.
+///
+/// # Panics
+///
+/// Panics if the window exceeds the tile, `dst` is not `rows * cols`
+/// elements, or the strided source window overruns `src`.
+#[allow(clippy::too_many_arguments)]
+pub fn pack_pad_2d<T: Copy>(
+    src: &[T],
+    src_row_stride: usize,
+    src_col_stride: usize,
+    dst: &mut [T],
+    rows: usize,
+    cols: usize,
+    rows_valid: usize,
+    cols_valid: usize,
+    zero: T,
+) {
+    assert!(
+        rows_valid <= rows && cols_valid <= cols,
+        "window exceeds tile"
+    );
+    assert_eq!(dst.len(), rows * cols, "dst tile must be rows*cols");
+    for r in 0..rows_valid {
+        let drow = &mut dst[r * cols..r * cols + cols];
+        for (c, d) in drow[..cols_valid].iter_mut().enumerate() {
+            *d = src[r * src_row_stride + c * src_col_stride];
+        }
+        for d in &mut drow[cols_valid..] {
+            *d = zero;
+        }
+    }
+    for d in &mut dst[rows_valid * cols..] {
+        *d = zero;
+    }
+}
+
+/// Masked store: copy the valid `rows_valid × cols_valid` window of a
+/// dense `rows × cols` tile into a strided destination, leaving
+/// everything outside the window untouched.
+///
+/// This is the inverse of [`pack_pad_2d`]: `dst` addresses element
+/// `(r, c)` at `r * dst_row_stride + c * dst_col_stride`, and the
+/// padded rows/columns of `src` are never read.
+///
+/// # Panics
+///
+/// Panics if the window exceeds the tile, `src` is smaller than the
+/// window it is read from, or the strided destination window overruns
+/// `dst`.
+#[allow(clippy::too_many_arguments)]
+pub fn store_clamped_2d<T: Copy>(
+    src: &[T],
+    dst: &mut [T],
+    dst_row_stride: usize,
+    dst_col_stride: usize,
+    rows: usize,
+    cols: usize,
+    rows_valid: usize,
+    cols_valid: usize,
+) {
+    assert!(
+        rows_valid <= rows && cols_valid <= cols,
+        "window exceeds tile"
+    );
+    for r in 0..rows_valid {
+        let srow = &src[r * cols..r * cols + cols_valid];
+        for (c, &s) in srow.iter().enumerate() {
+            dst[r * dst_row_stride + c * dst_col_stride] = s;
+        }
+    }
+}
+
+/// Apply a unary post-op to the valid row prefix of a dense `[rows, n]`
+/// accumulator tile, skipping the padded rows entirely.
+///
+/// The pad-and-go epilogue runs unary ops over the full tile (the
+/// padding is discarded at the output store anyway); the tail epilogue
+/// uses this variant so ops like `exp` never touch the zero-filled pad
+/// rows.
+///
+/// # Panics
+///
+/// Panics if `tile` is shorter than `rows_valid * n`.
+pub fn unary_rows_tail(op: UnaryOp, tile: &mut [f32], n: usize, rows_valid: usize) {
+    crate::eltwise::unary_inplace(op, &mut tile[..rows_valid * n]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brgemm::scalar;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_f32(n: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn f32_m_tail_matches_full_prefix() {
+        // tail kernel over m_valid rows == full kernel's first m_valid
+        // rows, bit-exact (same per-row reduction order).
+        let mut rng = StdRng::seed_from_u64(7);
+        let shape = BrgemmShape::new(8, 6, 24);
+        let bs = 3;
+        let a = rand_f32(bs * shape.a_len(), &mut rng);
+        let b = rand_f32(bs * shape.b_len(), &mut rng);
+        let a_offs: Vec<usize> = (0..bs).map(|i| i * shape.a_len()).collect();
+        let b_offs: Vec<usize> = (0..bs).map(|i| i * shape.b_len()).collect();
+        let mut full = vec![0f32; shape.c_len()];
+        crate::brgemm::brgemm_f32(shape, &a, &a_offs, &b, &b_offs, &mut full);
+        for m_valid in [0usize, 1, 3, 5, 8] {
+            let mut tail = vec![0f32; m_valid * shape.n];
+            brgemm_f32_m_tail(shape, m_valid, &a, &a_offs, &b, &b_offs, &mut tail);
+            assert_eq!(tail, full[..m_valid * shape.n]);
+        }
+    }
+
+    #[test]
+    fn u8i8_m_tail_matches_scalar() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let shape = BrgemmShape::new(5, 7, 13);
+        let bs = 2;
+        let a: Vec<u8> = (0..bs * shape.a_len())
+            .map(|_| rng.gen_range(0..64))
+            .collect();
+        let b: Vec<i8> = (0..bs * shape.b_len())
+            .map(|_| rng.gen_range(-32..32))
+            .collect();
+        let a_offs: Vec<usize> = (0..bs).map(|i| i * shape.a_len()).collect();
+        let b_offs: Vec<usize> = (0..bs).map(|i| i * shape.b_len()).collect();
+        let mut full = vec![0i32; shape.c_len()];
+        scalar::brgemm_u8i8(shape, &a, &a_offs, &b, &b_offs, &mut full);
+        let m_valid = 3;
+        let mut tail = vec![0i32; m_valid * shape.n];
+        brgemm_u8i8_m_tail(shape, m_valid, &a, &a_offs, &b, &b_offs, &mut tail);
+        assert_eq!(tail, full[..m_valid * shape.n]);
+    }
+
+    #[test]
+    fn pack_pad_zero_fills_remainder() {
+        // 3x2 valid window of a 5-col row-major source into a 4x4 tile
+        let src: Vec<f32> = (0..15).map(|x| x as f32 + 1.0).collect();
+        let mut dst = vec![f32::NAN; 16];
+        pack_pad_2d(&src, 5, 1, &mut dst, 4, 4, 3, 2, 0.0);
+        #[rustfmt::skip]
+        let want = vec![
+            1.0, 2.0, 0.0, 0.0,
+            6.0, 7.0, 0.0, 0.0,
+            11.0, 12.0, 0.0, 0.0,
+            0.0, 0.0, 0.0, 0.0,
+        ];
+        assert_eq!(dst, want);
+    }
+
+    #[test]
+    fn store_clamped_roundtrips_pack_pad() {
+        // pack a ragged window, store it back: outside the window the
+        // destination is untouched, inside it round-trips exactly.
+        let mut rng = StdRng::seed_from_u64(11);
+        let (rows, cols, rv, cv) = (6usize, 8usize, 4usize, 5usize);
+        let src = rand_f32(rv * 16, &mut rng);
+        let mut tile = vec![0f32; rows * cols];
+        pack_pad_2d(&src, 16, 1, &mut tile, rows, cols, rv, cv, 0.0);
+        let mut out = vec![-9.0f32; rv * 16];
+        store_clamped_2d(&tile, &mut out, 16, 1, rows, cols, rv, cv);
+        for r in 0..rv {
+            for c in 0..16 {
+                if c < cv {
+                    assert_eq!(out[r * 16 + c], src[r * 16 + c]);
+                } else {
+                    assert_eq!(out[r * 16 + c], -9.0, "pad column leaked");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unary_tail_skips_pad_rows() {
+        let n = 4;
+        let mut tile = vec![-2.0f32; 3 * n];
+        unary_rows_tail(UnaryOp::Relu, &mut tile, n, 2);
+        assert!(tile[..2 * n].iter().all(|&x| x == 0.0));
+        assert!(tile[2 * n..].iter().all(|&x| x == -2.0), "pad row touched");
+    }
+
+    #[test]
+    #[should_panic(expected = "m_valid")]
+    fn overlong_tail_panics() {
+        let shape = BrgemmShape::new(2, 2, 2);
+        let mut c = vec![0f32; 6];
+        brgemm_f32_m_tail(shape, 3, &[0.0; 8], &[0], &[0.0; 8], &[0], &mut c);
+    }
+}

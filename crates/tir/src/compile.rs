@@ -233,6 +233,12 @@ impl<'f> FuncBuilder<'f> {
             return Err(Reject::OutOfBounds);
         }
         self.stats.hoisted_bounds += 1;
+        self.reduce_offset(offset)
+    }
+
+    /// Strength-reduce an already-bounded expression to a
+    /// [`PlanOffset`].
+    fn reduce_offset(&mut self, offset: &Expr) -> Result<PlanOffset, Reject> {
         let compiled = match linearize(offset) {
             Some((base, terms)) => {
                 self.stats.linear_offsets += 1;
@@ -254,6 +260,18 @@ impl<'f> FuncBuilder<'f> {
             }
         };
         Ok(compiled)
+    }
+
+    /// Compile an axis-clamp base expression. The only static
+    /// requirement is non-negativity: the upper side is enforced by the
+    /// runtime clamp against the logical extent, and the buffer span is
+    /// proven separately from the base-excluded offset.
+    fn compile_clamp_base(&mut self, base: &Expr) -> Result<PlanOffset, Reject> {
+        let (lo, _) = interval(base, &self.var_iv).ok_or(Reject::Unbounded)?;
+        if lo < 0 {
+            return Err(Reject::OutOfBounds);
+        }
+        self.reduce_offset(base)
     }
 
     /// Compile a view accessed as `dtype` over `span` elements from its
@@ -392,6 +410,138 @@ impl<'f> FuncBuilder<'f> {
                     dst_col_stride: *dst_col_stride,
                     rows: *rows,
                     cols: *cols,
+                }
+            }
+            Intrinsic::Pack2DPad {
+                src,
+                src_offset,
+                src_row_stride,
+                src_col_stride,
+                dst,
+                rows,
+                cols,
+                row_clamp,
+                col_clamp,
+            } => {
+                let (src_buf, src_dtype, src_elems) = self.buf_decl(*src);
+                let (_, dst_dtype, _) = self.buf_decl(dst.buf);
+                if src_dtype != dst_dtype || !pack_dtype_ok(src_dtype) {
+                    return Err(Reject::DtypeMismatch);
+                }
+                // base-excluded offset: the reachable span is capped by
+                // the logical extents, not the physical tile
+                let span = strided_span(
+                    row_clamp.logical,
+                    col_clamp.logical,
+                    *src_row_stride,
+                    *src_col_stride,
+                );
+                let src_off = self.compile_offset(src_offset, span, src_elems)?;
+                POp::Pack2DPad {
+                    src_buf,
+                    src_offset: src_off,
+                    src_row_stride: *src_row_stride,
+                    src_col_stride: *src_col_stride,
+                    dst: self.compile_view_span(dst, dst_dtype, rows * cols)?,
+                    rows: *rows,
+                    cols: *cols,
+                    row_base: self.compile_clamp_base(&row_clamp.base)?,
+                    row_logical: row_clamp.logical,
+                    col_base: self.compile_clamp_base(&col_clamp.base)?,
+                    col_logical: col_clamp.logical,
+                }
+            }
+            Intrinsic::Unpack2DClamp {
+                src,
+                dst,
+                dst_offset,
+                dst_row_stride,
+                dst_col_stride,
+                rows,
+                cols,
+                row_clamp,
+                col_clamp,
+            } => {
+                let (dst_buf, dst_dtype, dst_elems) = self.buf_decl(*dst);
+                let (_, src_dtype, _) = self.buf_decl(src.buf);
+                if src_dtype != dst_dtype || !pack_dtype_ok(src_dtype) {
+                    return Err(Reject::DtypeMismatch);
+                }
+                let span = strided_span(
+                    row_clamp.logical,
+                    col_clamp.logical,
+                    *dst_row_stride,
+                    *dst_col_stride,
+                );
+                let dst_off = self.compile_offset(dst_offset, span, dst_elems)?;
+                POp::Unpack2DClamp {
+                    src: self.compile_view_span(src, src_dtype, rows * cols)?,
+                    dst_buf,
+                    dst_offset: dst_off,
+                    dst_row_stride: *dst_row_stride,
+                    dst_col_stride: *dst_col_stride,
+                    rows: *rows,
+                    cols: *cols,
+                    row_base: self.compile_clamp_base(&row_clamp.base)?,
+                    row_logical: row_clamp.logical,
+                    col_base: self.compile_clamp_base(&col_clamp.base)?,
+                    col_logical: col_clamp.logical,
+                }
+            }
+            Intrinsic::BrgemmF32Tail {
+                a,
+                a_stride,
+                b,
+                b_stride,
+                c,
+                m,
+                n,
+                k,
+                batch,
+                m_clamp,
+            } => {
+                let (a_rel, a_span) = batch_table(*batch, *a_stride, m * k);
+                let (b_rel, b_span) = batch_table(*batch, *b_stride, n * k);
+                self.stats.brgemm_tables += 2;
+                POp::BrgemmF32Tail {
+                    a: self.compile_view_span(a, F32, a_span)?,
+                    b: self.compile_view_span(b, F32, b_span)?,
+                    c: self.compile_view_span(c, F32, m * n)?,
+                    shape: BrgemmShape::new(*m, *n, *k),
+                    a_rel,
+                    b_rel,
+                    a_span,
+                    b_span,
+                    m_base: self.compile_clamp_base(&m_clamp.base)?,
+                    m_logical: m_clamp.logical,
+                }
+            }
+            Intrinsic::BrgemmU8I8Tail {
+                a,
+                a_stride,
+                b,
+                b_stride,
+                c,
+                m,
+                n,
+                k,
+                batch,
+                m_clamp,
+            } => {
+                let (a_rel, a_span) = batch_table(*batch, *a_stride, m * k);
+                let (b_rel, b_span) = batch_table(*batch, *b_stride, n * k);
+                self.stats.brgemm_tables += 2;
+                POp::BrgemmU8I8Tail {
+                    a: self.compile_view_span(a, U8, a_span)?,
+                    b: self.compile_view_span(b, I8, b_span)?,
+                    c: self.compile_view_span(c, I32, m * n)?,
+                    shape: BrgemmShape::new(*m, *n, *k),
+                    a_rel,
+                    b_rel,
+                    a_span,
+                    b_span,
+                    m_base: self.compile_clamp_base(&m_clamp.base)?,
+                    m_logical: m_clamp.logical,
                 }
             }
             Intrinsic::Unary { op, src, dst } => {
@@ -582,10 +732,16 @@ const OP_OVERHEAD_UNITS: u64 = 64;
 /// (one unit ≈ one multiply-accumulate or one element moved).
 fn pop_units(op: &POp) -> u64 {
     let elems = match op {
-        POp::BrgemmF32 { shape, a_rel, .. } | POp::BrgemmU8I8 { shape, a_rel, .. } => {
+        POp::BrgemmF32 { shape, a_rel, .. }
+        | POp::BrgemmU8I8 { shape, a_rel, .. }
+        | POp::BrgemmF32Tail { shape, a_rel, .. }
+        | POp::BrgemmU8I8Tail { shape, a_rel, .. } => {
             (shape.m * shape.n * shape.k * a_rel.len().max(1)) as u64
         }
-        POp::Pack2D { rows, cols, .. } | POp::Unpack2D { rows, cols, .. } => (rows * cols) as u64,
+        POp::Pack2D { rows, cols, .. }
+        | POp::Unpack2D { rows, cols, .. }
+        | POp::Pack2DPad { rows, cols, .. }
+        | POp::Unpack2DClamp { rows, cols, .. } => (rows * cols) as u64,
         POp::FillF32 { dst, .. } => dst.len as u64,
         POp::ZeroI32 { dst } => dst.len as u64,
         POp::Unary { src, .. } => src.len as u64,

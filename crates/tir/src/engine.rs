@@ -20,7 +20,7 @@
 //! region regardless of which worker claims them.
 
 use crate::compile::compile_module;
-use crate::exec::{run_calls, ExecError};
+use crate::exec::{run_calls_opts, ExecError};
 use crate::ir::{GlobalKind, Module};
 use crate::plan::{run_plan_call_opts, ExecOptions, Plan, PlanScratch, PlanStats};
 use crate::sim::{project, Projection};
@@ -274,11 +274,12 @@ impl Executable {
             globals[*gi] = t.storage().clone();
         }
         install_inputs(&self.module, &mut globals, inputs);
-        run_calls(
+        run_calls_opts(
             &self.module,
             &self.module.init_calls,
             &mut globals,
             &self.pool,
+            self.exec_options,
         );
         self.init_runs.fetch_add(1, Ordering::Relaxed);
         TOTAL_INIT_RUNS.fetch_add(1, Ordering::Relaxed);
@@ -375,7 +376,13 @@ impl Executable {
                 );
                 TOTAL_PLAN_DISPATCHES.fetch_add(1, Ordering::Relaxed);
             } else {
-                crate::exec::run_func(&self.module.funcs[call.func], call, globals, &self.pool);
+                crate::exec::run_func(
+                    &self.module.funcs[call.func],
+                    call,
+                    globals,
+                    &self.pool,
+                    self.exec_options,
+                );
                 TOTAL_INTERP_DISPATCHES.fetch_add(1, Ordering::Relaxed);
             }
         }

@@ -17,7 +17,7 @@
 
 use crate::expr::VarId;
 use crate::ir::{BufId, Call, Func, Intrinsic, Module, ReduceOp, Stmt, View};
-use gc_microkernel::{brgemm, eltwise, epilogue, reduce, UnaryOp};
+use gc_microkernel::{brgemm, eltwise, epilogue, reduce, tail, UnaryOp};
 use gc_runtime::ThreadPool;
 use gc_tensor::{DataType, Storage};
 
@@ -39,6 +39,9 @@ pub(crate) struct RawBuf {
     pub(crate) ptr: *mut u8,
     elems: usize,
     dtype: DataType,
+    /// Hard-assert every slice access (checked execution); otherwise
+    /// bounds are debug-only.
+    checked: bool,
 }
 
 impl std::fmt::Debug for RawBuf {
@@ -51,7 +54,7 @@ unsafe impl Send for RawBuf {}
 unsafe impl Sync for RawBuf {}
 
 impl RawBuf {
-    pub(crate) fn of(storage: &mut Storage) -> RawBuf {
+    pub(crate) fn of(storage: &mut Storage, checked: bool) -> RawBuf {
         let dtype = storage.dtype();
         let elems = storage.len();
         let ptr = match storage {
@@ -62,7 +65,12 @@ impl RawBuf {
             Storage::I32(v) => v.as_mut_ptr() as *mut u8,
             Storage::I64(v) => v.as_mut_ptr() as *mut u8,
         };
-        RawBuf { ptr, elems, dtype }
+        RawBuf {
+            ptr,
+            elems,
+            dtype,
+            checked,
+        }
     }
 
     /// Buffer capacity in elements (checked execution compares evaluated
@@ -81,14 +89,25 @@ impl RawBuf {
 
     #[inline]
     fn check(&self, off: usize, len: usize, dtype: DataType) {
-        debug_assert_eq!(self.dtype, dtype, "intrinsic dtype mismatch");
-        debug_assert!(
-            off + len <= self.elems,
-            "view out of bounds: {}+{} > {}",
-            off,
-            len,
-            self.elems
-        );
+        if self.checked {
+            assert_eq!(self.dtype, dtype, "intrinsic dtype mismatch");
+            assert!(
+                off + len <= self.elems,
+                "view out of bounds: {}+{} > {}",
+                off,
+                len,
+                self.elems
+            );
+        } else {
+            debug_assert_eq!(self.dtype, dtype, "intrinsic dtype mismatch");
+            debug_assert!(
+                off + len <= self.elems,
+                "view out of bounds: {}+{} > {}",
+                off,
+                len,
+                self.elems
+            );
+        }
     }
 
     /// # Safety
@@ -128,6 +147,7 @@ struct Frame<'a> {
     bufs: Vec<RawBuf>,
     n_params: usize,
     pool: &'a ThreadPool,
+    checked: bool,
 }
 
 impl Frame<'_> {
@@ -142,8 +162,25 @@ impl Frame<'_> {
     #[inline]
     fn resolve(&self, v: &View, vars: &[i64]) -> (RawBuf, usize) {
         let off = v.offset.eval(vars);
-        debug_assert!(off >= 0, "negative view offset {off}");
+        if self.checked {
+            assert!(off >= 0, "negative view offset {off}");
+        } else {
+            debug_assert!(off >= 0, "negative view offset {off}");
+        }
         (self.buf(v.buf), off as usize)
+    }
+
+    /// Evaluate a scalar index expression (axis-clamp base), asserting
+    /// non-negativity.
+    #[inline]
+    fn index(&self, e: &crate::expr::Expr, vars: &[i64]) -> usize {
+        let v = e.eval(vars);
+        if self.checked {
+            assert!(v >= 0, "negative clamp base {v}");
+        } else {
+            debug_assert!(v >= 0, "negative clamp base {v}");
+        }
+        v.max(0) as usize
     }
 }
 
@@ -165,6 +202,35 @@ pub fn run_module(
     pool: &ThreadPool,
     include_init: bool,
 ) -> Result<(), ExecError> {
+    run_module_opts(
+        module,
+        globals,
+        pool,
+        include_init,
+        crate::plan::ExecOptions::default(),
+    )
+}
+
+/// [`run_module`] with explicit execution options (e.g. checked
+/// bounds-asserted interpretation).
+///
+/// # Errors
+///
+/// Returns an error if `globals` disagrees with the module's
+/// declarations.
+///
+/// # Panics
+///
+/// Panics on out-of-bounds views or dtype mismatches (compiler-invariant
+/// violations); with `opts.checked` these are hard asserts in release
+/// builds too.
+pub fn run_module_opts(
+    module: &Module,
+    globals: &mut [Storage],
+    pool: &ThreadPool,
+    include_init: bool,
+    opts: crate::plan::ExecOptions,
+) -> Result<(), ExecError> {
     if globals.len() != module.globals.len() {
         return Err(ExecError(format!(
             "{} globals provided, module declares {}",
@@ -185,9 +251,9 @@ pub fn run_module(
         }
     }
     if include_init {
-        run_calls(module, &module.init_calls, globals, pool);
+        run_calls_opts(module, &module.init_calls, globals, pool, opts);
     }
-    run_calls(module, &module.main_calls, globals, pool);
+    run_calls_opts(module, &module.main_calls, globals, pool, opts);
     Ok(())
 }
 
@@ -197,13 +263,40 @@ pub fn run_module(
 ///
 /// Panics on compiler-invariant violations.
 pub fn run_calls(module: &Module, calls: &[Call], globals: &mut [Storage], pool: &ThreadPool) {
+    run_calls_opts(
+        module,
+        calls,
+        globals,
+        pool,
+        crate::plan::ExecOptions::default(),
+    );
+}
+
+/// [`run_calls`] with explicit execution options.
+///
+/// # Panics
+///
+/// Panics on compiler-invariant violations.
+pub fn run_calls_opts(
+    module: &Module,
+    calls: &[Call],
+    globals: &mut [Storage],
+    pool: &ThreadPool,
+    opts: crate::plan::ExecOptions,
+) {
     for call in calls {
         let func = &module.funcs[call.func];
-        run_func(func, call, globals, pool);
+        run_func(func, call, globals, pool, opts);
     }
 }
 
-pub(crate) fn run_func(func: &Func, call: &Call, globals: &mut [Storage], pool: &ThreadPool) {
+pub(crate) fn run_func(
+    func: &Func,
+    call: &Call,
+    globals: &mut [Storage],
+    pool: &ThreadPool,
+    opts: crate::plan::ExecOptions,
+) {
     // Materialize raw param pointers (sequentially, one &mut at a time).
     // A global may be bound to several parameters (e.g. a residual graph
     // passing the same tensor as activation and post-op operand); those
@@ -216,7 +309,7 @@ pub(crate) fn run_func(func: &Func, call: &Call, globals: &mut [Storage], pool: 
             let raw = match seen.get(&a) {
                 Some(r) => *r,
                 None => {
-                    let r = RawBuf::of(&mut globals[a]);
+                    let r = RawBuf::of(&mut globals[a], opts.checked);
                     seen.insert(a, r);
                     r
                 }
@@ -231,12 +324,13 @@ pub(crate) fn run_func(func: &Func, call: &Call, globals: &mut [Storage], pool: 
         .map(|d| Storage::zeros(d.dtype, d.elems))
         .collect();
     for s in &mut local_storage {
-        bufs.push(RawBuf::of(s));
+        bufs.push(RawBuf::of(s, opts.checked));
     }
     let frame = Frame {
         bufs,
         n_params: func.params.len(),
         pool,
+        checked: opts.checked,
     };
     let mut vars = vec![0i64; func.var_count];
     exec_stmts(&func.body, &frame, &mut vars);
@@ -414,6 +508,145 @@ fn exec_intrinsic(intr: &Intrinsic, frame: &Frame<'_>, vars: &[i64]) {
                 *rows,
                 *cols,
             );
+        }
+        Intrinsic::Pack2DPad {
+            src,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        } => {
+            let sb = frame.buf(*src);
+            let so = frame.index(src_offset, vars);
+            let (db, doff) = frame.resolve(dst, vars);
+            let rb = frame.index(&row_clamp.base, vars);
+            let cb = frame.index(&col_clamp.base, vars);
+            let avail_r = row_clamp.avail(rb, *rows);
+            let avail_c = col_clamp.avail(cb, *cols);
+            pack2d_pad(
+                sb,
+                so + rb * src_row_stride + cb * src_col_stride,
+                *src_row_stride,
+                *src_col_stride,
+                db,
+                doff,
+                *rows,
+                *cols,
+                avail_r,
+                avail_c,
+            );
+        }
+        Intrinsic::Unpack2DClamp {
+            src,
+            dst,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        } => {
+            let (sb, so) = frame.resolve(src, vars);
+            let db = frame.buf(*dst);
+            let doff = frame.index(dst_offset, vars);
+            let rb = frame.index(&row_clamp.base, vars);
+            let cb = frame.index(&col_clamp.base, vars);
+            let avail_r = row_clamp.avail(rb, *rows);
+            let avail_c = col_clamp.avail(cb, *cols);
+            unpack2d_clamp(
+                sb,
+                so,
+                db,
+                doff + rb * dst_row_stride + cb * dst_col_stride,
+                *dst_row_stride,
+                *dst_col_stride,
+                *cols,
+                avail_r,
+                avail_c,
+            );
+        }
+        Intrinsic::BrgemmF32Tail {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        } => {
+            let mb = frame.index(&m_clamp.base, vars);
+            let m_eff = m_clamp.avail(mb, *m);
+            if m_eff == 0 {
+                return;
+            }
+            let (ab, ao) = frame.resolve(a, vars);
+            let (bb, bo) = frame.resolve(b, vars);
+            let (cb, co) = frame.resolve(c, vars);
+            let a_offs: Vec<usize> = (0..*batch).map(|i| i * a_stride).collect();
+            let b_offs: Vec<usize> = (0..*batch).map(|i| i * b_stride).collect();
+            let a_len = a_offs.last().unwrap_or(&0) + m * k;
+            let b_len = b_offs.last().unwrap_or(&0) + n * k;
+            unsafe {
+                let asl = ab.f32(ao, a_len);
+                let bsl = bb.f32(bo, b_len);
+                let csl = cb.f32(co, m_eff * n);
+                tail::brgemm_f32_m_tail(
+                    brgemm::BrgemmShape::new(*m, *n, *k),
+                    m_eff,
+                    asl,
+                    &a_offs,
+                    bsl,
+                    &b_offs,
+                    csl,
+                );
+            }
+        }
+        Intrinsic::BrgemmU8I8Tail {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        } => {
+            let mb = frame.index(&m_clamp.base, vars);
+            let m_eff = m_clamp.avail(mb, *m);
+            if m_eff == 0 {
+                return;
+            }
+            let (ab, ao) = frame.resolve(a, vars);
+            let (bb, bo) = frame.resolve(b, vars);
+            let (cb, co) = frame.resolve(c, vars);
+            let a_offs: Vec<usize> = (0..*batch).map(|i| i * a_stride).collect();
+            let b_offs: Vec<usize> = (0..*batch).map(|i| i * b_stride).collect();
+            let a_len = a_offs.last().unwrap_or(&0) + m * k;
+            let b_len = b_offs.last().unwrap_or(&0) + n * k;
+            unsafe {
+                let asl = ab.u8(ao, a_len);
+                let bsl = bb.i8(bo, b_len);
+                let csl = cb.i32(co, m_eff * n);
+                tail::brgemm_u8i8_m_tail(
+                    brgemm::BrgemmShape::new(*m, *n, *k),
+                    m_eff,
+                    asl,
+                    &a_offs,
+                    bsl,
+                    &b_offs,
+                    csl,
+                );
+            }
         }
         Intrinsic::Unary { op, src, dst } => {
             let (sb, so) = frame.resolve(src, vars);
@@ -749,6 +982,85 @@ pub(crate) fn unpack2d(
         DataType::I8 => go!(i8),
         DataType::I32 => go!(i32),
         other => panic!("unpack2d unsupported dtype {other}"),
+    }
+}
+
+/// Clamped pack: copy the `avail_r x avail_c` in-bounds block of a
+/// strided source into the top-left of a contiguous `rows x cols` tile
+/// and zero-fill the remainder. `so` is the fully evaluated source base
+/// (clamp bases already applied).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack2d_pad(
+    sb: RawBuf,
+    so: usize,
+    rs: usize,
+    cs: usize,
+    db: RawBuf,
+    doff: usize,
+    rows: usize,
+    cols: usize,
+    avail_r: usize,
+    avail_c: usize,
+) {
+    debug_assert!(avail_r <= rows && avail_c <= cols);
+    macro_rules! go {
+        ($get:ident, $zero:expr) => {{
+            unsafe {
+                let dsl = db.$get(doff, rows * cols);
+                if avail_r == 0 || avail_c == 0 {
+                    dsl.fill($zero);
+                    return;
+                }
+                let need = so + (avail_r - 1) * rs + (avail_c - 1) * cs + 1;
+                let ssl = sb.$get(so, need - so);
+                tail::pack_pad_2d(ssl, rs, cs, dsl, rows, cols, avail_r, avail_c, $zero);
+            }
+        }};
+    }
+    match sb.dtype {
+        DataType::F32 => go!(f32, 0.0f32),
+        DataType::U8 => go!(u8, 0u8),
+        DataType::I8 => go!(i8, 0i8),
+        DataType::I32 => go!(i32, 0i32),
+        other => panic!("pack2d_pad unsupported dtype {other}"),
+    }
+}
+
+/// Clamped unpack: scatter only the `avail_r x avail_c` in-bounds block
+/// of a contiguous `rows x cols` tile (row pitch `cols`) into a strided
+/// destination. `doff` is the fully evaluated destination base (clamp
+/// bases already applied).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn unpack2d_clamp(
+    sb: RawBuf,
+    so: usize,
+    db: RawBuf,
+    doff: usize,
+    rs: usize,
+    cs: usize,
+    cols: usize,
+    avail_r: usize,
+    avail_c: usize,
+) {
+    if avail_r == 0 || avail_c == 0 {
+        return;
+    }
+    macro_rules! go {
+        ($get:ident) => {{
+            unsafe {
+                let ssl = sb.$get(so, (avail_r - 1) * cols + avail_c);
+                let need = doff + (avail_r - 1) * rs + (avail_c - 1) * cs + 1;
+                let dsl = db.$get(doff, need - doff);
+                tail::store_clamped_2d(ssl, dsl, rs, cs, avail_r, cols, avail_r, avail_c);
+            }
+        }};
+    }
+    match sb.dtype {
+        DataType::F32 => go!(f32),
+        DataType::U8 => go!(u8),
+        DataType::I8 => go!(i8),
+        DataType::I32 => go!(i32),
+        other => panic!("unpack2d_clamp unsupported dtype {other}"),
     }
 }
 

@@ -52,6 +52,43 @@ pub enum ReduceOp {
     Max,
 }
 
+/// Clamp of one axis of a clamped copy / tail kernel against a logical
+/// bound.
+///
+/// Ragged-shape support keeps the *physical* tile grid full-sized
+/// (`rows`/`cols`/`m` stay the padded block extents) while this struct
+/// carries the *logical* truth: the axis base in axis units (a loop
+/// expression, excluded from the intrinsic's offset expression so that
+/// static bounds analysis can cap the reachable span at
+/// `(logical - 1) * stride`), plus the logical extent. Executors
+/// compute `avail = logical.saturating_sub(base)` at runtime and
+/// zero-fill (pack), skip (unpack) or shorten (brgemm tail) everything
+/// at axis index `>= avail`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AxisClamp {
+    /// Axis base in axis units (may reference loop variables). The
+    /// matching `base * stride` term is *not* part of the offset
+    /// expression of the intrinsic that owns this clamp.
+    pub base: Expr,
+    /// Logical extent of the axis.
+    pub logical: usize,
+}
+
+impl AxisClamp {
+    /// Create a clamp.
+    pub fn new(base: impl Into<Expr>, logical: usize) -> AxisClamp {
+        AxisClamp {
+            base: base.into(),
+            logical,
+        }
+    }
+
+    /// Axis elements available from `base`, capped at `tile`.
+    pub fn avail(&self, base: usize, tile: usize) -> usize {
+        self.logical.saturating_sub(base).min(tile)
+    }
+}
+
 /// The intrinsic functions available to lowered code.
 ///
 /// Each "is carefully hand-tuned and fulfills a subtask of a DNN OP with
@@ -150,6 +187,109 @@ pub enum Intrinsic {
         rows: usize,
         /// Columns.
         cols: usize,
+    },
+    /// Clamped 2-D gather: like [`Intrinsic::Pack2D`] but each axis is
+    /// clamped against a logical bound and out-of-range destination
+    /// elements are zero-filled, so edge tiles of ragged shapes pack
+    /// into full physical blocks.
+    /// `dst[r*cols + c] = src[off + (rb+r)*rs + (cb+c)*cs]` when
+    /// `rb+r < row_clamp.logical && cb+c < col_clamp.logical`, else 0.
+    /// The `rb*rs` / `cb*cs` terms live in the clamps, not in
+    /// `src_offset`.
+    Pack2DPad {
+        /// Source buffer.
+        src: BufId,
+        /// Source base offset *excluding* the clamped axis bases.
+        src_offset: Expr,
+        /// Source row stride (elements).
+        src_row_stride: usize,
+        /// Source column stride (elements).
+        src_col_stride: usize,
+        /// Contiguous destination tile (len `rows * cols`, fully
+        /// written).
+        dst: View,
+        /// Physical rows.
+        rows: usize,
+        /// Physical columns.
+        cols: usize,
+        /// Row-axis clamp.
+        row_clamp: AxisClamp,
+        /// Column-axis clamp.
+        col_clamp: AxisClamp,
+    },
+    /// Clamped 2-D scatter: like [`Intrinsic::Unpack2D`] but writes to
+    /// rows/columns at or past the logical bounds are skipped, so edge
+    /// tiles never scribble past a ragged output.
+    /// `dst[off + (rb+r)*rs + (cb+c)*cs] = src[r*cols + c]` only when
+    /// `rb+r < row_clamp.logical && cb+c < col_clamp.logical`.
+    Unpack2DClamp {
+        /// Contiguous source tile (len `rows * cols`).
+        src: View,
+        /// Destination buffer.
+        dst: BufId,
+        /// Destination base offset *excluding* the clamped axis bases.
+        dst_offset: Expr,
+        /// Destination row stride.
+        dst_row_stride: usize,
+        /// Destination column stride.
+        dst_col_stride: usize,
+        /// Physical rows.
+        rows: usize,
+        /// Physical columns.
+        cols: usize,
+        /// Row-axis clamp.
+        row_clamp: AxisClamp,
+        /// Column-axis clamp.
+        col_clamp: AxisClamp,
+    },
+    /// M-tail batch-reduce GEMM: like [`Intrinsic::BrgemmF32`] but only
+    /// the first `m_eff = m_clamp.avail(..)` rows are computed; the C
+    /// view's `m_eff * n` prefix is accumulated and rows past the
+    /// logical M are untouched. A no-op when `m_eff == 0`.
+    BrgemmF32Tail {
+        /// First A tile (len `m * k`; only `m_eff * k` read).
+        a: View,
+        /// Element stride between A tiles.
+        a_stride: usize,
+        /// First B tile.
+        b: View,
+        /// Element stride between B tiles.
+        b_stride: usize,
+        /// C tile (len `m * n`; `m_eff * n` prefix accumulated).
+        c: View,
+        /// Physical rows.
+        m: usize,
+        /// Columns.
+        n: usize,
+        /// Reduction per tile.
+        k: usize,
+        /// Number of tile pairs.
+        batch: usize,
+        /// Row-axis clamp (base in M-rows).
+        m_clamp: AxisClamp,
+    },
+    /// Int8 M-tail batch-reduce GEMM (see [`Intrinsic::BrgemmF32Tail`]).
+    BrgemmU8I8Tail {
+        /// First A tile (u8).
+        a: View,
+        /// Element stride between A tiles.
+        a_stride: usize,
+        /// First B tile (i8).
+        b: View,
+        /// Element stride between B tiles.
+        b_stride: usize,
+        /// C tile (i32; `m_eff * n` prefix accumulated).
+        c: View,
+        /// Physical rows.
+        m: usize,
+        /// Columns.
+        n: usize,
+        /// Reduction per tile.
+        k: usize,
+        /// Number of tile pairs.
+        batch: usize,
+        /// Row-axis clamp (base in M-rows).
+        m_clamp: AxisClamp,
     },
     /// Elementwise unary over f32 views (equal lengths; in-place allowed
     /// when `src` and `dst` coincide exactly).

@@ -34,7 +34,8 @@ pub use compile::compile_module;
 pub use engine::{engine_totals, EngineTotals, ExecMode, Executable, InitCache};
 pub use expr::{Expr, VarId};
 pub use ir::{
-    BufDecl, BufId, Call, Func, GlobalDecl, GlobalKind, Intrinsic, Module, ReduceOp, Stmt, View,
+    AxisClamp, BufDecl, BufId, Call, Func, GlobalDecl, GlobalKind, Intrinsic, Module, ReduceOp,
+    Stmt, View,
 };
 pub use passes::validate::{validate_module, ValidateError};
 pub use plan::{ExecOptions, Plan, PlanStats};

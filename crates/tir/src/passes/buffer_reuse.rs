@@ -310,6 +310,94 @@ fn remap_intrinsic(i: crate::ir::Intrinsic, remap: &HashMap<usize, usize>) -> cr
             rows,
             cols,
         },
+        I::Pack2DPad {
+            src,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        } => I::Pack2DPad {
+            src: mb(src),
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst: mv(dst),
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        },
+        I::Unpack2DClamp {
+            src,
+            dst,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        } => I::Unpack2DClamp {
+            src: mv(src),
+            dst: mb(dst),
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        },
+        I::BrgemmF32Tail {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        } => I::BrgemmF32Tail {
+            a: mv(a),
+            a_stride,
+            b: mv(b),
+            b_stride,
+            c: mv(c),
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        },
+        I::BrgemmU8I8Tail {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        } => I::BrgemmU8I8Tail {
+            a: mv(a),
+            a_stride,
+            b: mv(b),
+            b_stride,
+            c: mv(c),
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        },
         I::Unary { op, src, dst } => I::Unary {
             op,
             src: mv(src),

@@ -360,6 +360,94 @@ fn map_views(
             rows,
             cols,
         },
+        I::Pack2DPad {
+            src,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        } => I::Pack2DPad {
+            src,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst: v!(dst),
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        },
+        I::Unpack2DClamp {
+            src,
+            dst,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        } => I::Unpack2DClamp {
+            src: v!(src),
+            dst,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        },
+        I::BrgemmF32Tail {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        } => I::BrgemmF32Tail {
+            a: v!(a),
+            a_stride,
+            b: v!(b),
+            b_stride,
+            c: v!(c),
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        },
+        I::BrgemmU8I8Tail {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        } => I::BrgemmU8I8Tail {
+            a: v!(a),
+            a_stride,
+            b: v!(b),
+            b_stride,
+            c: v!(c),
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        },
         I::Unary { op, src, dst } => I::Unary {
             op,
             src: v!(src),

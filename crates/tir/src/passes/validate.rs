@@ -157,6 +157,13 @@ fn walk_stmts(f: &Func, stmts: &[Stmt], vs: &mut VarState) -> Result<(), Validat
                 for a in intrinsic_accesses(intr) {
                     check_access(f, &a, vs)?;
                 }
+                // Axis-clamp bases are real runtime indices excluded
+                // from the access offsets above: def-before-use and
+                // non-negativity must be proven separately (the upper
+                // side is enforced by the runtime clamp).
+                for base in crate::visit::intrinsic_clamp_bases(intr) {
+                    check_clamp_base(f, base, vs)?;
+                }
             }
         }
     }
@@ -219,6 +226,30 @@ fn check_access(f: &Func, a: &crate::visit::Access, vs: &VarState) -> Result<(),
                 "func {}: access to {name} can reach element {} but the buffer holds {elems}",
                 f.name,
                 hi as i128 + a.len as i128 - 1
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_clamp_base(f: &Func, base: &Expr, vs: &VarState) -> Result<(), ValidateError> {
+    let mut bad_var = None;
+    visit_expr_vars(base, &mut |v| {
+        if bad_var.is_none() && (v >= f.var_count || !vs.bound[v]) {
+            bad_var = Some(v);
+        }
+    });
+    if let Some(v) = bad_var {
+        return err(format!(
+            "func {}: clamp base uses variable v{v} before any loop binds it",
+            f.name
+        ));
+    }
+    if let Some((lo, _)) = interval(base, &vs.iv) {
+        if lo < 0 {
+            return err(format!(
+                "func {}: clamp base can go negative (min {lo})",
+                f.name
             ));
         }
     }

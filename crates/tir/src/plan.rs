@@ -24,9 +24,9 @@
 //! it cannot bound) stay on the interpreter — [`Plan::func`] returns
 //! `None` and the engine routes that call through [`crate::exec`].
 
-use crate::exec::{assert_disjoint, pack2d, unpack2d, RawBuf};
+use crate::exec::{assert_disjoint, pack2d, pack2d_pad, unpack2d, unpack2d_clamp, RawBuf};
 use crate::ir::ReduceOp;
-use gc_microkernel::{brgemm, eltwise, epilogue, reduce, BinaryOp, UnaryOp};
+use gc_microkernel::{brgemm, eltwise, epilogue, reduce, tail, BinaryOp, UnaryOp};
 use gc_runtime::ThreadPool;
 use gc_tensor::{DataType, Storage};
 
@@ -244,6 +244,56 @@ pub enum POp {
         rows: usize,
         cols: usize,
     },
+    Pack2DPad {
+        src_buf: u32,
+        src_offset: PlanOffset,
+        src_row_stride: usize,
+        src_col_stride: usize,
+        dst: PView,
+        rows: usize,
+        cols: usize,
+        row_base: PlanOffset,
+        row_logical: usize,
+        col_base: PlanOffset,
+        col_logical: usize,
+    },
+    Unpack2DClamp {
+        src: PView,
+        dst_buf: u32,
+        dst_offset: PlanOffset,
+        dst_row_stride: usize,
+        dst_col_stride: usize,
+        rows: usize,
+        cols: usize,
+        row_base: PlanOffset,
+        row_logical: usize,
+        col_base: PlanOffset,
+        col_logical: usize,
+    },
+    BrgemmF32Tail {
+        a: PView,
+        b: PView,
+        c: PView,
+        shape: brgemm::BrgemmShape,
+        a_rel: Box<[usize]>,
+        b_rel: Box<[usize]>,
+        a_span: usize,
+        b_span: usize,
+        m_base: PlanOffset,
+        m_logical: usize,
+    },
+    BrgemmU8I8Tail {
+        a: PView,
+        b: PView,
+        c: PView,
+        shape: brgemm::BrgemmShape,
+        a_rel: Box<[usize]>,
+        b_rel: Box<[usize]>,
+        a_span: usize,
+        b_span: usize,
+        m_base: PlanOffset,
+        m_logical: usize,
+    },
     Unary {
         op: UnaryOp,
         src: PView,
@@ -334,6 +384,9 @@ pub enum POp {
 
 /// One flat-plan instruction. Loop bodies are the instruction range
 /// `(header + 1)..body_end`.
+// `Op` dominates plan streams; boxing it would put a pointer chase on
+// every dispatched intrinsic to shrink the rare loop headers.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum PInstr {
     /// Serial counted loop.
@@ -498,14 +551,14 @@ pub fn run_plan_call_opts(
     for &a in args {
         // Duplicate args share a Storage; RawBuf::of is a pure pointer
         // materialization, so materializing twice yields identical bufs.
-        scratch.bufs.push(RawBuf::of(&mut globals[a]));
+        scratch.bufs.push(RawBuf::of(&mut globals[a], opts.checked));
     }
     let locals = &mut scratch.locals[func_idx];
     for s in locals.iter_mut() {
         zero_storage(s);
     }
     for s in locals.iter_mut() {
-        scratch.bufs.push(RawBuf::of(s));
+        scratch.bufs.push(RawBuf::of(s, opts.checked));
     }
     let ctx = Ctx {
         bufs: &scratch.bufs,
@@ -540,6 +593,19 @@ impl Ctx<'_> {
             return (buf, off);
         }
         (buf, v.offset.eval(vars))
+    }
+
+    /// Evaluate an axis-clamp base (a scalar index, not a buffer
+    /// offset); must be non-negative for a well-formed plan.
+    #[inline]
+    fn clamp_base(&self, off: &PlanOffset, vars: &[i64; MAX_VARS]) -> usize {
+        let s = off.eval_signed(vars);
+        if self.checked {
+            assert!(s >= 0, "checked exec: clamp base evaluated negative ({s})");
+        } else {
+            debug_assert!(s >= 0, "clamp base evaluated negative ({s})");
+        }
+        s.max(0) as usize
     }
 
     /// Resolve a raw (buffer, offset) pair — the strided side of
@@ -742,6 +808,130 @@ fn exec_pop(op: &POp, ctx: &Ctx<'_>, vars: &[i64; MAX_VARS]) {
                 *rows,
                 *cols,
             );
+        }
+        POp::Pack2DPad {
+            src_buf,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            rows,
+            cols,
+            row_base,
+            row_logical,
+            col_base,
+            col_logical,
+        } => {
+            let rb = ctx.clamp_base(row_base, vars);
+            let cb = ctx.clamp_base(col_base, vars);
+            let avail_r = row_logical.saturating_sub(rb).min(*rows);
+            let avail_c = col_logical.saturating_sub(cb).min(*cols);
+            // base-excluded static span capped by the logical extents
+            let src_span = row_logical.saturating_sub(1) * src_row_stride
+                + col_logical.saturating_sub(1) * src_col_stride
+                + 1;
+            let (sb, so) = ctx.resolve_raw(*src_buf, src_offset, src_span, vars);
+            let (db, doff) = ctx.resolve_span(dst, rows * cols, vars);
+            pack2d_pad(
+                sb,
+                so + rb * src_row_stride + cb * src_col_stride,
+                *src_row_stride,
+                *src_col_stride,
+                db,
+                doff,
+                *rows,
+                *cols,
+                avail_r,
+                avail_c,
+            );
+        }
+        POp::Unpack2DClamp {
+            src,
+            dst_buf,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+            row_base,
+            row_logical,
+            col_base,
+            col_logical,
+        } => {
+            let rb = ctx.clamp_base(row_base, vars);
+            let cb = ctx.clamp_base(col_base, vars);
+            let avail_r = row_logical.saturating_sub(rb).min(*rows);
+            let avail_c = col_logical.saturating_sub(cb).min(*cols);
+            let (sb, so) = ctx.resolve_span(src, rows * cols, vars);
+            let dst_span = row_logical.saturating_sub(1) * dst_row_stride
+                + col_logical.saturating_sub(1) * dst_col_stride
+                + 1;
+            let (db, doff) = ctx.resolve_raw(*dst_buf, dst_offset, dst_span, vars);
+            unpack2d_clamp(
+                sb,
+                so,
+                db,
+                doff + rb * dst_row_stride + cb * dst_col_stride,
+                *dst_row_stride,
+                *dst_col_stride,
+                *cols,
+                avail_r,
+                avail_c,
+            );
+        }
+        POp::BrgemmF32Tail {
+            a,
+            b,
+            c,
+            shape,
+            a_rel,
+            b_rel,
+            a_span,
+            b_span,
+            m_base,
+            m_logical,
+        } => {
+            let mb = ctx.clamp_base(m_base, vars);
+            let m_eff = m_logical.saturating_sub(mb).min(shape.m);
+            if m_eff == 0 {
+                return;
+            }
+            let (ab, ao) = ctx.resolve_span(a, *a_span, vars);
+            let (bb, bo) = ctx.resolve_span(b, *b_span, vars);
+            let (cb, co) = ctx.resolve_span(c, shape.c_len(), vars);
+            unsafe {
+                let asl = ab.f32(ao, *a_span);
+                let bsl = bb.f32(bo, *b_span);
+                let csl = cb.f32(co, m_eff * shape.n);
+                tail::brgemm_f32_m_tail(*shape, m_eff, asl, a_rel, bsl, b_rel, csl);
+            }
+        }
+        POp::BrgemmU8I8Tail {
+            a,
+            b,
+            c,
+            shape,
+            a_rel,
+            b_rel,
+            a_span,
+            b_span,
+            m_base,
+            m_logical,
+        } => {
+            let mb = ctx.clamp_base(m_base, vars);
+            let m_eff = m_logical.saturating_sub(mb).min(shape.m);
+            if m_eff == 0 {
+                return;
+            }
+            let (ab, ao) = ctx.resolve_span(a, *a_span, vars);
+            let (bb, bo) = ctx.resolve_span(b, *b_span, vars);
+            let (cb, co) = ctx.resolve_span(c, shape.c_len(), vars);
+            unsafe {
+                let asl = ab.u8(ao, *a_span);
+                let bsl = bb.i8(bo, *b_span);
+                let csl = cb.i32(co, m_eff * shape.n);
+                tail::brgemm_u8i8_m_tail(*shape, m_eff, asl, a_rel, bsl, b_rel, csl);
+            }
         }
         POp::Unary { op, src, dst } => {
             let (sb, so) = ctx.resolve(src, vars);

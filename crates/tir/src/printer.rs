@@ -76,6 +76,82 @@ fn intr_str(f: &Func, i: &Intrinsic) -> String {
             dst_offset,
             view_str(f, src)
         ),
+        Intrinsic::Pack2DPad {
+            src,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        } => format!(
+            "pack2d.pad {} = {}[{} rs={src_row_stride} cs={src_col_stride}] ({rows}x{cols} rows@{}<{} cols@{}<{})",
+            view_str(f, dst),
+            buf_str(f, *src),
+            src_offset,
+            row_clamp.base,
+            row_clamp.logical,
+            col_clamp.base,
+            col_clamp.logical
+        ),
+        Intrinsic::Unpack2DClamp {
+            src,
+            dst,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        } => format!(
+            "unpack2d.clamp {}[{} rs={dst_row_stride} cs={dst_col_stride}] = {} ({rows}x{cols} rows@{}<{} cols@{}<{})",
+            buf_str(f, *dst),
+            dst_offset,
+            view_str(f, src),
+            row_clamp.base,
+            row_clamp.logical,
+            col_clamp.base,
+            col_clamp.logical
+        ),
+        Intrinsic::BrgemmF32Tail {
+            a,
+            b,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+            ..
+        } => format!(
+            "brgemm.f32.tail {} += {} x {}  (m={m} n={n} k={k} bs={batch} m@{}<{})",
+            view_str(f, c),
+            view_str(f, a),
+            view_str(f, b),
+            m_clamp.base,
+            m_clamp.logical
+        ),
+        Intrinsic::BrgemmU8I8Tail {
+            a,
+            b,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+            ..
+        } => format!(
+            "brgemm.u8i8.tail {} += {} x {}  (m={m} n={n} k={k} bs={batch} m@{}<{})",
+            view_str(f, c),
+            view_str(f, a),
+            view_str(f, b),
+            m_clamp.base,
+            m_clamp.logical
+        ),
         Intrinsic::Unary { op, src, dst } => {
             format!("{op:?} {} = {}", view_str(f, dst), view_str(f, src))
         }

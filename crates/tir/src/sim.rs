@@ -14,9 +14,9 @@
 //! - every entry call costs one dispatch overhead (the framework API
 //!   cost the compiled partition amortizes over the whole subgraph).
 
-use crate::expr::VarId;
+use crate::expr::{Expr, VarId};
 use crate::ir::{BufId, Func, Intrinsic, Module, Stmt};
-use crate::visit::intrinsic_accesses;
+use crate::visit::{intrinsic_accesses, Access};
 use gc_machine::{cost, CacheHierarchy, MachineDescriptor};
 use std::collections::HashMap;
 
@@ -179,10 +179,141 @@ fn set(vars: &mut [i64], var: VarId, v: i64) {
     vars[var.0] = v;
 }
 
+/// Accesses for the simulator. The clamped intrinsics get precise,
+/// runtime-evaluated windows here: the validator-facing
+/// [`intrinsic_accesses`] must report the whole logical region
+/// (clamp bases are excluded from its offsets), which would wildly
+/// overstate cache traffic during replay — the sim has concrete loop
+/// indices, so it can evaluate the clamps exactly.
+fn sim_accesses(i: &Intrinsic, vars: &[i64]) -> Vec<Access> {
+    let full = |v: &crate::ir::View, write: bool| Access {
+        buf: v.buf,
+        offset: v.offset.clone(),
+        len: v.len,
+        write,
+    };
+    match i {
+        Intrinsic::Pack2DPad {
+            src,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        } => {
+            let rb = row_clamp.base.eval(vars).max(0) as usize;
+            let cb = col_clamp.base.eval(vars).max(0) as usize;
+            let (ar, ac) = (row_clamp.avail(rb, *rows), col_clamp.avail(cb, *cols));
+            let mut v = vec![full(dst, true)];
+            if ar > 0 && ac > 0 {
+                v.push(Access {
+                    buf: *src,
+                    offset: src_offset
+                        .clone()
+                        .add(Expr::from(rb * src_row_stride + cb * src_col_stride)),
+                    len: (ar - 1) * src_row_stride + (ac - 1) * src_col_stride + 1,
+                    write: false,
+                });
+            }
+            v
+        }
+        Intrinsic::Unpack2DClamp {
+            src,
+            dst,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        } => {
+            let rb = row_clamp.base.eval(vars).max(0) as usize;
+            let cb = col_clamp.base.eval(vars).max(0) as usize;
+            let (ar, ac) = (row_clamp.avail(rb, *rows), col_clamp.avail(cb, *cols));
+            if ar == 0 || ac == 0 {
+                return vec![];
+            }
+            vec![
+                Access {
+                    buf: src.buf,
+                    offset: src.offset.clone(),
+                    len: (ar - 1) * cols + ac,
+                    write: false,
+                },
+                Access {
+                    buf: *dst,
+                    offset: dst_offset
+                        .clone()
+                        .add(Expr::from(rb * dst_row_stride + cb * dst_col_stride)),
+                    len: (ar - 1) * dst_row_stride + (ac - 1) * dst_col_stride + 1,
+                    write: true,
+                },
+            ]
+        }
+        Intrinsic::BrgemmF32Tail {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        }
+        | Intrinsic::BrgemmU8I8Tail {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        } => {
+            let mb = m_clamp.base.eval(vars).max(0) as usize;
+            let m_eff = m_clamp.avail(mb, *m);
+            if m_eff == 0 {
+                return vec![];
+            }
+            let mut v = Vec::with_capacity(2 * batch + 1);
+            for i in 0..*batch {
+                v.push(Access {
+                    buf: a.buf,
+                    offset: a.offset.clone().add(Expr::from(i * a_stride)),
+                    len: m_eff * k,
+                    write: false,
+                });
+                v.push(Access {
+                    buf: b.buf,
+                    offset: b.offset.clone().add(Expr::from(i * b_stride)),
+                    len: n * k,
+                    write: false,
+                });
+            }
+            v.push(Access {
+                buf: c.buf,
+                offset: c.offset.clone(),
+                len: m_eff * n,
+                write: true,
+            });
+            v
+        }
+        _ => intrinsic_accesses(i),
+    }
+}
+
 fn sim_intrinsic(i: &Intrinsic, ctx: &mut SimCtx<'_>, vars: &[i64]) -> f64 {
     // memory: replay every access through the cache hierarchy
     let mut mem = 0u64;
-    for a in intrinsic_accesses(i) {
+    for a in sim_accesses(i, vars) {
         let (base, es) = match a.buf {
             BufId::Param(p) => (ctx.param_base[p], ctx.elem_size[&(p, true)]),
             BufId::Local(l) => (ctx.local_base[l], ctx.elem_size[&(l, false)]),
@@ -201,6 +332,32 @@ fn sim_intrinsic(i: &Intrinsic, ctx: &mut SimCtx<'_>, vars: &[i64]) -> f64 {
         Intrinsic::BrgemmU8I8 { m, n, k, batch, .. } => {
             let eff = cost::microkernel_efficiency(ctx.machine, *m, *n, *k, *batch, 1);
             cost::compute_cycles(ctx.machine, 2.0 * (m * n * k * batch) as f64, 1, eff)
+        }
+        Intrinsic::BrgemmF32Tail {
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+            ..
+        } => {
+            let mb = m_clamp.base.eval(vars).max(0) as usize;
+            let m_eff = m_clamp.avail(mb, *m);
+            let eff = cost::microkernel_efficiency(ctx.machine, m_eff.max(1), *n, *k, *batch, 4);
+            cost::compute_cycles(ctx.machine, 2.0 * (m_eff * n * k * batch) as f64, 4, eff)
+        }
+        Intrinsic::BrgemmU8I8Tail {
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+            ..
+        } => {
+            let mb = m_clamp.base.eval(vars).max(0) as usize;
+            let m_eff = m_clamp.avail(mb, *m);
+            let eff = cost::microkernel_efficiency(ctx.machine, m_eff.max(1), *n, *k, *batch, 1);
+            cost::compute_cycles(ctx.machine, 2.0 * (m_eff * n * k * batch) as f64, 1, eff)
         }
         // vectorized elementwise: ~1 op per element
         Intrinsic::Unary { dst, .. }
@@ -227,12 +384,25 @@ fn sim_intrinsic(i: &Intrinsic, ctx: &mut SimCtx<'_>, vars: &[i64]) -> f64 {
             cols,
             src_col_stride,
             ..
+        }
+        | Intrinsic::Pack2DPad {
+            rows,
+            cols,
+            src_col_stride,
+            ..
         } => {
-            // strided gathers don't vectorize as well
+            // strided gathers don't vectorize as well; the padded
+            // variant still touches every dst element (zero fill)
             let per = if *src_col_stride == 1 { 1.0 } else { 4.0 };
             per * (rows * cols) as f64 / ctx.machine.f32_lanes() as f64
         }
         Intrinsic::Unpack2D {
+            rows,
+            cols,
+            dst_col_stride,
+            ..
+        }
+        | Intrinsic::Unpack2DClamp {
             rows,
             cols,
             dst_col_stride,

@@ -1,15 +1,19 @@
 //! Traversal helpers over Tensor IR.
 
 use crate::expr::Expr;
-use crate::ir::{BufId, Intrinsic, Stmt, View};
+use crate::ir::{AxisClamp, BufId, Intrinsic, Stmt, View};
 
-/// Apply `f` to every expression inside an intrinsic (view offsets and
-/// strided-copy base offsets).
+/// Apply `f` to every expression inside an intrinsic (view offsets,
+/// strided-copy base offsets, and axis-clamp bases).
 pub fn map_intrinsic_exprs(i: Intrinsic, f: &impl Fn(&Expr) -> Expr) -> Intrinsic {
     let mv = |v: View| View {
         buf: v.buf,
         offset: f(&v.offset),
         len: v.len,
+    };
+    let mc = |c: AxisClamp| AxisClamp {
+        base: f(&c.base),
+        logical: c.logical,
     };
     match i {
         Intrinsic::BrgemmF32 {
@@ -92,6 +96,94 @@ pub fn map_intrinsic_exprs(i: Intrinsic, f: &impl Fn(&Expr) -> Expr) -> Intrinsi
             dst_col_stride,
             rows,
             cols,
+        },
+        Intrinsic::Pack2DPad {
+            src,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        } => Intrinsic::Pack2DPad {
+            src,
+            src_offset: f(&src_offset),
+            src_row_stride,
+            src_col_stride,
+            dst: mv(dst),
+            rows,
+            cols,
+            row_clamp: mc(row_clamp),
+            col_clamp: mc(col_clamp),
+        },
+        Intrinsic::Unpack2DClamp {
+            src,
+            dst,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+            row_clamp,
+            col_clamp,
+        } => Intrinsic::Unpack2DClamp {
+            src: mv(src),
+            dst,
+            dst_offset: f(&dst_offset),
+            dst_row_stride,
+            dst_col_stride,
+            rows,
+            cols,
+            row_clamp: mc(row_clamp),
+            col_clamp: mc(col_clamp),
+        },
+        Intrinsic::BrgemmF32Tail {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        } => Intrinsic::BrgemmF32Tail {
+            a: mv(a),
+            a_stride,
+            b: mv(b),
+            b_stride,
+            c: mv(c),
+            m,
+            n,
+            k,
+            batch,
+            m_clamp: mc(m_clamp),
+        },
+        Intrinsic::BrgemmU8I8Tail {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            m_clamp,
+        } => Intrinsic::BrgemmU8I8Tail {
+            a: mv(a),
+            a_stride,
+            b: mv(b),
+            b_stride,
+            c: mv(c),
+            m,
+            n,
+            k,
+            batch,
+            m_clamp: mc(m_clamp),
         },
         Intrinsic::Unary { op, src, dst } => Intrinsic::Unary {
             op,
@@ -273,6 +365,30 @@ pub fn intrinsic_accesses(i: &Intrinsic) -> Vec<Access> {
             n,
             k,
             batch,
+        }
+        | Intrinsic::BrgemmF32Tail {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            ..
+        }
+        | Intrinsic::BrgemmU8I8Tail {
+            a,
+            a_stride,
+            b,
+            b_stride,
+            c,
+            m,
+            n,
+            k,
+            batch,
+            ..
         } => {
             // one access per tile: the batch tiles may be far apart in
             // the blocked layouts, and a dense span would wildly
@@ -330,6 +446,56 @@ pub fn intrinsic_accesses(i: &Intrinsic) -> Vec<Access> {
                 write: true,
             },
         ],
+        Intrinsic::Pack2DPad {
+            src,
+            src_offset,
+            src_row_stride,
+            src_col_stride,
+            dst,
+            row_clamp,
+            col_clamp,
+            ..
+        } => vec![
+            Access {
+                buf: *src,
+                offset: src_offset.clone(),
+                // the clamp bases are excluded from `src_offset`, so
+                // the farthest reachable element is statically capped
+                // by the logical extents (runtime indices satisfy
+                // `base + r <= logical - 1` on each axis)
+                len: clamped_span(
+                    row_clamp.logical,
+                    *src_row_stride,
+                    col_clamp.logical,
+                    *src_col_stride,
+                ),
+                write: false,
+            },
+            acc(dst, true),
+        ],
+        Intrinsic::Unpack2DClamp {
+            src,
+            dst,
+            dst_offset,
+            dst_row_stride,
+            dst_col_stride,
+            row_clamp,
+            col_clamp,
+            ..
+        } => vec![
+            acc(src, false),
+            Access {
+                buf: *dst,
+                offset: dst_offset.clone(),
+                len: clamped_span(
+                    row_clamp.logical,
+                    *dst_row_stride,
+                    col_clamp.logical,
+                    *dst_col_stride,
+                ),
+                write: true,
+            },
+        ],
         Intrinsic::Unary { src, dst, .. } => vec![acc(src, false), acc(dst, true)],
         Intrinsic::Binary { a, b, dst, .. } => {
             vec![acc(a, false), acc(b, false), acc(dst, true)]
@@ -363,6 +529,36 @@ pub fn intrinsic_accesses(i: &Intrinsic) -> Vec<Access> {
         Intrinsic::AddF32 { src, dst } | Intrinsic::AddI32 { src, dst } => {
             vec![acc(src, false), self_acc(dst)]
         }
+    }
+}
+
+/// Span reachable by a clamped 2-D copy whose offset excludes the axis
+/// bases: indices are capped at `(logical - 1) * stride` per axis.
+fn clamped_span(logical_rows: usize, rs: usize, logical_cols: usize, cs: usize) -> usize {
+    logical_rows.saturating_sub(1) * rs + logical_cols.saturating_sub(1) * cs + 1
+}
+
+/// Axis-clamp base expressions of an intrinsic (empty for unclamped
+/// ops). These are real runtime indices: their `base * stride` terms
+/// are *excluded* from the offsets reported by [`intrinsic_accesses`],
+/// so validators must separately prove each base non-negative (the
+/// upper side is enforced by the runtime clamp itself).
+pub fn intrinsic_clamp_bases(i: &Intrinsic) -> Vec<&Expr> {
+    match i {
+        Intrinsic::Pack2DPad {
+            row_clamp,
+            col_clamp,
+            ..
+        }
+        | Intrinsic::Unpack2DClamp {
+            row_clamp,
+            col_clamp,
+            ..
+        } => vec![&row_clamp.base, &col_clamp.base],
+        Intrinsic::BrgemmF32Tail { m_clamp, .. } | Intrinsic::BrgemmU8I8Tail { m_clamp, .. } => {
+            vec![&m_clamp.base]
+        }
+        _ => vec![],
     }
 }
 
