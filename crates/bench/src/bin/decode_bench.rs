@@ -1,0 +1,223 @@
+//! Autoregressive decode throughput: continuous batching vs serial
+//! per-session decode.
+//!
+//! A closed-loop harness over the gc-serve KV-cache decode subsystem:
+//! N sessions each decode `steps` tokens against the f32 decode
+//! template. First *serially* — one session runs to completion at a
+//! time, so every scheduler iteration is a batch of one (the
+//! single-stream regime: each step executes a whole plan for
+//! `heads` rows) — then *concurrently*, where the continuous-batching
+//! scheduler coalesces one pending step from every live session into a
+//! single batched plan execution per iteration. Prints tokens/sec for
+//! both and the speedup.
+//!
+//! Flags: `--sessions N` (default 64), `--steps N` tokens per session
+//! (default 24), `--heads N` (default 4), `--head-dim N` (default 64),
+//! `--threads N` engine pool width (default 2), `--stats` to dump the
+//! full counter snapshots.
+
+use gc_bench::workloads;
+use gc_core::CompileOptions;
+use gc_machine::MachineDescriptor;
+use gc_serve::{DecodeConfig, DecodeModel, PlanCache, StatsSnapshot};
+use gc_tensor::{DataType, Tensor};
+use gc_tir::InitCache;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+struct RunResult {
+    elapsed: Duration,
+    tokens: u64,
+    stats: StatsSnapshot,
+}
+
+#[derive(Clone, Copy)]
+struct Params {
+    sessions: usize,
+    steps: usize,
+    heads: usize,
+    head_dim: usize,
+    threads: usize,
+}
+
+fn decode_config(p: &Params) -> DecodeConfig {
+    DecodeConfig {
+        compile: CompileOptions {
+            threads: Some(p.threads),
+            ..CompileOptions::new(MachineDescriptor::xeon_8358())
+        },
+        max_batch: p.sessions,
+        max_delay: Duration::from_micros(500),
+        min_capacity: 16,
+        max_capacity: p.steps.next_power_of_two().max(16),
+        // Private caches so the two runs compile independently.
+        plan_cache: Some(Arc::new(PlanCache::new())),
+        init_cache: Some(Arc::new(InitCache::new())),
+        ..DecodeConfig::default()
+    }
+}
+
+fn decode_all_steps(model: &DecodeModel, p: &Params, seed: u64) {
+    let (h, d) = (p.heads, p.head_dim);
+    let session = model.session().expect("open session");
+    for t in 0..p.steps as u64 {
+        session
+            .decode_step(
+                &Tensor::random(&[h, 1, d], DataType::F32, seed + t),
+                &Tensor::random(&[h, 1, d], DataType::F32, seed + 300 + t),
+                &Tensor::random(&[h, 1, d], DataType::F32, seed + 600 + t),
+            )
+            .expect("decode step")
+            .wait()
+            .expect("step result");
+    }
+}
+
+/// One session decodes to completion before the next starts: every
+/// iteration is a batch of one.
+fn run_serial(p: &Params) -> RunResult {
+    let d = p.head_dim;
+    let model = DecodeModel::load(
+        move |r, c| workloads::decode_f32(r, c, d),
+        p.heads,
+        decode_config(p),
+    )
+    .expect("load decode model");
+    decode_all_steps(&model, p, 9_000); // warm the plans
+    let t0 = Instant::now();
+    for s in 0..p.sessions as u64 {
+        decode_all_steps(&model, p, s * 1_000);
+    }
+    RunResult {
+        elapsed: t0.elapsed(),
+        tokens: (p.sessions * p.steps) as u64,
+        stats: model.stats(),
+    }
+}
+
+/// All sessions decode concurrently; the scheduler coalesces their
+/// pending steps into one plan execution per iteration.
+fn run_batched(p: &Params) -> RunResult {
+    let d = p.head_dim;
+    let model = Arc::new(
+        DecodeModel::load(
+            move |r, c| workloads::decode_f32(r, c, d),
+            p.heads,
+            decode_config(p),
+        )
+        .expect("load decode model"),
+    );
+    // Warm the full-occupancy buckets: plans compile per (rows, cap),
+    // and an unwarmed compile inside the timed region would be charged
+    // to batching.
+    {
+        let warm: Vec<_> = (0..p.sessions)
+            .map(|_| model.session().expect("warm session"))
+            .collect();
+        for t in 0..p.steps as u64 {
+            let futs: Vec<_> = warm
+                .iter()
+                .map(|s| {
+                    s.decode_step(
+                        &Tensor::random(&[p.heads, 1, d], DataType::F32, 8_000 + t),
+                        &Tensor::random(&[p.heads, 1, d], DataType::F32, 8_300 + t),
+                        &Tensor::random(&[p.heads, 1, d], DataType::F32, 8_600 + t),
+                    )
+                    .expect("warm step")
+                })
+                .collect();
+            for f in futs {
+                f.wait().expect("warm result");
+            }
+        }
+    }
+    let barrier = Arc::new(Barrier::new(p.sessions + 1));
+    let mut handles = Vec::new();
+    for s in 0..p.sessions as u64 {
+        let model = Arc::clone(&model);
+        let barrier = Arc::clone(&barrier);
+        let params = *p;
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            decode_all_steps(&model, &params, s * 1_000);
+        }));
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("session thread");
+    }
+    RunResult {
+        elapsed: t0.elapsed(),
+        tokens: (p.sessions * p.steps) as u64,
+        stats: model.stats(),
+    }
+}
+
+fn main() {
+    let mut p = Params {
+        sessions: 64,
+        steps: 24,
+        heads: 4,
+        head_dim: 64,
+        threads: 2,
+    };
+    let mut dump_stats = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{a} needs a number"))
+        };
+        match a.as_str() {
+            "--sessions" => p.sessions = num(&mut args),
+            "--steps" => p.steps = num(&mut args),
+            "--heads" => p.heads = num(&mut args),
+            "--head-dim" => p.head_dim = num(&mut args),
+            "--threads" => p.threads = num(&mut args),
+            "--stats" => dump_stats = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    println!(
+        "decode_bench: f32 decode attention, {} heads x head_dim {}",
+        p.heads, p.head_dim
+    );
+    println!(
+        "{} sessions x {} tokens, engine pool = {} threads",
+        p.sessions, p.steps, p.threads
+    );
+    println!();
+
+    let serial = run_serial(&p);
+    let batched = run_batched(&p);
+
+    let tps = |r: &RunResult| r.tokens as f64 / r.elapsed.as_secs_f64();
+    let fmt = |label: &str, r: &RunResult| {
+        println!(
+            "{label:<22} {:>10.0} tok/s   coalesce {:>6}   iterations {:>6}",
+            tps(r),
+            r.stats
+                .decode_coalesce_ratio()
+                .map_or("n/a".into(), |v| format!("{v:.2}")),
+            r.stats.decode_iterations(),
+        );
+    };
+    fmt("serial decode", &serial);
+    fmt("continuous batching", &batched);
+    println!();
+    println!(
+        "continuous-batching speedup: {:.2}x tokens/sec",
+        tps(&batched) / tps(&serial)
+    );
+
+    if dump_stats {
+        println!();
+        println!("--- serial decode stats ---");
+        print!("{}", serial.stats);
+        println!("--- continuous batching stats ---");
+        print!("{}", batched.stats);
+    }
+}

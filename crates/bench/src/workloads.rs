@@ -280,6 +280,95 @@ pub fn mha_int8(batch: usize, cfg: &MhaConfig) -> (Graph, usize) {
     (g, head_dim)
 }
 
+/// Build a one-op f32 decode-attention graph: one masked decode step of
+/// `rows` independent heads against KV caches of capacity `cap`.
+///
+/// Inputs, in the order gc-serve's decode scheduler expects:
+/// `q [rows, 1, head_dim]`, `k_cache [rows, cap, head_dim]`,
+/// `v_cache [rows, cap, head_dim]`, `mask [rows, 1, cap]`.
+pub fn decode_f32(rows: usize, cap: usize, head_dim: usize) -> Graph {
+    let mut g = Graph::new();
+    let q = g.add_input(TensorDesc::new([rows, 1, head_dim], DataType::F32), "q");
+    let k = g.add_input(
+        TensorDesc::new([rows, cap, head_dim], DataType::F32),
+        "k_cache",
+    );
+    let v = g.add_input(
+        TensorDesc::new([rows, cap, head_dim], DataType::F32),
+        "v_cache",
+    );
+    let mask = g.add_input(TensorDesc::new([rows, 1, cap], DataType::F32), "mask");
+    let out = g
+        .add_op(OpKind::DecodeAttention, &[q, k, v, mask])
+        .expect("decode_attention");
+    g.mark_output(out);
+    g
+}
+
+/// Int8 decode step: the [`mha_int8`] chain at query length 1. Built
+/// pre-decomposed (dequantize → transpose → matmul → … → quantized
+/// probs × V) so the low-precision pass legalizes both matmuls to int8,
+/// exactly as it does for the encoder workload. Caches are stored
+/// quantized (`k_cache`/`v_cache` i8, `q` u8); the mask stays f32.
+pub fn decode_int8(rows: usize, cap: usize, head_dim: usize) -> Graph {
+    let (a_q, w_s, _) = default_qparams();
+    let p_q = QuantParams::new(1.0 / 255.0, 0); // probs in [0,1]
+    let mut g = Graph::new();
+    let q = g.add_input(TensorDesc::new([rows, 1, head_dim], DataType::U8), "q_q");
+    let k = g.add_input(
+        TensorDesc::new([rows, cap, head_dim], DataType::I8),
+        "k_cache",
+    );
+    let v = g.add_input(
+        TensorDesc::new([rows, cap, head_dim], DataType::I8),
+        "v_cache",
+    );
+    let mask = g.add_input(TensorDesc::new([rows, 1, cap], DataType::F32), "mask");
+    let scale = g.add_constant(Tensor::scalar_f32((head_dim as f32).sqrt()), "sqrt_d");
+
+    let q_f = g.add_op(OpKind::Dequantize { params: a_q }, &[q]).unwrap();
+    let k_f = g
+        .add_op(
+            OpKind::Dequantize {
+                params: QuantParams::symmetric(w_s),
+            },
+            &[k],
+        )
+        .unwrap();
+    let kt = g.add_op(OpKind::Transpose, &[k_f]).unwrap();
+    let scores = g.add_op(OpKind::MatMul, &[q_f, kt]).unwrap();
+    let scaled = g
+        .add_op(OpKind::Binary(BinaryKind::Div), &[scores, scale])
+        .unwrap();
+    let masked = g
+        .add_op(OpKind::Binary(BinaryKind::Add), &[scaled, mask])
+        .unwrap();
+    let probs = g.add_op(OpKind::Softmax, &[masked]).unwrap();
+    let probs_q = g
+        .add_op(
+            OpKind::Quantize {
+                dtype: DataType::U8,
+                params: p_q,
+            },
+            &[probs],
+        )
+        .unwrap();
+    let p_f = g
+        .add_op(OpKind::Dequantize { params: p_q }, &[probs_q])
+        .unwrap();
+    let v_f = g
+        .add_op(
+            OpKind::Dequantize {
+                params: QuantParams::symmetric(w_s),
+            },
+            &[v],
+        )
+        .unwrap();
+    let out = g.add_op(OpKind::MatMul, &[p_f, v_f]).unwrap();
+    g.mark_output(out);
+    g
+}
+
 /// Random input tensors matching a graph's inputs (deterministic).
 pub fn random_inputs(g: &Graph, seed: u64) -> Vec<Tensor> {
     g.inputs()
@@ -433,6 +522,27 @@ pub fn reference_eval(g: &Graph, inputs: &[Tensor]) -> Vec<Tensor> {
                 gc_tensor::reorder::reorder(&ins[0], target.clone()).unwrap()
             }
             OpKind::BiasAdd => r::bias_add(&ins[0], &ins[1]).unwrap(),
+            OpKind::KvAppend => {
+                // Exactly the decomposition's arithmetic:
+                // cache - (cache - row) * onehot.
+                let diff = r::binary(r::BinaryKind::Sub, &ins[0], &ins[1]).unwrap();
+                let corr = r::binary(r::BinaryKind::Mul, &diff, &ins[2]).unwrap();
+                r::binary(r::BinaryKind::Sub, &ins[0], &corr).unwrap()
+            }
+            OpKind::DecodeAttention => {
+                let head_dim = *ins[0].desc().shape().last().unwrap() as f32;
+                let kt = gc_tensor::reorder::transpose_last2(&ins[1]).unwrap();
+                let scores = r::matmul_f32(&ins[0], &kt).unwrap();
+                let s = head_dim.sqrt();
+                let scaled = Tensor::from_vec_f32(
+                    scores.desc().shape(),
+                    scores.f32_slice().unwrap().iter().map(|&x| x / s).collect(),
+                )
+                .unwrap();
+                let masked = r::binary(r::BinaryKind::Add, &scaled, &ins[3]).unwrap();
+                let probs = r::softmax_last_axis(&masked).unwrap();
+                r::matmul_f32(&probs, &ins[2]).unwrap()
+            }
             other => panic!("reference eval: unsupported {other}"),
         };
         values.insert(op.outputs[0], out);

@@ -111,6 +111,63 @@ pub fn infer_output(kind: &OpKind, inputs: &[&TensorDesc]) -> Result<TensorDesc>
             }
             Ok(TensorDesc::new(x.shape(), DataType::F32))
         }
+        OpKind::KvAppend => {
+            let [cache, row, onehot] = n::<3>(kind, inputs)?;
+            for d in [cache, row, onehot] {
+                require_f32(kind, d)?;
+            }
+            let (sc, sr, so) = (cache.shape(), row.shape(), onehot.shape());
+            if sc.len() != 3 || sr.len() != 3 || so.len() != 3 {
+                return Err(err(kind, "expects rank-3 [B, C, D] cache"));
+            }
+            let (b, cap, dim) = (sc[0], sc[1], sc[2]);
+            if sr != [b, 1, dim] {
+                return Err(err(
+                    kind,
+                    format!("row {sr:?} must be [{b}, 1, {dim}] for cache {sc:?}"),
+                ));
+            }
+            if so != [b, cap, 1] {
+                return Err(err(
+                    kind,
+                    format!("onehot {so:?} must be [{b}, {cap}, 1] for cache {sc:?}"),
+                ));
+            }
+            Ok(TensorDesc::new(sc, DataType::F32))
+        }
+        OpKind::DecodeAttention => {
+            let [q, k, v, mask] = n::<4>(kind, inputs)?;
+            for d in [q, k, v, mask] {
+                require_f32(kind, d)?;
+            }
+            let (sq, sk, sv, sm) = (q.shape(), k.shape(), v.shape(), mask.shape());
+            if sq.len() != 3 || sk.len() != 3 {
+                return Err(err(
+                    kind,
+                    "expects rank-3 [B, 1, D] query over [B, C, D] cache",
+                ));
+            }
+            let (b, cap, dim) = (sk[0], sk[1], sk[2]);
+            if sq != [b, 1, dim] {
+                return Err(err(
+                    kind,
+                    format!("query {sq:?} must be [{b}, 1, {dim}] for k cache {sk:?}"),
+                ));
+            }
+            if sv != sk {
+                return Err(err(
+                    kind,
+                    format!("v cache {sv:?} must match k cache {sk:?}"),
+                ));
+            }
+            if sm != [b, 1, cap] {
+                return Err(err(
+                    kind,
+                    format!("mask {sm:?} must be [{b}, 1, {cap}] for k cache {sk:?}"),
+                ));
+            }
+            Ok(TensorDesc::new(sq, DataType::F32))
+        }
         OpKind::BatchNormInference { .. } => {
             let descs = n::<5>(kind, inputs)?;
             let x = descs[0];

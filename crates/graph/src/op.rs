@@ -122,6 +122,23 @@ pub enum OpKind {
     // ---- Complex ----
     /// Softmax over the last axis.
     Softmax,
+    /// KV-cache row write (autoregressive decode): inputs
+    /// `[cache [B, C, D], row [B, 1, D], onehot [B, C, 1]]`, output the
+    /// updated cache `[B, C, D]` with `row` written at the position
+    /// selected by the one-hot tensor (1.0 at the write slot, 0.0
+    /// elsewhere, per batch entry). Functional semantics — the serving
+    /// runtime performs the same write in place on its session caches;
+    /// the graph form exists for reference evaluation and compiled
+    /// differential tests. Writing to a zeroed slot is bit-exact
+    /// (`c - (c - r) * 1` with `c = 0` is IEEE-exact `r`).
+    KvAppend,
+    /// Masked single-query attention against a KV cache (one decode
+    /// step): inputs `[q [B, 1, D], k_cache [B, C, D], v_cache
+    /// [B, C, D], mask [B, 1, C]]`, output `[B, 1, D]` =
+    /// `softmax(q x k^T / sqrt(D) + mask) x v`. Cache slots past the
+    /// session's valid length are masked with a large negative value so
+    /// one capacity bucket `C` serves every position below it.
+    DecodeAttention,
     /// Inference batch-norm `gamma * (x - mean) / sqrt(var + eps) + beta`,
     /// inputs: `[x, gamma, beta, mean, var]`.
     BatchNormInference {
@@ -145,9 +162,11 @@ impl OpKind {
             | OpKind::Quantize { .. }
             | OpKind::Dequantize { .. }
             | OpKind::TypeCast { .. } => OpCategory::Fusible,
-            OpKind::Softmax | OpKind::BatchNormInference { .. } | OpKind::BiasAdd => {
-                OpCategory::Complex
-            }
+            OpKind::Softmax
+            | OpKind::KvAppend
+            | OpKind::DecodeAttention
+            | OpKind::BatchNormInference { .. }
+            | OpKind::BiasAdd => OpCategory::Complex,
         }
     }
 
@@ -178,6 +197,8 @@ impl OpKind {
             OpKind::Dequantize { .. } => "dequantize",
             OpKind::TypeCast { .. } => "typecast",
             OpKind::Softmax => "softmax",
+            OpKind::KvAppend => "kv_append",
+            OpKind::DecodeAttention => "decode_attention",
             OpKind::BatchNormInference { .. } => "batchnorm",
             OpKind::BiasAdd => "bias_add",
         }

@@ -7,6 +7,15 @@
 //!   (numerically-stable form; the two reductions become the split
 //!   post-op groups during fine-grain fusion);
 //! - `bias_add(x, b)` → `add(x, b)` (broadcast binary);
+//! - `kv_append(cache, row, onehot)` →
+//!   `sub(cache, mul(sub(cache, row), onehot))`: away from the write
+//!   slot the one-hot zeroes the correction and the cache passes
+//!   through; at the slot `c - (c - r)` leaves `r`. Bit-exact when the
+//!   slot held zeros, which is the serving invariant;
+//! - `decode_attention(q, k, v, mask)` →
+//!   `matmul(softmax(add(div(matmul(q, transpose(k)), √D), mask)), v)`
+//!   — the encoder MHA chain at query length 1, so the existing
+//!   softmax/matmul lowering (and int8 legalization) applies unchanged;
 //! - `batchnorm_inference(x, γ, β, μ, σ²)` → `add(mul(x, s), t)` with
 //!   `s = γ/√(σ²+ε)`, `t = β − μ·s` computed at compile time (inference
 //!   stats are compile-time constants).
@@ -42,6 +51,34 @@ impl Pass for Decompose {
                     let sm = g.add_op(OpKind::Reduce(ReduceKind::Sum), &[ex])?;
                     let dv = g.add_op(OpKind::Binary(BinaryKind::Div), &[ex, sm])?;
                     g.replace_uses(out, dv);
+                    g.kill_op(id);
+                    changed = true;
+                }
+                OpKind::KvAppend => {
+                    let [cache, row, onehot] = [op.inputs[0], op.inputs[1], op.inputs[2]];
+                    // row broadcasts right-aligned over [B, C, D];
+                    // onehot broadcasts over the trailing D axis.
+                    let diff = g.add_op(OpKind::Binary(BinaryKind::Sub), &[cache, row])?;
+                    let corr = g.add_op(OpKind::Binary(BinaryKind::Mul), &[diff, onehot])?;
+                    let upd = g.add_op(OpKind::Binary(BinaryKind::Sub), &[cache, corr])?;
+                    g.replace_uses(op.outputs[0], upd);
+                    g.kill_op(id);
+                    changed = true;
+                }
+                OpKind::DecodeAttention => {
+                    let [q, k, v, mask] = [op.inputs[0], op.inputs[1], op.inputs[2], op.inputs[3]];
+                    let head_dim = *g.desc(q).shape().last().expect("rank-3 query") as f32;
+                    let scale = g.add_constant(Tensor::scalar_f32(head_dim.sqrt()), "sqrt_d");
+                    let kt = g.add_op(OpKind::Transpose, &[k])?;
+                    let scores = g.add_op(OpKind::MatMul, &[q, kt])?;
+                    let scaled = g.add_op(OpKind::Binary(BinaryKind::Div), &[scores, scale])?;
+                    let masked = g.add_op(OpKind::Binary(BinaryKind::Add), &[scaled, mask])?;
+                    // Softmax is itself complex; the pass manager runs
+                    // decomposition to fixpoint, so it expands on the
+                    // next iteration.
+                    let probs = g.add_op(OpKind::Softmax, &[masked])?;
+                    let out = g.add_op(OpKind::MatMul, &[probs, v])?;
+                    g.replace_uses(op.outputs[0], out);
                     g.kill_op(id);
                     changed = true;
                 }

@@ -97,7 +97,10 @@ pub fn slice_elems(
     Tensor::from_parts(desc, sliced).map_err(|e| ServeError::Exec(e.to_string()))
 }
 
-fn copy_elems(
+/// Copy `n` elements between same-dtype storages (flat offsets). The
+/// decode scheduler uses this to gather session caches straight into a
+/// batch buffer without an intermediate per-session copy.
+pub(crate) fn copy_elems(
     src: &Storage,
     src_off: usize,
     dst: &mut Storage,

@@ -13,6 +13,10 @@
 //! (model, bucket) folds weights once, while distinct buckets fold
 //! separately — their global buffers are bucket-shaped, so sharing
 //! across buckets would be incorrect.
+//!
+//! The plan cache is LRU-bounded ([`DEFAULT_PLAN_CAPACITY`] completed
+//! plans, or [`PlanCache::with_capacity`]) so long-lived processes
+//! that churn through model variants cannot grow it without bound.
 
 use crate::ServeError;
 use gc_runtime::ThreadPool;
@@ -59,20 +63,90 @@ pub struct CachedPlan {
 struct PlanEntry {
     plan: OnceLock<Arc<CachedPlan>>,
     compiling: Mutex<()>,
+    /// Logical-clock stamp of the last hit or compile (LRU ordering).
+    last_used: AtomicU64,
 }
 
-/// A keyed cache of compiled plans with hit/miss accounting.
-#[derive(Debug, Default)]
+/// Default [`PlanCache`] capacity: generous — a plan is a few KB of
+/// TIR, and capacity-bucketed decode at 1024 positions with 64-way
+/// batching is only ~7x7 plans per model — but finite, so a workload
+/// that churns through model variants (tests, notebook sessions,
+/// per-tenant graphs) cannot grow the process-wide cache without
+/// bound.
+pub const DEFAULT_PLAN_CAPACITY: usize = 256;
+
+/// A keyed cache of compiled plans with hit/miss accounting and an
+/// LRU bound on completed plans.
+///
+/// Eviction only ever removes *completed* entries: an entry whose
+/// compile is in flight holds waiters on its per-key lock and is never
+/// dropped out from under them. The bound is therefore on completed
+/// plans; transient overshoot equals the number of concurrent
+/// first-compiles.
+#[derive(Debug)]
 pub struct PlanCache {
     map: Mutex<HashMap<PlanKey, Arc<PlanEntry>>>,
+    capacity: usize,
+    /// Monotone logical clock stamping `PlanEntry::last_used`.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::with_capacity(DEFAULT_PLAN_CAPACITY)
+    }
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
         PlanCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` completed plans
+    /// (minimum 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            map: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn touch(&self, entry: &PlanEntry) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(now, Ordering::Relaxed);
+    }
+
+    /// Evict least-recently-used *completed* entries until at most
+    /// `capacity` remain. Called with a fresh map lock after an
+    /// insert; in-flight compiles are exempt.
+    fn evict_over_capacity(&self) {
+        let mut map = self.map.lock().unwrap();
+        loop {
+            let completed = map.values().filter(|e| e.plan.get().is_some()).count();
+            if completed <= self.capacity {
+                return;
+            }
+            let victim = map
+                .iter()
+                .filter(|(_, e)| e.plan.get().is_some())
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    map.remove(&k);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                None => return,
+            }
+        }
     }
 
     /// Return the plan for `key`, compiling it with `compile` on first
@@ -95,6 +169,7 @@ impl PlanCache {
         let entry = Arc::clone(self.map.lock().unwrap().entry(key).or_default());
         if let Some(p) = entry.plan.get() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.touch(&entry);
             return Ok(Arc::clone(p));
         }
         // Serialize compiles of this key only; recover from a previous
@@ -106,11 +181,14 @@ impl PlanCache {
         if let Some(p) = entry.plan.get() {
             // Someone else finished while we waited for the key lock.
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.touch(&entry);
             return Ok(Arc::clone(p));
         }
         let plan = Arc::new(compile()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         let _ = entry.plan.set(Arc::clone(&plan));
+        self.touch(&entry);
+        self.evict_over_capacity();
         Ok(plan)
     }
 
@@ -122,6 +200,16 @@ impl PlanCache {
     /// Cache misses (= compilations) so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Completed plans dropped by the LRU bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Most completed plans this cache retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Plans currently cached (keys whose compile has completed).
@@ -314,6 +402,53 @@ mod tests {
         done_tx.send(()).unwrap();
         h.join().unwrap().unwrap();
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = PlanCache::with_capacity(2);
+        let key = |g: u64| PlanKey {
+            graph: g,
+            units: 4,
+            opts: 0,
+            threads: 1,
+        };
+        cache.get_or_compile(key(1), || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile(key(2), || Ok(dummy_plan())).unwrap();
+        // Touch key 1 so key 2 becomes the LRU victim.
+        cache.get_or_compile(key(1), || panic!("cached")).unwrap();
+        cache.get_or_compile(key(3), || Ok(dummy_plan())).unwrap();
+        assert_eq!((cache.len(), cache.evictions()), (2, 1));
+        // Key 1 survived; key 2 was evicted and recompiles.
+        cache.get_or_compile(key(1), || panic!("cached")).unwrap();
+        let recompiled = std::sync::atomic::AtomicUsize::new(0);
+        cache
+            .get_or_compile(key(2), || {
+                recompiled.fetch_add(1, Ordering::SeqCst);
+                Ok(dummy_plan())
+            })
+            .unwrap();
+        assert_eq!(recompiled.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn capacity_has_a_floor_of_one() {
+        let cache = PlanCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        let k = PlanKey {
+            graph: 1,
+            units: 1,
+            opts: 0,
+            threads: 1,
+        };
+        cache.get_or_compile(k, || Ok(dummy_plan())).unwrap();
+        cache.get_or_compile(k, || panic!("cached")).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn default_capacity_is_generous() {
+        assert_eq!(PlanCache::new().capacity(), DEFAULT_PLAN_CAPACITY);
     }
 
     #[test]

@@ -22,6 +22,11 @@
 //! 3. **Backpressure + observability** — bounded per-model queues
 //!    ([`ServeError::Busy`]), graceful shutdown, and per-model /
 //!    per-bucket counters ([`StatsSnapshot`]) with p50/p99 latency.
+//! 4. **KV-cache autoregressive decode** ([`DecodeModel`],
+//!    [`DecodeSession`]) — per-session KV caches at power-of-two
+//!    capacity buckets and a continuous-batching scheduler that
+//!    coalesces one pending decode step from many sessions into a
+//!    single plan execution per iteration (see [`decode`]).
 //!
 //! ```
 //! use gc_graph::{Graph, OpKind, UnaryKind};
@@ -46,15 +51,17 @@
 
 pub mod batch;
 pub mod cache;
+pub mod decode;
 pub mod hash;
 pub mod model;
 pub mod rebatch;
 pub mod stats;
 
 pub use cache::{init_cache, plan_cache, shared_pool, CachedPlan, PlanCache, PlanKey};
+pub use decode::{DecodeConfig, DecodeModel, DecodeSession, StepFuture};
 pub use hash::graph_fingerprint;
 pub use model::{Model, ServeConfig, Session};
-pub use stats::{BucketSnapshot, StatsSnapshot};
+pub use stats::{BucketSnapshot, DecodeBucketSnapshot, StatsSnapshot};
 
 use std::fmt;
 

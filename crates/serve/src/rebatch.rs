@@ -134,6 +134,13 @@ pub fn check_row_independence(g: &Graph) -> Result<(), ServeError> {
                 }
                 b(0)
             }
+            OpKind::KvAppend | OpKind::DecodeAttention => {
+                // Shape inference pins every operand to rank 3 with a
+                // shared leading axis, and both ops work slice-wise
+                // along it: each batch entry's cache/query only meets
+                // that entry's operands.
+                (0..op.inputs.len()).any(b)
+            }
             OpKind::Transpose => {
                 if b(0) && rank(0) == 2 {
                     return mix("it moves the batch dimension off dim 0");

@@ -82,6 +82,18 @@ struct BucketCounters {
     padded_rows: AtomicU64,
 }
 
+/// Number of bins in the decode batch-occupancy histogram: bin `i`
+/// counts iterations whose occupancy (steps executed over session
+/// slots in the bucket) fell in `[i*10%, (i+1)*10%)`, except bin 10,
+/// which means a completely full batch.
+pub const OCCUPANCY_BINS: usize = 11;
+
+#[derive(Debug, Default)]
+struct DecodeBucketCounters {
+    iterations: AtomicU64,
+    steps: AtomicU64,
+}
+
 /// Live counters for one served model.
 ///
 /// The completed-request count is not stored as a separate counter: it
@@ -95,6 +107,10 @@ pub struct ModelStats {
     queue_depth: AtomicU64,
     buckets: Mutex<HashMap<u64, BucketCounters>>,
     latency: Mutex<LatencyHistogram>,
+    /// Decode iterations keyed by (cache capacity, row bucket).
+    decode_buckets: Mutex<HashMap<(u64, u64), DecodeBucketCounters>>,
+    /// Batch-occupancy histogram over decode iterations.
+    decode_occupancy: Mutex<[u64; OCCUPANCY_BINS]>,
 }
 
 impl ModelStats {
@@ -126,6 +142,21 @@ impl ModelStats {
 
     pub(crate) fn record_request_latency(&self, latency: Duration) {
         self.latency.lock().unwrap().record(latency);
+    }
+
+    /// One decode-scheduler iteration: `steps` decode steps executed
+    /// in one batched plan run at cache capacity `capacity`, row
+    /// bucket `rows`, with `slots` session slots available in the
+    /// bucket (`steps <= slots`; the difference is padding).
+    pub(crate) fn record_decode_iteration(&self, capacity: u64, rows: u64, steps: u64, slots: u64) {
+        {
+            let map = &mut *self.decode_buckets.lock().unwrap();
+            let b = map.entry((capacity, rows)).or_default();
+            b.iterations.fetch_add(1, Ordering::Relaxed);
+            b.steps.fetch_add(steps, Ordering::Relaxed);
+        }
+        let bin = ((steps * 10) / slots.max(1)).min(10) as usize;
+        self.decode_occupancy.lock().unwrap()[bin] += 1;
     }
 
     pub(crate) fn record_busy(&self) {
@@ -164,6 +195,20 @@ impl ModelStats {
             })
             .collect();
         buckets.sort_by_key(|b| b.units);
+        let mut decode_buckets: Vec<DecodeBucketSnapshot> = self
+            .decode_buckets
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&(capacity, rows), c)| DecodeBucketSnapshot {
+                capacity,
+                rows,
+                iterations: c.iterations.load(Ordering::Relaxed),
+                steps: c.steps.load(Ordering::Relaxed),
+            })
+            .collect();
+        decode_buckets.sort_by_key(|b| (b.capacity, b.rows));
+        let decode_occupancy = *self.decode_occupancy.lock().unwrap();
         StatsSnapshot {
             requests: hist.total(),
             fast_path: self.fast_path.load(Ordering::Relaxed),
@@ -173,8 +218,23 @@ impl ModelStats {
             p50_us: hist.quantile_us(0.50),
             p99_us: hist.quantile_us(0.99),
             buckets,
+            decode_buckets,
+            decode_occupancy,
         }
     }
+}
+
+/// Counters for one decode `(capacity, rows)` bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeBucketSnapshot {
+    /// Cache capacity (positions) the bucket's plans run at.
+    pub capacity: u64,
+    /// Row bucket (session slots × heads) of the batched plan.
+    pub rows: u64,
+    /// Scheduler iterations (= plan executions) at this bucket.
+    pub iterations: u64,
+    /// Decode steps coalesced into those iterations.
+    pub steps: u64,
 }
 
 /// Counters for one shape bucket.
@@ -215,6 +275,11 @@ pub struct StatsSnapshot {
     pub p99_us: Option<u64>,
     /// Per-bucket breakdown, smallest bucket first.
     pub buckets: Vec<BucketSnapshot>,
+    /// Decode iterations per `(capacity, rows)` bucket, sorted.
+    pub decode_buckets: Vec<DecodeBucketSnapshot>,
+    /// Decode batch-occupancy histogram ([`OCCUPANCY_BINS`] bins; see
+    /// the constant for the binning rule).
+    pub decode_occupancy: [u64; OCCUPANCY_BINS],
 }
 
 impl StatsSnapshot {
@@ -222,6 +287,22 @@ impl StatsSnapshot {
     /// `None` before the first execution.
     pub fn coalesce_ratio(&self) -> Option<f64> {
         (self.batches > 0).then(|| self.requests as f64 / self.batches as f64)
+    }
+
+    /// Decode scheduler iterations across every bucket.
+    pub fn decode_iterations(&self) -> u64 {
+        self.decode_buckets.iter().map(|b| b.iterations).sum()
+    }
+
+    /// Decode steps executed across every bucket.
+    pub fn decode_steps(&self) -> u64 {
+        self.decode_buckets.iter().map(|b| b.steps).sum()
+    }
+
+    /// Mean decode steps per iteration; `None` before the first one.
+    pub fn decode_coalesce_ratio(&self) -> Option<f64> {
+        let it = self.decode_iterations();
+        (it > 0).then(|| self.decode_steps() as f64 / it as f64)
     }
 }
 
@@ -250,6 +331,28 @@ impl std::fmt::Display for StatsSnapshot {
                 "bucket[{:>4} units] batches={} requests={} rows={} padded={}",
                 b.units, b.batches, b.requests, b.rows, b.padded_rows
             )?;
+        }
+        for b in &self.decode_buckets {
+            writeln!(
+                f,
+                "decode[cap {:>5} x {:>4} rows] iterations={} steps={}",
+                b.capacity, b.rows, b.iterations, b.steps
+            )?;
+        }
+        if self.decode_iterations() > 0 {
+            write!(f, "decode coalesce=")?;
+            match self.decode_coalesce_ratio() {
+                Some(r) => write!(f, "{r:.2}")?,
+                None => write!(f, "n/a")?,
+            }
+            write!(f, " occupancy=[")?;
+            for (i, c) in self.decode_occupancy.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            writeln!(f, "]")?;
         }
         Ok(())
     }
@@ -340,5 +443,51 @@ mod tests {
     #[test]
     fn coalesce_ratio_none_before_batches() {
         assert_eq!(ModelStats::new().snapshot().coalesce_ratio(), None);
+    }
+
+    #[test]
+    fn decode_buckets_and_occupancy() {
+        let s = ModelStats::new();
+        // Two iterations at (cap 16, 8 rows): one full, one at 25%.
+        s.record_decode_iteration(16, 8, 4, 4);
+        s.record_decode_iteration(16, 8, 1, 4);
+        // One iteration after sessions crossed into the 32 bucket.
+        s.record_decode_iteration(32, 8, 4, 4);
+        let snap = s.snapshot();
+        assert_eq!(snap.decode_iterations(), 3);
+        assert_eq!(snap.decode_steps(), 9);
+        assert_eq!(snap.decode_coalesce_ratio(), Some(3.0));
+        assert_eq!(
+            snap.decode_buckets,
+            vec![
+                DecodeBucketSnapshot {
+                    capacity: 16,
+                    rows: 8,
+                    iterations: 2,
+                    steps: 5
+                },
+                DecodeBucketSnapshot {
+                    capacity: 32,
+                    rows: 8,
+                    iterations: 1,
+                    steps: 4
+                },
+            ]
+        );
+        // Full batches land in the last bin, 25% in bin 2.
+        assert_eq!(snap.decode_occupancy[10], 2);
+        assert_eq!(snap.decode_occupancy[2], 1);
+        let shown = format!("{snap}");
+        assert!(shown.contains("decode[cap    16 x    8 rows] iterations=2 steps=5"));
+        assert!(shown.contains("decode coalesce=3.00"));
+    }
+
+    #[test]
+    fn decode_stats_absent_from_display_when_unused() {
+        let s = ModelStats::new();
+        s.record_batch(4, 1, 1, 3);
+        let snap = s.snapshot();
+        assert_eq!(snap.decode_coalesce_ratio(), None);
+        assert!(!format!("{snap}").contains("decode"));
     }
 }

@@ -1,0 +1,364 @@
+//! Differential tests for the KV-cache decode subsystem.
+//!
+//! The property under test: decoding *incrementally* — one token per
+//! `decode_step`, through gc-serve's continuous-batching scheduler,
+//! with the cache growing across capacity buckets — produces the same
+//! attention outputs as a *full-prefill recompute*, where at every
+//! position the whole cache is rebuilt from scratch and one masked
+//! attention step runs over it. Any bug in the cache append path, the
+//! mask construction, bucket growth, or the batch gather/scatter shows
+//! up as a divergence between the two.
+//!
+//! Tolerances follow the engine's own precision contract: f32 decode
+//! matches within 1e-5 (same math, potentially different compiled
+//! schedules), int8 decode matches *bit-for-bit* (integer kernels are
+//! deterministic, and the f32 epilogue of identical integer inputs is
+//! identical).
+
+use gc_bench::workloads;
+use gc_core::{CompileOptions, Compiler};
+use gc_serve::decode::MASKED;
+use gc_serve::{DecodeConfig, DecodeModel, PlanCache, ServeError};
+use gc_tensor::{DataType, Storage, Tensor, TensorDesc};
+use gc_tir::InitCache;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn opts() -> CompileOptions {
+    CompileOptions {
+        threads: Some(2),
+        ..CompileOptions::default()
+    }
+}
+
+fn config(min_cap: usize, max_cap: usize) -> DecodeConfig {
+    DecodeConfig {
+        compile: opts(),
+        min_capacity: min_cap,
+        max_capacity: max_cap,
+        max_delay: Duration::from_micros(200),
+        // Private caches: differential runs must not be contaminated
+        // by (or pollute) other tests' process-wide cache state.
+        plan_cache: Some(Arc::new(PlanCache::new())),
+        init_cache: Some(Arc::new(InitCache::new())),
+        ..DecodeConfig::default()
+    }
+}
+
+/// The capacity bucket a session of length `len` occupies: caches
+/// start at `min_cap` and double when full.
+fn bucket_cap(len: usize, min_cap: usize) -> usize {
+    len.next_power_of_two().max(min_cap)
+}
+
+/// Copy `n` same-dtype elements between flat storages.
+fn copy(src: &Storage, src_off: usize, dst: &mut Storage, dst_off: usize, n: usize) {
+    match (src, dst) {
+        (Storage::F32(s), Storage::F32(d)) => {
+            d[dst_off..dst_off + n].copy_from_slice(&s[src_off..src_off + n]);
+        }
+        (Storage::I8(s), Storage::I8(d)) => {
+            d[dst_off..dst_off + n].copy_from_slice(&s[src_off..src_off + n]);
+        }
+        (Storage::U8(s), Storage::U8(d)) => {
+            d[dst_off..dst_off + n].copy_from_slice(&s[src_off..src_off + n]);
+        }
+        _ => panic!("dtype mismatch in test copy"),
+    }
+}
+
+/// Build a `[heads, cap, d]` cache from per-step rows (`[heads, 1, d]`
+/// each), zero past `rows.len()` — the prefill side of the diff.
+fn prefill_cache(rows: &[Tensor], heads: usize, cap: usize, d: usize) -> Tensor {
+    let dtype = rows[0].desc().dtype();
+    let mut st = Storage::zeros(dtype, heads * cap * d);
+    for (j, r) in rows.iter().enumerate() {
+        for h in 0..heads {
+            copy(r.storage(), h * d, &mut st, h * cap * d + j * d, d);
+        }
+    }
+    Tensor::from_parts(TensorDesc::new([heads, cap, d], dtype), st).unwrap()
+}
+
+/// `[heads, 1, cap]` mask admitting positions `0..len`.
+fn mask(heads: usize, cap: usize, len: usize) -> Tensor {
+    let mut m = vec![0f32; heads * cap];
+    for h in 0..heads {
+        for j in len..cap {
+            m[h * cap + j] = MASKED;
+        }
+    }
+    Tensor::from_vec_f32(&[heads, 1, cap], m).unwrap()
+}
+
+fn max_rel_err(got: &Tensor, want: &Tensor) -> f32 {
+    got.f32_slice()
+        .unwrap()
+        .iter()
+        .zip(want.f32_slice().unwrap())
+        .map(|(g, w)| (g - w).abs() / w.abs().max(1.0))
+        .fold(0.0, f32::max)
+}
+
+/// Run `steps` incremental decode steps through a model and return
+/// `(q_rows, k_rows, v_rows, outputs)`.
+type Trace = (Vec<Tensor>, Vec<Tensor>, Vec<Tensor>, Vec<Tensor>);
+
+fn decode_trace(
+    model: &DecodeModel,
+    heads: usize,
+    d: usize,
+    q_dtype: DataType,
+    kv_dtype: DataType,
+    steps: usize,
+    seed: u64,
+) -> Trace {
+    let session = model.session().unwrap();
+    let (mut qs, mut ks, mut vs, mut outs) = (vec![], vec![], vec![], vec![]);
+    for t in 0..steps as u64 {
+        let q = Tensor::random(&[heads, 1, d], q_dtype, seed * 1000 + t);
+        let k = Tensor::random(&[heads, 1, d], kv_dtype, seed * 1000 + 300 + t);
+        let v = Tensor::random(&[heads, 1, d], kv_dtype, seed * 1000 + 600 + t);
+        let out = session.decode_step(&q, &k, &v).unwrap().wait().unwrap();
+        qs.push(q);
+        ks.push(k);
+        vs.push(v);
+        outs.push(out);
+    }
+    (qs, ks, vs, outs)
+}
+
+/// For every position `t`, recompute attention from a full prefill of
+/// the cache at `t`'s capacity bucket and compare against the
+/// incremental output via `check(t, incremental, prefill)`.
+fn diff_against_prefill(
+    builder: impl Fn(usize, usize) -> gc_graph::Graph,
+    trace: &Trace,
+    heads: usize,
+    d: usize,
+    min_cap: usize,
+    check: impl Fn(usize, &Tensor, &Tensor),
+) {
+    let (qs, ks, vs, outs) = trace;
+    let mut plans = HashMap::new();
+    for t in 0..outs.len() {
+        let cap = bucket_cap(t + 1, min_cap);
+        let plan = plans
+            .entry(cap)
+            .or_insert_with(|| Compiler::new(opts()).compile(builder(heads, cap)).unwrap());
+        let inputs = [
+            qs[t].clone(),
+            prefill_cache(&ks[..=t], heads, cap, d),
+            prefill_cache(&vs[..=t], heads, cap, d),
+            mask(heads, cap, t + 1),
+        ];
+        let (want, _) = plan.execute(&inputs).unwrap();
+        check(t, &outs[t], &want[0]);
+    }
+}
+
+#[test]
+fn incremental_f32_matches_full_prefill_recompute() {
+    let (heads, d, steps, min_cap) = (2, 8, 24, 4);
+    // 24 steps cross the 4 → 8 → 16 → 32 capacity-bucket boundaries.
+    let model = DecodeModel::load(
+        move |r, c| workloads::decode_f32(r, c, d),
+        heads,
+        config(min_cap, 64),
+    )
+    .unwrap();
+    let trace = decode_trace(&model, heads, d, DataType::F32, DataType::F32, steps, 1);
+    assert_eq!(bucket_cap(steps, min_cap), 32, "steps must cross buckets");
+    diff_against_prefill(
+        move |r, c| workloads::decode_f32(r, c, d),
+        &trace,
+        heads,
+        d,
+        min_cap,
+        |t, got, want| {
+            let err = max_rel_err(got, want);
+            assert!(err <= 1e-5, "position {t}: rel err {err}");
+        },
+    );
+}
+
+#[test]
+fn incremental_int8_bitmatches_full_prefill_recompute() {
+    let (heads, d, steps, min_cap) = (2, 16, 12, 4);
+    let model = DecodeModel::load(
+        move |r, c| workloads::decode_int8(r, c, d),
+        heads,
+        config(min_cap, 32),
+    )
+    .unwrap();
+    let trace = decode_trace(&model, heads, d, DataType::U8, DataType::I8, steps, 2);
+    diff_against_prefill(
+        move |r, c| workloads::decode_int8(r, c, d),
+        &trace,
+        heads,
+        d,
+        min_cap,
+        |t, got, want| {
+            let g: Vec<u32> = got
+                .f32_slice()
+                .unwrap()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            let w: Vec<u32> = want
+                .f32_slice()
+                .unwrap()
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(g, w, "position {t}: int8 decode must bit-match prefill");
+        },
+    );
+}
+
+/// 64 concurrent sessions decoding through the continuous-batching
+/// scheduler must produce exactly what each session produces decoding
+/// alone (serial, batch of one) — coalescing, padding, and the batch
+/// gather/scatter must be invisible.
+#[test]
+fn batched_64_sessions_match_serial_decode() {
+    let (heads, d, steps, sessions) = (2, 8, 6, 64u64);
+    let builder = move |r: usize, c: usize| workloads::decode_f32(r, c, d);
+    // Generous delay so concurrent steps actually coalesce.
+    let mut cfg = config(4, 16);
+    cfg.max_delay = Duration::from_millis(4);
+    let batched = Arc::new(DecodeModel::load(builder, heads, cfg).unwrap());
+    let handles: Vec<_> = (0..sessions)
+        .map(|s| {
+            let model = Arc::clone(&batched);
+            std::thread::spawn(move || {
+                decode_trace(
+                    &model,
+                    heads,
+                    d,
+                    DataType::F32,
+                    DataType::F32,
+                    steps,
+                    100 + s,
+                )
+                .3
+            })
+        })
+        .collect();
+    let batched_outs: Vec<Vec<Tensor>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let snap = batched.stats();
+    assert_eq!(snap.decode_steps(), sessions * steps as u64);
+    assert!(
+        snap.decode_coalesce_ratio().unwrap() > 1.5,
+        "scheduler failed to coalesce concurrent sessions: {snap}"
+    );
+
+    let serial = DecodeModel::load(builder, heads, config(4, 16)).unwrap();
+    for (s, batched_session) in batched_outs.iter().enumerate() {
+        let serial_outs = decode_trace(
+            &serial,
+            heads,
+            d,
+            DataType::F32,
+            DataType::F32,
+            steps,
+            100 + s as u64,
+        )
+        .3;
+        for (t, (b, a)) in batched_session.iter().zip(&serial_outs).enumerate() {
+            let gb: Vec<u32> = b.f32_slice().unwrap().iter().map(|x| x.to_bits()).collect();
+            let ga: Vec<u32> = a.f32_slice().unwrap().iter().map(|x| x.to_bits()).collect();
+            assert_eq!(gb, ga, "session {s} step {t}: batched != serial");
+        }
+    }
+    assert_eq!(serial.stats().decode_coalesce_ratio(), Some(1.0));
+}
+
+/// Sessions joining and leaving mid-stream: staggered lifetimes must
+/// not perturb other sessions' outputs.
+#[test]
+fn sessions_join_and_leave_without_crosstalk() {
+    let (heads, d) = (2, 8);
+    let builder = move |r: usize, c: usize| workloads::decode_f32(r, c, d);
+    let mut cfg = config(4, 16);
+    cfg.max_delay = Duration::from_millis(2);
+    let model = Arc::new(DecodeModel::load(builder, heads, cfg).unwrap());
+    // Session s runs 2 + s % 5 steps, so the cohort shrinks while the
+    // long-lived sessions keep decoding; late joiners start fresh.
+    let handles: Vec<_> = (0..24u64)
+        .map(|s| {
+            let model = Arc::clone(&model);
+            std::thread::spawn(move || {
+                if s % 3 == 0 {
+                    std::thread::sleep(Duration::from_millis(s / 3));
+                }
+                let steps = 2 + (s as usize) % 5;
+                decode_trace(
+                    &model,
+                    heads,
+                    d,
+                    DataType::F32,
+                    DataType::F32,
+                    steps,
+                    500 + s,
+                )
+                .3
+            })
+        })
+        .collect();
+    let all: Vec<Vec<Tensor>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(model.live_sessions(), 0);
+
+    let serial = DecodeModel::load(builder, heads, config(4, 16)).unwrap();
+    for (s, outs) in all.iter().enumerate() {
+        let steps = 2 + s % 5;
+        let want = decode_trace(
+            &serial,
+            heads,
+            d,
+            DataType::F32,
+            DataType::F32,
+            steps,
+            500 + s as u64,
+        )
+        .3;
+        for (t, (b, a)) in outs.iter().zip(&want).enumerate() {
+            assert_eq!(
+                b.f32_slice().unwrap(),
+                a.f32_slice().unwrap(),
+                "session {s} step {t} diverged"
+            );
+        }
+    }
+}
+
+/// Shutdown while steps are pending: every waiter resolves (no hang),
+/// each with either a real output or `Closed` — never a panic.
+#[test]
+fn shutdown_resolves_pending_steps() {
+    let (heads, d) = (1, 4);
+    let mut cfg = config(4, 8);
+    cfg.max_delay = Duration::from_secs(5); // hold steps in the queue
+    let model = DecodeModel::load(move |r, c| workloads::decode_f32(r, c, d), heads, cfg).unwrap();
+    let sessions: Vec<_> = (0..4).map(|_| model.session().unwrap()).collect();
+    let futures: Vec<_> = sessions
+        .iter()
+        .map(|s| {
+            s.decode_step(
+                &Tensor::random(&[heads, 1, d], DataType::F32, 1),
+                &Tensor::random(&[heads, 1, d], DataType::F32, 2),
+                &Tensor::random(&[heads, 1, d], DataType::F32, 3),
+            )
+            .unwrap()
+        })
+        .collect();
+    model.shutdown();
+    for f in futures {
+        match f.wait() {
+            Ok(out) => assert_eq!(out.desc().shape(), &[heads, 1, d]),
+            Err(ServeError::Closed) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+}
