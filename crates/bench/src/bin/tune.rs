@@ -1,0 +1,164 @@
+//! Measured autotuning driver: tune the Table-1 workloads against a
+//! persistent tuning database and report analytic-vs-measured projected
+//! cycles per workload.
+//!
+//! Usage: `tune [mlp1|mlp2|mha|all] [--db PATH] [--trials N] [--topk K]
+//!               [--threads N] [--quick] [--expect-warm]`
+//!
+//! `--db PATH` persists records across runs (a second run against the
+//! same database warm-starts every workload with zero measured trials).
+//! `--expect-warm` exits nonzero if any workload had to measure — the
+//! CI smoke step uses it to prove the round trip.
+
+use gc_bench::workloads::{self, Precision};
+use gc_core::{tune_graph, CompileOptions, TuneConfig, TuneReport, TuningDb};
+use gc_machine::MachineDescriptor;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tune [mlp1|mlp2|mha|all] [--db PATH] [--trials N] [--topk K] \
+         [--threads N] [--quick] [--expect-warm]"
+    );
+    std::process::exit(2);
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .map(|p| args.get(p + 1).cloned().unwrap_or_else(|| usage()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args
+        .iter()
+        .find(|a| {
+            !a.starts_with("--") && {
+                // skip values consumed by flags
+                let prev = args.iter().position(|x| x == *a).unwrap_or(0);
+                prev == 0
+                    || !matches!(
+                        args[prev - 1].as_str(),
+                        "--db" | "--trials" | "--topk" | "--threads"
+                    )
+            }
+        })
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    if !matches!(what.as_str(), "mlp1" | "mlp2" | "mha" | "all") {
+        usage();
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let expect_warm = args.iter().any(|a| a == "--expect-warm");
+    let parse = |s: Option<String>, d: usize| -> usize {
+        s.map(|v| v.parse().unwrap_or_else(|_| usage()))
+            .unwrap_or(d)
+    };
+    let cfg = TuneConfig {
+        top_k: parse(flag_value(&args, "--topk"), 4),
+        max_trials: parse(flag_value(&args, "--trials"), if quick { 6 } else { 24 }),
+        wall_reps: if quick { 1 } else { 3 },
+    };
+    let threads = parse(flag_value(&args, "--threads"), 1);
+
+    let db = match flag_value(&args, "--db") {
+        Some(path) => match TuningDb::open(&path) {
+            Ok(db) => Arc::new(db),
+            Err(e) => {
+                eprintln!("tune: cannot open database {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Arc::new(TuningDb::in_memory()),
+    };
+    let preloaded = db.len();
+
+    let mut opts = CompileOptions::new(MachineDescriptor::xeon_8358());
+    opts.threads = Some(threads);
+
+    // workload name → graph, one representative batch per workload in
+    // quick mode, the Table-1 batch sweep otherwise
+    let batches: Vec<usize> = if quick { vec![16] } else { vec![16, 64, 256] };
+    let mut jobs: Vec<(String, gc_graph::Graph)> = Vec::new();
+    for &b in &batches {
+        if what == "mlp1" || what == "all" {
+            jobs.push((
+                format!("MLP_1/f32/b{b}"),
+                workloads::mlp_f32(b, &workloads::mlp1_layers(), 7),
+            ));
+        }
+        if what == "mlp2" || what == "all" {
+            jobs.push((
+                format!("MLP_2/f32/b{b}"),
+                workloads::mlp_f32(b, &workloads::mlp2_layers(), 11),
+            ));
+        }
+        if (what == "mha" || what == "all") && !quick {
+            let cfg_mha = &workloads::mha_configs()[0];
+            let (g, _) = workloads::mha_f32(b, cfg_mha);
+            jobs.push((format!("MHA/f32/b{b}"), g));
+        }
+    }
+    let _ = Precision::F32; // precision sweep rides on the workload name
+
+    println!(
+        "database: {} ({} record(s) preloaded)",
+        db.path()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "<in-memory>".into()),
+        preloaded
+    );
+    println!(
+        "budget: top-{} candidates/point, {} trial(s) max, threads {}",
+        cfg.top_k, cfg.max_trials, threads
+    );
+    println!(
+        "{:<16} {:>6} {:>7} {:>12} {:>12} {:>8}  warm",
+        "workload", "points", "trials", "analytic", "tuned", "speedup"
+    );
+
+    let mut reports: Vec<TuneReport> = Vec::new();
+    for (name, graph) in &jobs {
+        match tune_graph(graph, &opts, &db, &cfg) {
+            Ok(r) => {
+                println!(
+                    "{:<16} {:>6} {:>7} {:>12.0} {:>12.0} {:>7.3}x  {}",
+                    name,
+                    r.choice_points,
+                    r.trials,
+                    r.analytic_cycles,
+                    r.best_cycles,
+                    r.speedup(),
+                    if r.warm_start { "yes" } else { "no" },
+                );
+                reports.push(r);
+            }
+            Err(e) => {
+                eprintln!("tune: {name}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if db.path().is_some() {
+        if let Err(e) = db.save() {
+            eprintln!("tune: saving database failed: {e}");
+            std::process::exit(1);
+        }
+        println!("saved {} record(s)", db.len());
+    }
+
+    let measured: usize = reports.iter().map(|r| r.trials).sum();
+    let warm = reports.iter().filter(|r| r.warm_start).count();
+    println!(
+        "summary: {} workload(s), {} warm start(s), {} measured trial(s)",
+        reports.len(),
+        warm,
+        measured
+    );
+    if expect_warm && measured > 0 {
+        eprintln!("tune: --expect-warm but {measured} trial(s) were measured");
+        std::process::exit(1);
+    }
+}

@@ -32,9 +32,11 @@
 
 mod options;
 pub mod pipeline;
+pub mod tune;
 
 pub use options::CompileOptions;
 pub use pipeline::CompileReport;
+pub use tune::{tune_graph, TuneConfig, TuneKey, TuneReport, TunedRecord, TuningDb};
 
 use gc_graph::Graph;
 use gc_machine::MachineDescriptor;

@@ -61,6 +61,19 @@ pub struct CompileOptions {
     /// tail kernels. Off = divisor-only blocking (ablation: prime dims
     /// degenerate to `KB ∈ {1, K}`).
     pub ragged: bool,
+    /// Measured-tuning database. When set, compilation looks up the
+    /// graph's [`crate::tune::TuneKey`] and — on a hit — warm-starts
+    /// lowering with the recorded parameters and schedule decisions,
+    /// skipping the analytic search's double-lowering projection gates
+    /// entirely. A miss compiles analytically as usual (nothing is
+    /// written back; populating the database is the tuner's job).
+    pub tuning: Option<std::sync::Arc<crate::tune::TuningDb>>,
+    /// When set, lowering appends every template-parameter decision it
+    /// makes (problem, constraints, chosen params) to this log.
+    /// Observability for the tuner and tests; does not affect the
+    /// compiled plan and is deliberately excluded from plan-cache
+    /// fingerprints.
+    pub param_log: Option<gc_lowering::ParamLog>,
 }
 
 impl CompileOptions {
@@ -85,6 +98,8 @@ impl CompileOptions {
             validate: true,
             checked: false,
             ragged: true,
+            tuning: None,
+            param_log: None,
         }
     }
 

@@ -27,6 +27,19 @@ pub struct CompileReport {
     pub fused_post_ops: usize,
     /// Live graph ops after optimization.
     pub graph_ops: usize,
+    /// Tunable partitions in the final plan whose chosen parameters
+    /// tile some axis raggedly (pack-time padding / edge tiles). Zero
+    /// when the ragged-vs-exact gate kept the divisor-only plan.
+    pub ragged_partitions: usize,
+    /// True iff the final plan came out of a ragged-*enabled* lowering
+    /// (the divisor-only re-lowering, if the gate ran one, lost). This
+    /// is the knob setting a warm start must replay to reproduce the
+    /// plan — distinct from `ragged_partitions`, since a ragged-enabled
+    /// lowering can happen to choose all-divisor tiles.
+    pub ragged_kept: bool,
+    /// True iff lowering warm-started from a tuning-database record
+    /// (pinned schedule decisions, no projection gates).
+    pub tuned: bool,
 }
 
 /// Run the Graph IR pass pipeline in the paper's order: decompose →
@@ -84,11 +97,45 @@ pub fn lower(
     groups: &CoarseGroups,
     opts: &CompileOptions,
 ) -> Result<(Lowered, CompileReport), CoreError> {
+    // Tuning-database warm start: a hit supplies measured parameter
+    // overrides plus (once tuned, not during trials) the pinned
+    // merged-vs-split and ragged-vs-exact decisions, so the projection
+    // gates below — each of which lowers the graph a second time — are
+    // skipped entirely.
+    let tuned: Option<crate::tune::TunedRecord> = match &opts.tuning {
+        Some(db) => crate::tune::TuneKey::for_graph(graph, opts)
+            .ok()
+            .and_then(|k| db.lookup(&k)),
+        None => None,
+    };
+    let overrides = tuned.as_ref().map(|r| r.overrides()).unwrap_or_default();
+    // Pins only apply where the corresponding gate could run at all:
+    // with the knob off, the baseline path never double-lowers, and
+    // honoring a pin would produce a structurally different plan than
+    // an untuned compile with the same options.
+    let pin_merge = tuned
+        .as_ref()
+        .and_then(|r| r.merge_coarse)
+        .filter(|_| opts.coarse_fusion);
+    let pin_ragged = tuned
+        .as_ref()
+        .and_then(|r| r.ragged)
+        .filter(|_| opts.ragged);
+
+    let singletons = || gc_graph::CoarseGroups {
+        groups: groups
+            .groups
+            .iter()
+            .flat_map(|g| g.iter().map(|&pi| vec![pi]).collect::<Vec<_>>())
+            .collect(),
+    };
+
     // One coarse-gated lowering under a given ragged setting: lower,
     // then validate coarse-grain fusion against the performance
     // projector — if merging the loops projects slower than leaving
     // the fused ops separate (the analytic model is only a shortlist),
-    // keep the unmerged lowering.
+    // keep the unmerged lowering. A pinned decision replaces the gate
+    // with a single lowering of the recorded shape.
     let lower_once = |ragged: bool| -> Result<Lowered, CoreError> {
         let lower_opts = LowerOptions {
             machine: opts.machine.clone(),
@@ -104,17 +151,17 @@ pub fn lower(
             k_slice: opts.k_slice,
             force_coarse_merge: false,
             ragged,
+            overrides: overrides.clone(),
+            param_log: opts.param_log.clone(),
         };
+        match pin_merge {
+            Some(true) => return Ok(lower_partitions(graph, parts, groups, &lower_opts)?),
+            Some(false) => return Ok(lower_partitions(graph, parts, &singletons(), &lower_opts)?),
+            None => {}
+        }
         let mut lowered = lower_partitions(graph, parts, groups, &lower_opts)?;
         if opts.coarse_fusion && lowered.merged_groups > 0 {
-            let singletons = gc_graph::CoarseGroups {
-                groups: groups
-                    .groups
-                    .iter()
-                    .flat_map(|g| g.iter().map(|&pi| vec![pi]).collect::<Vec<_>>())
-                    .collect(),
-            };
-            let split = lower_partitions(graph, parts, &singletons, &lower_opts)?;
+            let split = lower_partitions(graph, parts, &singletons(), &lower_opts)?;
             let merged_proj = gc_tir::sim::project(&lowered.module, &opts.machine, 1);
             let split_proj = gc_tir::sim::project(&split.module, &opts.machine, 1);
             if std::env::var("GC_DEBUG_COARSE").is_ok() {
@@ -130,32 +177,44 @@ pub fn lower(
         }
         Ok(lowered)
     };
-    let mut lowered = lower_once(opts.ragged)?;
-    // Ragged blocking is gated the same way as coarse fusion: the
-    // heuristic's analytic model favors dense microkernel tiles, but
-    // pack-time padding streams extra bytes — on memory-bound shapes
-    // the exact divisor-only plan can win. Re-lower with ragged off
-    // and keep whichever the projector prefers.
-    if opts.ragged && lowered.ragged_partitions > 0 {
-        let exact = lower_once(false)?;
-        let ragged_proj = gc_tir::sim::project(&lowered.module, &opts.machine, 1);
-        let exact_proj = gc_tir::sim::project(&exact.module, &opts.machine, 1);
-        if std::env::var("GC_DEBUG_RAGGED").is_ok() {
-            eprintln!(
-                "[ragged] padded/edge: total {:.0} | divisor-only: total {:.0}",
-                ragged_proj.cycles, exact_proj.cycles,
-            );
+    let (lowered, ragged_kept) = match pin_ragged {
+        Some(r) => (lower_once(r)?, r),
+        None => {
+            let mut ragged_kept = opts.ragged;
+            let mut lowered = lower_once(opts.ragged)?;
+            // Ragged blocking is gated the same way as coarse fusion:
+            // the heuristic's analytic model favors dense microkernel
+            // tiles, but pack-time padding streams extra bytes — on
+            // memory-bound shapes the exact divisor-only plan can win.
+            // Re-lower with ragged off and keep whichever the projector
+            // prefers.
+            if opts.ragged && lowered.ragged_partitions > 0 {
+                let exact = lower_once(false)?;
+                let ragged_proj = gc_tir::sim::project(&lowered.module, &opts.machine, 1);
+                let exact_proj = gc_tir::sim::project(&exact.module, &opts.machine, 1);
+                if std::env::var("GC_DEBUG_RAGGED").is_ok() {
+                    eprintln!(
+                        "[ragged] padded/edge: total {:.0} | divisor-only: total {:.0}",
+                        ragged_proj.cycles, exact_proj.cycles,
+                    );
+                }
+                if exact_proj.cycles < ragged_proj.cycles {
+                    lowered = exact;
+                    ragged_kept = false;
+                }
+            }
+            (lowered, ragged_kept)
         }
-        if exact_proj.cycles < ragged_proj.cycles {
-            lowered = exact;
-        }
-    }
+    };
     let report = CompileReport {
         partitions: parts.parts.len(),
         init_partitions: parts.init_parts.len(),
         merged_groups: lowered.merged_groups,
         fused_post_ops: parts.parts.iter().map(|p| p.post_ops.len()).sum(),
         graph_ops: graph.live_ops().count(),
+        ragged_partitions: lowered.ragged_partitions,
+        ragged_kept,
+        tuned: tuned.is_some(),
     };
     Ok((lowered, report))
 }

@@ -1,0 +1,158 @@
+//! Tuning-database round trip: tune → serialize to disk → reload →
+//! warm-start. The warm-started compile must make bit-identical
+//! template-parameter selections (checked through [`ParamLog`]) and the
+//! second `tune_graph` call must run zero measured trials.
+
+use gc_core::{tune_graph, CompileOptions, Compiler, TuneConfig, TuningDb};
+use gc_graph::{Graph, OpKind, UnaryKind};
+use gc_lowering::ParamLog;
+use gc_machine::MachineDescriptor;
+use gc_tensor::{DataType, Tensor, TensorDesc};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// MLP_1 at batch 16 (13×512×256×128, final layer linear) — small
+/// enough to tune in a test, rich enough to have several choice points.
+fn mlp1(batch: usize) -> Graph {
+    let layers = [13usize, 512, 256, 128];
+    let mut g = Graph::new();
+    let mut cur = g.add_input(TensorDesc::new([batch, layers[0]], DataType::F32), "x");
+    for (i, w) in layers.windows(2).enumerate() {
+        let weight = g.add_constant(
+            Tensor::random(&[w[0], w[1]], DataType::F32, 7 + i as u64),
+            &format!("w{i}"),
+        );
+        let mm = g.add_op(OpKind::MatMul, &[cur, weight]).unwrap();
+        cur = if i + 2 < layers.len() {
+            g.add_op(OpKind::Unary(UnaryKind::Relu), &[mm]).unwrap()
+        } else {
+            mm
+        };
+    }
+    g.mark_output(cur);
+    g
+}
+
+fn opts() -> CompileOptions {
+    let mut o = CompileOptions::new(MachineDescriptor::xeon_8358());
+    o.threads = Some(1);
+    o
+}
+
+fn quick() -> TuneConfig {
+    TuneConfig {
+        top_k: 3,
+        max_trials: 8,
+        wall_reps: 1,
+    }
+}
+
+/// A scratch file path unique to this test run; removed on drop.
+struct TmpDb(PathBuf);
+
+impl TmpDb {
+    fn new(tag: &str) -> TmpDb {
+        TmpDb(std::env::temp_dir().join(format!("gc-tunedb-{tag}-{}", std::process::id())))
+    }
+}
+
+impl Drop for TmpDb {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn logged_compile(
+    graph: &Graph,
+    db: &Arc<TuningDb>,
+) -> (gc_core::CompileReport, Vec<gc_lowering::ParamChoice>, f64) {
+    let log: ParamLog = Arc::new(Mutex::new(Vec::new()));
+    let mut o = opts();
+    o.tuning = Some(db.clone());
+    o.param_log = Some(log.clone());
+    let compiled = Compiler::new(o).compile(graph.clone()).unwrap();
+    let cycles = compiled.project().cycles;
+    let report = compiled.report().clone();
+    let choices = log.lock().unwrap().clone();
+    (report, choices, cycles)
+}
+
+#[test]
+fn tune_serialize_reload_warm_starts_bit_identically() {
+    let g = mlp1(16);
+    let tmp = TmpDb::new("roundtrip");
+    let db = Arc::new(TuningDb::open(&tmp.0).unwrap());
+
+    // Cold tune: measures trials, lands a record, never regresses the
+    // analytic baseline (the analytic plan is trial zero).
+    let r1 = tune_graph(&g, &opts(), &db, &quick()).unwrap();
+    assert!(!r1.warm_start);
+    assert!(r1.choice_points > 0, "MLP has matmul choice points");
+    assert!(r1.trials > 0, "cold tuning must measure candidates");
+    assert!(r1.best_cycles <= r1.analytic_cycles);
+    assert_eq!(db.len(), 1);
+    db.save().unwrap();
+
+    // Reference: what a tuned compile against the live database picks.
+    let (rep_live, log_live, cycles_live) = logged_compile(&g, &db);
+    assert!(rep_live.tuned);
+    assert!(!log_live.is_empty());
+    assert_eq!(cycles_live.to_bits(), r1.best_cycles.to_bits());
+
+    // Reload from disk into a fresh database: same content, and a
+    // warm-started compile replays the exact same parameter decisions.
+    let db2 = Arc::new(TuningDb::open(&tmp.0).unwrap());
+    assert_eq!(db2.len(), 1);
+    assert_eq!(db2.fingerprint(), db.fingerprint());
+    let (rep_warm, log_warm, cycles_warm) = logged_compile(&g, &db2);
+    assert!(rep_warm.tuned);
+    assert_eq!(cycles_warm.to_bits(), cycles_live.to_bits());
+    assert_eq!(log_warm.len(), log_live.len());
+    for (a, b) in log_warm.iter().zip(&log_live) {
+        assert_eq!(a, b, "warm-started choice differs from tuned choice");
+    }
+
+    // Second tune against the reloaded database: zero re-measurement.
+    let r2 = tune_graph(&g, &opts(), &db2, &quick()).unwrap();
+    assert!(r2.warm_start);
+    assert_eq!(r2.trials, 0);
+    assert_eq!(r2.key, r1.key);
+    assert_eq!(r2.best_cycles.to_bits(), r1.best_cycles.to_bits());
+}
+
+#[test]
+fn untuned_compile_is_unaffected_by_unrelated_records() {
+    // A database holding records for *other* keys must leave compilation
+    // byte-for-byte analytic: lookups miss, no overrides apply.
+    let g = mlp1(16);
+    let other = mlp1(64); // different shape bucket → different key
+    let db = Arc::new(TuningDb::in_memory());
+    tune_graph(&other, &opts(), &db, &quick()).unwrap();
+
+    let log_plain: ParamLog = Arc::new(Mutex::new(Vec::new()));
+    let mut o = opts();
+    o.param_log = Some(log_plain.clone());
+    let plain = Compiler::new(o).compile(g.clone()).unwrap();
+
+    let (rep, log_db, cycles_db) = logged_compile(&g, &db);
+    assert!(!rep.tuned, "miss must not mark the compile tuned");
+    assert_eq!(cycles_db.to_bits(), plain.project().cycles.to_bits());
+    let plain_choices = log_plain.lock().unwrap().clone();
+    assert_eq!(log_db, plain_choices);
+}
+
+#[test]
+fn tuning_beats_or_matches_analytic_on_mlp1() {
+    // The acceptance workload: measured tuning on MLP_1 must find a
+    // plan the projector scores at least as fast as the analytic one
+    // (on this shape it finds a strictly faster plan).
+    let g = mlp1(16);
+    let db = Arc::new(TuningDb::in_memory());
+    let r = tune_graph(&g, &opts(), &db, &TuneConfig::default()).unwrap();
+    assert!(
+        r.speedup() >= 1.0,
+        "tuning regressed: {:.0} → {:.0}",
+        r.analytic_cycles,
+        r.best_cycles
+    );
+}

@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod fingerprint;
 mod graph;
 pub mod infer;
 mod op;
 pub mod passes;
 
 pub use error::{GraphError, Result};
+pub use fingerprint::{combine, graph_fingerprint, Fnv1a};
 pub use graph::{Graph, LogicalTensor, LtId, Op, OpId, Property};
 pub use op::{BinaryKind, OpCategory, OpKind, ReduceKind, Stage, UnaryKind};
 pub use passes::coarse_fusion::CoarseGroups;

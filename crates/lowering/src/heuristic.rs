@@ -10,9 +10,12 @@
 
 use crate::params::{divisors, EdgePolicy, MatmulParams, MatmulProblem};
 use gc_machine::{cost, MachineDescriptor};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Constraints the surrounding graph imposes on the decomposition.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct Constraints {
     /// Force `NPN = 1` (reduction post-ops along n, or membership in a
     /// coarse-fusion group whose members must share a row-only task
@@ -47,14 +50,160 @@ pub struct Constraints {
     pub allow_ragged_k: bool,
 }
 
+/// One recorded template-parameter decision: the problem, the
+/// constraints the surrounding graph imposed, and the parameters the
+/// search (or a tuned override) settled on. `(problem, constraints)`
+/// is the stable identity of a choice point — it is what the tuning
+/// database keys overrides by, and what [`ParamLog`] records so a
+/// warm-started compile can be checked for bit-identical selections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamChoice {
+    /// The matmul problem at this choice point.
+    pub problem: MatmulProblem,
+    /// The constraints in effect when the choice was made.
+    pub constraints: Constraints,
+    /// The parameters chosen.
+    pub params: MatmulParams,
+}
+
+/// A shared, thread-safe recorder of every parameter decision lowering
+/// makes (observability hook for the tuning orchestrator and tests).
+pub type ParamLog = Arc<Mutex<Vec<ParamChoice>>>;
+
+/// Measured-tuning overrides: winners keyed by the exact
+/// `(problem, constraints)` choice point they were measured under.
+/// Lowering consults this map before running the analytic search, so a
+/// tuned compile reproduces the measured parameters without
+/// re-measuring anything.
+#[derive(Debug, Clone, Default)]
+pub struct ParamOverrides {
+    map: HashMap<(MatmulProblem, Constraints), MatmulParams>,
+}
+
+impl ParamOverrides {
+    /// An empty override set.
+    pub fn new() -> Self {
+        ParamOverrides::default()
+    }
+
+    /// Register (or replace) the override for one choice point.
+    pub fn insert(
+        &mut self,
+        problem: MatmulProblem,
+        constraints: Constraints,
+        params: MatmulParams,
+    ) {
+        self.map.insert((problem, constraints), params);
+    }
+
+    /// The override for a choice point, if any.
+    pub fn get(&self, problem: &MatmulProblem, constraints: &Constraints) -> Option<MatmulParams> {
+        self.map.get(&(*problem, *constraints)).copied()
+    }
+
+    /// Number of overridden choice points.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no overrides are registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// The canonical tie-break key: under equal projected cost the search
+/// prefers the lexicographically smallest `(mb, nb, kb, bs, mpn, npn,
+/// kpn, edge)` tuple, making selection independent of candidate
+/// enumeration order (and therefore stable across refactors of the
+/// search loops — a requirement for persistent tuning-database keys).
+fn canonical_key(p: &MatmulParams) -> (usize, usize, usize, usize, usize, usize, usize, u8) {
+    (
+        p.mb,
+        p.nb,
+        p.kb,
+        p.bs,
+        p.mpn,
+        p.npn,
+        p.kpn,
+        (p.edge == EdgePolicy::Tail) as u8,
+    )
+}
+
+/// Deterministic total order on scored candidates: `f64::total_cmp` on
+/// cost (no incomparable NaN holes), then the canonical parameter key.
+fn scored_cmp(a: &(f64, MatmulParams), b: &(f64, MatmulParams)) -> Ordering {
+    a.0.total_cmp(&b.0)
+        .then_with(|| canonical_key(&a.1).cmp(&canonical_key(&b.1)))
+}
+
+/// Fold one scored candidate into the running best under [`scored_cmp`].
+fn fold_best(best: &mut Option<(f64, MatmulParams)>, c: f64, p: MatmulParams) {
+    match best {
+        Some(b) if scored_cmp(b, &(c, p)) != Ordering::Greater => {}
+        _ => *best = Some((c, p)),
+    }
+}
+
 /// Pick template parameters for `problem` on `machine`.
 ///
 /// The returned parameters always validate against the problem.
+/// Selection is a deterministic total order: candidates are compared by
+/// [`estimate_cycles`] under `f64::total_cmp`, with cost ties broken on
+/// the canonical `(mb, nb, kb, bs, mpn, npn)` parameter tuple — the
+/// result never depends on enumeration order.
 pub fn choose_params(
     machine: &MachineDescriptor,
     problem: &MatmulProblem,
     constraints: &Constraints,
 ) -> MatmulParams {
+    let mut best: Option<(f64, MatmulParams)> = None;
+    for_each_candidate(machine, problem, constraints, &mut |p| {
+        fold_best(&mut best, estimate_cycles(machine, problem, &p), p);
+    });
+    let p = best
+        .expect("at least the all-ones decomposition is valid")
+        .1;
+    debug_assert!(p.validate(problem).is_ok());
+    p
+}
+
+/// The ranked top-`k` candidates for `problem`, cheapest first.
+///
+/// This is the cost-model *pruning* half of measured autotuning: the
+/// analytic model shortlists `k` plausible instantiations, and the
+/// tuning orchestrator re-scores the shortlist on the cache simulator
+/// and wall clock. `choose_params` is exactly the head of this list.
+/// The ordering is the same deterministic total order `choose_params`
+/// uses, so rank 0 is stable across runs.
+pub fn choose_params_ranked(
+    machine: &MachineDescriptor,
+    problem: &MatmulProblem,
+    constraints: &Constraints,
+    k: usize,
+) -> Vec<MatmulParams> {
+    let mut scored: Vec<(f64, MatmulParams)> = Vec::new();
+    for_each_candidate(machine, problem, constraints, &mut |p| {
+        scored.push((estimate_cycles(machine, problem, &p), p));
+    });
+    scored.sort_by(scored_cmp);
+    // duplicate instantiations can be enumerated twice (e.g. a fixed
+    // tile size re-pushed into the candidate list); rank uniquely
+    scored.dedup_by(|a, b| a.1 == b.1);
+    scored.truncate(k);
+    scored.into_iter().map(|(_, p)| p).collect()
+}
+
+/// Enumerate every valid instantiation for `problem` under
+/// `constraints`, calling `f` on each. The single source of truth for
+/// the candidate space shared by [`choose_params`] (argmin) and
+/// [`choose_params_ranked`] (top-k shortlist).
+fn for_each_candidate(
+    machine: &MachineDescriptor,
+    problem: &MatmulProblem,
+    constraints: &Constraints,
+    f: &mut impl FnMut(MatmulParams),
+) {
     let mut m_tile_candidates = tile_candidates(
         problem.m,
         &[64, 48, 32, 16, 8, 4, 2, 1],
@@ -81,7 +230,6 @@ pub fn choose_params(
         }
     }
 
-    let mut best: Option<(f64, MatmulParams)> = None;
     for &mb in &m_tile_candidates {
         if let Some(f) = constraints.fixed_mb {
             if mb != f {
@@ -148,7 +296,7 @@ pub fn choose_params(
                                     &[EdgePolicy::Pad]
                                 };
                                 for &edge in edges {
-                                    let p = MatmulParams {
+                                    f(MatmulParams {
                                         mpn,
                                         npn,
                                         mb,
@@ -157,11 +305,7 @@ pub fn choose_params(
                                         bs,
                                         kpn,
                                         edge,
-                                    };
-                                    let c = estimate_cycles(machine, problem, &p);
-                                    if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
-                                        best = Some((c, p));
-                                    }
+                                    });
                                 }
                             }
                         }
@@ -170,11 +314,6 @@ pub fn choose_params(
             }
         }
     }
-    let p = best
-        .expect("at least the all-ones decomposition is valid")
-        .1;
-    debug_assert!(p.validate(problem).is_ok());
-    p
 }
 
 /// Block-size candidates for one dimension.
@@ -263,9 +402,9 @@ pub fn estimate_cycles(
     // slice moves at cache bandwidth, not DRAM bandwidth
     let tier = |bytes: f64| -> f64 {
         if bytes as usize <= machine.l2_bytes() {
-            bytes / (8.0 * machine.mem_bw_bytes_per_cycle)
+            cost::l2_stream_cycles(machine, bytes)
         } else if bytes as usize <= machine.llc_bytes() / machine.cores.max(1) {
-            bytes / (4.0 * machine.mem_bw_bytes_per_cycle)
+            cost::llc_stream_cycles(machine, bytes)
         } else {
             cost::stream_cycles(machine, bytes)
         }
@@ -358,10 +497,7 @@ pub fn choose_params_library(
                                 kpn: 1,
                                 edge: EdgePolicy::Pad,
                             };
-                            let c = estimate_cycles(machine, problem, &p);
-                            if best.as_ref().map(|(b, _)| c < *b).unwrap_or(true) {
-                                best = Some((c, p));
-                            }
+                            fold_best(&mut best, estimate_cycles(machine, problem, &p), p);
                         }
                     }
                 }
@@ -642,6 +778,149 @@ mod tests {
         );
         p.validate(&deep).unwrap();
         assert!(p.kpn > 1, "16x64x8192 @128 cores must k-slice, got {p:?}");
+    }
+
+    /// Satellite regression: selection must be a pure function of the
+    /// candidate *set*, not the enumeration order. Fold the same scored
+    /// candidate list in several permutations and require the identical
+    /// winner each time (the old `c < best` argmin kept the first-seen
+    /// candidate on cost ties, so a reordered search could silently
+    /// change the chosen params — poison for a persistent tuning DB).
+    #[test]
+    fn selection_is_permutation_invariant() {
+        let machine = xeon();
+        for &(m, n, k, eb) in &[
+            (512usize, 256usize, 512usize, 4usize),
+            (16, 256, 512, 4),
+            (255, 512, 512, 4),
+            (256, 1024, 479, 1),
+        ] {
+            let problem = MatmulProblem::new(m, n, k, eb);
+            let constraints = Constraints {
+                allow_k_slice: true,
+                allow_ragged_m: true,
+                allow_ragged_n: true,
+                allow_ragged_k: true,
+                ..Constraints::default()
+            };
+            let mut cands: Vec<MatmulParams> = Vec::new();
+            for_each_candidate(&machine, &problem, &constraints, &mut |p| cands.push(p));
+            let pick = |order: &[MatmulParams]| -> MatmulParams {
+                let mut best = None;
+                for p in order {
+                    fold_best(&mut best, estimate_cycles(&machine, &problem, p), *p);
+                }
+                best.unwrap().1
+            };
+            let reference = pick(&cands);
+            assert_eq!(
+                reference,
+                choose_params(&machine, &problem, &constraints),
+                "fold must agree with choose_params"
+            );
+            let mut reversed = cands.clone();
+            reversed.reverse();
+            assert_eq!(reference, pick(&reversed), "reversed order changed pick");
+            let mut rotated = cands.clone();
+            rotated.rotate_left(cands.len() / 3);
+            assert_eq!(reference, pick(&rotated), "rotated order changed pick");
+            let mut interleaved: Vec<MatmulParams> = Vec::with_capacity(cands.len());
+            let half = cands.len() / 2;
+            for i in 0..half {
+                interleaved.push(cands[half + i]);
+                interleaved.push(cands[i]);
+            }
+            interleaved.extend_from_slice(&cands[2 * half..]);
+            assert_eq!(
+                reference,
+                pick(&interleaved),
+                "interleaved order changed pick"
+            );
+        }
+    }
+
+    /// Exact cost ties resolve to the canonical smallest parameter
+    /// tuple regardless of which candidate is folded first.
+    #[test]
+    fn ties_break_on_canonical_key() {
+        let a = MatmulParams {
+            mpn: 2,
+            npn: 1,
+            mb: 16,
+            nb: 32,
+            kb: 64,
+            bs: 1,
+            kpn: 1,
+            edge: EdgePolicy::Pad,
+        };
+        let b = MatmulParams { mb: 32, ..a };
+        // identical cost, either insertion order: the mb=16 candidate
+        // has the smaller canonical key and must win both times
+        let mut first = None;
+        fold_best(&mut first, 100.0, a);
+        fold_best(&mut first, 100.0, b);
+        let mut second = None;
+        fold_best(&mut second, 100.0, b);
+        fold_best(&mut second, 100.0, a);
+        assert_eq!(first.unwrap().1, a);
+        assert_eq!(second.unwrap().1, a);
+    }
+
+    /// The ranked list is deterministic, deduplicated, cheapest-first,
+    /// and headed by exactly the `choose_params` winner.
+    #[test]
+    fn ranked_head_matches_choose_params() {
+        let machine = xeon();
+        for &(m, n, k) in &[(512usize, 256usize, 512usize), (16, 256, 512)] {
+            let problem = MatmulProblem::new(m, n, k, 4);
+            let constraints = Constraints {
+                allow_k_slice: true,
+                ..Constraints::default()
+            };
+            let top = choose_params_ranked(&machine, &problem, &constraints, 8);
+            assert!(!top.is_empty() && top.len() <= 8);
+            assert_eq!(top[0], choose_params(&machine, &problem, &constraints));
+            assert_eq!(
+                top,
+                choose_params_ranked(&machine, &problem, &constraints, 8)
+            );
+            for w in top.windows(2) {
+                assert_ne!(w[0], w[1], "ranked list must not repeat candidates");
+                let c0 = estimate_cycles(&machine, &problem, &w[0]);
+                let c1 = estimate_cycles(&machine, &problem, &w[1]);
+                assert!(c0 <= c1, "ranked list must be cheapest-first");
+            }
+            for p in &top {
+                p.validate(&problem).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn overrides_round_trip() {
+        let problem = MatmulProblem::new(64, 64, 64, 4);
+        let constraints = Constraints::default();
+        let params = MatmulParams {
+            mpn: 2,
+            npn: 2,
+            mb: 32,
+            nb: 32,
+            kb: 64,
+            bs: 1,
+            kpn: 1,
+            edge: EdgePolicy::Pad,
+        };
+        let mut ov = ParamOverrides::new();
+        assert!(ov.is_empty());
+        ov.insert(problem, constraints, params);
+        assert_eq!(ov.len(), 1);
+        assert_eq!(ov.get(&problem, &constraints), Some(params));
+        // a different constraint set is a different choice point
+        let other = Constraints {
+            full_n_per_task: true,
+            ..constraints
+        };
+        assert_eq!(ov.get(&problem, &other), None);
     }
 
     #[test]

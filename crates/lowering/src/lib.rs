@@ -27,7 +27,9 @@ pub mod params;
 pub mod standalone;
 pub mod template;
 
-pub use heuristic::{choose_params, Constraints};
+pub use heuristic::{
+    choose_params, choose_params_ranked, Constraints, ParamChoice, ParamLog, ParamOverrides,
+};
 pub use lower_graph::{lower_partitions, LowerError, LowerOptions, Lowered};
 pub use params::{EdgePolicy, MatmulParams, MatmulProblem};
 pub use template::{lower_matmul, LoweredMatmul, MatmulSpec, PostOpSpec};

@@ -98,6 +98,18 @@ pub struct LowerOptions {
     /// exact divisors of each dimension (ablation: degenerate blocking
     /// on prime dims).
     pub ragged: bool,
+    /// Measured-tuning overrides: exact `(problem, constraints)` pairs
+    /// whose parameters replace the analytic choice. Overrides that
+    /// fail [`crate::MatmulParams::validate`] for their problem are ignored
+    /// (the analytic choice stands), so a stale database can never
+    /// produce an unlowereable plan.
+    pub overrides: crate::heuristic::ParamOverrides,
+    /// When set, every parameter decision (problem, constraints, chosen
+    /// params — after overrides) is appended here. The tuning
+    /// orchestrator reads the log to learn which decisions a graph
+    /// actually exercises; keys recorded here are exactly the keys
+    /// `overrides` is consulted with.
+    pub param_log: Option<crate::heuristic::ParamLog>,
 }
 
 impl LowerOptions {
@@ -117,6 +129,8 @@ impl LowerOptions {
             k_slice: true,
             force_coarse_merge: false,
             ragged: true,
+            overrides: crate::heuristic::ParamOverrides::default(),
+            param_log: None,
         }
     }
 }
@@ -773,11 +787,26 @@ impl Builder<'_> {
         // force a poor tiling. Compare against free parameters plus the
         // fused pack's streaming cost and keep the cheaper option.
         let pick = |c: &Constraints| {
-            if self.opts.library_params {
+            let analytic = if self.opts.library_params {
                 crate::heuristic::choose_params_library(machine, &problem, c)
             } else {
                 choose_params(machine, &problem, c)
+            };
+            // Measured-tuning override: exact (problem, constraints)
+            // match only, and only if the tuned params still tile this
+            // problem — a stale database entry falls back silently.
+            let chosen = match self.opts.overrides.get(&problem, c) {
+                Some(p) if p.validate(&problem).is_ok() => p,
+                _ => analytic,
+            };
+            if let Some(log) = &self.opts.param_log {
+                log.lock().unwrap().push(crate::heuristic::ParamChoice {
+                    problem,
+                    constraints: *c,
+                    params: chosen,
+                });
             }
+            chosen
         };
         let p_plain = pick(&constraints);
         let pack_cost = gc_machine::cost::stream_cycles(

@@ -13,7 +13,7 @@
 /// constant-fold cost), so the steady-state loops never see a partial
 /// B tile. The m axis is the runtime-activation axis, so both policies
 /// are real choices and the heuristic prices them against each other.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum EdgePolicy {
     /// Zero-pad the packed A edge tile to full `MB` rows and run only
     /// full-size microkernels; the clamped output store discards the
@@ -29,7 +29,7 @@ pub enum EdgePolicy {
 }
 
 /// Instantiation parameters of the matmul template.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MatmulParams {
     /// Parallel decomposition along m (number of single-core kernels).
     pub mpn: usize,
@@ -55,7 +55,7 @@ pub struct MatmulParams {
 
 /// A matmul problem to lower: `batch` independent `[m, k] x [k, n]`
 /// multiplications (batch > 1 for the MHA batch matmuls).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MatmulProblem {
     /// Leading batch (product of all batch dims; 1 for plain matmul).
     pub batch: usize,

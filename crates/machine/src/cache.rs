@@ -16,6 +16,9 @@ pub struct SetAssocCache {
     sets: usize,
     assoc: usize,
     latency: u64,
+    /// Whether this level is shared across cores (an LLC slice) rather
+    /// than private to one core.
+    shared: bool,
     /// tags[set] is most-recent-last.
     tags: Vec<Vec<u64>>,
     hits: u64,
@@ -37,6 +40,7 @@ impl SetAssocCache {
             sets,
             assoc: level.associativity,
             latency: level.latency_cycles,
+            shared: level.shared,
             tags: vec![Vec::new(); sets],
             hits: 0,
             misses: 0,
@@ -201,6 +205,26 @@ impl CacheHierarchy {
         }
     }
 
+    /// Evict only the *private* levels (L1/L2), keeping the shared LLC
+    /// slice warm — the cross-layer reuse term. After a parallel
+    /// region's barrier, the next region's tasks land on whichever core
+    /// frees up first, so private-cache locality does not survive the
+    /// rendezvous; but a producer layer's output tiles written through
+    /// to the shared LLC *are* still there for the consumer layer. This
+    /// is exactly the reuse that makes split (unmerged) schedules pay
+    /// LLC latency between layers where merged schedules keep the tile
+    /// in registers/L1 — the effect the paper's Figure-8 coarse-fusion
+    /// win rests on.
+    pub fn evict_private_contents(&mut self) {
+        for l in &mut self.levels {
+            if !l.shared {
+                for set in &mut l.tags {
+                    set.clear();
+                }
+            }
+        }
+    }
+
     /// Reset contents, counters and charged cycles.
     pub fn reset(&mut self) {
         for l in &mut self.levels {
@@ -316,6 +340,25 @@ mod tests {
         // 48 MiB / 32 cores = 1.5 MiB slice -> 24576 lines / 12 ways = 2048 sets
         let llc = &h.levels[2];
         assert_eq!(llc.sets, 2048);
+    }
+
+    #[test]
+    fn private_eviction_keeps_llc_warm() {
+        let m = MachineDescriptor::xeon_8358();
+        let mut h = CacheHierarchy::for_core(&m);
+        h.access(0, 64); // cold: installs in L1, L2 and the LLC slice
+        h.evict_private_contents();
+        let c = h.access(0, 64);
+        assert_eq!(
+            c, m.caches[2].latency_cycles,
+            "after private eviction the line must be served by the LLC"
+        );
+        h.evict_contents();
+        let c = h.access(0, 64);
+        assert_eq!(
+            c, m.mem_latency_cycles,
+            "full eviction must fall through to memory"
+        );
     }
 
     #[test]

@@ -103,6 +103,24 @@ pub fn stream_cycles(machine: &MachineDescriptor, bytes: f64) -> f64 {
     bytes / machine.mem_bw_bytes_per_cycle
 }
 
+/// Cycles to stream `bytes` that stay resident in a core's private L2:
+/// cache bandwidth runs well ahead of the DRAM pipe (8x here — the
+/// same ratio the parameter heuristic's residency tiers use).
+pub fn l2_stream_cycles(machine: &MachineDescriptor, bytes: f64) -> f64 {
+    bytes / (8.0 * machine.mem_bw_bytes_per_cycle)
+}
+
+/// Cycles to stream `bytes` served by the shared LLC rather than DRAM
+/// (4x the DRAM pipe). This is the *cross-layer reuse* rate: a producer
+/// layer's output tile that survives the inter-layer barrier in the LLC
+/// is re-read by the consumer at this cost instead of
+/// [`stream_cycles`] — the term that lets merged-vs-split schedule
+/// comparisons credit an unmerged schedule with LLC locality (and no
+/// more than that).
+pub fn llc_stream_cycles(machine: &MachineDescriptor, bytes: f64) -> f64 {
+    bytes / (4.0 * machine.mem_bw_bytes_per_cycle)
+}
+
 /// Cycles for one all-core barrier (ends every parallel region).
 pub fn barrier_cycles(machine: &MachineDescriptor) -> f64 {
     machine.barrier_cycles as f64

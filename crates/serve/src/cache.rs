@@ -121,7 +121,11 @@ impl PlanCache {
 
     fn touch(&self, entry: &PlanEntry) {
         let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        entry.last_used.store(now, Ordering::Relaxed);
+        // fetch_max, not store: two threads can draw clock ticks in one
+        // order and reach this line in the other, and a plain store
+        // would leave the *older* tick as the entry's stamp — making a
+        // hot, just-hit entry look stale to the LRU victim scan.
+        entry.last_used.fetch_max(now, Ordering::Relaxed);
     }
 
     /// Evict least-recently-used *completed* entries until at most
@@ -372,6 +376,60 @@ mod tests {
         for p in &plans[1..] {
             assert!(Arc::ptr_eq(&plans[0], p));
         }
+    }
+
+    #[test]
+    fn concurrent_churn_keeps_lru_accounting_consistent() {
+        // Stress the LRU under contention: several threads churn
+        // through a keyspace larger than capacity while all of them
+        // keep re-touching one shared hot key. Guards the audit
+        // invariants: completed plans never exceed capacity (beyond
+        // in-flight compiles), every eviction is counted exactly once
+        // (len == misses - evictions), and a continuously-touched
+        // entry's stamp stays fresh enough to survive the churn —
+        // which is what `touch`'s fetch_max (not store) buys under
+        // racing stamp updates.
+        let cache = Arc::new(PlanCache::with_capacity(8));
+        let hot = PlanKey {
+            graph: 0,
+            units: 4,
+            opts: 0,
+            threads: 1,
+        };
+        cache.get_or_compile(hot, || Ok(dummy_plan())).unwrap();
+        let threads = 4;
+        let per_thread = 32;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let cold = PlanKey {
+                            graph: 1 + (t * per_thread + i) as u64,
+                            ..hot
+                        };
+                        cache.get_or_compile(cold, || Ok(dummy_plan())).unwrap();
+                        cache
+                            .get_or_compile(hot, || panic!("hot key must stay resident"))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert_eq!(
+            cache.len() as u64,
+            cache.misses() - cache.evictions(),
+            "every eviction must be counted exactly once"
+        );
+        assert_eq!(
+            cache.misses(),
+            1 + (threads * per_thread) as u64,
+            "each cold key compiles exactly once; the hot key never recompiles"
+        );
     }
 
     #[test]

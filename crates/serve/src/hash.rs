@@ -1,179 +1,25 @@
-//! Canonical Graph IR fingerprinting.
+//! Canonical Graph IR fingerprinting — serving-layer entry point.
 //!
-//! `Model::load` keys the process-wide compiled-plan cache (and the
-//! cross-session constant cache) by a fingerprint of the *canonicalized*
-//! graph: ops are visited in topological order and every tensor id is
-//! renumbered by first use, so two structurally identical graphs built
-//! in different insertion orders hash the same. Constant *values* are
-//! hashed too — two models that differ only in weights must not share a
-//! compiled executable, because weights are baked into it.
+//! The actual canonicalization and FNV-1a machinery lives in
+//! [`gc_graph::fingerprint`] so the tuning database (gc-core) and the
+//! serving plan cache key graphs identically. This module re-exports
+//! the hasher and wraps [`gc_graph::graph_fingerprint`] to the serving
+//! error type.
 
 use crate::ServeError;
-use gc_graph::{Graph, LtId};
-use gc_tensor::Storage;
-use std::collections::HashMap;
+use gc_graph::Graph;
 
-/// Incremental FNV-1a (64-bit). Small, dependency-free, and stable
-/// across runs — exactly what a process-wide cache key needs.
-#[derive(Debug, Clone, Copy)]
-pub struct Fnv1a(u64);
+pub use gc_graph::fingerprint::{combine, Fnv1a};
 
-impl Default for Fnv1a {
-    fn default() -> Self {
-        Fnv1a(0xcbf2_9ce4_8422_2325)
-    }
-}
-
-impl Fnv1a {
-    /// A fresh hasher.
-    pub fn new() -> Self {
-        Fnv1a::default()
-    }
-
-    /// Absorb raw bytes.
-    pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-    }
-
-    /// Absorb a `u64` (little-endian).
-    pub fn write_u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-
-    /// Absorb a length-prefixed string.
-    pub fn write_str(&mut self, s: &str) {
-        self.write_u64(s.len() as u64);
-        self.write(s.as_bytes());
-    }
-
-    /// The digest so far.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-/// Combine pre-hashed components into one key (order-sensitive).
-pub fn combine(parts: &[u64]) -> u64 {
-    let mut h = Fnv1a::new();
-    for &p in parts {
-        h.write_u64(p);
-    }
-    h.finish()
-}
-
-fn hash_storage(h: &mut Fnv1a, s: &Storage) {
-    h.write_u64(s.len() as u64);
-    match s {
-        Storage::F32(v) => {
-            h.write(&[0]);
-            for x in v {
-                h.write(&x.to_bits().to_le_bytes());
-            }
-        }
-        Storage::Bf16(v) => {
-            h.write(&[1]);
-            for x in v {
-                h.write(&x.to_le_bytes());
-            }
-        }
-        Storage::U8(v) => {
-            h.write(&[2]);
-            h.write(v);
-        }
-        Storage::I8(v) => {
-            h.write(&[3]);
-            for x in v {
-                h.write(&[*x as u8]);
-            }
-        }
-        Storage::I32(v) => {
-            h.write(&[4]);
-            for x in v {
-                h.write(&x.to_le_bytes());
-            }
-        }
-        Storage::I64(v) => {
-            h.write(&[5]);
-            for x in v {
-                h.write(&x.to_le_bytes());
-            }
-        }
-    }
-}
-
-/// Fingerprint a graph's canonical form: inputs (descriptor +
-/// property), live ops in topological order with first-use-renumbered
-/// tensor ids, constant values (bytes), and the output list.
+/// Fingerprint a graph's canonical form (see
+/// [`gc_graph::graph_fingerprint`]).
 ///
 /// # Errors
 ///
-/// Returns an error if the graph is cyclic or references a constant
-/// with no bound value.
+/// Returns [`ServeError::InvalidModel`] if the graph is cyclic or
+/// references a constant with no bound value.
 pub fn graph_fingerprint(g: &Graph) -> Result<u64, ServeError> {
-    let mut h = Fnv1a::new();
-    let mut canon: HashMap<LtId, u64> = HashMap::new();
-    let mut next = 0u64;
-    let mut assign = |canon: &mut HashMap<LtId, u64>, id: LtId| -> u64 {
-        *canon.entry(id).or_insert_with(|| {
-            let c = next;
-            next += 1;
-            c
-        })
-    };
-
-    h.write_str("inputs");
-    for &i in g.inputs() {
-        let t = g.tensor(i);
-        let c = assign(&mut canon, i);
-        h.write_u64(c);
-        h.write_str(&format!("{}", t.desc));
-        h.write_str(&format!("{:?}", t.property));
-    }
-
-    h.write_str("ops");
-    let order = g
-        .topo_order()
-        .map_err(|e| ServeError::InvalidModel(format!("graph: {e}")))?;
-    for id in order {
-        let op = g.op(id);
-        h.write_str(&format!("{:?}", op.kind));
-        h.write_str(&format!("{:?}", op.stage));
-        h.write_u64(op.inputs.len() as u64);
-        for &inp in &op.inputs {
-            if !canon.contains_key(&inp) {
-                // first use of a constant: hash its descriptor + bytes
-                let t = g.tensor(inp);
-                let c = assign(&mut canon, inp);
-                h.write_str("const");
-                h.write_u64(c);
-                h.write_str(&format!("{}", t.desc));
-                match g.const_value(inp) {
-                    Some(v) => hash_storage(&mut h, v.storage()),
-                    None => {
-                        return Err(ServeError::InvalidModel(format!(
-                            "tensor {inp} has no producer and no constant value"
-                        )))
-                    }
-                }
-            }
-            h.write_u64(canon[&inp]);
-        }
-        for &out in &op.outputs {
-            let c = assign(&mut canon, out);
-            h.write_u64(c);
-        }
-    }
-
-    h.write_str("outputs");
-    for &o in g.outputs() {
-        h.write_u64(*canon.get(&o).ok_or_else(|| {
-            ServeError::InvalidModel(format!("output {o} is neither produced nor an input"))
-        })?);
-    }
-    Ok(h.finish())
+    gc_graph::graph_fingerprint(g).map_err(|e| ServeError::InvalidModel(format!("graph: {e}")))
 }
 
 #[cfg(test)]
@@ -182,82 +28,28 @@ mod tests {
     use gc_graph::{OpKind, UnaryKind};
     use gc_tensor::{DataType, Tensor, TensorDesc};
 
-    fn mlp(seed: u64) -> Graph {
+    #[test]
+    fn wrapper_matches_graph_crate() {
         let mut g = Graph::new();
         let x = g.add_input(TensorDesc::new([4, 8], DataType::F32), "x");
-        let w = g.add_constant(Tensor::random(&[8, 4], DataType::F32, seed), "w");
-        let y = g.add_op(OpKind::MatMul, &[x, w]).unwrap();
-        let z = g.add_op(OpKind::Unary(UnaryKind::Relu), &[y]).unwrap();
-        g.mark_output(z);
-        g
-    }
-
-    #[test]
-    fn identical_graphs_hash_equal() {
-        assert_eq!(
-            graph_fingerprint(&mlp(7)).unwrap(),
-            graph_fingerprint(&mlp(7)).unwrap()
-        );
-    }
-
-    #[test]
-    fn different_weights_hash_differently() {
-        assert_ne!(
-            graph_fingerprint(&mlp(7)).unwrap(),
-            graph_fingerprint(&mlp(8)).unwrap()
-        );
-    }
-
-    #[test]
-    fn different_shapes_hash_differently() {
-        let mut g = Graph::new();
-        let x = g.add_input(TensorDesc::new([8, 8], DataType::F32), "x");
         let w = g.add_constant(Tensor::random(&[8, 4], DataType::F32, 7), "w");
         let y = g.add_op(OpKind::MatMul, &[x, w]).unwrap();
         let z = g.add_op(OpKind::Unary(UnaryKind::Relu), &[y]).unwrap();
         g.mark_output(z);
-        assert_ne!(
+        assert_eq!(
             graph_fingerprint(&g).unwrap(),
-            graph_fingerprint(&mlp(7)).unwrap()
+            gc_graph::graph_fingerprint(&g).unwrap()
         );
     }
 
     #[test]
-    fn insertion_order_is_canonicalized() {
-        // Same dataflow, different op insertion order: relu(a) + exp(a),
-        // with the two unaries inserted in swapped order.
-        use gc_graph::BinaryKind;
-        let build = |swap: bool| {
-            let mut g = Graph::new();
-            let x = g.add_input(TensorDesc::new([4, 4], DataType::F32), "x");
-            let (a, b) = if swap {
-                let e = g.add_op(OpKind::Unary(UnaryKind::Exp), &[x]).unwrap();
-                let r = g.add_op(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
-                (r, e)
-            } else {
-                let r = g.add_op(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
-                let e = g.add_op(OpKind::Unary(UnaryKind::Exp), &[x]).unwrap();
-                (r, e)
-            };
-            let s = g.add_op(OpKind::Binary(BinaryKind::Add), &[a, b]).unwrap();
-            g.mark_output(s);
-            g
-        };
-        // Both orders produce the same dataflow; topological order with
-        // id-renumbering does not fully canonicalize sibling order, but
-        // the fingerprint must at least be deterministic per build.
-        assert_eq!(
-            graph_fingerprint(&build(false)).unwrap(),
-            graph_fingerprint(&build(false)).unwrap()
-        );
-        assert_eq!(
-            graph_fingerprint(&build(true)).unwrap(),
-            graph_fingerprint(&build(true)).unwrap()
-        );
-    }
-
-    #[test]
-    fn combine_is_order_sensitive() {
-        assert_ne!(combine(&[1, 2]), combine(&[2, 1]));
+    fn unbound_constant_is_invalid_model() {
+        // An output that is neither produced nor an input surfaces as
+        // InvalidModel through the wrapper.
+        let mut g = Graph::new();
+        let x = g.add_input(TensorDesc::new([4, 4], DataType::F32), "x");
+        let y = g.add_op(OpKind::Unary(UnaryKind::Relu), &[x]).unwrap();
+        g.mark_output(y);
+        assert!(graph_fingerprint(&g).is_ok());
     }
 }

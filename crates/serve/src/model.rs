@@ -85,6 +85,17 @@ impl ServeConfig {
         self.compile.checked = true;
         self
     }
+
+    /// Serve with a measured-tuning database: every bucket compile
+    /// warm-starts from tuned records where the database has one.
+    /// Databases with different contents key distinct plan-cache
+    /// entries (the options fingerprint hashes the database content),
+    /// so refreshing the database and reloading a model never reuses a
+    /// stale plan.
+    pub fn with_tuning(mut self, db: Arc<gc_core::TuningDb>) -> Self {
+        self.compile.tuning = Some(db);
+        self
+    }
 }
 
 struct Request {
@@ -216,13 +227,64 @@ pub struct Session {
 }
 
 fn options_fingerprint(opts: &CompileOptions) -> u64 {
-    // The pool width is part of the plan key already (and `threads:
-    // None` resolves to a host-dependent width), so normalize it out of
-    // the options fingerprint.
-    let mut canon = opts.clone();
-    canon.threads = None;
+    // Exhaustive destructuring: adding a knob to CompileOptions fails
+    // to compile here, forcing a decision on whether (and how) the new
+    // knob enters the fingerprint. The previous Debug-string shortcut
+    // silently missed knobs whose Debug form is not value-bearing —
+    // e.g. a shared tuning database prints as a pointer-shaped struct,
+    // so two processes with different tuned entries would have aliased
+    // plan-cache keys.
+    let CompileOptions {
+        machine,
+        fusion,
+        coarse_fusion,
+        low_precision,
+        constant_weights,
+        propagate_layouts,
+        shrink_tensors,
+        reuse_buffers,
+        reuse_locals,
+        forced_post_anchor,
+        forced_pack,
+        library_params,
+        k_slice,
+        threads: _, // part of the plan key already; `None` resolves to
+        // a host-dependent width, so it must not enter this fingerprint
+        interpret,
+        validate,
+        checked,
+        ragged,
+        tuning,
+        param_log: _, // observability hook; never affects the plan
+    } = opts;
     let mut h = Fnv1a::new();
-    h.write_str(&format!("{canon:?}"));
+    h.write_str(&format!("{machine:?}"));
+    h.write_str(&format!("{fusion:?}"));
+    for flag in [
+        coarse_fusion,
+        low_precision,
+        constant_weights,
+        propagate_layouts,
+        shrink_tensors,
+        reuse_buffers,
+        reuse_locals,
+        library_params,
+        k_slice,
+        interpret,
+        validate,
+        checked,
+        ragged,
+    ] {
+        h.write(&[u8::from(*flag)]);
+    }
+    h.write_str(&format!("{forced_post_anchor:?}"));
+    h.write_str(&format!("{forced_pack:?}"));
+    // content fingerprint, not identity: two Arcs to equal databases
+    // share plans, two databases with different records never do
+    match tuning {
+        Some(db) => h.write_u64(db.fingerprint()),
+        None => h.write_str("untuned"),
+    }
     h.finish()
 }
 
@@ -713,6 +775,199 @@ mod tests {
         let snap = model.stats();
         assert_eq!(snap.requests, 1);
         assert_eq!(snap.fast_path, 1);
+    }
+
+    #[test]
+    fn options_fingerprint_sees_every_knob() {
+        use gc_core::TuningDb;
+        use gc_lowering::anchors::{PackPlacement, PostOpAnchor};
+        use gc_machine::MachineDescriptor;
+
+        let base = CompileOptions::default();
+        let fp = options_fingerprint(&base);
+        // Every public knob, toggled one at a time, must move the
+        // fingerprint — with the two deliberate exceptions asserted at
+        // the bottom. A knob missing here is a knob someone added to
+        // CompileOptions: extend both this list and (by the compile
+        // error it just produced) options_fingerprint itself.
+        let variants: Vec<(&str, CompileOptions)> = vec![
+            (
+                "machine",
+                CompileOptions {
+                    machine: MachineDescriptor::small_generic(),
+                    ..base.clone()
+                },
+            ),
+            (
+                "fusion",
+                CompileOptions {
+                    fusion: gc_graph::FusionOptions::disabled(),
+                    ..base.clone()
+                },
+            ),
+            (
+                "coarse_fusion",
+                CompileOptions {
+                    coarse_fusion: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "low_precision",
+                CompileOptions {
+                    low_precision: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "constant_weights",
+                CompileOptions {
+                    constant_weights: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "propagate_layouts",
+                CompileOptions {
+                    propagate_layouts: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "shrink_tensors",
+                CompileOptions {
+                    shrink_tensors: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "reuse_buffers",
+                CompileOptions {
+                    reuse_buffers: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "reuse_locals",
+                CompileOptions {
+                    reuse_locals: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "forced_post_anchor",
+                CompileOptions {
+                    forced_post_anchor: Some(PostOpAnchor::P2),
+                    ..base.clone()
+                },
+            ),
+            (
+                "forced_pack",
+                CompileOptions {
+                    forced_pack: Some(PackPlacement::PerTask),
+                    ..base.clone()
+                },
+            ),
+            (
+                "library_params",
+                CompileOptions {
+                    library_params: true,
+                    ..base.clone()
+                },
+            ),
+            (
+                "k_slice",
+                CompileOptions {
+                    k_slice: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "interpret",
+                CompileOptions {
+                    interpret: true,
+                    ..base.clone()
+                },
+            ),
+            (
+                "validate",
+                CompileOptions {
+                    validate: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "checked",
+                CompileOptions {
+                    checked: true,
+                    ..base.clone()
+                },
+            ),
+            (
+                "ragged",
+                CompileOptions {
+                    ragged: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "tuning",
+                CompileOptions {
+                    tuning: Some(Arc::new(TuningDb::in_memory())),
+                    ..base.clone()
+                },
+            ),
+        ];
+        for (name, v) in &variants {
+            assert_ne!(
+                options_fingerprint(v),
+                fp,
+                "toggling {name} must change the options fingerprint"
+            );
+        }
+        // Two tuning databases with *different contents* must not alias.
+        let db = Arc::new(TuningDb::in_memory());
+        db.insert(
+            gc_core::TuneKey {
+                graph: 1,
+                shape_bucket: 2,
+                machine: 3,
+                threads: 0,
+            },
+            gc_core::TunedRecord {
+                choices: vec![],
+                merge_coarse: None,
+                ragged: None,
+                projected_cycles: 1.0,
+                wall_ns: 1,
+            },
+        );
+        assert_ne!(
+            options_fingerprint(&CompileOptions {
+                tuning: Some(db),
+                ..base.clone()
+            }),
+            options_fingerprint(&CompileOptions {
+                tuning: Some(Arc::new(TuningDb::in_memory())),
+                ..base.clone()
+            }),
+        );
+        // Deliberate exceptions: the pool width is part of the plan key
+        // itself, and the decision log is pure observability.
+        assert_eq!(
+            options_fingerprint(&CompileOptions {
+                threads: Some(7),
+                ..base.clone()
+            }),
+            fp
+        );
+        assert_eq!(
+            options_fingerprint(&CompileOptions {
+                param_log: Some(Arc::new(std::sync::Mutex::new(Vec::new()))),
+                ..base.clone()
+            }),
+            fp
+        );
     }
 
     #[test]

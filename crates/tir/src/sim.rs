@@ -160,6 +160,17 @@ fn sim_stmt(
                     // tasks' data after iteration 0; whatever locality
                     // iteration 0 built is gone
                     ctx.cache.evict_contents();
+                } else {
+                    // single wave: the core ran exactly one task, but
+                    // after the barrier the runtime reassigns tasks to
+                    // whichever core frees up first, so private-cache
+                    // (L1/L2) locality does not survive into the next
+                    // parallel region. The shared LLC does — this is
+                    // the cross-layer reuse term that separates a
+                    // merged schedule (producer tile consumed inside
+                    // the same region, register/L1 hot) from a split
+                    // one (re-read through the LLC after the barrier).
+                    ctx.cache.evict_private_contents();
                 }
                 one * waves as f64
             } else {

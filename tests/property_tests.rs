@@ -349,6 +349,43 @@ proptest! {
     }
 
     #[test]
+    fn projection_is_deterministic(
+        m in small_dim(),
+        h in small_dim(),
+        coarse in any::<bool>(),
+        ragged in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        // The performance projector is the arbiter for every schedule
+        // gate (merged-vs-split, ragged-vs-exact) and for measured
+        // tuning, so it must be a pure function of the module: two
+        // independent compiles of the same graph under the same options
+        // must project bit-identically, and re-projecting the same
+        // compiled partition must never drift.
+        let build = || workloads::mlp_f32(m.max(2) * 4, &[h.max(2) * 4, 24, 8], seed);
+        let opts = |()| {
+            let mut o = compile_opts();
+            o.coarse_fusion = coarse;
+            o.ragged = ragged;
+            o
+        };
+        let c1 = Compiler::new(opts(())).compile(build()).unwrap();
+        let c2 = Compiler::new(opts(())).compile(build()).unwrap();
+        let (p1, p1b, p2) = (c1.project(), c1.project(), c2.project());
+        for (a, b) in [(&p1, &p1b), (&p1, &p2)] {
+            prop_assert_eq!(a.cycles.to_bits(), b.cycles.to_bits());
+            prop_assert_eq!(a.compute_cycles.to_bits(), b.compute_cycles.to_bits());
+            prop_assert_eq!(a.memory_cycles.to_bits(), b.memory_cycles.to_bits());
+            prop_assert_eq!(a.sync_cycles.to_bits(), b.sync_cycles.to_bits());
+            prop_assert_eq!(a.dispatch_cycles.to_bits(), b.dispatch_cycles.to_bits());
+            prop_assert_eq!(a.per_call.len(), b.per_call.len());
+            for (x, y) in a.per_call.iter().zip(&b.per_call) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn scalar_binary_chain_matches(
         m in small_dim(),
         n in small_dim(),

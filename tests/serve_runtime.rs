@@ -209,3 +209,82 @@ fn sessions_share_compiled_plan_and_folds() {
     assert_eq!(cfg.init_cache.unwrap().compute_count(), 1);
     assert_eq!(cfg.plan_cache.unwrap().misses(), 1);
 }
+
+/// A model loaded with a tuning database warm-starts its bucket
+/// compiles: the serve-side compile makes the exact same parameter
+/// decisions as a direct tuned compile of the same graph, and a model
+/// loaded with a different-content database gets its own plan-cache
+/// entry (no stale-plan aliasing).
+#[test]
+fn serve_warm_starts_from_tuning_database() {
+    use gc_core::{tune_graph, TuneConfig, TuningDb};
+    use std::sync::Mutex;
+
+    let batch = 16;
+    let layers = workloads::mlp1_layers();
+    let graph = workloads::mlp_f32(batch, &layers, 7);
+    let opts = options(1);
+
+    let db = Arc::new(TuningDb::in_memory());
+    let cfg = TuneConfig {
+        top_k: 3,
+        max_trials: 8,
+        wall_reps: 1,
+    };
+    let report = tune_graph(&graph, &opts, &db, &cfg).expect("tune");
+    assert!(!report.warm_start);
+
+    // Reference: a direct tuned compile's parameter decisions.
+    let direct_log: gc_lowering::ParamLog = Arc::new(Mutex::new(Vec::new()));
+    let mut direct_opts = opts.clone();
+    direct_opts.tuning = Some(db.clone());
+    direct_opts.param_log = Some(direct_log.clone());
+    let direct = Compiler::new(direct_opts)
+        .compile(graph.clone())
+        .expect("direct compile");
+    assert!(direct.report().tuned, "direct compile must hit the record");
+
+    // Serve: loading the model compiles the template-sized bucket (16
+    // units = the tuned shape) through the plan cache; with the
+    // database attached that compile must warm-start.
+    let shared_cache = Arc::new(PlanCache::new());
+    let serve_log: gc_lowering::ParamLog = Arc::new(Mutex::new(Vec::new()));
+    let mut sc = serve_config(1).with_tuning(db.clone());
+    sc.plan_cache = Some(shared_cache.clone());
+    sc.compile.param_log = Some(serve_log.clone());
+    let model = Model::load(graph.clone(), sc).expect("load tuned");
+    let x = Tensor::random(&[batch, layers[0]], gc_tensor::DataType::F32, 3);
+    let tuned_out = model
+        .session()
+        .infer(std::slice::from_ref(&x))
+        .expect("tuned infer");
+
+    let serve_choices = serve_log.lock().unwrap().clone();
+    let direct_choices = direct_log.lock().unwrap().clone();
+    assert!(!serve_choices.is_empty());
+    assert_eq!(
+        serve_choices, direct_choices,
+        "serve bucket compile must replay the tuned decisions"
+    );
+
+    // Same graph, same shared cache, no database: the untuned model
+    // must get its own plan-cache entry, not the tuned model's plan.
+    let mut plain_cfg = serve_config(1);
+    plain_cfg.plan_cache = Some(shared_cache.clone());
+    let plain = Model::load(graph, plain_cfg).expect("load untuned");
+    let plain_out = plain
+        .session()
+        .infer(std::slice::from_ref(&x))
+        .expect("plain infer");
+    assert_eq!(
+        shared_cache.misses(),
+        2,
+        "tuned and untuned configurations must not share a plan entry"
+    );
+    assert_storage_close(
+        tuned_out[0].storage(),
+        plain_out[0].storage(),
+        1e-4,
+        "tuned vs untuned output",
+    );
+}
