@@ -15,9 +15,15 @@
 //! - `ragged`   — pack-time padding + edge-tile kernels on Table 1's
 //!   irregular shapes (MLP_2's prime k=479 first layer and friends):
 //!   projected cycles with ragged blocking on vs the divisor-only
-//!   degenerate blocking (`KB ∈ {1, k}` when k is prime).
+//!   degenerate blocking (`KB ∈ {1, k}` when k is prime);
+//! - `simd`     — the explicit-SIMD microkernel backends vs the
+//!   scalar-forced fallback: kernel-level GFLOP/s per family (via
+//!   explicit [`gc_microkernel::arch::kernels`] handles, same process)
+//!   and end-to-end MLP_1 wall time (via a `GC_FORCE_ISA=scalar`
+//!   subprocess, since the process-wide dispatch table is resolved
+//!   once and never changes).
 //!
-//! Usage: `ablations [anchors|layout|const|buffers|kslice|ragged|all] [--threads N]`
+//! Usage: `ablations [anchors|layout|const|buffers|kslice|ragged|simd|all] [--threads N]`
 
 use gc_bench::workloads::{self, mha_configs, random_inputs};
 use gc_core::{CompileOptions, Compiler};
@@ -43,12 +49,19 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
+    // Hidden re-exec entry: measure MLP_1 end-to-end under whatever
+    // GC_FORCE_ISA the parent set (the dispatch table is per-process).
+    if args.iter().any(|a| a == "--e2e-child") {
+        let ns = e2e_mlp1_wall_ns();
+        println!("E2E_WALL_NS {ns}");
+        return;
+    }
     if !matches!(
         what.as_str(),
-        "anchors" | "layout" | "const" | "buffers" | "kslice" | "ragged" | "all"
+        "anchors" | "layout" | "const" | "buffers" | "kslice" | "ragged" | "simd" | "all"
     ) {
         eprintln!(
-            "usage: ablations [anchors|layout|const|buffers|kslice|ragged|all] [--threads N]"
+            "usage: ablations [anchors|layout|const|buffers|kslice|ragged|simd|all] [--threads N]"
         );
         std::process::exit(2);
     }
@@ -268,4 +281,171 @@ fn main() {
             );
         }
     }
+
+    if what == "simd" || what == "all" {
+        simd_ablation();
+    }
+}
+
+/// Deterministic pseudo-random f32 fill in [-1, 1) (no RNG dependency
+/// in the hot setup path).
+fn xfill(seed: u64, n: usize) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+        })
+        .collect()
+}
+
+/// Best-of-reps wall seconds for `f`.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// End-to-end MLP_1 b256 f32: compile once, best-of-5 execute wall ns.
+fn e2e_mlp1_wall_ns() -> u64 {
+    let g = workloads::mlp_f32(256, &workloads::mlp1_layers(), 1);
+    let inputs = random_inputs(&g, 3);
+    let c = Compiler::new(opts(None)).compile(g).expect("compile");
+    c.execute(&inputs).expect("warmup");
+    (best_secs(5, || {
+        c.execute(&inputs).expect("exec");
+    }) * 1e9) as u64
+}
+
+fn simd_ablation() {
+    use gc_microkernel::arch::{detected_isa, kernels, vnni_active, Isa, Kernels};
+
+    println!("== ablation: explicit SIMD vs scalar-forced microkernels ==");
+    let best = detected_isa();
+    println!(
+        "detected isa: {best} (vnni int8 dot: {})",
+        vnni_active(best)
+    );
+
+    let gflops = |k: &Kernels, m: usize, n: usize, kk: usize| -> f64 {
+        let a = xfill(1, m * kk);
+        let b = xfill(2, n * kk);
+        let mut c = vec![0f32; m * n];
+        k.gemm_f32(m, n, kk, &a, &b, &mut c); // warm
+        let secs = best_secs(7, || k.gemm_f32(m, n, kk, &a, &b, &mut c));
+        2.0 * (m * n * kk) as f64 / secs / 1e9
+    };
+    // Table 1 MLP layer shapes at batch 256 (MLP_1: 13->512->256->128,
+    // MLP_2 opens on the prime k=479), run as single packed tiles.
+    println!("-- brgemm f32 kernel (GFLOP/s, single core) --");
+    let scalar = kernels(Isa::Scalar);
+    let simd = kernels(best);
+    let mut best_speedup = 0f64;
+    for (name, m, n, k) in [
+        ("MLP_1 L0 256x512x13", 256, 512, 13),
+        ("MLP_1 L1 256x256x512", 256, 256, 512),
+        ("MLP_1 L2 256x128x256", 256, 128, 256),
+        ("MLP_2 L0 256x1024x479", 256, 1024, 479),
+    ] {
+        let (gs, gv) = (gflops(&scalar, m, n, k), gflops(&simd, m, n, k));
+        let speedup = gv / gs;
+        best_speedup = best_speedup.max(speedup);
+        println!("{name:<24} scalar {gs:>6.2} | {best} {gv:>6.2} | speedup {speedup:.2}x");
+    }
+    assert!(
+        best == Isa::Scalar || best_speedup >= 1.3,
+        "explicit-SIMD brgemm f32 must clear 1.3x over scalar on a Table-1 MLP shape \
+         (best observed {best_speedup:.2}x)"
+    );
+
+    println!("-- brgemm u8xi8 kernel (Gop/s, single core) --");
+    for (name, m, n, k) in [
+        ("MLP_1 L1 256x256x512", 256usize, 256usize, 512usize),
+        ("MLP_2 L0 256x1024x479", 256, 1024, 479),
+    ] {
+        let a: Vec<u8> = xfill(3, m * k)
+            .iter()
+            .map(|x| (x.abs() * 200.0) as u8)
+            .collect();
+        let b: Vec<i8> = xfill(4, n * k).iter().map(|x| (x * 100.0) as i8).collect();
+        let mut acc = vec![0i32; m * n];
+        let mut gops = |kr: &Kernels| {
+            kr.gemm_u8i8(m, n, k, &a, &b, &mut acc);
+            let secs = best_secs(7, || kr.gemm_u8i8(m, n, k, &a, &b, &mut acc));
+            2.0 * (m * n * k) as f64 / secs / 1e9
+        };
+        let (gs, gv) = (gops(&scalar), gops(&simd));
+        println!(
+            "{name:<24} scalar {gs:>6.2} | {best} {gv:>6.2} | speedup {:.2}x",
+            gv / gs
+        );
+    }
+
+    println!("-- eltwise / reduce kernels (GB/s, single core, 256 KiB slices) --");
+    let n = 64 * 1024;
+    let a = xfill(5, n);
+    let b = xfill(6, n);
+    let mut dst = vec![0f32; n];
+    let report = |name: &str, gs: f64, gv: f64| {
+        println!(
+            "{name:<24} scalar {gs:>6.2} | {best} {gv:>6.2} | speedup {:.2}x",
+            gv / gs
+        );
+    };
+    let gbs_relu = |k: &Kernels, dst: &mut [f32]| {
+        k.relu(&a, dst); // warm
+        (n * 4) as f64 / best_secs(64, || k.relu(&a, dst)) / 1e9
+    };
+    report(
+        "relu",
+        gbs_relu(&scalar, &mut dst),
+        gbs_relu(&simd, &mut dst),
+    );
+    let gbs_add = |k: &Kernels, dst: &mut [f32]| {
+        k.binary_add(&a, &b, dst); // warm
+        (n * 4) as f64 / best_secs(64, || k.binary_add(&a, &b, dst)) / 1e9
+    };
+    report(
+        "binary_add",
+        gbs_add(&scalar, &mut dst),
+        gbs_add(&simd, &mut dst),
+    );
+    let gbs_sum = |k: &Kernels| {
+        let mut acc = 0f64;
+        acc += k.reduce_sum(&a) as f64; // warm
+        let secs = best_secs(64, || acc += k.reduce_sum(&a) as f64);
+        std::hint::black_box(acc);
+        (n * 4) as f64 / secs / 1e9
+    };
+    report("reduce_sum", gbs_sum(&scalar), gbs_sum(&simd));
+
+    // End-to-end: the dispatch table is resolved once per process, so
+    // the scalar-forced run is a re-exec of this binary.
+    println!("-- end-to-end MLP_1 b256 f32 (wall ms, this host) --");
+    let exe = std::env::current_exe().expect("current_exe");
+    let child_ns = |isa: &str| -> u64 {
+        let out = std::process::Command::new(&exe)
+            .args(["simd", "--e2e-child"])
+            .env("GC_FORCE_ISA", isa)
+            .output()
+            .expect("spawn e2e child");
+        assert!(out.status.success(), "e2e child failed: {out:?}");
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find_map(|l| l.strip_prefix("E2E_WALL_NS ").and_then(|v| v.parse().ok()))
+            .expect("child printed no E2E_WALL_NS")
+    };
+    let (ns_scalar, ns_simd) = (child_ns("scalar"), child_ns(best.name()));
+    println!(
+        "MLP_1 b256 f32           scalar-forced {:.3} | {best} {:.3} | speedup {:.2}x",
+        ns_scalar as f64 / 1e6,
+        ns_simd as f64 / 1e6,
+        ns_scalar as f64 / ns_simd as f64
+    );
 }

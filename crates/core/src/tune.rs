@@ -56,20 +56,35 @@ pub struct TuneKey {
     /// fingerprint already covers all shapes exactly; keeping the
     /// bucket explicit makes entries legible in the database file.
     pub shape_bucket: u64,
-    /// FNV-1a of the machine descriptor's debug form.
+    /// FNV-1a of the machine descriptor's debug form *and* the active
+    /// microkernel ISA: wall-clock measurements taken under one backend
+    /// (say `GC_FORCE_ISA=scalar`) must never warm-start a process
+    /// running another.
     pub machine: u64,
     /// Worker thread count (0 = host parallelism).
     pub threads: u64,
 }
 
 impl TuneKey {
-    /// The key for an optimized graph under `opts`.
+    /// The key for an optimized graph under `opts`, bound to the
+    /// process-wide active microkernel ISA.
     ///
     /// # Errors
     ///
     /// Propagates fingerprinting errors (cyclic graph, unbound
     /// constant).
     pub fn for_graph(graph: &Graph, opts: &CompileOptions) -> Result<TuneKey, CoreError> {
+        Self::for_graph_with_isa(graph, opts, gc_microkernel::arch::active_isa().name())
+    }
+
+    /// [`Self::for_graph`] with an explicit ISA name, so tests can
+    /// exercise the keying without flipping the process-wide dispatch
+    /// table (which is resolved once and never changes).
+    pub fn for_graph_with_isa(
+        graph: &Graph,
+        opts: &CompileOptions,
+        isa: &str,
+    ) -> Result<TuneKey, CoreError> {
         let gfp = gc_graph::graph_fingerprint(graph)?;
         let bucket = graph
             .inputs()
@@ -78,6 +93,8 @@ impl TuneKey {
             .unwrap_or(1) as u64;
         let mut h = Fnv1a::new();
         h.write_str(&format!("{:?}", opts.machine));
+        h.write_str(" isa=");
+        h.write_str(isa);
         Ok(TuneKey {
             graph: gfp,
             shape_bucket: bucket,

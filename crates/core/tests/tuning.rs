@@ -156,3 +156,34 @@ fn tuning_beats_or_matches_analytic_on_mlp1() {
         r.best_cycles
     );
 }
+
+#[test]
+fn tune_keys_never_mix_isa_variants() {
+    // Warm starts carry wall-clock winners; a measurement taken under
+    // GC_FORCE_ISA=scalar must never replay onto an AVX2/AVX-512
+    // process. Every ISA name must land in its own key, and the active
+    // ISA's key must be exactly what TuneKey::for_graph produces.
+    use gc_core::TuneKey;
+    let g = mlp1(16);
+    let o = opts();
+    let keys: Vec<TuneKey> = ["scalar", "avx2", "avx512"]
+        .iter()
+        .map(|isa| TuneKey::for_graph_with_isa(&g, &o, isa).unwrap())
+        .collect();
+    for i in 0..keys.len() {
+        for j in i + 1..keys.len() {
+            assert_ne!(keys[i].machine, keys[j].machine, "{i} vs {j}");
+        }
+        // same graph/shape/threads — only the machine hash moves
+        assert_eq!(keys[i].graph, keys[0].graph);
+        assert_eq!(keys[i].shape_bucket, keys[0].shape_bucket);
+        assert_eq!(keys[i].threads, keys[0].threads);
+    }
+    let live = TuneKey::for_graph(&g, &o).unwrap();
+    let active = gc_microkernel::arch::active_isa().name();
+    assert_eq!(
+        live,
+        TuneKey::for_graph_with_isa(&g, &o, active).unwrap(),
+        "for_graph must key under the process-wide active ISA"
+    );
+}

@@ -209,11 +209,20 @@ fn for_each_candidate(
         &[64, 48, 32, 16, 8, 4, 2, 1],
         constraints.allow_ragged_m,
     );
-    let n_tile_candidates = tile_candidates(
-        problem.n,
-        &[64, 48, 32, 16, 8, 4, 2, 1],
-        constraints.allow_ragged_n,
-    );
+    // nb candidates are lane-aligned for the target machine: whole
+    // multiples of the SIMD width first (4/3/2/1 registers of columns),
+    // then the generic power-of-two ladder. On a 16-lane AVX-512
+    // machine the multiples are 64/48/32/16 — exactly the head of the
+    // generic list — while a 4-lane NEON machine also proposes 12,
+    // keeping the register tile dense at narrow widths.
+    let lanes = machine.f32_lanes().max(1);
+    let mut n_prefer: Vec<usize> = [4usize, 3, 2, 1].iter().map(|&r| r * lanes).collect();
+    for &b in &[64, 48, 32, 16, 8, 4, 2, 1] {
+        if !n_prefer.contains(&b) {
+            n_prefer.push(b);
+        }
+    }
+    let n_tile_candidates = tile_candidates(problem.n, &n_prefer, constraints.allow_ragged_n);
     let mut k_tile_candidates = tile_candidates(
         problem.k,
         &[256, 128, 64, 32, 16, 8, 4, 2, 1],
@@ -535,6 +544,39 @@ mod tests {
                 });
             }
         }
+    }
+
+    #[test]
+    fn machine_presets_diverge_on_mlp1() {
+        // The point of threading the ISA through MachineDescriptor: the
+        // same MLP_1 layers must lower to genuinely different template
+        // parameters on the 16-lane Xeon vs the 4-lane NEON preset —
+        // not just a scaled cost. Pin that at least one layer's chosen
+        // tile differs, and that the NEON choice is 4-lane-aligned.
+        let xeon = MachineDescriptor::xeon_8358();
+        let arm = MachineDescriptor::aarch64_small();
+        let mut diverged = 0;
+        // MLP_1 (Table 1): 13 -> 512 -> 256 -> 128, batch 256.
+        for &(m, n, k) in &[
+            (256usize, 512usize, 13usize),
+            (256, 256, 512),
+            (256, 128, 256),
+        ] {
+            let prob = MatmulProblem::new(m, n, k, 4);
+            let cons = Constraints::default();
+            let px = choose_params(&xeon, &prob, &cons);
+            let pa = choose_params(&arm, &prob, &cons);
+            px.validate(&prob).unwrap();
+            pa.validate(&prob).unwrap();
+            assert!(pa.nb.is_multiple_of(4), "NEON nb off the lane grid: {pa:?}");
+            if (px.mb, px.nb, px.kb, px.bs) != (pa.mb, pa.nb, pa.kb, pa.bs) {
+                diverged += 1;
+            }
+        }
+        assert!(
+            diverged > 0,
+            "xeon and aarch64 presets chose identical microkernel tiles on every MLP_1 layer"
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub fn microkernel_efficiency(
     bs: usize,
     elem_bytes: usize,
 ) -> f64 {
-    let lanes = machine.vector_bytes / 4; // accumulators are f32/i32
+    let lanes = machine.f32_lanes(); // accumulators are f32/i32
     let mut eff = 1.0;
 
     // Register blocking along n.
@@ -46,15 +46,22 @@ pub fn microkernel_efficiency(
     }
     let n_regs = nb.div_ceil(lanes);
 
-    // Accumulator tile must fit the register file (32 zmm minus operands).
+    // Accumulator tile must fit the register file (the architectural
+    // SIMD file minus operand registers — 32 zmm − 4 on the Xeon).
     let acc_regs = mb * n_regs;
-    if acc_regs > 28 {
-        eff *= 28.0 / acc_regs as f64;
+    let budget = machine.acc_reg_budget();
+    if acc_regs > budget {
+        eff *= budget as f64 / acc_regs as f64;
     }
 
-    // FMA-latency hiding: very short m tiles stall the pipeline.
-    if mb < 4 {
-        eff *= 0.55 + 0.15 * (mb as f64 - 1.0);
+    // FMA-latency hiding: each FMA port needs a couple of independent
+    // accumulator rows in flight, so m tiles shorter than 2 rows/port
+    // stall the pipeline. The penalty ramps from 0.55 at mb=1 to 1.0
+    // at the full-rate height.
+    let min_mb = 2 * machine.fma_ports;
+    if mb < min_mb {
+        let slope = 0.45 / (min_mb as f64 - 1.0).max(1.0);
+        eff *= 0.55 + slope * (mb as f64 - 1.0);
     }
 
     // L1 residency of the microkernel working set.
@@ -71,12 +78,16 @@ pub fn microkernel_efficiency(
     }
 
     // SIMD remainder of the k loop: the microkernel walks k in groups
-    // (vector lanes for f32, 4-element dot groups for VNNI int8) and
+    // (vector lanes for f32, dot groups for VNNI/sdot int8) and
     // finishes the `kb % group` remainder scalar, once per register
     // block — a kb off the lane grid (e.g. a prime 479) pays this on
     // every block pass, which is exactly what pack-time padding to a
     // lane-multiple kb avoids.
-    let group = if elem_bytes == 1 { 4 } else { lanes };
+    let group = if elem_bytes == 1 {
+        machine.int8_dot_group.max(1)
+    } else {
+        lanes
+    };
     let rem = kb % group;
     if rem > 0 && kdepth > 0 {
         let vector_iters = (kb / group * bs) as f64;
@@ -263,6 +274,96 @@ mod tests {
         let off_i8 = microkernel_efficiency(&m, 8, 16, 479, 1, 1);
         let on_i8 = microkernel_efficiency(&m, 8, 16, 64, 1, 1);
         assert!(off_i8 > on_i8 * 0.9, "{off_i8} vs {on_i8}");
+    }
+
+    /// The pre-descriptor formula with its hard-coded 16-lane / 28-reg
+    /// / mb<4 / group-4 constants, kept verbatim as the regression
+    /// oracle for the Xeon preset.
+    fn legacy_xeon_efficiency(
+        machine: &MachineDescriptor,
+        mb: usize,
+        nb: usize,
+        kb: usize,
+        bs: usize,
+        elem_bytes: usize,
+    ) -> f64 {
+        let lanes = machine.vector_bytes / 4;
+        let mut eff = 1.0;
+        if !nb.is_multiple_of(lanes) {
+            eff *= 0.6 + 0.4 * (nb % lanes) as f64 / lanes as f64 * 0.0;
+        }
+        let n_regs = nb.div_ceil(lanes);
+        let acc_regs = mb * n_regs;
+        if acc_regs > 28 {
+            eff *= 28.0 / acc_regs as f64;
+        }
+        if mb < 4 {
+            eff *= 0.55 + 0.15 * (mb as f64 - 1.0);
+        }
+        let ws = (mb + nb) * kb * bs * elem_bytes + mb * nb * 4;
+        let l1 = machine.l1_bytes();
+        if ws > l1 {
+            eff *= (l1 as f64 / ws as f64).max(0.35);
+        }
+        let kdepth = kb * bs;
+        if kdepth < 32 {
+            eff *= 0.7 + 0.3 * kdepth as f64 / 32.0;
+        }
+        let group = if elem_bytes == 1 { 4 } else { lanes };
+        let rem = kb % group;
+        if rem > 0 && kdepth > 0 {
+            let vector_iters = (kb / group * bs) as f64;
+            let ideal = kdepth as f64 / group as f64;
+            eff *= ideal / (vector_iters + (rem * bs) as f64);
+        }
+        eff.clamp(0.05, 1.0)
+    }
+
+    #[test]
+    fn xeon_costs_unchanged_by_descriptor_derivation() {
+        // Satellite guarantee: deriving the SIMD constants from
+        // MachineDescriptor must leave every xeon_8358 cost bit-exactly
+        // where the hard-coded formula had it (32 − 4 = 28 accumulator
+        // regs, 2 ports × 2 = mb 4, int8 group 4).
+        let m = xeon();
+        for mb in [1usize, 2, 3, 4, 6, 8, 16, 24, 32] {
+            for nb in [8usize, 16, 32, 33, 48, 64] {
+                for kb in [16usize, 64, 479, 512] {
+                    for bs in [1usize, 2, 4, 16] {
+                        for elem in [1usize, 4] {
+                            let new = microkernel_efficiency(&m, mb, nb, kb, bs, elem);
+                            let old = legacy_xeon_efficiency(&m, mb, nb, kb, bs, elem);
+                            assert_eq!(
+                                new.to_bits(),
+                                old.to_bits(),
+                                "mb={mb} nb={nb} kb={kb} bs={bs} elem={elem}: {new} vs {old}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_vector_machine_prefers_different_tiles() {
+        // On 4-lane NEON a 16-wide nb costs 4 accumulator registers per
+        // row; the same (mb=24, nb=64) tile that fits the Xeon register
+        // file overflows nothing on aarch64 either (32 regs), but a
+        // (mb=14, nb=32) tile that is register-clean on the Xeon
+        // (14 × 2 = 28) overflows the NEON budget (14 × 8 = 112).
+        let xeon = MachineDescriptor::xeon_8358();
+        let arm = MachineDescriptor::aarch64_small();
+        let x = microkernel_efficiency(&xeon, 14, 32, 64, 1, 4);
+        let a = microkernel_efficiency(&arm, 14, 32, 64, 1, 4);
+        assert!(a < x, "NEON register pressure must show up: {a} vs {x}");
+        // And nb=8 is lane-aligned on NEON but off-grid costs nothing
+        // extra there while the Xeon leaves half a zmm idle (modelled
+        // via the multiple check: 8 % 16 != 0 on xeon, 8 % 4 == 0 on
+        // arm).
+        let x8 = microkernel_efficiency(&xeon, 8, 8, 64, 1, 4);
+        let a8 = microkernel_efficiency(&arm, 8, 8, 64, 1, 4);
+        assert!(a8 > x8, "narrow lanes should like nb=8: {a8} vs {x8}");
     }
 
     #[test]

@@ -46,6 +46,19 @@ pub struct MachineDescriptor {
     /// Cycles of fixed overhead per primitive/partition dispatch
     /// (framework API call, descriptor hash lookup, ...).
     pub dispatch_cycles: u64,
+    /// Architectural SIMD registers available to the microkernel (32
+    /// zmm on AVX-512, 16 ymm on AVX2, 32 vector regs on AArch64).
+    pub simd_regs: usize,
+    /// FMA execution ports (units that can issue one vector FMA per
+    /// cycle each); determines the minimum `mb` needed to hide FMA
+    /// latency.
+    pub fma_ports: usize,
+    /// Whether the machine has a fused int8 dot-product instruction
+    /// (VNNI `vpdpbusd` / NEON `sdot`-class).
+    pub vnni: bool,
+    /// Elements consumed per int8 dot-product group along k (4 for both
+    /// VNNI and NEON sdot); the int8 k-remainder granularity.
+    pub int8_dot_group: usize,
 }
 
 impl MachineDescriptor {
@@ -87,6 +100,10 @@ impl MachineDescriptor {
             int8_speedup: 4.0,
             barrier_cycles: 2_000,
             dispatch_cycles: 12_000,
+            simd_regs: 32,
+            fma_ports: 2,
+            vnni: true,
+            int8_dot_group: 4,
         }
     }
 
@@ -126,6 +143,61 @@ impl MachineDescriptor {
             int8_speedup: 2.0,
             barrier_cycles: 600,
             dispatch_cycles: 6_000,
+            simd_regs: 16,
+            fma_ports: 2,
+            vnni: false,
+            int8_dot_group: 4,
+        }
+    }
+
+    /// An AArch64-class edge/server core: 128-bit NEON vectors (4 f32
+    /// lanes), a big 32-register vector file, and small caches. The
+    /// point of this preset is that the *same* graph must lower to
+    /// genuinely different template parameters than on
+    /// [`xeon_8358`](Self::xeon_8358): `nb` snaps to a 4-lane grid
+    /// instead of 16, and the L1 residency bound pushes `kb * bs` well
+    /// below the Xeon sweet spot.
+    pub fn aarch64_small() -> Self {
+        MachineDescriptor {
+            name: "aarch64-8c (NEON 128-bit)".to_string(),
+            cores: 8,
+            freq_ghz: 2.4,
+            vector_bytes: 16,
+            caches: vec![
+                CacheLevel {
+                    size_bytes: 32 * 1024,
+                    associativity: 4,
+                    line_bytes: 64,
+                    latency_cycles: 4,
+                    shared: false,
+                },
+                CacheLevel {
+                    size_bytes: 256 * 1024,
+                    associativity: 8,
+                    line_bytes: 64,
+                    latency_cycles: 13,
+                    shared: false,
+                },
+                CacheLevel {
+                    size_bytes: 4 * 1024 * 1024,
+                    associativity: 16,
+                    line_bytes: 64,
+                    latency_cycles: 40,
+                    shared: true,
+                },
+            ],
+            mem_latency_cycles: 200,
+            mem_bw_bytes_per_cycle: 2.5,
+            // 2 NEON FMA pipes × 4 f32 lanes × 2 (mul+add)
+            f32_flops_per_cycle: 16.0,
+            // sdot gives int8 a real edge, but less than VNNI-on-zmm
+            int8_speedup: 2.0,
+            barrier_cycles: 500,
+            dispatch_cycles: 5_000,
+            simd_regs: 32,
+            fma_ports: 2,
+            vnni: false,
+            int8_dot_group: 4,
         }
     }
 
@@ -153,6 +225,13 @@ impl MachineDescriptor {
     /// f32 lanes per SIMD register.
     pub fn f32_lanes(&self) -> usize {
         self.vector_bytes / 4
+    }
+
+    /// SIMD registers the microkernel can spend on the accumulator
+    /// tile: the architectural file minus the registers pinned to A
+    /// broadcasts and B panel loads.
+    pub fn acc_reg_budget(&self) -> usize {
+        self.simd_regs.saturating_sub(4).max(1)
     }
 
     /// Peak ops/cycle/core for a dtype with the given element size in
@@ -208,5 +287,39 @@ mod tests {
     #[test]
     fn default_is_xeon() {
         assert_eq!(MachineDescriptor::default().cores, 32);
+    }
+
+    #[test]
+    fn simd_fields_per_preset() {
+        let xeon = MachineDescriptor::xeon_8358();
+        assert_eq!(xeon.simd_regs, 32);
+        assert_eq!(xeon.acc_reg_budget(), 28);
+        assert!(xeon.vnni);
+        let small = MachineDescriptor::small_generic();
+        assert_eq!(small.simd_regs, 16);
+        assert!(!small.vnni);
+        for m in [
+            MachineDescriptor::xeon_8358(),
+            MachineDescriptor::small_generic(),
+            MachineDescriptor::aarch64_small(),
+        ] {
+            assert_eq!(m.fma_ports, 2, "{}", m.name);
+            assert_eq!(m.int8_dot_group, 4, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn aarch64_preset_sizes() {
+        let m = MachineDescriptor::aarch64_small();
+        assert_eq!(m.cores, 8);
+        assert_eq!(m.vector_bytes, 16);
+        assert_eq!(m.f32_lanes(), 4);
+        assert_eq!(m.l1_bytes(), 32 * 1024);
+        assert_eq!(m.l2_bytes(), 256 * 1024);
+        assert_eq!(m.llc_bytes(), 4 * 1024 * 1024);
+        // 32 NEON regs leave a large accumulator budget despite the
+        // narrow lanes.
+        assert_eq!(m.acc_reg_budget(), 28);
+        assert!(!m.vnni);
     }
 }

@@ -1,0 +1,353 @@
+//! Generic kernel bodies: one body per kernel family, written against
+//! the [`SimdF32`] / [`DotU8I8`] traits and instantiated per backend by
+//! the `#[target_feature]` wrappers in the arch submodules.
+//!
+//! # Safety
+//!
+//! Every function here is `unsafe` with the same two-part contract:
+//!
+//! - the caller runs on a CPU supporting the backend's ISA (upheld by
+//!   the dispatch table, which only hands out detected backends);
+//! - slice arguments cover the strided extents documented per function
+//!   (upheld by the asserts in the public microkernel entry points).
+
+// The register-tile loops index fixed-size accumulator arrays and
+// strided tail ranges on purpose; iterator forms obscure the blocking.
+#![allow(clippy::needless_range_loop)]
+
+use super::simd::{DotU8I8, SimdF32};
+
+/// Register-tile columns (B panels) of the brgemm bodies, shared by all
+/// backends; rows come from the backend's `MR`.
+pub(crate) const NR: usize = 4;
+
+/// One A×B tile product added into C: A is `[m, k]` row-major, B is
+/// `[n, k]` panel-major, C is `[m, n]` row-major. Walks C in
+/// `S::MR x NR` register blocks; ragged edges dispatch to narrower
+/// instantiations of the same const-generic micro body, which keeps
+/// each C element's reduction order independent of the block size (and
+/// therefore of `m`/`n`), so tail kernels match full kernels bit-exact
+/// within one backend.
+///
+/// # Safety
+///
+/// `a.len() >= m * k`, `b.len() >= n * k`, `c.len() >= m * n`, and the
+/// backend's ISA is available.
+#[inline(always)]
+pub(crate) unsafe fn gemm_f32<S: SimdF32>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    debug_assert!(a.len() >= m * k && b.len() >= n * k && c.len() >= m * n);
+    debug_assert!(S::MR <= 4 && S::MR >= 1);
+    let mut i = 0;
+    while i < m {
+        let mr = S::MR.min(m - i);
+        let mut j = 0;
+        while j < n {
+            let nr = NR.min(n - j);
+            let a_blk = &a[i * k..];
+            let b_blk = &b[j * k..];
+            let c_blk = &mut c[i * n + j..];
+            match (mr, nr) {
+                (1, 1) => micro::<S, 1, 1>(k, n, a_blk, b_blk, c_blk),
+                (1, 2) => micro::<S, 1, 2>(k, n, a_blk, b_blk, c_blk),
+                (1, 3) => micro::<S, 1, 3>(k, n, a_blk, b_blk, c_blk),
+                (1, 4) => micro::<S, 1, 4>(k, n, a_blk, b_blk, c_blk),
+                (2, 1) => micro::<S, 2, 1>(k, n, a_blk, b_blk, c_blk),
+                (2, 2) => micro::<S, 2, 2>(k, n, a_blk, b_blk, c_blk),
+                (2, 3) => micro::<S, 2, 3>(k, n, a_blk, b_blk, c_blk),
+                (2, 4) => micro::<S, 2, 4>(k, n, a_blk, b_blk, c_blk),
+                (3, 1) => micro::<S, 3, 1>(k, n, a_blk, b_blk, c_blk),
+                (3, 2) => micro::<S, 3, 2>(k, n, a_blk, b_blk, c_blk),
+                (3, 3) => micro::<S, 3, 3>(k, n, a_blk, b_blk, c_blk),
+                (3, 4) => micro::<S, 3, 4>(k, n, a_blk, b_blk, c_blk),
+                (4, 1) => micro::<S, 4, 1>(k, n, a_blk, b_blk, c_blk),
+                (4, 2) => micro::<S, 4, 2>(k, n, a_blk, b_blk, c_blk),
+                (4, 3) => micro::<S, 4, 3>(k, n, a_blk, b_blk, c_blk),
+                (4, 4) => micro::<S, 4, 4>(k, n, a_blk, b_blk, c_blk),
+                _ => unreachable!("register block {mr}x{nr} out of table"),
+            }
+            j += nr;
+        }
+        i += mr;
+    }
+}
+
+/// The register-tiled micro body: an `MR_ x NR_` block of C at `c[0]`
+/// (row stride `n`), A rows at `a[0]` (row stride `k`), B panels at
+/// `b[0]` (panel stride `k`). Each output keeps one vector accumulator
+/// reduced once at the end — the same order for every block size, so
+/// results are bit-identical across register-block dispatch decisions
+/// within a backend.
+#[inline(always)]
+unsafe fn micro<S: SimdF32, const MR_: usize, const NR_: usize>(
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+) {
+    let mut acc = [[S::zero(); NR_]; MR_];
+    let chunks = k / S::LANES;
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    for ch in 0..chunks {
+        let base = ch * S::LANES;
+        for jj in 0..NR_ {
+            let bv = S::load(bp.add(jj * k + base));
+            for ii in 0..MR_ {
+                let av = S::load(ap.add(ii * k + base));
+                acc[ii][jj] = S::fma(av, bv, acc[ii][jj]);
+            }
+        }
+    }
+    for ii in 0..MR_ {
+        for jj in 0..NR_ {
+            let mut s = S::reduce_add(acc[ii][jj]);
+            for l in chunks * S::LANES..k {
+                s += a[ii * k + l] * b[jj * k + l];
+            }
+            c[ii * n + jj] += s;
+        }
+    }
+}
+
+/// Int8 tile product: u8 activations × i8 weights into i32, same
+/// layout as [`gemm_f32`]. Exact integer math in every backend.
+///
+/// # Safety
+///
+/// `a.len() >= m * k`, `b.len() >= n * k`, `c.len() >= m * n`, and the
+/// backend's ISA is available.
+#[inline(always)]
+pub(crate) unsafe fn gemm_u8i8<D: DotU8I8>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[u8],
+    b: &[i8],
+    c: &mut [i32],
+) {
+    debug_assert!(a.len() >= m * k && b.len() >= n * k && c.len() >= m * n);
+    let steps = k / D::STEP;
+    for i in 0..m {
+        let ap = a.as_ptr().add(i * k);
+        for j in 0..n {
+            let bp = b.as_ptr().add(j * k);
+            let mut acc = D::zero();
+            for s in 0..steps {
+                acc = D::step(acc, ap.add(s * D::STEP), bp.add(s * D::STEP));
+            }
+            let mut sum = D::reduce(acc);
+            for l in steps * D::STEP..k {
+                sum += a[i * k + l] as i32 * b[j * k + l] as i32;
+            }
+            c[i * n + j] += sum;
+        }
+    }
+}
+
+/// `dst[i] = max(src[i], 0)`.
+///
+/// # Safety
+///
+/// `src.len() == dst.len()` and the backend's ISA is available.
+#[inline(always)]
+pub(crate) unsafe fn relu<S: SimdF32>(src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    let n = src.len();
+    let z = S::zero();
+    let chunks = n / S::LANES;
+    for ch in 0..chunks {
+        let p = ch * S::LANES;
+        S::store(
+            dst.as_mut_ptr().add(p),
+            S::max(S::load(src.as_ptr().add(p)), z),
+        );
+    }
+    for l in chunks * S::LANES..n {
+        let x = src[l];
+        dst[l] = if x > 0.0 { x } else { 0.0 };
+    }
+}
+
+/// In-place relu.
+///
+/// # Safety
+///
+/// The backend's ISA is available.
+#[inline(always)]
+pub(crate) unsafe fn relu_inplace<S: SimdF32>(buf: &mut [f32]) {
+    let n = buf.len();
+    let z = S::zero();
+    let chunks = n / S::LANES;
+    for ch in 0..chunks {
+        let p = ch * S::LANES;
+        S::store(
+            buf.as_mut_ptr().add(p),
+            S::max(S::load(buf.as_ptr().add(p)), z),
+        );
+    }
+    for l in chunks * S::LANES..n {
+        let x = buf[l];
+        buf[l] = if x > 0.0 { x } else { 0.0 };
+    }
+}
+
+/// `dst[i] = a[i] + b[i]`.
+///
+/// # Safety
+///
+/// All three slices have equal length and the backend's ISA is
+/// available.
+#[inline(always)]
+pub(crate) unsafe fn binary_add<S: SimdF32>(a: &[f32], b: &[f32], dst: &mut [f32]) {
+    debug_assert!(a.len() == dst.len() && b.len() == dst.len());
+    let n = dst.len();
+    let chunks = n / S::LANES;
+    for ch in 0..chunks {
+        let p = ch * S::LANES;
+        S::store(
+            dst.as_mut_ptr().add(p),
+            S::add(S::load(a.as_ptr().add(p)), S::load(b.as_ptr().add(p))),
+        );
+    }
+    for l in chunks * S::LANES..n {
+        dst[l] = a[l] + b[l];
+    }
+}
+
+/// `dst[i] = a[i] * b[i]`.
+///
+/// # Safety
+///
+/// All three slices have equal length and the backend's ISA is
+/// available.
+#[inline(always)]
+pub(crate) unsafe fn binary_mul<S: SimdF32>(a: &[f32], b: &[f32], dst: &mut [f32]) {
+    debug_assert!(a.len() == dst.len() && b.len() == dst.len());
+    let n = dst.len();
+    let chunks = n / S::LANES;
+    for ch in 0..chunks {
+        let p = ch * S::LANES;
+        S::store(
+            dst.as_mut_ptr().add(p),
+            S::mul(S::load(a.as_ptr().add(p)), S::load(b.as_ptr().add(p))),
+        );
+    }
+    for l in chunks * S::LANES..n {
+        dst[l] = a[l] * b[l];
+    }
+}
+
+/// `dst[i] += src[i]` — the k-slicing reduction step.
+///
+/// # Safety
+///
+/// `src.len() == dst.len()` and the backend's ISA is available.
+#[inline(always)]
+pub(crate) unsafe fn acc_add<S: SimdF32>(src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    let n = dst.len();
+    let chunks = n / S::LANES;
+    for ch in 0..chunks {
+        let p = ch * S::LANES;
+        S::store(
+            dst.as_mut_ptr().add(p),
+            S::add(S::load(dst.as_ptr().add(p)), S::load(src.as_ptr().add(p))),
+        );
+    }
+    for l in chunks * S::LANES..n {
+        dst[l] += src[l];
+    }
+}
+
+/// Sum of a slice: `LANES` vector accumulators reduced once at the
+/// end, scalar remainder.
+///
+/// # Safety
+///
+/// The backend's ISA is available.
+#[inline(always)]
+pub(crate) unsafe fn reduce_sum<S: SimdF32>(xs: &[f32]) -> f32 {
+    let chunks = xs.len() / S::LANES;
+    let mut acc = S::zero();
+    for ch in 0..chunks {
+        acc = S::add(acc, S::load(xs.as_ptr().add(ch * S::LANES)));
+    }
+    let mut s = S::reduce_add(acc);
+    for &x in &xs[chunks * S::LANES..] {
+        s += x;
+    }
+    s
+}
+
+/// Max of a slice; `-inf` for an empty slice.
+///
+/// # Safety
+///
+/// The backend's ISA is available.
+#[inline(always)]
+pub(crate) unsafe fn reduce_max<S: SimdF32>(xs: &[f32]) -> f32 {
+    let chunks = xs.len() / S::LANES;
+    let mut m = f32::NEG_INFINITY;
+    if chunks > 0 {
+        let mut acc = S::splat(f32::NEG_INFINITY);
+        for ch in 0..chunks {
+            acc = S::max(acc, S::load(xs.as_ptr().add(ch * S::LANES)));
+        }
+        m = S::reduce_max(acc);
+    }
+    for &x in &xs[chunks * S::LANES..] {
+        if x > m {
+            m = x;
+        }
+    }
+    m
+}
+
+/// Dequantize an i32 accumulator tile `[m, n]` into f32:
+/// `out[i][j] = (acc[i][j] - a_zero * comp[j]) as f32 * scale`.
+/// Every lane op (i32 sub/mul, round-to-nearest i32→f32 convert, f32
+/// mul) is elementwise-identical to the scalar expression, so this is
+/// bit-exact across backends.
+///
+/// # Safety
+///
+/// `acc.len() >= m * n`, `out.len() >= m * n`, `comp.len() >= n`, and
+/// the backend's ISA is available.
+#[inline(always)]
+pub(crate) unsafe fn dequant<S: SimdF32>(
+    acc: &[i32],
+    m: usize,
+    n: usize,
+    comp: &[i32],
+    a_zero: i32,
+    scale: f32,
+    out: &mut [f32],
+) {
+    debug_assert!(acc.len() >= m * n && out.len() >= m * n && comp.len() >= n);
+    let az = S::splat_i32(a_zero);
+    let sc = S::splat(scale);
+    let chunks = n / S::LANES;
+    for i in 0..m {
+        let arow = acc.as_ptr().add(i * n);
+        let orow = out.as_mut_ptr().add(i * n);
+        for ch in 0..chunks {
+            let p = ch * S::LANES;
+            let v = S::sub_i32(
+                S::load_i32(arow.add(p)),
+                S::mul_i32(az, S::load_i32(comp.as_ptr().add(p))),
+            );
+            S::store(orow.add(p), S::mul(S::i32_to_f32(v), sc));
+        }
+        for j in chunks * S::LANES..n {
+            *orow.add(j) = (*arow.add(j)).wrapping_sub(a_zero.wrapping_mul(comp[j])) as f32 * scale;
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! The SIMD-ops traits the generic kernel bodies are written against,
+//! plus the portable scalar backend.
+//!
+//! Each backend is a zero-sized marker type implementing [`SimdF32`]
+//! (f32 lane ops, with the i32 lane subset the int8 epilogue needs) and
+//! optionally [`DotU8I8`] (the u8×i8 dot-product step). The kernel
+//! bodies in [`super::body`] are generic over these traits and are
+//! instantiated once per backend behind a `#[target_feature]` wrapper;
+//! the trait methods are `#[inline(always)]` so each instantiation
+//! compiles to straight-line vector code inside its wrapper.
+//!
+//! All trait methods are `unsafe`: callers must guarantee both that the
+//! backend's ISA is available on the running CPU and that every pointer
+//! is valid for `LANES` (or `STEP`) elements.
+
+/// Elementwise f32 SIMD operations (with the i32 subset used by the
+/// dequantize epilogue).
+pub(crate) trait SimdF32: Copy {
+    /// Vector of [`Self::LANES`] f32 values.
+    type V: Copy;
+    /// Vector of [`Self::LANES`] i32 values.
+    type VI: Copy;
+    /// f32 lanes per vector.
+    const LANES: usize;
+    /// Register-tile rows of the brgemm body for this backend (how many
+    /// C rows are accumulated in registers at once).
+    const MR: usize;
+
+    unsafe fn zero() -> Self::V;
+    unsafe fn splat(x: f32) -> Self::V;
+    unsafe fn load(p: *const f32) -> Self::V;
+    unsafe fn store(p: *mut f32, v: Self::V);
+    unsafe fn add(a: Self::V, b: Self::V) -> Self::V;
+    unsafe fn mul(a: Self::V, b: Self::V) -> Self::V;
+    /// IEEE `maxps` semantics: if one lane compares unordered (NaN) or
+    /// equal, the lane of `b` is returned.
+    unsafe fn max(a: Self::V, b: Self::V) -> Self::V;
+    /// `a * b + acc` per lane. Backends with hardware FMA contract the
+    /// rounding; the scalar backend rounds twice (mul then add), which
+    /// is why cross-ISA f32 comparisons carry a 1e-5 tolerance.
+    unsafe fn fma(a: Self::V, b: Self::V, acc: Self::V) -> Self::V;
+    /// Horizontal sum in a fixed (backend-specific) order.
+    unsafe fn reduce_add(v: Self::V) -> f32;
+    /// Horizontal max.
+    unsafe fn reduce_max(v: Self::V) -> f32;
+
+    unsafe fn load_i32(p: *const i32) -> Self::VI;
+    unsafe fn splat_i32(x: i32) -> Self::VI;
+    unsafe fn sub_i32(a: Self::VI, b: Self::VI) -> Self::VI;
+    /// Lane-wise wrapping i32 multiply (`mullo`).
+    unsafe fn mul_i32(a: Self::VI, b: Self::VI) -> Self::VI;
+    /// Lane-wise i32 → f32 conversion (round to nearest even, exactly
+    /// the semantics of a scalar `as f32` cast).
+    unsafe fn i32_to_f32(v: Self::VI) -> Self::V;
+}
+
+/// One step of a u8×i8 dot product: consume [`Self::STEP`] elements of
+/// each operand into a running i32 accumulator. All implementations are
+/// exact integer math, so results are bit-identical across backends.
+pub(crate) trait DotU8I8: Copy {
+    /// Accumulator state.
+    type Acc: Copy;
+    /// k elements consumed per step.
+    const STEP: usize;
+
+    unsafe fn zero() -> Self::Acc;
+    unsafe fn step(acc: Self::Acc, a: *const u8, b: *const i8) -> Self::Acc;
+    unsafe fn reduce(acc: Self::Acc) -> i32;
+}
+
+/// The portable fallback: 8-wide lane arrays that LLVM autovectorizes
+/// where it can. This reproduces the pre-dispatch kernels exactly —
+/// same lane width, same mul-then-add rounding, same sequential lane
+/// reduction — so `GC_FORCE_ISA=scalar` is bit-identical to the old
+/// code path.
+#[derive(Clone, Copy)]
+pub(crate) struct ScalarBackend;
+
+impl SimdF32 for ScalarBackend {
+    type V = [f32; 8];
+    type VI = [i32; 8];
+    const LANES: usize = 8;
+    const MR: usize = 2;
+
+    #[inline(always)]
+    unsafe fn zero() -> Self::V {
+        [0.0; 8]
+    }
+    #[inline(always)]
+    unsafe fn splat(x: f32) -> Self::V {
+        [x; 8]
+    }
+    #[inline(always)]
+    unsafe fn load(p: *const f32) -> Self::V {
+        let mut v = [0.0; 8];
+        for (l, out) in v.iter_mut().enumerate() {
+            *out = *p.add(l);
+        }
+        v
+    }
+    #[inline(always)]
+    unsafe fn store(p: *mut f32, v: Self::V) {
+        for (l, x) in v.iter().enumerate() {
+            *p.add(l) = *x;
+        }
+    }
+    #[inline(always)]
+    unsafe fn add(a: Self::V, b: Self::V) -> Self::V {
+        let mut v = [0.0; 8];
+        for l in 0..8 {
+            v[l] = a[l] + b[l];
+        }
+        v
+    }
+    #[inline(always)]
+    unsafe fn mul(a: Self::V, b: Self::V) -> Self::V {
+        let mut v = [0.0; 8];
+        for l in 0..8 {
+            v[l] = a[l] * b[l];
+        }
+        v
+    }
+    #[inline(always)]
+    unsafe fn max(a: Self::V, b: Self::V) -> Self::V {
+        // maxps semantics: NaN or equal lanes take the b operand.
+        let mut v = [0.0; 8];
+        for l in 0..8 {
+            v[l] = if a[l] > b[l] { a[l] } else { b[l] };
+        }
+        v
+    }
+    #[inline(always)]
+    unsafe fn fma(a: Self::V, b: Self::V, acc: Self::V) -> Self::V {
+        let mut v = [0.0; 8];
+        for l in 0..8 {
+            v[l] = acc[l] + a[l] * b[l];
+        }
+        v
+    }
+    #[inline(always)]
+    unsafe fn reduce_add(v: Self::V) -> f32 {
+        v.iter().sum()
+    }
+    #[inline(always)]
+    unsafe fn reduce_max(v: Self::V) -> f32 {
+        let mut m = v[0];
+        for &x in &v[1..] {
+            if x > m {
+                m = x;
+            }
+        }
+        m
+    }
+
+    #[inline(always)]
+    unsafe fn load_i32(p: *const i32) -> Self::VI {
+        let mut v = [0i32; 8];
+        for (l, out) in v.iter_mut().enumerate() {
+            *out = *p.add(l);
+        }
+        v
+    }
+    #[inline(always)]
+    unsafe fn splat_i32(x: i32) -> Self::VI {
+        [x; 8]
+    }
+    #[inline(always)]
+    unsafe fn sub_i32(a: Self::VI, b: Self::VI) -> Self::VI {
+        let mut v = [0i32; 8];
+        for l in 0..8 {
+            v[l] = a[l].wrapping_sub(b[l]);
+        }
+        v
+    }
+    #[inline(always)]
+    unsafe fn mul_i32(a: Self::VI, b: Self::VI) -> Self::VI {
+        let mut v = [0i32; 8];
+        for l in 0..8 {
+            v[l] = a[l].wrapping_mul(b[l]);
+        }
+        v
+    }
+    #[inline(always)]
+    unsafe fn i32_to_f32(v: Self::VI) -> Self::V {
+        let mut o = [0.0f32; 8];
+        for l in 0..8 {
+            o[l] = v[l] as f32;
+        }
+        o
+    }
+}
+
+impl DotU8I8 for ScalarBackend {
+    // 4-way accumulators mirror VNNI's 4-element dot-product groups,
+    // exactly as the pre-dispatch `dot_u8i8` did.
+    type Acc = [i32; 4];
+    const STEP: usize = 4;
+
+    #[inline(always)]
+    unsafe fn zero() -> Self::Acc {
+        [0; 4]
+    }
+    #[inline(always)]
+    unsafe fn step(mut acc: Self::Acc, a: *const u8, b: *const i8) -> Self::Acc {
+        for (l, slot) in acc.iter_mut().enumerate() {
+            *slot += *a.add(l) as i32 * *b.add(l) as i32;
+        }
+        acc
+    }
+    #[inline(always)]
+    unsafe fn reduce(acc: Self::Acc) -> i32 {
+        acc.iter().sum()
+    }
+}

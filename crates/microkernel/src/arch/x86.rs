@@ -1,0 +1,336 @@
+//! x86_64 SIMD backends: AVX2+FMA and AVX-512 (with a VNNI int8 dot
+//! where the CPU has it), written directly against
+//! [`core::arch::x86_64`] intrinsics.
+//!
+//! Each backend implements the traits in [`super::simd`] with
+//! `#[inline(always)]` methods; the `avx2_kernels` / `avx512_kernels`
+//! modules wrap each generic body from [`super::body`] in a
+//! `#[target_feature]` function so the whole kernel compiles as one
+//! vectorized unit. The wrappers are what the dispatch table stores —
+//! they are `unsafe fn`s whose single precondition is that the features
+//! named in their attribute are supported by the running CPU.
+
+#![cfg(target_arch = "x86_64")]
+
+use super::body;
+use super::simd::{DotU8I8, SimdF32};
+use core::arch::x86_64::*;
+
+/// AVX2 + FMA: 8 f32 lanes, 16 vector registers.
+#[derive(Clone, Copy)]
+pub(crate) struct Avx2;
+
+impl SimdF32 for Avx2 {
+    type V = __m256;
+    type VI = __m256i;
+    const LANES: usize = 8;
+    // 3x4 accumulator block: 12 of 16 ymm registers, leaving room for
+    // the A broadcast and B load.
+    const MR: usize = 3;
+
+    #[inline(always)]
+    unsafe fn zero() -> Self::V {
+        _mm256_setzero_ps()
+    }
+    #[inline(always)]
+    unsafe fn splat(x: f32) -> Self::V {
+        _mm256_set1_ps(x)
+    }
+    #[inline(always)]
+    unsafe fn load(p: *const f32) -> Self::V {
+        _mm256_loadu_ps(p)
+    }
+    #[inline(always)]
+    unsafe fn store(p: *mut f32, v: Self::V) {
+        _mm256_storeu_ps(p, v)
+    }
+    #[inline(always)]
+    unsafe fn add(a: Self::V, b: Self::V) -> Self::V {
+        _mm256_add_ps(a, b)
+    }
+    #[inline(always)]
+    unsafe fn mul(a: Self::V, b: Self::V) -> Self::V {
+        _mm256_mul_ps(a, b)
+    }
+    #[inline(always)]
+    unsafe fn max(a: Self::V, b: Self::V) -> Self::V {
+        _mm256_max_ps(a, b)
+    }
+    #[inline(always)]
+    unsafe fn fma(a: Self::V, b: Self::V, acc: Self::V) -> Self::V {
+        _mm256_fmadd_ps(a, b, acc)
+    }
+    #[inline(always)]
+    unsafe fn reduce_add(v: Self::V) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_add_ps(lo, hi);
+        let s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+    #[inline(always)]
+    unsafe fn reduce_max(v: Self::V) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps(v, 1);
+        let s = _mm_max_ps(lo, hi);
+        let s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+        let s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 1));
+        _mm_cvtss_f32(s)
+    }
+
+    #[inline(always)]
+    unsafe fn load_i32(p: *const i32) -> Self::VI {
+        _mm256_loadu_si256(p as *const __m256i)
+    }
+    #[inline(always)]
+    unsafe fn splat_i32(x: i32) -> Self::VI {
+        _mm256_set1_epi32(x)
+    }
+    #[inline(always)]
+    unsafe fn sub_i32(a: Self::VI, b: Self::VI) -> Self::VI {
+        _mm256_sub_epi32(a, b)
+    }
+    #[inline(always)]
+    unsafe fn mul_i32(a: Self::VI, b: Self::VI) -> Self::VI {
+        _mm256_mullo_epi32(a, b)
+    }
+    #[inline(always)]
+    unsafe fn i32_to_f32(v: Self::VI) -> Self::V {
+        _mm256_cvtepi32_ps(v)
+    }
+}
+
+/// AVX2 u8×i8 dot: widen both operands to i16 and use `pmaddwd`
+/// (16-bit multiply, pairwise add into i32). The products fit i16
+/// (|255 * 127| ≤ 32385) and each pair sum fits i32, so this is exact
+/// — bit-identical to the scalar dot.
+#[derive(Clone, Copy)]
+pub(crate) struct Avx2Dot;
+
+impl DotU8I8 for Avx2Dot {
+    type Acc = __m256i;
+    const STEP: usize = 16;
+
+    #[inline(always)]
+    unsafe fn zero() -> Self::Acc {
+        _mm256_setzero_si256()
+    }
+    #[inline(always)]
+    unsafe fn step(acc: Self::Acc, a: *const u8, b: *const i8) -> Self::Acc {
+        let a16 = _mm256_cvtepu8_epi16(_mm_loadu_si128(a as *const __m128i));
+        let b16 = _mm256_cvtepi8_epi16(_mm_loadu_si128(b as *const __m128i));
+        _mm256_add_epi32(acc, _mm256_madd_epi16(a16, b16))
+    }
+    #[inline(always)]
+    unsafe fn reduce(acc: Self::Acc) -> i32 {
+        let lo = _mm256_castsi256_si128(acc);
+        let hi = _mm256_extracti128_si256(acc, 1);
+        let s = _mm_add_epi32(lo, hi);
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b0100_1110));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b1011_0001));
+        _mm_cvtsi128_si32(s)
+    }
+}
+
+/// AVX-512: 16 f32 lanes, 32 vector registers.
+#[derive(Clone, Copy)]
+pub(crate) struct Avx512;
+
+impl SimdF32 for Avx512 {
+    type V = __m512;
+    type VI = __m512i;
+    const LANES: usize = 16;
+    // 4x4 accumulator block: 16 of 32 zmm registers.
+    const MR: usize = 4;
+
+    #[inline(always)]
+    unsafe fn zero() -> Self::V {
+        _mm512_setzero_ps()
+    }
+    #[inline(always)]
+    unsafe fn splat(x: f32) -> Self::V {
+        _mm512_set1_ps(x)
+    }
+    #[inline(always)]
+    unsafe fn load(p: *const f32) -> Self::V {
+        _mm512_loadu_ps(p)
+    }
+    #[inline(always)]
+    unsafe fn store(p: *mut f32, v: Self::V) {
+        _mm512_storeu_ps(p, v)
+    }
+    #[inline(always)]
+    unsafe fn add(a: Self::V, b: Self::V) -> Self::V {
+        _mm512_add_ps(a, b)
+    }
+    #[inline(always)]
+    unsafe fn mul(a: Self::V, b: Self::V) -> Self::V {
+        _mm512_mul_ps(a, b)
+    }
+    #[inline(always)]
+    unsafe fn max(a: Self::V, b: Self::V) -> Self::V {
+        _mm512_max_ps(a, b)
+    }
+    #[inline(always)]
+    unsafe fn fma(a: Self::V, b: Self::V, acc: Self::V) -> Self::V {
+        _mm512_fmadd_ps(a, b, acc)
+    }
+    #[inline(always)]
+    unsafe fn reduce_add(v: Self::V) -> f32 {
+        _mm512_reduce_add_ps(v)
+    }
+    #[inline(always)]
+    unsafe fn reduce_max(v: Self::V) -> f32 {
+        _mm512_reduce_max_ps(v)
+    }
+
+    #[inline(always)]
+    unsafe fn load_i32(p: *const i32) -> Self::VI {
+        _mm512_loadu_si512(p as *const __m512i)
+    }
+    #[inline(always)]
+    unsafe fn splat_i32(x: i32) -> Self::VI {
+        _mm512_set1_epi32(x)
+    }
+    #[inline(always)]
+    unsafe fn sub_i32(a: Self::VI, b: Self::VI) -> Self::VI {
+        _mm512_sub_epi32(a, b)
+    }
+    #[inline(always)]
+    unsafe fn mul_i32(a: Self::VI, b: Self::VI) -> Self::VI {
+        _mm512_mullo_epi32(a, b)
+    }
+    #[inline(always)]
+    unsafe fn i32_to_f32(v: Self::VI) -> Self::V {
+        _mm512_cvtepi32_ps(v)
+    }
+}
+
+/// AVX-512 VNNI u8×i8 dot: `vpdpbusd` accumulates 4-element dot groups
+/// straight into i32 lanes — the instruction the paper's int8 kernels
+/// are built on. Exact.
+#[derive(Clone, Copy)]
+pub(crate) struct VnniDot;
+
+impl DotU8I8 for VnniDot {
+    type Acc = __m512i;
+    const STEP: usize = 64;
+
+    #[inline(always)]
+    unsafe fn zero() -> Self::Acc {
+        _mm512_setzero_si512()
+    }
+    #[inline(always)]
+    unsafe fn step(acc: Self::Acc, a: *const u8, b: *const i8) -> Self::Acc {
+        let av = _mm512_loadu_si512(a as *const __m512i);
+        let bv = _mm512_loadu_si512(b as *const __m512i);
+        _mm512_dpbusd_epi32(acc, av, bv)
+    }
+    #[inline(always)]
+    unsafe fn reduce(acc: Self::Acc) -> i32 {
+        _mm512_reduce_add_epi32(acc)
+    }
+}
+
+/// Generate the `#[target_feature]` entry points for one backend: each
+/// is the generic body instantiated with the backend type, compiled
+/// with the backend's features enabled so the `#[inline(always)]` trait
+/// methods fold into straight-line vector code.
+macro_rules! isa_entry_points {
+    ($modname:ident, $feat:literal, $simd:ty, $dot:ty) => {
+        pub(crate) mod $modname {
+            use super::*;
+
+            #[target_feature(enable = $feat)]
+            pub(crate) unsafe fn gemm_f32(
+                m: usize,
+                n: usize,
+                k: usize,
+                a: &[f32],
+                b: &[f32],
+                c: &mut [f32],
+            ) {
+                body::gemm_f32::<$simd>(m, n, k, a, b, c)
+            }
+
+            #[target_feature(enable = $feat)]
+            pub(crate) unsafe fn gemm_u8i8(
+                m: usize,
+                n: usize,
+                k: usize,
+                a: &[u8],
+                b: &[i8],
+                c: &mut [i32],
+            ) {
+                body::gemm_u8i8::<$dot>(m, n, k, a, b, c)
+            }
+
+            #[target_feature(enable = $feat)]
+            pub(crate) unsafe fn relu(src: &[f32], dst: &mut [f32]) {
+                body::relu::<$simd>(src, dst)
+            }
+
+            #[target_feature(enable = $feat)]
+            pub(crate) unsafe fn relu_inplace(buf: &mut [f32]) {
+                body::relu_inplace::<$simd>(buf)
+            }
+
+            #[target_feature(enable = $feat)]
+            pub(crate) unsafe fn binary_add(a: &[f32], b: &[f32], dst: &mut [f32]) {
+                body::binary_add::<$simd>(a, b, dst)
+            }
+
+            #[target_feature(enable = $feat)]
+            pub(crate) unsafe fn binary_mul(a: &[f32], b: &[f32], dst: &mut [f32]) {
+                body::binary_mul::<$simd>(a, b, dst)
+            }
+
+            #[target_feature(enable = $feat)]
+            pub(crate) unsafe fn acc_add(src: &[f32], dst: &mut [f32]) {
+                body::acc_add::<$simd>(src, dst)
+            }
+
+            #[target_feature(enable = $feat)]
+            pub(crate) unsafe fn reduce_sum(xs: &[f32]) -> f32 {
+                body::reduce_sum::<$simd>(xs)
+            }
+
+            #[target_feature(enable = $feat)]
+            pub(crate) unsafe fn reduce_max(xs: &[f32]) -> f32 {
+                body::reduce_max::<$simd>(xs)
+            }
+
+            #[target_feature(enable = $feat)]
+            pub(crate) unsafe fn dequant(
+                acc: &[i32],
+                m: usize,
+                n: usize,
+                comp: &[i32],
+                a_zero: i32,
+                scale: f32,
+                out: &mut [f32],
+            ) {
+                body::dequant::<$simd>(acc, m, n, comp, a_zero, scale, out)
+            }
+        }
+    };
+}
+
+isa_entry_points!(avx2_kernels, "avx2,fma", Avx2, Avx2Dot);
+// Without VNNI the int8 dot falls back to the AVX2 `pmaddwd` scheme
+// (exact either way); the f32/eltwise families still run 512-bit.
+isa_entry_points!(avx512_kernels, "avx512f,avx512bw,avx2,fma", Avx512, Avx2Dot);
+
+/// The VNNI int8 entry, split out because it needs its own feature set.
+#[target_feature(enable = "avx512f,avx512bw,avx512vnni")]
+pub(crate) unsafe fn gemm_u8i8_vnni(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[u8],
+    b: &[i8],
+    c: &mut [i32],
+) {
+    body::gemm_u8i8::<VnniDot>(m, n, k, a, b, c)
+}

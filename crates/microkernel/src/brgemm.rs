@@ -15,6 +15,12 @@
 //!
 //! C accumulation is `+=`: the caller zeroes C once per k-loop, exactly
 //! as the template's `C'[...] = 0` statement does.
+//!
+//! The tile kernels themselves live in [`crate::arch`]: one generic
+//! register-tiled body instantiated per backend (scalar / AVX2 /
+//! AVX-512), selected once per process by runtime feature detection.
+
+use crate::arch;
 
 /// Tile geometry for one brgemm call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,102 +75,25 @@ pub fn brgemm_f32(
     let BrgemmShape { m, n, k } = shape;
     assert_eq!(a_offs.len(), b_offs.len(), "batch sizes must match");
     assert_eq!(c.len(), m * n, "C tile must be m*n");
+    let table = arch::active();
+    arch::record(arch::Family::BrgemmF32, table.isa);
     for (&ao, &bo) in a_offs.iter().zip(b_offs) {
         let a = &a_buf[ao..ao + m * k];
         let b = &b_buf[bo..bo + n * k];
-        gemm_tile_f32(m, n, k, a, b, c);
+        // SAFETY: the table only holds backends the CPU supports, and
+        // the slices above cover the m/n/k extents.
+        unsafe { (table.gemm_f32)(m, n, k, a, b, c) };
     }
 }
 
-/// Register-tile rows of the f32 microkernel.
-const MR: usize = 2;
-/// Register-tile columns (B panels) of the f32 microkernel.
-const NR: usize = 4;
-/// SIMD-friendly lane width of the k loop.
-const LANES: usize = 8;
-
-/// One A×B tile product added into C. A is `[m, k]` row-major, B is
-/// `[n, k]` panel-major.
-///
-/// C is walked in `MR x NR` register blocks so each loaded A chunk is
-/// reused across `NR` panels and each B chunk across `MR` rows —
-/// emulating what the hand-tuned AVX-512 microkernel achieves with
-/// register tiling. Ragged edges dispatch to narrower instantiations of
-/// the same const-generic kernel through a small table.
+/// One A×B tile product added into C through the active dispatch
+/// table. A is `[m, k]` row-major, B is `[n, k]` panel-major; C is
+/// walked in backend-sized register blocks (see [`crate::arch`]).
 #[inline]
 pub(crate) fn gemm_tile_f32(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
-    let mut i = 0;
-    while i < m {
-        let mr = MR.min(m - i);
-        let mut j = 0;
-        while j < n {
-            let nr = NR.min(n - j);
-            F32_KERNELS[mr - 1][nr - 1](k, n, &a[i * k..], &b[j * k..], &mut c[i * n + j..]);
-            j += nr;
-        }
-        i += mr;
-    }
-}
-
-/// A microkernel: `MR_ x NR_` block of C at `c[0]` (row stride `n`),
-/// A rows at `a[0]` (row stride `k`), B panels at `b[0]` (panel stride
-/// `k`).
-type MicroFn = fn(k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]);
-
-/// Dispatch table over the ragged-edge block sizes; the hot full block
-/// is `F32_KERNELS[MR - 1][NR - 1]`.
-static F32_KERNELS: [[MicroFn; NR]; MR] = [
-    [
-        micro_f32::<1, 1>,
-        micro_f32::<1, 2>,
-        micro_f32::<1, 3>,
-        micro_f32::<1, 4>,
-    ],
-    [
-        micro_f32::<2, 1>,
-        micro_f32::<2, 2>,
-        micro_f32::<2, 3>,
-        micro_f32::<2, 4>,
-    ],
-];
-
-/// The generic register-tiled block kernel. Each of the `MR_ x NR_`
-/// outputs keeps an [`LANES`]-wide accumulator array so LLVM maps the k
-/// loop onto SIMD FMA lanes; the lane arrays are summed once at the end
-/// (the same reduction order for every block size, so results are
-/// bit-identical across dispatch decisions).
-#[inline]
-fn micro_f32<const MR_: usize, const NR_: usize>(
-    k: usize,
-    n: usize,
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-) {
-    let mut acc = [[[0f32; LANES]; NR_]; MR_];
-    let chunks = k / LANES;
-    for ch in 0..chunks {
-        let base = ch * LANES;
-        for jj in 0..NR_ {
-            let b8 = &b[jj * k + base..jj * k + base + LANES];
-            for ii in 0..MR_ {
-                let a8 = &a[ii * k + base..ii * k + base + LANES];
-                let lanes = &mut acc[ii][jj];
-                for l in 0..LANES {
-                    lanes[l] += a8[l] * b8[l];
-                }
-            }
-        }
-    }
-    for ii in 0..MR_ {
-        for jj in 0..NR_ {
-            let mut s = acc[ii][jj].iter().sum::<f32>();
-            for l in chunks * LANES..k {
-                s += a[ii * k + l] * b[jj * k + l];
-            }
-            c[ii * n + jj] += s;
-        }
-    }
+    assert!(a.len() >= m * k && b.len() >= n * k && c.len() >= m * n);
+    // SAFETY: extents asserted; table holds only supported backends.
+    unsafe { (arch::active().gemm_f32)(m, n, k, a, b, c) }
 }
 
 /// Int8 batch-reduce GEMM: u8 activations × i8 weights accumulated in
@@ -184,42 +113,24 @@ pub fn brgemm_u8i8(
     let BrgemmShape { m, n, k } = shape;
     assert_eq!(a_offs.len(), b_offs.len(), "batch sizes must match");
     assert_eq!(c.len(), m * n, "C tile must be m*n");
+    let table = arch::active();
+    arch::record(arch::Family::BrgemmU8I8, table.isa);
     for (&ao, &bo) in a_offs.iter().zip(b_offs) {
         let a = &a_buf[ao..ao + m * k];
         let b = &b_buf[bo..bo + n * k];
-        gemm_tile_u8i8(m, n, k, a, b, c);
+        // SAFETY: the table only holds backends the CPU supports, and
+        // the slices above cover the m/n/k extents.
+        unsafe { (table.gemm_u8i8)(m, n, k, a, b, c) };
     }
 }
 
+/// One u8×i8 tile product through the active dispatch table; exact
+/// integer math in every backend.
 #[inline]
 pub(crate) fn gemm_tile_u8i8(m: usize, n: usize, k: usize, a: &[u8], b: &[i8], c: &mut [i32]) {
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (j, cj) in crow.iter_mut().enumerate() {
-            let brow = &b[j * k..(j + 1) * k];
-            *cj += dot_u8i8(arow, brow);
-        }
-    }
-}
-
-#[inline]
-fn dot_u8i8(a: &[u8], b: &[i8]) -> i32 {
-    // 4-way accumulators mirror VNNI's 4-element dot-product lanes.
-    let chunks = a.len() / 4;
-    let mut acc = [0i32; 4];
-    for c in 0..chunks {
-        let a4 = &a[c * 4..c * 4 + 4];
-        let b4 = &b[c * 4..c * 4 + 4];
-        for l in 0..4 {
-            acc[l] += a4[l] as i32 * b4[l] as i32;
-        }
-    }
-    let mut s = acc.iter().sum::<i32>();
-    for l in chunks * 4..a.len() {
-        s += a[l] as i32 * b[l] as i32;
-    }
-    s
+    assert!(a.len() >= m * k && b.len() >= n * k && c.len() >= m * n);
+    // SAFETY: extents asserted; table holds only supported backends.
+    unsafe { (arch::active().gemm_u8i8)(m, n, k, a, b, c) }
 }
 
 /// Reference (scalar, obviously-correct) versions used in tests.

@@ -2,7 +2,12 @@
 //!
 //! Fusible OPs lowered into a template anchor become loops whose
 //! innermost dimension is executed by one of these slice kernels — the
-//! reproduction's stand-in for the vectorized code the JIT emits.
+//! reproduction's stand-in for the vectorized code the JIT emits. The
+//! hottest kernels (relu, add, mul, accumulate) route through the
+//! [`crate::arch`] dispatch table to the explicit-SIMD backend selected
+//! for this process; the rest are scalar loops LLVM autovectorizes.
+
+use crate::arch;
 
 /// Unary elementwise operations available to fused post-ops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -86,11 +91,14 @@ impl BinaryOp {
 pub fn unary(op: UnaryOp, src: &[f32], dst: &mut [f32]) {
     assert_eq!(src.len(), dst.len());
     match op {
-        // Cheap ops get dedicated loops that LLVM turns into vector code.
+        // Relu is the hottest post-op: explicit SIMD via the dispatch
+        // table.
         UnaryOp::Relu => {
-            for (d, &s) in dst.iter_mut().zip(src) {
-                *d = if s > 0.0 { s } else { 0.0 };
-            }
+            let table = arch::active();
+            arch::record(arch::Family::Eltwise, table.isa);
+            // SAFETY: lengths asserted equal; table holds only
+            // supported backends.
+            unsafe { (table.relu)(src, dst) };
         }
         UnaryOp::Identity => dst.copy_from_slice(src),
         UnaryOp::Square => {
@@ -115,11 +123,10 @@ pub fn unary(op: UnaryOp, src: &[f32], dst: &mut [f32]) {
 pub fn unary_inplace(op: UnaryOp, buf: &mut [f32]) {
     match op {
         UnaryOp::Relu => {
-            for x in buf.iter_mut() {
-                if *x < 0.0 {
-                    *x = 0.0;
-                }
-            }
+            let table = arch::active();
+            arch::record(arch::Family::Eltwise, table.isa);
+            // SAFETY: table holds only supported backends.
+            unsafe { (table.relu_inplace)(buf) };
         }
         UnaryOp::Identity => {}
         _ => {
@@ -139,15 +146,18 @@ pub fn binary(op: BinaryOp, a: &[f32], b: &[f32], dst: &mut [f32]) {
     assert_eq!(a.len(), dst.len());
     assert_eq!(b.len(), dst.len());
     match op {
+        // Add and Mul dominate fused binary post-ops: explicit SIMD.
         BinaryOp::Add => {
-            for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
-                *d = x + y;
-            }
+            let table = arch::active();
+            arch::record(arch::Family::Eltwise, table.isa);
+            // SAFETY: lengths asserted equal above.
+            unsafe { (table.binary_add)(a, b, dst) };
         }
         BinaryOp::Mul => {
-            for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
-                *d = x * y;
-            }
+            let table = arch::active();
+            arch::record(arch::Family::Eltwise, table.isa);
+            // SAFETY: lengths asserted equal above.
+            unsafe { (table.binary_mul)(a, b, dst) };
         }
         _ => {
             for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
@@ -219,9 +229,10 @@ pub fn copy(src: &[f32], dst: &mut [f32]) {
 /// Panics if lengths differ.
 pub fn acc_add_f32(src: &[f32], dst: &mut [f32]) {
     assert_eq!(src.len(), dst.len());
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d += s;
-    }
+    let table = arch::active();
+    arch::record(arch::Family::Eltwise, table.isa);
+    // SAFETY: lengths asserted equal above.
+    unsafe { (table.acc_add)(src, dst) };
 }
 
 /// Accumulate one i32 partial buffer into another: `dst[i] += src[i]`.

@@ -26,11 +26,12 @@ pub fn dequant_acc(
     assert_eq!(acc.len(), m * n);
     assert_eq!(out.len(), m * n);
     assert_eq!(comp.len(), n);
-    for (orow, arow) in out.chunks_exact_mut(n).zip(acc.chunks_exact(n)) {
-        for j in 0..n {
-            orow[j] = (arow[j] - a_zero * comp[j]) as f32 * scale;
-        }
-    }
+    let table = crate::arch::active();
+    crate::arch::record(crate::arch::Family::Epilogue, table.isa);
+    // SAFETY: extents asserted; table holds only supported backends.
+    // Every lane op here is elementwise-identical to the scalar
+    // expression, so the result is bit-exact across backends.
+    unsafe { (table.dequant)(acc, m, n, comp, a_zero, scale, out) };
 }
 
 /// Like [`dequant_acc`] but also adds a per-column f32 bias.

@@ -17,10 +17,15 @@
 //! - [`tail`] — edge-tile variants for ragged shapes: clamped-height
 //!   brgemm tails, masked pack/store helpers, and tail epilogues.
 //!
-//! In the original system these are JIT-generated AVX-512/AMX code; here
-//! they are tight Rust loops written to autovectorize. The interface —
-//! offsets into packed, blocked buffers — is the same, which is what the
-//! lowering templates depend on.
+//! In the original system these are JIT-generated AVX-512/AMX code;
+//! here each kernel family has one generic body written against a
+//! small SIMD-ops trait, instantiated per backend (portable scalar,
+//! AVX2+FMA, AVX-512/VNNI) and selected once per process by runtime
+//! feature detection — see [`arch`]. The interface — offsets into
+//! packed, blocked buffers — is the same as the paper's, which is what
+//! the lowering templates depend on. Set `GC_FORCE_ISA=scalar` (or
+//! `avx2`/`avx512`) to pin the backend; [`arch::dispatch_report`]
+//! shows which variants actually ran.
 //!
 //! # Examples
 //!
@@ -37,11 +42,13 @@
 
 #![warn(missing_docs)]
 
+pub mod arch;
 pub mod brgemm;
 pub mod eltwise;
 pub mod epilogue;
 pub mod reduce;
 pub mod tail;
 
+pub use arch::{dispatch_report, DispatchReport, Isa};
 pub use brgemm::{brgemm_f32, brgemm_u8i8, BrgemmShape};
 pub use eltwise::{BinaryOp, UnaryOp};

@@ -1,28 +1,25 @@
 //! Reduction kernels for fused reduction post-ops (softmax's max and
-//! sum, bias gradients, etc.).
+//! sum, bias gradients, etc.). Slice reductions route through the
+//! [`crate::arch`] dispatch table; lane-width accumulators mean the
+//! f32 summation order differs across backends (within the 1e-5
+//! cross-ISA tolerance), but is fixed within one process.
+
+use crate::arch;
 
 /// Maximum of a slice; `-inf` for an empty slice.
 pub fn reduce_max(xs: &[f32]) -> f32 {
-    xs.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    let table = arch::active();
+    arch::record(arch::Family::Reduce, table.isa);
+    // SAFETY: table holds only supported backends.
+    unsafe { (table.reduce_max)(xs) }
 }
 
-/// Sum of a slice.
+/// Sum of a slice (lane-width accumulators reduced once at the end).
 pub fn reduce_sum(xs: &[f32]) -> f32 {
-    // 4-way accumulators for vectorization and better numerics than a
-    // single serial chain.
-    let chunks = xs.len() / 4;
-    let mut acc = [0f32; 4];
-    for c in 0..chunks {
-        let x4 = &xs[c * 4..c * 4 + 4];
-        for l in 0..4 {
-            acc[l] += x4[l];
-        }
-    }
-    let mut s = acc.iter().sum::<f32>();
-    for &x in &xs[chunks * 4..] {
-        s += x;
-    }
-    s
+    let table = arch::active();
+    arch::record(arch::Family::Reduce, table.isa);
+    // SAFETY: table holds only supported backends.
+    unsafe { (table.reduce_sum)(xs) }
 }
 
 /// Elementwise running maximum: `acc[i] = max(acc[i], xs[i])`.
@@ -49,9 +46,10 @@ pub fn accumulate_max(acc: &mut [f32], xs: &[f32]) {
 /// Panics if lengths differ.
 pub fn accumulate_sum(acc: &mut [f32], xs: &[f32]) {
     assert_eq!(acc.len(), xs.len());
-    for (a, &x) in acc.iter_mut().zip(xs) {
-        *a += x;
-    }
+    let table = arch::active();
+    arch::record(arch::Family::Reduce, table.isa);
+    // SAFETY: lengths asserted equal above.
+    unsafe { (table.acc_add)(xs, acc) };
 }
 
 /// Row-wise reduce of a `[rows, cols]` tile into `out[rows]`.
@@ -62,8 +60,11 @@ pub fn accumulate_sum(acc: &mut [f32], xs: &[f32]) {
 pub fn reduce_rows_max(tile: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
     assert_eq!(tile.len(), rows * cols);
     assert_eq!(out.len(), rows);
+    let table = arch::active();
+    arch::record(arch::Family::Reduce, table.isa);
     for (o, row) in out.iter_mut().zip(tile.chunks_exact(cols)) {
-        *o = reduce_max(row);
+        // SAFETY: table holds only supported backends.
+        *o = unsafe { (table.reduce_max)(row) };
     }
 }
 
@@ -75,8 +76,11 @@ pub fn reduce_rows_max(tile: &[f32], rows: usize, cols: usize, out: &mut [f32]) 
 pub fn reduce_rows_sum(tile: &[f32], rows: usize, cols: usize, out: &mut [f32]) {
     assert_eq!(tile.len(), rows * cols);
     assert_eq!(out.len(), rows);
+    let table = arch::active();
+    arch::record(arch::Family::Reduce, table.isa);
     for (o, row) in out.iter_mut().zip(tile.chunks_exact(cols)) {
-        *o = reduce_sum(row);
+        // SAFETY: table holds only supported backends.
+        *o = unsafe { (table.reduce_sum)(row) };
     }
 }
 

@@ -19,6 +19,7 @@
 //! padded region with neighbouring data (the plan executor relies on
 //! this when the output buffer has exactly the logical extent).
 
+use crate::arch;
 use crate::brgemm::{gemm_tile_f32, gemm_tile_u8i8, BrgemmShape};
 use crate::eltwise::UnaryOp;
 
@@ -50,6 +51,7 @@ pub fn brgemm_f32_m_tail(
     if m_valid == 0 {
         return;
     }
+    arch::record(arch::Family::TailF32, arch::active_isa());
     for (&ao, &bo) in a_offs.iter().zip(b_offs) {
         let a = &a_buf[ao..ao + m * k];
         let b = &b_buf[bo..bo + n * k];
@@ -79,6 +81,7 @@ pub fn brgemm_u8i8_m_tail(
     if m_valid == 0 {
         return;
     }
+    arch::record(arch::Family::TailU8I8, arch::active_isa());
     for (&ao, &bo) in a_offs.iter().zip(b_offs) {
         let a = &a_buf[ao..ao + m * k];
         let b = &b_buf[bo..bo + n * k];

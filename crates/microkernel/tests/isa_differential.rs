@@ -1,0 +1,223 @@
+//! Differential test matrix over the ISA dispatch layer: every kernel
+//! family × every CPU-supported backend × aligned and ragged/tail
+//! shapes, compared against the scalar backend. f32 families must agree
+//! within 1e-5 relative error (FMA contraction and lane-width reduction
+//! order differ per backend); integer families must be bit-exact.
+
+use gc_microkernel::arch::{kernels, Isa, Kernels};
+
+/// Every backend the running CPU can execute, scalar first.
+fn available() -> Vec<Isa> {
+    [Isa::Scalar, Isa::Avx2, Isa::Avx512]
+        .into_iter()
+        .filter(|isa| isa.supported())
+        .collect()
+}
+
+/// xorshift-based deterministic fill in [-1, 1).
+fn fill_f32(seed: u64, n: usize) -> Vec<f32> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            ((s >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32
+        })
+        .collect()
+}
+
+fn fill_u8(seed: u64, n: usize) -> Vec<u8> {
+    fill_f32(seed, n)
+        .into_iter()
+        .map(|x| ((x * 0.5 + 0.5) * 255.0) as u8)
+        .collect()
+}
+
+fn fill_i8(seed: u64, n: usize) -> Vec<i8> {
+    fill_f32(seed, n)
+        .into_iter()
+        .map(|x| (x * 127.0) as i8)
+        .collect()
+}
+
+fn assert_close(got: &[f32], want: &[f32], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        let tol = 1e-5f32.max(w.abs() * 1e-5);
+        assert!(
+            (g - w).abs() <= tol,
+            "{ctx}: element {i}: {g} vs {w} (tol {tol})"
+        );
+    }
+}
+
+/// (m, n, k) tile shapes: SIMD-aligned and ragged/tail-heavy. k values
+/// cover multiples of every backend's step (8/16/64) plus primes that
+/// leave remainders at each width.
+const GEMM_SHAPES: &[(usize, usize, usize)] = &[
+    // aligned
+    (8, 16, 64),
+    (4, 8, 128),
+    (16, 4, 64),
+    // ragged m/n, aligned k
+    (5, 7, 64),
+    (3, 1, 16),
+    (1, 3, 128),
+    // ragged k
+    (8, 16, 13),
+    (5, 7, 17),
+    (6, 5, 63),
+    (2, 2, 67),
+    (7, 9, 479),
+    (1, 1, 1),
+];
+
+fn gemm_f32_all(k: &Kernels, m: usize, n: usize, kk: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = fill_f32(99, m * n); // nonzero init exercises accumulation
+    k.gemm_f32(m, n, kk, a, b, &mut c);
+    c
+}
+
+#[test]
+fn brgemm_f32_matrix() {
+    for isa in available() {
+        let kern = kernels(isa);
+        let base = kernels(Isa::Scalar);
+        for &(m, n, k) in GEMM_SHAPES {
+            let a = fill_f32(m as u64 * 31 + k as u64, m * k);
+            let b = fill_f32(n as u64 * 17 + k as u64, n * k);
+            let got = gemm_f32_all(&kern, m, n, k, &a, &b);
+            let want = gemm_f32_all(&base, m, n, k, &a, &b);
+            assert_close(&got, &want, &format!("gemm_f32 {isa} {m}x{n}x{k}"));
+        }
+    }
+}
+
+#[test]
+fn brgemm_f32_tail_matches_full_prefix_per_isa() {
+    // Within one backend, an m-tail result must equal the full tile's
+    // row prefix *bit-exactly* (per-row reduction order is independent
+    // of the register-block height).
+    for isa in available() {
+        let kern = kernels(isa);
+        let (m, n, k) = (8usize, 6usize, 53usize);
+        let a = fill_f32(5, m * k);
+        let b = fill_f32(6, n * k);
+        let mut full = vec![0f32; m * n];
+        kern.gemm_f32(m, n, k, &a, &b, &mut full);
+        for m_valid in [1usize, 2, 3, 5, 7, 8] {
+            let mut tail = vec![0f32; m_valid * n];
+            kern.gemm_f32(m_valid, n, k, &a[..m_valid * k], &b, &mut tail);
+            assert_eq!(tail, full[..m_valid * n], "{isa} m_valid={m_valid}");
+        }
+    }
+}
+
+#[test]
+fn brgemm_u8i8_matrix_bit_exact() {
+    for isa in available() {
+        let kern = kernels(isa);
+        let base = kernels(Isa::Scalar);
+        for &(m, n, k) in GEMM_SHAPES {
+            let a = fill_u8(m as u64 * 13 + k as u64, m * k);
+            let b = fill_i8(n as u64 * 7 + k as u64, n * k);
+            let mut got = vec![3i32; m * n];
+            let mut want = vec![3i32; m * n];
+            kern.gemm_u8i8(m, n, k, &a, &b, &mut got);
+            base.gemm_u8i8(m, n, k, &a, &b, &mut want);
+            assert_eq!(got, want, "gemm_u8i8 {isa} {m}x{n}x{k}");
+        }
+    }
+}
+
+#[test]
+fn eltwise_matrix() {
+    // relu and binary add/mul are elementwise-identical ops in every
+    // backend, so even f32 must match bit-exactly.
+    for isa in available() {
+        let kern = kernels(isa);
+        let base = kernels(Isa::Scalar);
+        for n in [1usize, 7, 8, 16, 64, 129, 1000] {
+            let a = fill_f32(n as u64, n);
+            let b = fill_f32(n as u64 + 1, n);
+            let (mut g, mut w) = (vec![0f32; n], vec![0f32; n]);
+            kern.relu(&a, &mut g);
+            base.relu(&a, &mut w);
+            assert_eq!(g, w, "relu {isa} n={n}");
+            kern.binary_add(&a, &b, &mut g);
+            base.binary_add(&a, &b, &mut w);
+            assert_eq!(g, w, "add {isa} n={n}");
+            kern.binary_mul(&a, &b, &mut g);
+            base.binary_mul(&a, &b, &mut w);
+            assert_eq!(g, w, "mul {isa} n={n}");
+            let mut gacc = a.clone();
+            let mut wacc = a.clone();
+            kern.acc_add(&b, &mut gacc);
+            base.acc_add(&b, &mut wacc);
+            assert_eq!(gacc, wacc, "acc_add {isa} n={n}");
+        }
+    }
+}
+
+#[test]
+fn reduce_matrix() {
+    for isa in available() {
+        let kern = kernels(isa);
+        let base = kernels(Isa::Scalar);
+        for n in [0usize, 1, 5, 8, 16, 17, 64, 479, 1024] {
+            let xs = fill_f32(n as u64 + 42, n);
+            let (gs, ws) = (kern.reduce_sum(&xs), base.reduce_sum(&xs));
+            let tol = 1e-5f32.max(ws.abs() * 1e-5);
+            assert!((gs - ws).abs() <= tol, "sum {isa} n={n}: {gs} vs {ws}");
+            // max picks one element — exact regardless of lane order.
+            assert_eq!(
+                kern.reduce_max(&xs),
+                base.reduce_max(&xs),
+                "max {isa} n={n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn epilogue_dequant_matrix_bit_exact() {
+    for isa in available() {
+        let kern = kernels(isa);
+        let base = kernels(Isa::Scalar);
+        for &(m, n) in &[(1usize, 1usize), (3, 7), (4, 16), (5, 33), (2, 479)] {
+            let acc: Vec<i32> = fill_f32(7, m * n)
+                .into_iter()
+                .map(|x| (x * 100_000.0) as i32)
+                .collect();
+            let comp: Vec<i32> = fill_f32(8, n)
+                .into_iter()
+                .map(|x| (x * 1000.0) as i32)
+                .collect();
+            let (mut g, mut w) = (vec![0f32; m * n], vec![0f32; m * n]);
+            kern.dequant(&acc, m, n, &comp, 3, 0.0173, &mut g);
+            base.dequant(&acc, m, n, &comp, 3, 0.0173, &mut w);
+            assert_eq!(g, w, "dequant {isa} {m}x{n}");
+        }
+    }
+}
+
+#[test]
+fn best_detected_isa_is_exercised() {
+    // Guards against the matrix silently collapsing to scalar-only: on
+    // x86_64 hosts with AVX2/AVX-512 the list must include them.
+    let isas = available();
+    assert!(isas.contains(&Isa::Scalar));
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            assert!(isas.contains(&Isa::Avx2), "AVX2 detected but not tested");
+        }
+        if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512bw") {
+            assert!(
+                isas.contains(&Isa::Avx512),
+                "AVX-512 detected but not tested"
+            );
+        }
+    }
+}

@@ -285,6 +285,11 @@ fn options_fingerprint(opts: &CompileOptions) -> u64 {
         Some(db) => h.write_u64(db.fingerprint()),
         None => h.write_str("untuned"),
     }
+    // The microkernel backend the process dispatched to: plans cached
+    // under one ISA (e.g. a GC_FORCE_ISA=scalar run sharing a plan
+    // store) must never alias plans for another.
+    h.write_str(" isa=");
+    h.write_str(gc_microkernel::arch::active_isa().name());
     h.finish()
 }
 

@@ -210,6 +210,7 @@ impl ModelStats {
         decode_buckets.sort_by_key(|b| (b.capacity, b.rows));
         let decode_occupancy = *self.decode_occupancy.lock().unwrap();
         StatsSnapshot {
+            kernel_dispatch: KernelDispatchSnapshot::current(),
             requests: hist.total(),
             fast_path: self.fast_path.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
@@ -252,9 +253,64 @@ pub struct BucketSnapshot {
     pub padded_rows: u64,
 }
 
+/// Which microkernel backend the process dispatched to, and how many
+/// kernel calls each (family × ISA) variant has executed. Taken from
+/// the process-wide dispatch counters ([`gc_microkernel::dispatch_report`]),
+/// so the counts cover every model in the process, not just this one —
+/// the point is verifying *which code* served the traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelDispatchSnapshot {
+    /// The selected backend (`scalar` / `avx2` / `avx512`), after
+    /// `GC_FORCE_ISA` clamping.
+    pub active: String,
+    /// Best backend the CPU supports.
+    pub detected: String,
+    /// Whether the int8 dot runs on VNNI under the active backend.
+    pub vnni: bool,
+    /// Cumulative `(family, isa, calls)` counters, family-major,
+    /// zero-count variants omitted.
+    pub counts: Vec<(String, String, u64)>,
+}
+
+impl KernelDispatchSnapshot {
+    /// Snapshot the process-wide dispatch state.
+    pub fn current() -> Self {
+        let r = gc_microkernel::dispatch_report();
+        KernelDispatchSnapshot {
+            active: r.active.name().to_string(),
+            detected: r.detected.name().to_string(),
+            vnni: r.vnni,
+            counts: r
+                .counts
+                .iter()
+                .map(|c| {
+                    (
+                        c.family.name().to_string(),
+                        c.isa.name().to_string(),
+                        c.calls,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Total kernel calls recorded on backends other than `active` —
+    /// 0 in a healthy process (the table is resolved once).
+    pub fn off_active_calls(&self) -> u64 {
+        self.counts
+            .iter()
+            .filter(|(_, isa, _)| *isa != self.active)
+            .map(|(_, _, calls)| calls)
+            .sum()
+    }
+}
+
 /// Point-in-time model statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StatsSnapshot {
+    /// Process-wide microkernel ISA dispatch state and per-variant call
+    /// counts.
+    pub kernel_dispatch: KernelDispatchSnapshot,
     /// Requests completed (fast-path + batched). Derived from the
     /// latency histogram total, so it always agrees with `p50_us` /
     /// `p99_us` from the same snapshot.
@@ -325,6 +381,14 @@ impl std::fmt::Display for StatsSnapshot {
             self.p50_us.map_or("n/a".into(), |v| format!("{v}us")),
             self.p99_us.map_or("n/a".into(), |v| format!("{v}us")),
         )?;
+        writeln!(
+            f,
+            "isa active={} detected={} vnni={}",
+            self.kernel_dispatch.active, self.kernel_dispatch.detected, self.kernel_dispatch.vnni
+        )?;
+        for (family, isa, calls) in &self.kernel_dispatch.counts {
+            writeln!(f, "kernel[{family} x {isa}] calls={calls}")?;
+        }
         for b in &self.buckets {
             writeln!(
                 f,
@@ -443,6 +507,30 @@ mod tests {
     #[test]
     fn coalesce_ratio_none_before_batches() {
         assert_eq!(ModelStats::new().snapshot().coalesce_ratio(), None);
+    }
+
+    #[test]
+    fn snapshot_surfaces_kernel_dispatch() {
+        // Run one kernel so at least one (family × ISA) counter is
+        // non-zero, then check the snapshot carries the dispatch state.
+        let mut out = [0f32; 4];
+        gc_microkernel::eltwise::unary(
+            gc_microkernel::UnaryOp::Relu,
+            &[-1.0, 1.0, -2.0, 2.0],
+            &mut out,
+        );
+        let snap = ModelStats::new().snapshot();
+        let kd = &snap.kernel_dispatch;
+        assert!(["scalar", "avx2", "avx512"].contains(&kd.active.as_str()));
+        assert!(!kd.counts.is_empty());
+        // A healthy process dispatches everything on the active table.
+        assert_eq!(kd.off_active_calls(), 0);
+        let shown = format!("{snap}");
+        assert!(
+            shown.contains(&format!("isa active={}", kd.active)),
+            "{shown}"
+        );
+        assert!(shown.contains("kernel[eltwise x"), "{shown}");
     }
 
     #[test]

@@ -171,6 +171,10 @@ impl Executable {
         dispatch_count: usize,
         mode: ExecMode,
     ) -> Self {
+        // Resolve the microkernel ISA dispatch table now, so backend
+        // selection (feature detection + GC_FORCE_ISA) happens at
+        // engine init rather than inside the first hot loop.
+        gc_microkernel::arch::init();
         let plan = compile_module(&module, pool.threads());
         let max_idle_states = pool.threads().max(1);
         Executable {
