@@ -1,0 +1,234 @@
+//! Shard scaling: scatter-execute-fuse throughput vs a single engine.
+//!
+//! A closed-loop harness: N client threads each fire `requests`
+//! *batched* inferences (default 32 rows — the throughput regime,
+//! where one request is big enough for [`gc_serve::ShardPlan`] to
+//! scatter it) against one served model, once unsharded and once per
+//! shard count in `--shards`. The total engine thread budget is fixed
+//! (`--threads`), so 4 shards × T/4 threads competes against 1 engine
+//! × T threads on the same cores: the measured delta is partition +
+//! per-shard dispatch + fusion, not extra hardware.
+//!
+//! Two workloads: the MLP_2 encoder stack (weight-heavy matmul chain)
+//! and the f32 decode-attention step (cache-bandwidth-bound), both
+//! batched along the leading request dim.
+//!
+//! Flags: `--clients N` (default 4), `--requests N` per client
+//! (default 30), `--rows N` per request (default 32), `--threads N`
+//! total engine budget (default 4), `--shards a,b,c` (default 1,2,4),
+//! `--stats` to dump full counter snapshots.
+//!
+//! The printed header records the host's core count: on a 1-core
+//! container every pool is oversubscribed and sharding can only add
+//! overhead, which is itself the number worth snapshotting (see
+//! results/sharding.txt and EXPERIMENTS.md).
+
+use gc_bench::workloads;
+use gc_core::CompileOptions;
+use gc_graph::Graph;
+use gc_machine::MachineDescriptor;
+use gc_serve::{Model, PlanCache, ServeConfig, StatsSnapshot};
+use gc_tir::InitCache;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+struct RunResult {
+    elapsed: Duration,
+    requests: u64,
+    units: u64,
+    stats: StatsSnapshot,
+}
+
+fn serve_config(threads: usize, shards: Option<usize>) -> ServeConfig {
+    let base = ServeConfig {
+        compile: CompileOptions {
+            threads: Some(threads),
+            ..CompileOptions::new(MachineDescriptor::xeon_8358())
+        },
+        queue_cap: 1024,
+        // Every configuration pays the same queue + dispatcher hop, so
+        // the measured difference is scatter/fuse, not path length.
+        fast_path: false,
+        // Private caches so configurations don't share plans.
+        plan_cache: Some(Arc::new(PlanCache::new())),
+        init_cache: Some(Arc::new(InitCache::new())),
+        ..ServeConfig::default()
+    };
+    match shards {
+        // with_shards splits the same total budget across the fleet.
+        Some(n) => base.with_shards(n),
+        None => base,
+    }
+}
+
+fn run(
+    template: Graph,
+    request: impl Fn(usize) -> Graph,
+    cfg: ServeConfig,
+    clients: usize,
+    per_client: usize,
+    rows: usize,
+) -> RunResult {
+    let model = Arc::new(Model::load(template, cfg).expect("load model"));
+    // Warm the bucket (and every shard slice of it) before timing.
+    let warm = workloads::random_inputs(&request(rows), 1);
+    model.session().infer(&warm).expect("warm-up");
+
+    let barrier = Arc::new(Barrier::new(clients + 1));
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let model = Arc::clone(&model);
+        let barrier = Arc::clone(&barrier);
+        let inputs = workloads::random_inputs(&request(rows), 100 + c as u64);
+        handles.push(std::thread::spawn(move || {
+            let session = model.session();
+            barrier.wait();
+            for _ in 0..per_client {
+                loop {
+                    match session.infer(&inputs) {
+                        Ok(_) => break,
+                        Err(gc_serve::ServeError::Busy { .. }) => std::thread::yield_now(),
+                        Err(e) => panic!("infer: {e}"),
+                    }
+                }
+            }
+        }));
+    }
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    let elapsed = t0.elapsed();
+    RunResult {
+        elapsed,
+        requests: (clients * per_client) as u64,
+        units: (clients * per_client * rows) as u64,
+        stats: model.stats(),
+    }
+}
+
+fn report(label: &str, r: &RunResult, baseline_ups: f64, dump: bool) {
+    let ups = r.units as f64 / r.elapsed.as_secs_f64();
+    let fuse = if r.stats.scattered_batches > 0 {
+        format!(
+            "{:>5.1}us/batch",
+            r.stats.fuse_us as f64 / r.stats.scattered_batches as f64
+        )
+    } else {
+        "    n/a".into()
+    };
+    println!(
+        "{label:<14} {:>9.0} units/s   {:>8.0} req/s   scattered {:>4}   fuse {fuse}   vs 1 engine {:>5.2}x",
+        ups,
+        r.requests as f64 / r.elapsed.as_secs_f64(),
+        r.stats.scattered_batches,
+        ups / baseline_ups,
+    );
+    if dump {
+        print!("{}", r.stats);
+        println!();
+    }
+}
+
+struct BenchOpts {
+    shard_counts: Vec<usize>,
+    clients: usize,
+    per_client: usize,
+    rows: usize,
+    threads: usize,
+    dump: bool,
+}
+
+fn bench_workload(name: &str, template: Graph, request: &dyn Fn(usize) -> Graph, o: &BenchOpts) {
+    println!(
+        "== {name}: {}-row requests, total budget {} threads ==",
+        o.rows, o.threads
+    );
+    let base = run(
+        template.clone(),
+        request,
+        serve_config(o.threads, None),
+        o.clients,
+        o.per_client,
+        o.rows,
+    );
+    let base_ups = base.units as f64 / base.elapsed.as_secs_f64();
+    report("1 engine", &base, base_ups, o.dump);
+    for &n in &o.shard_counts {
+        let r = run(
+            template.clone(),
+            request,
+            serve_config(o.threads, Some(n)),
+            o.clients,
+            o.per_client,
+            o.rows,
+        );
+        report(&format!("{n} shard(s)"), &r, base_ups, o.dump);
+    }
+    println!();
+}
+
+fn main() {
+    let mut clients = 4usize;
+    let mut per_client = 30usize;
+    let mut rows = 32usize;
+    let mut threads = 4usize;
+    let mut shard_counts = vec![1usize, 2, 4];
+    let mut dump_stats = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{a} needs a number"))
+        };
+        match a.as_str() {
+            "--clients" => clients = num(&mut args),
+            "--requests" => per_client = num(&mut args),
+            "--rows" => rows = num(&mut args),
+            "--threads" => threads = num(&mut args),
+            "--shards" => {
+                shard_counts = args
+                    .next()
+                    .expect("--shards needs a list")
+                    .split(',')
+                    .map(|s| s.parse().expect("--shards: bad count"))
+                    .collect();
+            }
+            "--stats" => dump_stats = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    println!("shard_bench: scatter-execute-fuse scaling");
+    println!(
+        "host cores = {cores}, {clients} clients x {per_client} requests, shard counts {shard_counts:?}"
+    );
+    if cores < threads {
+        println!("NOTE: thread budget {threads} oversubscribes {cores} core(s); expect overhead, not speedup");
+    }
+    println!();
+
+    let opts = BenchOpts {
+        shard_counts,
+        clients,
+        per_client,
+        rows,
+        threads,
+        dump: dump_stats,
+    };
+    bench_workload(
+        "MLP_2 f32",
+        workloads::mlp_f32(1, &workloads::mlp2_layers(), 7),
+        &|r| workloads::mlp_f32(r, &workloads::mlp2_layers(), 7),
+        &opts,
+    );
+    bench_workload(
+        "decode f32",
+        workloads::decode_f32(1, 64, 64),
+        &|r| workloads::decode_f32(r, 64, 64),
+        &opts,
+    );
+}

@@ -12,20 +12,25 @@
 //! - **avx512** — AVX-512 F/BW (16 f32 lanes), with a VNNI `vpdpbusd`
 //!   int8 dot where the CPU has it.
 //!
-//! The backend is selected **once per process**: the first kernel call
-//! (or an explicit [`init`], which the TIR engine performs at plan
-//! construction) resolves a table of function pointers from
+//! The default backend is selected **once per process**: the first
+//! kernel call (or an explicit [`init`], which the TIR engine performs
+//! at plan construction) resolves a table of function pointers from
 //! `is_x86_feature_detected!`, clamped by the `GC_FORCE_ISA`
 //! environment variable (`scalar` / `avx2` / `avx512` / `auto`). A
 //! forced ISA the CPU cannot run is clamped down to the best supported
-//! one with a warning rather than faulting.
+//! one with a warning rather than faulting. A *thread* can override
+//! that choice with [`set_thread_isa`] — this is how heterogeneous
+//! engine shards (gc-serve, DESIGN.md "Sharded execution") mix ISAs in
+//! one process: each shard's executor and pool workers install the
+//! shard's backend at thread start, and every other thread keeps
+//! dispatching on the process table.
 //!
 //! Every public kernel entry point counts its calls per
-//! (family × ISA); [`dispatch_report`] snapshots those process-wide
-//! counters so tests, stats, and benches can verify which variant
-//! actually executed. Tests that need a *specific* backend regardless
-//! of the process-wide choice use [`kernels`] to address a table
-//! explicitly.
+//! (family × ISA) against the table that actually ran it;
+//! [`dispatch_report`] snapshots those process-wide counters so tests,
+//! stats, and benches can verify which variant actually executed.
+//! Tests that need a *specific* backend regardless of the dispatch
+//! choice use [`kernels`] to address a table explicitly.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -350,10 +355,58 @@ fn resolve_isa() -> Isa {
 
 static ACTIVE: OnceLock<&'static KernelTable> = OnceLock::new();
 
-/// The process-wide active table, resolving it on first use.
+thread_local! {
+    /// Per-thread kernel-table override installed by [`set_thread_isa`].
+    /// `None` means "dispatch on the process-wide table" — the common
+    /// case, and the only one before sharded serving existed.
+    static THREAD_TABLE: std::cell::Cell<Option<&'static KernelTable>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The dispatch table for the current thread: the thread-local override
+/// when one is installed, else the process-wide active table (resolving
+/// it on first use).
 #[inline]
 pub(crate) fn active() -> &'static KernelTable {
+    if let Some(table) = THREAD_TABLE.get() {
+        return table;
+    }
     ACTIVE.get_or_init(|| table_for(resolve_isa()))
+}
+
+/// Install (or clear, with `None`) a kernel-backend override for the
+/// *calling thread only*. While installed, every dispatched kernel call
+/// made from this thread runs on `isa`'s table instead of the
+/// process-wide choice, and is counted against `isa` in the dispatch
+/// report. Returns the previously installed override so scoped callers
+/// can restore it.
+///
+/// This is the mechanism behind heterogeneous engine shards
+/// (DESIGN.md "Sharded execution"): a shard's executor thread and its
+/// pool workers install the shard's ISA once at thread start, so one
+/// process can serve scalar and AVX-512 shards side by side. The
+/// process-wide table, `GC_FORCE_ISA` handling, and every thread
+/// without an override are unaffected.
+///
+/// # Panics
+///
+/// Panics if the running CPU does not support `isa` — check
+/// [`Isa::supported`] first when probing, exactly as with [`kernels`].
+pub fn set_thread_isa(isa: Option<Isa>) -> Option<Isa> {
+    let table = isa.map(|isa| {
+        assert!(
+            isa.supported(),
+            "ISA {isa} not supported on this CPU (detected: {})",
+            detected_isa()
+        );
+        table_for(isa)
+    });
+    THREAD_TABLE.replace(table).map(|t| t.isa)
+}
+
+/// The calling thread's installed backend override, if any.
+pub fn thread_isa() -> Option<Isa> {
+    THREAD_TABLE.get().map(|t| t.isa)
 }
 
 /// Resolve the dispatch table now (idempotent). The TIR engine calls
@@ -363,8 +416,10 @@ pub fn init() {
     let _ = active();
 }
 
-/// The ISA the process-wide dispatch table selected (detection clamped
-/// by `GC_FORCE_ISA`). Resolves the table if not yet resolved.
+/// The ISA the *current thread* dispatches on: the thread override when
+/// one is installed via [`set_thread_isa`], else the process-wide
+/// selection (detection clamped by `GC_FORCE_ISA`). Resolves the
+/// process table if not yet resolved.
 pub fn active_isa() -> Isa {
     active().isa
 }
@@ -641,8 +696,52 @@ mod tests {
         let after = dispatch_report();
         assert!(after.calls_for_family(Family::BrgemmF32) > before);
         assert!(after.counts.iter().all(|c| c.calls > 0));
-        // Everything recorded must have run on the active backend.
-        assert!(after.counts.iter().all(|c| c.isa == after.active));
+        // This thread has no override, so the call above landed on the
+        // active backend. (Other tests in this binary may legitimately
+        // record off-active calls through thread overrides, so we only
+        // assert the active counter moved.)
+        assert!(after
+            .counts
+            .iter()
+            .any(|c| c.isa == after.active && c.family == Family::BrgemmF32));
+    }
+
+    #[test]
+    fn thread_isa_override_redirects_dispatch() {
+        // Dispatch on this thread with a scalar override: calls must be
+        // recorded against scalar regardless of the process-wide table.
+        let before = dispatch_report().calls_for_isa(Isa::Scalar);
+        let prev = set_thread_isa(Some(Isa::Scalar));
+        assert_eq!(thread_isa(), Some(Isa::Scalar));
+        assert_eq!(active_isa(), Isa::Scalar);
+        let shape = crate::brgemm::BrgemmShape::new(2, 2, 8);
+        let a = vec![1.0f32; shape.a_len()];
+        let b = vec![1.0f32; shape.b_len()];
+        let mut c = vec![0.0f32; shape.c_len()];
+        crate::brgemm::brgemm_f32(shape, &a, &[0], &b, &[0], &mut c);
+        assert_eq!(set_thread_isa(prev), Some(Isa::Scalar));
+        assert_eq!(thread_isa(), None);
+        let after = dispatch_report().calls_for_isa(Isa::Scalar);
+        assert!(after > before);
+        // The result is still correct: 2x2 of k=8 ones-dot-ones.
+        assert!(c.iter().all(|&v| v == 8.0));
+    }
+
+    #[test]
+    fn thread_isa_override_is_thread_local() {
+        let _ = set_thread_isa(None);
+        std::thread::spawn(|| {
+            let _ = set_thread_isa(Some(Isa::Scalar));
+            assert_eq!(thread_isa(), Some(Isa::Scalar));
+        })
+        .join()
+        .unwrap();
+        // The spawning thread is unaffected.
+        assert_eq!(thread_isa(), None);
+        assert_eq!(
+            active_isa(),
+            ACTIVE.get().map(|t| t.isa).unwrap_or(active_isa())
+        );
     }
 
     #[test]

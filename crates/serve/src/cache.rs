@@ -3,14 +3,17 @@
 //! The cache key is the full identity of a compiled artifact:
 //! canonical graph fingerprint (weights included — they are baked into
 //! the executable), shape bucket, a fingerprint of the compile options
-//! (which covers dtype legalization and interpret-vs-compiled mode),
-//! and the thread count (plan decisions depend on the pool width).
-//! Loading the same model twice — or the same model in two processes'
-//! worth of sessions — compiles once and shares one
-//! [`Arc<Executable>`]. Folded constants are shared at the same
-//! granularity: the engine's [`InitCache`] is keyed by the full plan
-//! identity (graph, bucket, options, threads), so every session of one
-//! (model, bucket) folds weights once, while distinct buckets fold
+//! (which covers dtype legalization, interpret-vs-compiled mode, the
+//! active kernel ISA and the tuning-database contents), the thread
+//! count (plan decisions depend on the pool width), and the engine
+//! shard slot (each shard of a sharded model owns a private executable
+//! — see [`PlanKey::shard`]). Loading the same model twice — or the
+//! same model in two processes' worth of sessions — compiles once and
+//! shares one [`Arc<Executable>`]. Folded constants are shared at a
+//! deliberately *coarser* granularity: the engine's [`InitCache`] is
+//! keyed by [`PlanKey::fold_digest`] (graph, bucket, options, threads
+//! — no shard slot), so every session of one (model, bucket) folds
+//! weights once even across shards, while distinct buckets fold
 //! separately — their global buffers are bucket-shaped, so sharing
 //! across buckets would be incorrect.
 //!
@@ -37,11 +40,31 @@ pub struct PlanKey {
     pub opts: u64,
     /// Worker threads the embedded pool runs.
     pub threads: u64,
+    /// Engine-shard slot this plan executes on: `0` for the unsharded
+    /// path, `1..=N` for a sharded model's shards (DESIGN.md "Sharded
+    /// execution"). Distinct slots get distinct [`CachedPlan`]s even at
+    /// identical width/options, so each shard keeps a **private
+    /// exec-state checkout pool** — a shard's executor has concurrency
+    /// 1 against its own executable, versus N shards churning one
+    /// shared (and width-capped) idle-state pool. Folded constants are
+    /// still shared across slots; see [`PlanKey::fold_digest`].
+    pub shard: u64,
 }
 
 impl PlanKey {
-    /// Collapse to one `u64` (the engine-level [`InitCache`] key space).
+    /// Collapse to one `u64` covering every field (cache audits,
+    /// logging).
     pub fn digest(&self) -> u64 {
+        crate::hash::combine(&[self.graph, self.units, self.opts, self.threads, self.shard])
+    }
+
+    /// The engine-level [`InitCache`] key: every field **except** the
+    /// shard slot. The init stage's product (seeded + folded globals)
+    /// depends on the graph, bucket shape, options (which fingerprint
+    /// the kernel ISA and tuning database) and pool width — but not on
+    /// which shard runs it — so all shards of one sharded model fold
+    /// their weights exactly once between them.
+    pub fn fold_digest(&self) -> u64 {
         crate::hash::combine(&[self.graph, self.units, self.opts, self.threads])
     }
 }
@@ -253,9 +276,12 @@ pub fn init_cache() -> Arc<InitCache> {
     Arc::clone(CACHE.get_or_init(|| Arc::new(InitCache::new())))
 }
 
-/// A process-wide pool registry: one [`ThreadPool`] per worker count,
-/// shared by every model compiled at that width. `0` means host
-/// parallelism.
+/// A pool registry for the *unsharded* serving path: one [`ThreadPool`]
+/// per worker count, shared by every unsharded model compiled at that
+/// width. `0` means host parallelism. Sharded models do **not** draw
+/// from this registry — each [`crate::shard::EngineShard`] constructs
+/// its own first-class [`gc_tir::Engine`] (own pool, own worker setup
+/// for ISA/affinity), which is the point of sharding.
 pub fn shared_pool(threads: usize) -> Arc<ThreadPool> {
     static POOLS: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
     let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
@@ -304,6 +330,7 @@ mod tests {
             units: 4,
             opts: 2,
             threads: 1,
+            shard: 0,
         };
         let a = cache.get_or_compile(key, || Ok(dummy_plan())).unwrap();
         let b = cache
@@ -322,6 +349,7 @@ mod tests {
             units: 4,
             opts: 2,
             threads: 1,
+            shard: 0,
         };
         let k8 = PlanKey { units: 8, ..k4 };
         let a = cache.get_or_compile(k4, || Ok(dummy_plan())).unwrap();
@@ -338,6 +366,7 @@ mod tests {
             units: 1,
             opts: 0,
             threads: 1,
+            shard: 0,
         };
         let e = cache.get_or_compile(key, || Err(ServeError::Compile("boom".into())));
         assert!(e.is_err());
@@ -355,6 +384,7 @@ mod tests {
             units: 4,
             opts: 0,
             threads: 1,
+            shard: 0,
         };
         let compiles = Arc::new(AtomicUsize::new(0));
         let handles: Vec<_> = (0..4)
@@ -395,6 +425,7 @@ mod tests {
             units: 4,
             opts: 0,
             threads: 1,
+            shard: 0,
         };
         cache.get_or_compile(hot, || Ok(dummy_plan())).unwrap();
         let threads = 4;
@@ -443,6 +474,7 @@ mod tests {
             units: 4,
             opts: 0,
             threads: 1,
+            shard: 0,
         };
         let kb = PlanKey { graph: 7, ..ka };
         let (entered_tx, entered_rx) = mpsc::channel();
@@ -470,6 +502,7 @@ mod tests {
             units: 4,
             opts: 0,
             threads: 1,
+            shard: 0,
         };
         cache.get_or_compile(key(1), || Ok(dummy_plan())).unwrap();
         cache.get_or_compile(key(2), || Ok(dummy_plan())).unwrap();
@@ -498,6 +531,7 @@ mod tests {
             units: 1,
             opts: 0,
             threads: 1,
+            shard: 0,
         };
         cache.get_or_compile(k, || Ok(dummy_plan())).unwrap();
         cache.get_or_compile(k, || panic!("cached")).unwrap();
@@ -527,10 +561,31 @@ mod tests {
             units: 2,
             opts: 3,
             threads: 4,
+            shard: 0,
         };
         assert_ne!(k.digest(), PlanKey { graph: 2, ..k }.digest());
         assert_ne!(k.digest(), PlanKey { units: 3, ..k }.digest());
         assert_ne!(k.digest(), PlanKey { opts: 4, ..k }.digest());
         assert_ne!(k.digest(), PlanKey { threads: 5, ..k }.digest());
+        assert_ne!(k.digest(), PlanKey { shard: 1, ..k }.digest());
+    }
+
+    #[test]
+    fn fold_digest_ignores_shard_slot_only() {
+        // Shards of one model share folded constants; everything else
+        // must still split the fold key.
+        let k = PlanKey {
+            graph: 1,
+            units: 2,
+            opts: 3,
+            threads: 4,
+            shard: 1,
+        };
+        assert_eq!(k.fold_digest(), PlanKey { shard: 2, ..k }.fold_digest());
+        assert_eq!(k.fold_digest(), PlanKey { shard: 0, ..k }.fold_digest());
+        assert_ne!(k.fold_digest(), PlanKey { graph: 2, ..k }.fold_digest());
+        assert_ne!(k.fold_digest(), PlanKey { units: 3, ..k }.fold_digest());
+        assert_ne!(k.fold_digest(), PlanKey { opts: 4, ..k }.fold_digest());
+        assert_ne!(k.fold_digest(), PlanKey { threads: 5, ..k }.fold_digest());
     }
 }

@@ -672,13 +672,14 @@ fn decode_plan(
         units: rows as u64,
         opts: inner.opts_hash,
         threads: inner.pool.threads() as u64,
+        shard: 0,
     };
     inner.plan_cache.get_or_compile(key, || {
         let arts = Compiler::new(inner.config.compile.clone())
             .compile_artifacts(g, Arc::clone(&inner.pool))?;
         let exe = arts
             .exe
-            .with_init_cache(Arc::clone(&inner.init_cache), key.digest());
+            .with_init_cache(Arc::clone(&inner.init_cache), key.fold_digest());
         Ok(CachedPlan {
             exe: Arc::new(exe),
             input_descs: arts.input_descs,

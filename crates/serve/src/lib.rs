@@ -27,6 +27,13 @@
 //!    capacity buckets and a continuous-batching scheduler that
 //!    coalesces one pending decode step from many sessions into a
 //!    single plan execution per iteration (see [`decode`]).
+//! 5. **Sharded execution** ([`EngineShard`], [`shard`]) — a model can
+//!    scatter large batches across several independent engine shards
+//!    (each with its own thread pool, exec-state checkout pool,
+//!    optional core pin, and optional per-thread kernel backend) and
+//!    fuse the partial results back into one batch, with per-shard
+//!    counters folded into [`StatsSnapshot`]. Enable with
+//!    [`ServeConfig::with_shards`]; see DESIGN.md "Sharded execution".
 //!
 //! ```
 //! use gc_graph::{Graph, OpKind, UnaryKind};
@@ -55,13 +62,15 @@ pub mod decode;
 pub mod hash;
 pub mod model;
 pub mod rebatch;
+pub mod shard;
 pub mod stats;
 
 pub use cache::{init_cache, plan_cache, shared_pool, CachedPlan, PlanCache, PlanKey};
 pub use decode::{DecodeConfig, DecodeModel, DecodeSession, StepFuture};
 pub use hash::graph_fingerprint;
 pub use model::{Model, ServeConfig, Session};
-pub use stats::{BucketSnapshot, DecodeBucketSnapshot, StatsSnapshot};
+pub use shard::{EngineShard, ShardConfig, ShardJob, ShardPlan, ShardSpec};
+pub use stats::{BucketSnapshot, DecodeBucketSnapshot, ShardSnapshot, StatsSnapshot};
 
 use std::fmt;
 

@@ -18,8 +18,9 @@
 
 use crate::batch::{concat_rows, slice_elems};
 use crate::cache::{self, CachedPlan, PlanCache, PlanKey};
-use crate::hash::{graph_fingerprint, Fnv1a};
+use crate::hash::{combine, graph_fingerprint, Fnv1a};
 use crate::rebatch::{rebatch, validate_template};
+use crate::shard::{EngineShard, ShardConfig, ShardPlan, ShardRuntime};
 use crate::stats::{ModelStats, StatsSnapshot};
 use crate::ServeError;
 use gc_core::{CompileOptions, Compiler};
@@ -57,6 +58,11 @@ pub struct ServeConfig {
     pub plan_cache: Option<Arc<PlanCache>>,
     /// Folded-constant cache override (`None` = the process-wide one).
     pub init_cache: Option<Arc<InitCache>>,
+    /// Sharded execution layout (`None` = one engine, the classic
+    /// path). With shards, `compile.threads` is the *total* thread
+    /// budget divided across the fleet. See DESIGN.md "Sharded
+    /// execution" and [`ServeConfig::with_shards`].
+    pub sharding: Option<ShardConfig>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +76,7 @@ impl Default for ServeConfig {
             fast_path: true,
             plan_cache: None,
             init_cache: None,
+            sharding: None,
         }
     }
 }
@@ -94,6 +101,18 @@ impl ServeConfig {
     /// stale plan.
     pub fn with_tuning(mut self, db: Arc<gc_core::TuningDb>) -> Self {
         self.compile.tuning = Some(db);
+        self
+    }
+
+    /// Serve through `n` uniform engine shards: large batches scatter
+    /// into contiguous unit ranges executed concurrently (one per
+    /// shard) and fuse back into one result; small batches route whole
+    /// to one shard round-robin. `compile.threads` (or the host width
+    /// when unset) becomes the *total* budget, divided evenly. For
+    /// pinned cores or heterogeneous per-shard ISAs, set
+    /// [`ServeConfig::sharding`] with explicit [`crate::ShardSpec`]s.
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.sharding = Some(ShardConfig::uniform(n));
         self
     }
 }
@@ -205,6 +224,8 @@ struct ModelInner {
     pool: Arc<ThreadPool>,
     plan_cache: Arc<PlanCache>,
     init_cache: Arc<InitCache>,
+    /// The shard fleet, when sharded execution is configured.
+    shards: Option<ShardRuntime>,
     queue: Mutex<QueueState>,
     cv: Condvar,
     inflight: AtomicUsize,
@@ -227,6 +248,13 @@ pub struct Session {
 }
 
 fn options_fingerprint(opts: &CompileOptions) -> u64 {
+    options_fingerprint_isa(opts, gc_microkernel::arch::active_isa().name())
+}
+
+/// [`options_fingerprint`] under an explicit kernel backend: sharded
+/// models key each shard's plans under the ISA its threads *actually*
+/// dispatch on (the per-thread override), not the process-wide one.
+fn options_fingerprint_isa(opts: &CompileOptions, isa: &str) -> u64 {
     // Exhaustive destructuring: adding a knob to CompileOptions fails
     // to compile here, forcing a decision on whether (and how) the new
     // knob enters the fingerprint. The previous Debug-string shortcut
@@ -285,11 +313,11 @@ fn options_fingerprint(opts: &CompileOptions) -> u64 {
         Some(db) => h.write_u64(db.fingerprint()),
         None => h.write_str("untuned"),
     }
-    // The microkernel backend the process dispatched to: plans cached
+    // The microkernel backend the plan dispatches on: plans cached
     // under one ISA (e.g. a GC_FORCE_ISA=scalar run sharing a plan
     // store) must never alias plans for another.
     h.write_str(" isa=");
-    h.write_str(gc_microkernel::arch::active_isa().name());
+    h.write_str(isa);
     h.finish()
 }
 
@@ -329,6 +357,51 @@ impl Model {
         let pool = cache::shared_pool(config.compile.threads.unwrap_or(0));
         let plan_cache = config.plan_cache.clone().unwrap_or_else(cache::plan_cache);
         let init_cache = config.init_cache.clone().unwrap_or_else(cache::init_cache);
+        let shards = match &config.sharding {
+            None => None,
+            Some(sc) => {
+                if sc.shards.is_empty() {
+                    return Err(ServeError::InvalidModel(
+                        "sharding configured with zero shards".into(),
+                    ));
+                }
+                // `compile.threads` is the *total* budget when sharded;
+                // auto-width specs get an even share.
+                let total = config
+                    .compile
+                    .threads
+                    .filter(|&t| t > 0)
+                    .unwrap_or_else(|| {
+                        std::thread::available_parallelism()
+                            .map(std::num::NonZeroUsize::get)
+                            .unwrap_or(1)
+                    });
+                let per_shard = (total / sc.shards.len()).max(1);
+                let fleet: Vec<EngineShard> = sc
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .map(|(id, spec)| EngineShard::new(id, spec, per_shard))
+                    .collect::<Result<_, _>>()?;
+                // The fleet topology keys plans: resharding a model
+                // (count, widths, or backends) must never reuse plans
+                // compiled for another layout.
+                let mut topo = Fnv1a::new();
+                topo.write_u64(fleet.len() as u64);
+                for s in &fleet {
+                    topo.write_u64(s.threads() as u64);
+                    topo.write_str(s.isa_name());
+                }
+                let topo = topo.finish();
+                let shard_opts = fleet
+                    .iter()
+                    .map(|s| {
+                        combine(&[options_fingerprint_isa(&config.compile, s.isa_name()), topo])
+                    })
+                    .collect();
+                Some(ShardRuntime::new(fleet, sc.min_units_per_shard, shard_opts))
+            }
+        };
         let unit_dims: Vec<usize> = graph
             .inputs()
             .iter()
@@ -349,6 +422,7 @@ impl Model {
             pool,
             plan_cache,
             init_cache,
+            shards,
             config,
             queue: Mutex::new(QueueState {
                 pending: VecDeque::new(),
@@ -358,7 +432,39 @@ impl Model {
             inflight: AtomicUsize::new(0),
             stats: ModelStats::new(),
         });
-        plan_for_units(&inner, inner.template_units.next_power_of_two())?;
+        // Eager warm: compile what a full-template-sized request needs
+        // so load surfaces compile errors and first-request latency
+        // stays low. Sharded models warm the plans their partition of
+        // that batch will use — every shard gets one, since whole-batch
+        // round-robin routing eventually reaches them all.
+        match &inner.shards {
+            None => {
+                plan_for_units(&inner, inner.template_units.next_power_of_two())?;
+            }
+            Some(rt) => {
+                inner
+                    .stats
+                    .register_shards(rt.shards.iter().map(|s| Arc::clone(s.stats())).collect());
+                match ShardPlan::partition(
+                    inner.template_units,
+                    rt.shards.len(),
+                    rt.min_units_per_shard,
+                    0,
+                ) {
+                    ShardPlan::Single(_) => {
+                        let bucket = inner.template_units.next_power_of_two();
+                        for sid in 0..rt.shards.len() {
+                            plan_for_shard(&inner, rt, sid, bucket)?;
+                        }
+                    }
+                    ShardPlan::Scatter(parts) => {
+                        for (sid, r) in parts {
+                            plan_for_shard(&inner, rt, sid, r.len().next_power_of_two())?;
+                        }
+                    }
+                }
+            }
+        }
         let dispatcher = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
@@ -581,6 +687,7 @@ fn plan_for_units(inner: &ModelInner, units: usize) -> Result<Arc<CachedPlan>, S
         units: units as u64,
         opts: inner.opts_hash,
         threads: inner.pool.threads() as u64,
+        shard: 0,
     };
     inner.plan_cache.get_or_compile(key, || {
         let g = rebatch(&inner.graph, inner.template_units, units)?;
@@ -588,7 +695,7 @@ fn plan_for_units(inner: &ModelInner, units: usize) -> Result<Arc<CachedPlan>, S
             .compile_artifacts(g, Arc::clone(&inner.pool))?;
         let exe = arts
             .exe
-            .with_init_cache(Arc::clone(&inner.init_cache), key.digest());
+            .with_init_cache(Arc::clone(&inner.init_cache), key.fold_digest());
         Ok(CachedPlan {
             exe: Arc::new(exe),
             input_descs: arts.input_descs,
@@ -597,23 +704,119 @@ fn plan_for_units(inner: &ModelInner, units: usize) -> Result<Arc<CachedPlan>, S
     })
 }
 
-/// Coalesce `reqs` into one padded bucket execution and scatter the
-/// outputs back per request. Every request gets the same base
-/// [`ExecStats`] with `batch_rows` set; `queue_wait` is the caller's
-/// business.
-fn execute_bucket(
+/// Look up (or compile) shard `sid`'s private plan for bucket `units`.
+///
+/// The key's `opts` component carries the shard's *effective* ISA and
+/// the fleet topology hash; `shard` is the 1-based slot giving the
+/// shard a private executable (and exec-state checkout pool). Folded
+/// constants still share across shards with equal options/width via
+/// [`PlanKey::fold_digest`].
+fn plan_for_shard(
+    inner: &ModelInner,
+    rt: &ShardRuntime,
+    sid: usize,
+    units: usize,
+) -> Result<Arc<CachedPlan>, ServeError> {
+    let shard = &rt.shards[sid];
+    let key = PlanKey {
+        graph: inner.graph_hash,
+        units: units as u64,
+        opts: rt.opts_hash[sid],
+        threads: shard.threads() as u64,
+        shard: sid as u64 + 1,
+    };
+    inner.plan_cache.get_or_compile(key, || {
+        let g = rebatch(&inner.graph, inner.template_units, units)?;
+        // Plan decisions (parallel decomposition, buffer sizing) must
+        // match the shard's pool, not the process default.
+        let copts = inner.config.compile.for_pool_width(shard.threads());
+        let arts = Compiler::new(copts).compile_artifacts(g, Arc::clone(shard.pool()))?;
+        let exe = arts
+            .exe
+            .with_init_cache(Arc::clone(&inner.init_cache), key.fold_digest())
+            .with_counters(Arc::clone(shard.engine().counters()));
+        Ok(CachedPlan {
+            exe: Arc::new(exe),
+            input_descs: arts.input_descs,
+            output_descs: arts.output_descs,
+        })
+    })
+}
+
+/// Concatenate each input across `reqs` along dim 0 and zero-pad to
+/// `bucket` units.
+fn gather_inputs(
     inner: &ModelInner,
     reqs: &[Request],
-) -> Result<Vec<(Vec<Tensor>, ExecStats)>, ServeError> {
-    let total_units: usize = reqs.iter().map(|r| r.units).sum();
-    let bucket = total_units.next_power_of_two();
-    let plan = plan_for_units(inner, bucket)?;
-
+    bucket: usize,
+) -> Result<Vec<Tensor>, ServeError> {
     let mut batched = Vec::with_capacity(inner.template_descs.len());
     for i in 0..inner.template_descs.len() {
         let parts: Vec<&Tensor> = reqs.iter().map(|r| &r.inputs[i]).collect();
         batched.push(concat_rows(&parts, inner.unit_dims[i] * bucket)?);
     }
+    Ok(batched)
+}
+
+/// Scatter batch-level outputs back per request: request r at unit
+/// offset `off` owns rows [off * k_out, (off + r.units) * k_out) of
+/// every output. `outs` hold `units_in_out` units along dim 0 (the
+/// requests occupy the leading real units); `descs` carry the logical
+/// output shapes (executed tensors may come back layout-flattened).
+fn scatter_outputs(
+    reqs: &[Request],
+    outs: &[Tensor],
+    descs: &[TensorDesc],
+    units_in_out: usize,
+    stats: &ExecStats,
+) -> Result<Vec<(Vec<Tensor>, ExecStats)>, ServeError> {
+    let mut per_req = Vec::with_capacity(reqs.len());
+    let mut off = 0usize;
+    for r in reqs {
+        let mut req_outs = Vec::with_capacity(outs.len());
+        for (o, out) in outs.iter().enumerate() {
+            let desc = &descs[o];
+            let vol = desc.volume();
+            if !vol.is_multiple_of(units_in_out)
+                || desc.shape().is_empty()
+                || !desc.shape()[0].is_multiple_of(units_in_out)
+            {
+                return Err(ServeError::Exec(format!(
+                    "output {o} ({desc}) does not scale with the batch"
+                )));
+            }
+            let unit_vol = vol / units_in_out;
+            let mut shape = desc.shape().to_vec();
+            shape[0] = shape[0] / units_in_out * r.units;
+            req_outs.push(slice_elems(
+                out,
+                off * unit_vol,
+                r.units * unit_vol,
+                TensorDesc::new(shape, desc.dtype()),
+            )?);
+        }
+        per_req.push((req_outs, stats.clone()));
+        off += r.units;
+    }
+    Ok(per_req)
+}
+
+/// Coalesce `reqs` into one padded bucket execution and scatter the
+/// outputs back per request. Every request gets the same base
+/// [`ExecStats`] with `batch_rows` set; `queue_wait` is the caller's
+/// business. Sharded models route through the fleet instead (see
+/// [`execute_sharded`]).
+fn execute_bucket(
+    inner: &ModelInner,
+    reqs: &[Request],
+) -> Result<Vec<(Vec<Tensor>, ExecStats)>, ServeError> {
+    if let Some(rt) = &inner.shards {
+        return execute_sharded(inner, rt, reqs);
+    }
+    let total_units: usize = reqs.iter().map(|r| r.units).sum();
+    let bucket = total_units.next_power_of_two();
+    let plan = plan_for_units(inner, bucket)?;
+    let batched = gather_inputs(inner, reqs, bucket)?;
 
     inner.inflight.fetch_add(1, Ordering::SeqCst);
     let result = plan.exe.execute(&batched);
@@ -627,35 +830,204 @@ fn execute_bucket(
         total_units as u64,
         (bucket - total_units) as u64,
     );
+    scatter_outputs(reqs, &outs, &plan.output_descs, bucket, &stats)
+}
 
-    // Scatter: request r at unit offset `off` owns rows
-    // [off * k_out, (off + r.units) * k_out) of every output.
-    let mut per_req = Vec::with_capacity(reqs.len());
-    let mut off = 0usize;
-    for r in reqs {
-        let mut req_outs = Vec::with_capacity(outs.len());
-        for (o, out) in outs.iter().enumerate() {
-            let desc = &plan.output_descs[o];
+/// Sharded execution: route the batch per the fleet's [`ShardPlan`] —
+/// whole to one shard (small batches), or scattered into contiguous
+/// unit ranges that execute concurrently and fuse back into one batch.
+fn execute_sharded(
+    inner: &ModelInner,
+    rt: &ShardRuntime,
+    reqs: &[Request],
+) -> Result<Vec<(Vec<Tensor>, ExecStats)>, ServeError> {
+    let total_units: usize = reqs.iter().map(|r| r.units).sum();
+    match rt.plan(total_units) {
+        ShardPlan::Single(sid) => execute_on_shard(inner, rt, sid, reqs, total_units),
+        ShardPlan::Scatter(parts) => execute_scattered(inner, rt, parts, reqs, total_units),
+    }
+}
+
+/// Whole-batch routing: identical to the serial path, except the
+/// execution happens on one shard's engine (its executor thread and
+/// pool, under its ISA/pinning setup).
+fn execute_on_shard(
+    inner: &ModelInner,
+    rt: &ShardRuntime,
+    sid: usize,
+    reqs: &[Request],
+    total_units: usize,
+) -> Result<Vec<(Vec<Tensor>, ExecStats)>, ServeError> {
+    let fuse_t0 = Instant::now();
+    let bucket = total_units.next_power_of_two();
+    let plan = plan_for_shard(inner, rt, sid, bucket)?;
+    let batched = gather_inputs(inner, reqs, bucket)?;
+    let fuse = fuse_t0.elapsed();
+
+    inner.inflight.fetch_add(1, Ordering::SeqCst);
+    let exe = Arc::clone(&plan.exe);
+    let job = rt.shards[sid].run(move || {
+        let t0 = Instant::now();
+        (exe.execute(&batched), t0.elapsed())
+    });
+    let waited = job.wait();
+    inner.inflight.fetch_sub(1, Ordering::SeqCst);
+    let (result, wall) = waited?;
+    let (outs, mut stats) = result?;
+    rt.shards[sid]
+        .stats()
+        .record_exec(total_units as u64, bucket as u64, wall);
+    stats.batch_rows = (inner.unit_dims[0] * bucket) as u64;
+
+    inner.stats.record_batch(
+        bucket as u64,
+        reqs.len() as u64,
+        total_units as u64,
+        (bucket - total_units) as u64,
+    );
+    inner.stats.record_scatter(1, fuse);
+    scatter_outputs(reqs, &outs, &plan.output_descs, bucket, &stats)
+}
+
+/// One shard's share of a scattered batch, after execution.
+struct Partial {
+    units: std::ops::Range<usize>,
+    bucket: usize,
+    plan: Arc<CachedPlan>,
+    outs: Vec<Tensor>,
+    stats: ExecStats,
+}
+
+/// Scatter-execute-fuse: gather the batch once (unpadded), slice each
+/// shard's contiguous unit range and pad it to the shard's own
+/// power-of-two bucket, execute all shards concurrently, then fuse the
+/// partial outputs (padding dropped) back into one `total_units`-unit
+/// batch for the ordinary per-request scatter.
+fn execute_scattered(
+    inner: &ModelInner,
+    rt: &ShardRuntime,
+    parts: Vec<(usize, std::ops::Range<usize>)>,
+    reqs: &[Request],
+    total_units: usize,
+) -> Result<Vec<(Vec<Tensor>, ExecStats)>, ServeError> {
+    let fuse_t0 = Instant::now();
+    let full = gather_inputs(inner, reqs, total_units)?;
+    let mut prepared = Vec::with_capacity(parts.len());
+    for (sid, r) in parts {
+        let bucket = r.len().next_power_of_two();
+        let plan = plan_for_shard(inner, rt, sid, bucket)?;
+        let mut sub = Vec::with_capacity(full.len());
+        for (i, f) in full.iter().enumerate() {
+            let k = inner.unit_dims[i];
+            let unit_vol = f.desc().volume() / total_units;
+            let mut shape = f.desc().shape().to_vec();
+            shape[0] = k * r.len();
+            let slice = slice_elems(
+                f,
+                r.start * unit_vol,
+                r.len() * unit_vol,
+                TensorDesc::new(shape, f.desc().dtype()),
+            )?;
+            sub.push(concat_rows(&[&slice], k * bucket)?);
+        }
+        prepared.push((sid, r, bucket, plan, sub));
+    }
+    let fuse_partition = fuse_t0.elapsed();
+
+    inner.inflight.fetch_add(1, Ordering::SeqCst);
+    let jobs: Vec<_> = prepared
+        .into_iter()
+        .map(|(sid, r, bucket, plan, sub)| {
+            let exe = Arc::clone(&plan.exe);
+            let job = rt.shards[sid].run(move || {
+                let t0 = Instant::now();
+                (exe.execute(&sub), t0.elapsed())
+            });
+            (sid, r, bucket, plan, job)
+        })
+        .collect();
+    // Wait for *every* shard before failing: abandoning a live job
+    // would let its pool race the next batch on the same shard.
+    let mut partials: Vec<Partial> = Vec::with_capacity(jobs.len());
+    let mut first_err: Option<ServeError> = None;
+    for (sid, r, bucket, plan, job) in jobs {
+        match job.wait() {
+            Ok((Ok((outs, stats)), wall)) => {
+                rt.shards[sid]
+                    .stats()
+                    .record_exec(r.len() as u64, bucket as u64, wall);
+                partials.push(Partial {
+                    units: r,
+                    bucket,
+                    plan,
+                    outs,
+                    stats,
+                });
+            }
+            Ok((Err(e), _)) => {
+                first_err.get_or_insert(e.into());
+            }
+            Err(e) => {
+                first_err.get_or_insert(e);
+            }
+        }
+    }
+    inner.inflight.fetch_sub(1, Ordering::SeqCst);
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    // Fuse: per output, drop each shard's padding units and concatenate
+    // the real ranges back — they are contiguous and in unit order, so
+    // the result is exactly the unpadded batch output.
+    let fuse_t1 = Instant::now();
+    let n_outs = partials[0].outs.len();
+    let mut fused = Vec::with_capacity(n_outs);
+    for o in 0..n_outs {
+        let mut slices = Vec::with_capacity(partials.len());
+        for p in &partials {
+            let desc = &p.plan.output_descs[o];
             let vol = desc.volume();
-            if vol % bucket != 0 || desc.shape().is_empty() || desc.shape()[0] % bucket != 0 {
+            if vol % p.bucket != 0 || desc.shape().is_empty() || desc.shape()[0] % p.bucket != 0 {
                 return Err(ServeError::Exec(format!(
                     "output {o} ({desc}) does not scale with the batch"
                 )));
             }
-            let unit_vol = vol / bucket;
+            let unit_vol = vol / p.bucket;
             let mut shape = desc.shape().to_vec();
-            shape[0] = shape[0] / bucket * r.units;
-            req_outs.push(slice_elems(
-                out,
-                off * unit_vol,
-                r.units * unit_vol,
+            shape[0] = shape[0] / p.bucket * p.units.len();
+            slices.push(slice_elems(
+                &p.outs[o],
+                0,
+                p.units.len() * unit_vol,
                 TensorDesc::new(shape, desc.dtype()),
             )?);
         }
-        per_req.push((req_outs, stats.clone()));
-        off += r.units;
+        let rows: usize = slices.iter().map(|s| s.desc().shape()[0]).sum();
+        let refs: Vec<&Tensor> = slices.iter().collect();
+        fused.push(concat_rows(&refs, rows)?);
     }
-    Ok(per_req)
+    let fuse = fuse_partition + fuse_t1.elapsed();
+
+    // Base request stats: shard 0's execution, with batch_rows covering
+    // what the whole fleet executed (per-shard padding included).
+    let mut stats = partials[0].stats.clone();
+    stats.batch_rows = partials
+        .iter()
+        .map(|p| (inner.unit_dims[0] * p.bucket) as u64)
+        .sum();
+    let padded_total: usize = partials.iter().map(|p| p.bucket - p.units.len()).sum();
+    // Bucket key = what a single engine would have used; the padding
+    // reflects what the shards actually executed.
+    inner.stats.record_batch(
+        total_units.next_power_of_two() as u64,
+        reqs.len() as u64,
+        total_units as u64,
+        padded_total as u64,
+    );
+    inner.stats.record_scatter(partials.len(), fuse);
+    let fused_descs: Vec<TensorDesc> = fused.iter().map(|t| t.desc().clone()).collect();
+    scatter_outputs(reqs, &fused, &fused_descs, total_units, &stats)
 }
 
 /// Run one drained batch and fan results (or the shared error) out to

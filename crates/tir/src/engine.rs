@@ -1,9 +1,16 @@
 //! The compiled-partition execution engine.
 //!
-//! Owns a compiled [`Module`] plus everything needed to run it: seeded
-//! weight globals, the cached persistent state produced by the init
-//! stage ("these runtime constants only be executed once in the first
-//! execution"), a thread pool, and execution statistics.
+//! An [`Executable`] owns a compiled [`Module`] plus everything needed
+//! to run it: seeded weight globals, the cached persistent state
+//! produced by the init stage ("these runtime constants only be
+//! executed once in the first execution"), its thread pool, and
+//! execution statistics. Engines are **first-class values**, not a
+//! process singleton: an [`Engine`] bundles one thread pool with an
+//! execution policy and per-instance counters, and any number of them
+//! coexist in a process — gc-serve runs one per `EngineShard` so
+//! heterogeneous shards (different widths, different kernel ISAs,
+//! different core ranges) serve side by side (DESIGN.md "Sharded
+//! execution").
 //!
 //! # Concurrency
 //!
@@ -31,16 +38,51 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-/// Process-wide engine counters (serving observability). Monotonic;
-/// tests must assert on deltas, not absolute values, because the test
-/// harness runs in parallel.
-static TOTAL_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
-static TOTAL_PLAN_DISPATCHES: AtomicU64 = AtomicU64::new(0);
-static TOTAL_INTERP_DISPATCHES: AtomicU64 = AtomicU64::new(0);
-static TOTAL_INIT_RUNS: AtomicU64 = AtomicU64::new(0);
-static TOTAL_EXEC_STATES: AtomicU64 = AtomicU64::new(0);
+/// A live set of engine execution counters. One instance is process
+/// wide (backing [`engine_totals`], kept for whole-process
+/// observability); every [`Engine`] value carries its own in addition,
+/// so multi-engine hosts — gc-serve's shards — get per-instance totals.
+/// Monotonic; tests must assert on deltas, not absolute values, because
+/// the test harness runs in parallel.
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    executions: AtomicU64,
+    plan_dispatches: AtomicU64,
+    interp_dispatches: AtomicU64,
+    init_runs: AtomicU64,
+    exec_states: AtomicU64,
+}
 
-/// A snapshot of the process-wide engine counters.
+impl EngineCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot the current values.
+    pub fn totals(&self) -> EngineTotals {
+        EngineTotals {
+            executions: self.executions.load(Ordering::Relaxed),
+            plan_dispatches: self.plan_dispatches.load(Ordering::Relaxed),
+            interp_dispatches: self.interp_dispatches.load(Ordering::Relaxed),
+            init_runs: self.init_runs.load(Ordering::Relaxed),
+            exec_states: self.exec_states.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The process-wide counter instance (every executable increments it,
+/// instrumented or not).
+static GLOBAL_COUNTERS: EngineCounters = EngineCounters {
+    executions: AtomicU64::new(0),
+    plan_dispatches: AtomicU64::new(0),
+    interp_dispatches: AtomicU64::new(0),
+    init_runs: AtomicU64::new(0),
+    exec_states: AtomicU64::new(0),
+};
+
+/// A snapshot of engine counters — process-wide from
+/// [`engine_totals`], per-instance from [`Engine::totals`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineTotals {
     /// Completed [`Executable::execute`] calls.
@@ -55,14 +97,104 @@ pub struct EngineTotals {
     pub exec_states: u64,
 }
 
-/// Read the process-wide engine counters.
+/// Read the process-wide engine counters (the sum over every engine
+/// instance and standalone executable in the process).
 pub fn engine_totals() -> EngineTotals {
-    EngineTotals {
-        executions: TOTAL_EXECUTIONS.load(Ordering::Relaxed),
-        plan_dispatches: TOTAL_PLAN_DISPATCHES.load(Ordering::Relaxed),
-        interp_dispatches: TOTAL_INTERP_DISPATCHES.load(Ordering::Relaxed),
-        init_runs: TOTAL_INIT_RUNS.load(Ordering::Relaxed),
-        exec_states: TOTAL_EXEC_STATES.load(Ordering::Relaxed),
+    GLOBAL_COUNTERS.totals()
+}
+
+/// A first-class engine instance: a thread pool plus the execution
+/// policy (mode, options) and counters for everything built on it.
+///
+/// Historically the pool/options pair was threaded through every
+/// [`Executable`] constructor by hand and observability was process
+/// wide only. `Engine` names that bundle so several instances can
+/// coexist deliberately in one process — gc-serve's `EngineShard`s each
+/// own one, giving every shard its own pool, its own exec-state
+/// checkout pools (via the executables it builds), and its own totals
+/// (DESIGN.md "Sharded execution"). Construction is cheap beyond the
+/// pool itself; clone the `Arc`s freely.
+#[derive(Clone)]
+pub struct Engine {
+    pool: Arc<ThreadPool>,
+    mode: ExecMode,
+    exec_options: ExecOptions,
+    counters: Arc<EngineCounters>,
+}
+
+impl Engine {
+    /// An engine instance on `pool` with default (compiled, unchecked)
+    /// execution policy and fresh counters.
+    pub fn new(pool: Arc<ThreadPool>) -> Self {
+        Engine {
+            pool,
+            mode: ExecMode::default(),
+            exec_options: ExecOptions::default(),
+            counters: Arc::new(EngineCounters::new()),
+        }
+    }
+
+    /// Set the dispatch mode for executables built by this engine.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set the plan-execution options for executables built by this
+    /// engine.
+    pub fn with_exec_options(mut self, opts: ExecOptions) -> Self {
+        self.exec_options = opts;
+        self
+    }
+
+    /// The engine's thread pool.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
+    }
+
+    /// Cores this engine keeps busy (its pool's width).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// This instance's counters (for attaching to executables compiled
+    /// elsewhere; see [`Executable::with_counters`]).
+    pub fn counters(&self) -> &Arc<EngineCounters> {
+        &self.counters
+    }
+
+    /// Snapshot this instance's counters — only work executed through
+    /// executables built by (or instrumented with) this engine.
+    pub fn totals(&self) -> EngineTotals {
+        self.counters.totals()
+    }
+
+    /// Wrap a lowered module into an [`Executable`] running on this
+    /// engine: its pool, its mode and options, its counters.
+    pub fn build(
+        &self,
+        module: Module,
+        weight_seeds: Vec<(usize, Tensor)>,
+        dispatch_count: usize,
+    ) -> Executable {
+        Executable::with_mode(
+            module,
+            weight_seeds,
+            Arc::clone(&self.pool),
+            dispatch_count,
+            self.mode,
+        )
+        .with_exec_options(self.exec_options)
+        .with_counters(Arc::clone(&self.counters))
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("threads", &self.pool.threads())
+            .field("mode", &self.mode)
+            .finish()
     }
 }
 
@@ -127,6 +259,9 @@ pub struct Executable {
     /// Idle-pool bound: the embedded pool's worker count.
     max_idle_states: usize,
     init_runs: AtomicU64,
+    /// Per-engine-instance counters, incremented alongside the
+    /// process-wide ones when set (see [`Engine`]).
+    counters: Option<Arc<EngineCounters>>,
 }
 
 // `Executable` must stay shareable across serving threads; this fails
@@ -190,6 +325,25 @@ impl Executable {
             states: Mutex::new(Vec::new()),
             max_idle_states,
             init_runs: AtomicU64::new(0),
+            counters: None,
+        }
+    }
+
+    /// Attach per-instance [`EngineCounters`] (normally an [`Engine`]'s,
+    /// via [`Engine::build`]): every execution increments them alongside
+    /// the process-wide totals.
+    pub fn with_counters(mut self, counters: Arc<EngineCounters>) -> Self {
+        self.counters = Some(counters);
+        self
+    }
+
+    /// Bump one counter on the process-wide instance and, when
+    /// instrumented, the owning engine's.
+    #[inline]
+    fn count(&self, field: impl Fn(&EngineCounters) -> &AtomicU64) {
+        field(&GLOBAL_COUNTERS).fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = &self.counters {
+            field(c).fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -286,7 +440,7 @@ impl Executable {
             self.exec_options,
         );
         self.init_runs.fetch_add(1, Ordering::Relaxed);
-        TOTAL_INIT_RUNS.fetch_add(1, Ordering::Relaxed);
+        self.count(|c| &c.init_runs);
         globals
     }
 
@@ -356,7 +510,7 @@ impl Executable {
             pool.pop()
         }
         .unwrap_or_else(|| {
-            TOTAL_EXEC_STATES.fetch_add(1, Ordering::Relaxed);
+            self.count(|c| &c.exec_states);
             ExecState {
                 globals: (*template.globals).clone(),
                 scratch: PlanScratch::for_plan(&self.plan),
@@ -378,7 +532,7 @@ impl Executable {
                     &mut state.scratch,
                     self.exec_options,
                 );
-                TOTAL_PLAN_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+                self.count(|c| &c.plan_dispatches);
             } else {
                 crate::exec::run_func(
                     &self.module.funcs[call.func],
@@ -387,7 +541,7 @@ impl Executable {
                     &self.pool,
                     self.exec_options,
                 );
-                TOTAL_INTERP_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+                self.count(|c| &c.interp_dispatches);
             }
         }
 
@@ -412,7 +566,7 @@ impl Executable {
                 idle.push(state);
             }
         }
-        TOTAL_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+        self.count(|c| &c.executions);
 
         stats.wall = wall0.elapsed();
         // Barriers are counted structurally (every executed parallel
@@ -694,6 +848,44 @@ mod tests {
         let (a, _) = plain.execute(std::slice::from_ref(&x)).unwrap();
         let (b, _) = checked.execute(&[x]).unwrap();
         assert_eq!(a[0].f32_slice().unwrap(), b[0].f32_slice().unwrap());
+    }
+
+    #[test]
+    fn engine_instances_count_independently() {
+        let a = Engine::new(Arc::new(ThreadPool::new(1)));
+        let b = Engine::new(Arc::new(ThreadPool::new(2)));
+        let (m, seeds) = demo_module();
+        let exe_a = a.build(m, seeds, 1);
+        let (m2, seeds2) = demo_module();
+        let exe_b = b.build(m2, seeds2, 1);
+        let x = Tensor::from_vec_f32(&[8], vec![0.5; 8]).unwrap();
+        let global_before = engine_totals();
+        exe_a.execute(std::slice::from_ref(&x)).unwrap();
+        exe_a.execute(std::slice::from_ref(&x)).unwrap();
+        exe_b.execute(&[x]).unwrap();
+        // Per-instance counters see only their own engine's work; the
+        // process-wide totals see all of it.
+        assert_eq!(a.totals().executions, 2);
+        assert_eq!(b.totals().executions, 1);
+        assert_eq!(a.totals().init_runs, 1);
+        assert_eq!(b.totals().init_runs, 1);
+        assert!(engine_totals().executions >= global_before.executions + 3);
+        assert_eq!(b.threads(), 2);
+    }
+
+    #[test]
+    fn engine_policy_applies_to_built_executables() {
+        let eng = Engine::new(Arc::new(ThreadPool::new(1)))
+            .with_mode(ExecMode::Interpret)
+            .with_exec_options(ExecOptions::checked());
+        let (m, seeds) = demo_module();
+        let exe = eng.build(m, seeds, 1);
+        assert_eq!(exe.mode(), ExecMode::Interpret);
+        assert!(exe.exec_options().checked);
+        let x = Tensor::from_vec_f32(&[8], vec![0.5; 8]).unwrap();
+        exe.execute(&[x]).unwrap();
+        assert_eq!(eng.totals().interp_dispatches, 1);
+        assert_eq!(eng.totals().plan_dispatches, 0);
     }
 
     #[test]

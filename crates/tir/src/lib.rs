@@ -31,7 +31,9 @@ pub mod sim;
 pub mod visit;
 
 pub use compile::compile_module;
-pub use engine::{engine_totals, EngineTotals, ExecMode, Executable, InitCache};
+pub use engine::{
+    engine_totals, Engine, EngineCounters, EngineTotals, ExecMode, Executable, InitCache,
+};
 pub use expr::{Expr, VarId};
 pub use ir::{
     AxisClamp, BufDecl, BufId, Call, Func, GlobalDecl, GlobalKind, Intrinsic, Module, ReduceOp,
